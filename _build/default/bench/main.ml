@@ -1,0 +1,114 @@
+(* Benchmark harness: regenerates every table/figure of the paper
+   (T1-T4 exactly, E1-E7 in shape; see DESIGN.md's experiment index) and
+   runs Bechamel micro-benchmarks over the SBox's hot paths.
+
+   Usage:
+     dune exec bench/main.exe            # quick experiments + micro-benches
+     dune exec bench/main.exe -- --full  # full-size experiments
+     dune exec bench/main.exe -- -e T3   # one experiment
+     dune exec bench/main.exe -- --micro # micro-benchmarks only *)
+
+open Bechamel
+open Toolkit
+module Splan = Gus_core.Splan
+module Rewrite = Gus_core.Rewrite
+module Gus = Gus_core.Gus
+module Moments = Gus_estimator.Moments
+module Sbox = Gus_estimator.Sbox
+module Exp = Gus_experiments
+
+let micro_tests () =
+  (* Shared fixtures, built once. *)
+  let plan6 = Exp.Exp_runtime.chain_plan ~n:6 in
+  let plan10 = Exp.Exp_runtime.chain_plan ~n:10 in
+  let card = Exp.Exp_runtime.chain_card in
+  let gus10 = (Rewrite.analyze ~card plan10).Rewrite.gus in
+  let rng = Gus_util.Rng.create 99 in
+  let pairs n m =
+    Array.init m (fun _ ->
+        (Array.init n (fun _ -> Gus_util.Rng.int rng 1000), Gus_util.Rng.float rng))
+  in
+  let pairs2_10k = pairs 2 10_000 in
+  let pairs4_10k = pairs 4 10_000 in
+  let db = Exp.Harness.db_cached ~scale:0.3 in
+  let q1 = Exp.Harness.query1_plan () in
+  let q1_gus = (Rewrite.analyze_db db q1).Rewrite.gus in
+  let q1_sample = Splan.exec db (Gus_util.Rng.create 5) q1 in
+  Test.make_grouped ~name:"sbox" ~fmt:"%s/%s"
+    [ Test.make ~name:"rewrite-n6"
+        (Staged.stage (fun () -> ignore (Rewrite.analyze ~card plan6)));
+      Test.make ~name:"rewrite-n10"
+        (Staged.stage (fun () -> ignore (Rewrite.analyze ~card plan10)));
+      Test.make ~name:"c-coeffs-n10"
+        (Staged.stage (fun () -> ignore (Gus.c_coefficients gus10)));
+      Test.make ~name:"moments-2rel-10k"
+        (Staged.stage (fun () -> ignore (Moments.of_pairs ~n_rels:2 pairs2_10k)));
+      Test.make ~name:"moments-4rel-10k"
+        (Staged.stage (fun () -> ignore (Moments.of_pairs ~n_rels:4 pairs4_10k)));
+      Test.make ~name:"sbox-query1-e2e"
+        (Staged.stage (fun () ->
+             ignore
+               (Sbox.of_relation ~gus:q1_gus ~f:Exp.Harness.revenue_f q1_sample)));
+      Test.make ~name:"exec-query1-sampled"
+        (Staged.stage (fun () ->
+             ignore (Splan.exec db (Gus_util.Rng.create 6) q1))) ]
+
+let run_micro () =
+  print_endline "\n=== Bechamel micro-benchmarks (monotonic clock) ===\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let t = Gus_util.Tablefmt.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan
+      in
+      let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
+      let r2_cell = if Float.is_nan r2 then "-" else Printf.sprintf "%.3f" r2 in
+      let human =
+        if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+        else Printf.sprintf "%.0f ns" est
+      in
+      Gus_util.Tablefmt.add_row t [ name; human; r2_cell ])
+    rows;
+  Gus_util.Tablefmt.print t
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let micro_only = List.mem "--micro" args in
+  let single =
+    let rec find = function
+      | "-e" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  Printf.printf
+    "GUS sampling algebra - benchmark harness (paper tables T1-T4, \
+     experiments E1-E7)\n";
+  (match (micro_only, single) with
+  | true, _ -> ()
+  | _, Some id -> begin
+      match Exp.Registry.find id with
+      | Some e -> if full then e.Exp.Registry.run () else e.Exp.Registry.quick ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; known: %s\n" id
+            (String.concat ", "
+               (List.map (fun e -> e.Exp.Registry.id) Exp.Registry.all));
+          exit 1
+    end
+  | false, None -> Exp.Registry.run_all ~quick:(not full) ());
+  if single = None then run_micro ()

@@ -1,0 +1,271 @@
+(* gusdb — command-line front end to the GUS sampling-algebra library.
+
+   Subcommands:
+     gen          generate a synthetic TPC-H-style database and write CSVs
+     query        run a dialect query (with TABLESAMPLE) and print the
+                  estimate with confidence intervals, next to ground truth
+     plan         show a query's sampling plan, its SOA rewrite trace and
+                  the resulting top GUS operator
+     experiments  run the paper-reproduction experiments *)
+
+open Cmdliner
+module Splan = Gus_core.Splan
+module Rewrite = Gus_core.Rewrite
+module Gus = Gus_core.Gus
+open Gus_relational
+
+let scale_arg =
+  let doc = "Scale factor of the generated database (1.0 = 15k orders)." in
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (data generation and sampling are deterministic)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let db_of ~scale ~seed = Gus_tpch.Tpch.generate ~seed ~scale ()
+
+let schemas =
+  [ ("customer", Gus_tpch.Tpch.customer_schema);
+    ("orders", Gus_tpch.Tpch.orders_schema);
+    ("lineitem", Gus_tpch.Tpch.lineitem_schema);
+    ("part", Gus_tpch.Tpch.part_schema);
+    ("supplier", Gus_tpch.Tpch.supplier_schema) ]
+
+(* Either load CSVs previously written by `gen`, or generate in memory. *)
+let db_source ~scale ~seed = function
+  | None -> db_of ~scale ~seed
+  | Some dir ->
+      let db = Database.create () in
+      List.iter
+        (fun (name, schema) ->
+          let path = Filename.concat dir (name ^ ".csv") in
+          if Sys.file_exists path then
+            Database.add db (Csv.load ~path ~name schema))
+        schemas;
+      if Database.names db = [] then begin
+        Printf.eprintf "gusdb: no known CSVs found in %s\n" dir;
+        exit 1
+      end;
+      db
+
+let data_arg =
+  let doc = "Load relations from CSVs in $(docv) (written by `gusdb gen`) \
+             instead of generating data in memory." in
+  Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"DIR" ~doc)
+
+(* Report user-facing failures as diagnostics + exit 1 instead of
+   uncaught-exception backtraces. *)
+let or_fail f =
+  try f () with
+  | Gus_sql.Parser.Error msg | Gus_sql.Planner.Error msg ->
+      Printf.eprintf "gusdb: %s\n" msg;
+      exit 1
+  | Gus_sql.Lexer.Error { message; _ } ->
+      Printf.eprintf "gusdb: lexical error: %s\n" message;
+      exit 1
+  | Rewrite.Unsupported msg ->
+      Printf.eprintf "gusdb: unsupported plan: %s\n" msg;
+      exit 1
+  | Value.Type_error msg ->
+      Printf.eprintf "gusdb: type error: %s\n" msg;
+      exit 1
+  | Schema.Unknown_column c ->
+      Printf.eprintf "gusdb: unknown column %s\n" c;
+      exit 1
+  | Database.Unknown_relation r ->
+      Printf.eprintf "gusdb: unknown relation %s\n" r;
+      exit 1
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let out_arg =
+    let doc = "Output directory for the CSV files." in
+    Arg.(value & opt string "data" & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let run scale seed out =
+    let db = db_of ~scale ~seed in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iter
+      (fun name ->
+        let rel = Database.find db name in
+        let path = Filename.concat out (name ^ ".csv") in
+        Csv.save ~path rel;
+        Printf.printf "%s: %d rows -> %s\n" name (Relation.cardinality rel) path)
+      (Database.names db)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic TPC-H-style database.")
+    Term.(const run $ scale_arg $ seed_arg $ out_arg)
+
+(* ---- query ---- *)
+
+let sql_arg =
+  let doc = "The query text (the paper's dialect: SELECT aggregates FROM \
+             relations with TABLESAMPLE, WHERE conjunctions)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let query_cmd =
+  let exact_arg =
+    let doc = "Also evaluate the query exactly (no sampling) for comparison." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run scale seed sql exact data =
+   or_fail @@ fun () ->
+    let db = db_source ~scale ~seed:20130630 data in
+    let result = Gus_sql.Runner.run ~seed db sql in
+    Format.printf "%a@." Gus_sql.Runner.pp_result result;
+    if exact then begin
+      Format.printf "@.ground truth (sampling ignored):@.";
+      List.iter
+        (fun (label, v) -> Format.printf "  %s = %.6g@." label v)
+        (Gus_sql.Runner.run_exact db sql)
+    end
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Estimate an aggregate query over samples.")
+    Term.(const run $ scale_arg $ seed_arg $ sql_arg $ exact_arg $ data_arg)
+
+(* ---- plan ---- *)
+
+let plan_cmd =
+  let run scale sql data =
+   or_fail @@ fun () ->
+    let db = db_source ~scale ~seed:20130630 data in
+    let query = Gus_sql.Parser.parse sql in
+    let { Gus_sql.Planner.plan; _ } = Gus_sql.Planner.compile db query in
+    Format.printf "sampling plan:@.%a@." Splan.pp_tree plan;
+    let analysis = Rewrite.analyze_db db plan in
+    Format.printf "SOA rewrite (%d steps):@."
+      (List.length analysis.Rewrite.steps);
+    List.iter
+      (fun (what, g) -> Format.printf "  %-40s a = %.6g@." what g.Gus.a)
+      analysis.Rewrite.steps;
+    Format.printf "@.top GUS quasi-operator:@.  @[%a@]@." Gus.pp
+      analysis.Rewrite.gus;
+    Format.printf "@.sample-free skeleton:@.%a@." Splan.pp_tree
+      analysis.Rewrite.skeleton
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Show the sampling plan, its SOA-equivalence rewrite and top GUS.")
+    Term.(const run $ scale_arg $ sql_arg $ data_arg)
+
+(* ---- repl ---- *)
+
+let repl_cmd =
+  let run scale seed =
+    let db = db_of ~scale ~seed:20130630 in
+    Printf.printf
+      "gusdb repl - %d relations, %d rows (scale %g).\n\
+       Terminate queries with ';'.  Commands: \\q quit, \\plan <sql>;, \
+       \\exact <sql>;, \\tables.\n"
+      (List.length (Database.names db))
+      (Database.total_rows db) scale;
+    let seed = ref seed in
+    let buf = Buffer.create 256 in
+    let try_read () = try Some (input_line stdin) with End_of_file -> None in
+    let rec loop () =
+      if Buffer.length buf = 0 then print_string "gus> " else print_string "...> ";
+      flush stdout;
+      match try_read () with
+      | None -> print_newline ()
+      | Some line ->
+          let line = String.trim line in
+          if line = "\\q" then print_endline "bye."
+          else if line = "\\tables" then begin
+            List.iter
+              (fun n ->
+                Printf.printf "  %-10s %7d rows  %s\n" n
+                  (Relation.cardinality (Database.find db n))
+                  (Format.asprintf "%a" Schema.pp (Database.find db n).Relation.schema))
+              (Database.names db);
+            loop ()
+          end
+          else begin
+            Buffer.add_string buf line;
+            Buffer.add_char buf ' ';
+            if String.length line > 0 && String.contains line ';' then begin
+              let text = String.trim (Buffer.contents buf) in
+              Buffer.clear buf;
+              incr seed;
+              (try
+                 if String.length text >= 5 && String.sub text 0 5 = "\\plan" then begin
+                   let sql = String.sub text 5 (String.length text - 5) in
+                   let query = Gus_sql.Parser.parse sql in
+                   let { Gus_sql.Planner.plan; _ } = Gus_sql.Planner.compile db query in
+                   Format.printf "%a" Splan.pp_tree plan;
+                   let analysis = Rewrite.analyze_db db plan in
+                   Format.printf "@[%a@]@." Gus.pp analysis.Rewrite.gus
+                 end
+                 else if String.length text >= 6 && String.sub text 0 6 = "\\exact"
+                 then begin
+                   let sql = String.sub text 6 (String.length text - 6) in
+                   List.iter
+                     (fun (label, v) -> Format.printf "  %s = %.6g@." label v)
+                     (Gus_sql.Runner.run_exact db sql)
+                 end
+                 else
+                   Format.printf "%a@."
+                     Gus_sql.Runner.pp_result
+                     (Gus_sql.Runner.run ~seed:!seed db text)
+               with
+              | Gus_sql.Parser.Error msg | Gus_sql.Planner.Error msg ->
+                  Printf.printf "error: %s\n" msg
+              | Gus_sql.Lexer.Error { message; _ } ->
+                  Printf.printf "lexical error: %s\n" message
+              | Rewrite.Unsupported msg -> Printf.printf "unsupported: %s\n" msg
+              | Value.Type_error msg -> Printf.printf "type error: %s\n" msg
+              | Schema.Unknown_column c -> Printf.printf "unknown column: %s\n" c);
+              loop ()
+            end
+            else loop ()
+          end
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive query loop over a generated database.")
+    Term.(const run $ scale_arg $ seed_arg)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let id_arg =
+    let doc = "Run a single experiment (T1..T4, E1..E7); default: all." in
+    Arg.(value & opt (some string) None & info [ "e"; "experiment" ] ~docv:"ID" ~doc)
+  in
+  let full_arg =
+    let doc = "Full-size runs (more trials, larger scale)." in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let list_arg =
+    let doc = "List the available experiments." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let run id full list =
+    let module R = Gus_experiments.Registry in
+    if list then
+      List.iter
+        (fun e ->
+          Printf.printf "%-4s %-50s [%s]\n" e.R.id e.R.title e.R.paper_artifact)
+        R.all
+    else
+      match id with
+      | None -> R.run_all ~quick:(not full) ()
+      | Some id -> begin
+          match R.find id with
+          | Some e -> if full then e.R.run () else e.R.quick ()
+          | None ->
+              Printf.eprintf "unknown experiment %s\n" id;
+              exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.")
+    Term.(const run $ id_arg $ full_arg $ list_arg)
+
+let () =
+  let doc = "aggregate estimation over sampled queries (GUS sampling algebra)" in
+  let info = Cmd.info "gusdb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; query_cmd; plan_cmd; repl_cmd; experiments_cmd ]))

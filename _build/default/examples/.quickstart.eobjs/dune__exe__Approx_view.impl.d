@@ -1,0 +1,1 @@
+examples/approx_view.ml: Gus_sql Gus_tpch List Printf

@@ -1,0 +1,1 @@
+examples/approx_view.mli:

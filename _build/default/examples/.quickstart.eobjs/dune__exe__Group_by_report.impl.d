@@ -1,0 +1,1 @@
+examples/group_by_report.ml: Gus_sql Gus_stats Gus_tpch List Printf String

@@ -1,0 +1,1 @@
+examples/group_by_report.mli:

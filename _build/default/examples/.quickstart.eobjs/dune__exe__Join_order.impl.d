@@ -1,0 +1,1 @@
+examples/join_order.ml: Expr Format Gus_core Gus_estimator Gus_relational Gus_stats Gus_tpch List Printf String

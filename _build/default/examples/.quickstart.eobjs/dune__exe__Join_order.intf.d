@@ -1,0 +1,1 @@
+examples/join_order.mli:

@@ -1,0 +1,1 @@
+examples/load_shedding.ml: Expr Float Gus_core Gus_estimator Gus_online Gus_relational Gus_tpch List Printf Relation

@@ -1,0 +1,1 @@
+examples/load_shedding.mli:

@@ -1,0 +1,1 @@
+examples/online_aggregation.ml: Expr Gus_core Gus_estimator Gus_online Gus_relational Gus_stats Gus_tpch List Printf String

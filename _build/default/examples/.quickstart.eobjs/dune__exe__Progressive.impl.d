@@ -1,0 +1,1 @@
+examples/progressive.ml: Expr Gus_core Gus_estimator Gus_online Gus_relational Gus_stats Gus_tpch List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Expr Float Format Gus_core Gus_estimator Gus_relational Gus_sampling Gus_stats Gus_tpch

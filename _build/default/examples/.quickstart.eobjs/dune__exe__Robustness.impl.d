@@ -1,0 +1,1 @@
+examples/robustness.ml: Array Expr Float Gus_core Gus_estimator Gus_relational Gus_tpch Option Printf Relation

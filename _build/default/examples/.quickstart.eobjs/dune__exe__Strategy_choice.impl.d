@@ -1,0 +1,1 @@
+examples/strategy_choice.ml: Database Expr Float Gus_core Gus_estimator Gus_relational Gus_sampling Gus_tpch List Printf Relation

@@ -1,0 +1,1 @@
+examples/strategy_choice.mli:

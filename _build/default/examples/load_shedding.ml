@@ -1,0 +1,97 @@
+(* Load shedding (paper Section 8): a stream processor that cannot keep up
+   must drop tuples.  Modelling the shedder as a Bernoulli GUS per input
+   stream lets us pick the highest shedding rate whose estimated aggregate
+   still meets an accuracy target - including for joins of two streams,
+   where per-stream rates interact.
+
+   Run with:  dune exec examples/load_shedding.exe *)
+
+module Splan = Gus_core.Splan
+module Gus = Gus_core.Gus
+module Moments = Gus_estimator.Moments
+open Gus_relational
+
+let () =
+  (* The "stream history" we calibrate on: one buffered window. *)
+  let db = Gus_tpch.Tpch.generate ~seed:23 ~scale:0.5 () in
+  let f = Expr.(col "l_extendedprice" * (float 1.0 - col "l_discount")) in
+  let window =
+    Splan.equi_join (Splan.scan "lineitem") (Splan.scan "orders")
+      ~on:("l_orderkey", "o_orderkey")
+  in
+  let full = Splan.exec_exact db window in
+  let y = Moments.of_relation ~f full in
+  let eval = Expr.bind_float full.Relation.schema f in
+  let total = Relation.fold (fun acc tup -> acc +. eval tup) 0.0 full in
+
+  (* The processor can only retain a fraction of each stream.  For keep
+     rates k, the estimate's relative sd follows from Theorem 1. *)
+  let rel_sd keep_li keep_od =
+    let g =
+      Gus.join
+        (Gus.bernoulli ~rel:"lineitem" keep_li)
+        (Gus.bernoulli ~rel:"orders" keep_od)
+    in
+    sqrt (Float.max 0.0 (Gus.variance g ~y)) /. total
+  in
+  Printf.printf
+    "windowed join aggregate; capacity allows keeping only part of each \
+     stream.\n\n";
+  Printf.printf "%-10s" "keep li\\od";
+  let rates = [ 0.05; 0.1; 0.2; 0.5; 1.0 ] in
+  List.iter (fun r -> Printf.printf "%10.0f%%" (100.0 *. r)) rates;
+  print_newline ();
+  List.iter
+    (fun kl ->
+      Printf.printf "%9.0f%%" (100.0 *. kl);
+      List.iter (fun ko -> Printf.printf "%10.2f%%" (100.0 *. rel_sd kl ko)) rates;
+      print_newline ())
+    rates;
+  (* Budget: keep-rate product limited by throughput; find the best split. *)
+  let budget = 0.05 in
+  let best = ref (nan, nan, infinity) in
+  let steps = 60 in
+  for i = 1 to steps do
+    let kl = float_of_int i /. float_of_int steps in
+    let ko = Float.min 1.0 (budget /. kl) in
+    if kl *. ko >= budget -. 1e-9 then begin
+      let sd = rel_sd kl ko in
+      let _, _, cur = !best in
+      if sd < cur then best := (kl, ko, sd)
+    end
+  done;
+  let kl, ko, sd = !best in
+  Printf.printf
+    "\nrelative sd of the estimate for each keep-rate pair (above).\n\
+     with a combined budget keep_li * keep_od = %.2f, the best split is \
+     keep %.0f%% of lineitem and %.0f%% of orders (rel. sd %.2f%%).\n\n"
+    budget (100.0 *. kl) (100.0 *. ko) (100.0 *. sd);
+
+  (* Part 2: the adaptive window-by-window shedder (Gus_online.Shedding):
+     rates are re-optimized between windows from the previous window's
+     Y-hat moments, under a hard throughput budget. *)
+  let module Shedding = Gus_online.Shedding in
+  let windows = 5 and capacity = 3000 in
+  Printf.printf
+    "adaptive shedder: %d windows, capacity %d kept tuples per window\n\n"
+    windows capacity;
+  let reports = Shedding.simulate ~seed:3 db ~plan:window ~f ~windows ~capacity in
+  let truths = Shedding.window_truth db ~plan:window ~f ~windows in
+  Printf.printf "%7s %18s %14s %14s %9s %s\n" "window" "rates (li, od)"
+    "estimate" "truth" "rel.err%" "kept/arrived";
+  List.iter2
+    (fun r truth ->
+      let rate name = List.assoc name r.Shedding.rates in
+      let kept = List.fold_left (fun a (_, k) -> a + k) 0 r.Shedding.kept in
+      let arrived = List.fold_left (fun a (_, n) -> a + n) 0 r.Shedding.arrivals in
+      Printf.printf "%7d %9.2f, %6.2f %14.4g %14.4g %9.2f %d/%d\n"
+        r.Shedding.window (rate "lineitem") (rate "orders")
+        r.Shedding.report.Gus_estimator.Sbox.estimate truth
+        (100.0 *. Float.abs (r.Shedding.report.Gus_estimator.Sbox.estimate -. truth)
+        /. truth)
+        kept arrived)
+    reports truths;
+  Printf.printf
+    "\n(the first window sheds proportionally; later windows split the \
+     budget to minimize the predicted variance from the previous window's \
+     moments.)\n"

@@ -1,0 +1,42 @@
+(* Online aggregation: watch the estimate refine while the join's inputs
+   stream in, in random order.  Every checkpoint's interval comes from the
+   GUS algebra (a prefix of a random permutation is a WOR sample), so no
+   bespoke online-aggregation statistics are needed - the capability the
+   ripple-join / DBO line of work built dedicated theory for falls out of
+   the algebra.
+
+   Run with:  dune exec examples/online_aggregation.exe *)
+
+module Online = Gus_online.Online
+module Sbox = Gus_estimator.Sbox
+module Interval = Gus_stats.Interval
+module Splan = Gus_core.Splan
+open Gus_relational
+
+let () =
+  let db = Gus_tpch.Tpch.generate ~seed:31 ~scale:1.0 () in
+  let plan =
+    Splan.equi_join (Splan.scan "lineitem") (Splan.scan "orders")
+      ~on:("l_orderkey", "o_orderkey")
+  in
+  let f = Expr.(col "l_extendedprice" * (float 1.0 - col "l_discount")) in
+  let truth = Sbox.exact db plan ~f in
+  Printf.printf "streaming lineitem + orders in random order...\n\n";
+  Printf.printf "%9s  %14s  %28s  %8s\n" "scanned" "estimate" "95% interval" "width%";
+  let bar frac = String.make (int_of_float (30.0 *. frac)) '#' in
+  List.iter
+    (fun cp ->
+      let frac =
+        List.fold_left (fun acc (_, fr) -> acc +. fr) 0.0 cp.Online.fractions
+        /. float_of_int (List.length cp.Online.fractions)
+      in
+      let ci = cp.Online.interval in
+      Printf.printf "%8.0f%%  %14.4g  [%12.4g, %12.4g]  %7.2f%%  %s\n"
+        (100.0 *. frac)
+        cp.Online.report.Sbox.estimate ci.Interval.lo ci.Interval.hi
+        (100.0 *. Interval.width ci /. truth)
+        (bar frac))
+    (Online.run ~seed:7 db ~plan ~f ~checkpoints:12);
+  Printf.printf "\nexact answer: %.4g (the final checkpoint pinpoints it: at \
+                 100%% the WOR sample IS the data and the GUS is the \
+                 identity).\n" truth

@@ -1,0 +1,46 @@
+(* Progressive refinement: "give me the answer to within 5%".  The sample
+   grows geometrically (nested, thanks to fixed-seed hash-Bernoulli - a
+   real engine only fetches the delta each round) until the 95% interval
+   is tight enough.
+
+   Run with:  dune exec examples/progressive.exe *)
+
+module Progressive = Gus_online.Progressive
+module Sbox = Gus_estimator.Sbox
+module Splan = Gus_core.Splan
+module Interval = Gus_stats.Interval
+open Gus_relational
+
+let () =
+  let db = Gus_tpch.Tpch.generate ~seed:47 ~scale:2.0 () in
+  let plan =
+    Splan.equi_join (Splan.scan "lineitem") (Splan.scan "orders")
+      ~on:("l_orderkey", "o_orderkey")
+  in
+  let f = Expr.(col "l_extendedprice" * (float 1.0 - col "l_discount")) in
+  let target = 0.05 in
+  Printf.printf "refining until the 95%% interval is within %.0f%% of the \
+                 estimate...\n\n" (100.0 *. target);
+  Printf.printf "%6s %8s %10s %14s %12s %6s\n" "round" "rate" "tuples"
+    "estimate" "rel.width" "done";
+  let rounds =
+    Progressive.run ~seed:9 db ~plan ~f ~target_rel_width:target
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%6d %7.2f%% %10d %14.4g %11.2f%% %6b\n"
+        r.Progressive.index
+        (100.0 *. r.Progressive.rate)
+        r.Progressive.report.Sbox.n_tuples
+        r.Progressive.report.Sbox.estimate
+        (100.0 *. r.Progressive.rel_width)
+        r.Progressive.met)
+    rounds;
+  let truth = Sbox.exact db plan ~f in
+  let last = List.nth rounds (List.length rounds - 1) in
+  Printf.printf
+    "\nexact answer %.4g; final interval %s.\n\
+     (each round's sample contains the previous one - only the increment \
+     would be fetched from storage.)\n"
+    truth
+    (Interval.to_string last.Progressive.interval)

@@ -1,0 +1,55 @@
+(* "Database as a sample" (paper Section 8): treat the stored relations as
+   a 99% Bernoulli sample of an idealized complete database, and read the
+   Theorem-1 variance as a robustness score: how far could this answer move
+   if 1% of the tuples were randomly missing?
+
+   A report aggregate dominated by a few heavy tuples is fragile; a uniform
+   one is not - even when their totals look equally authoritative.
+
+   Run with:  dune exec examples/robustness.exe *)
+
+module Splan = Gus_core.Splan
+module Gus = Gus_core.Gus
+module Moments = Gus_estimator.Moments
+open Gus_relational
+
+let robustness db plan ~f ~loss =
+  let full = Splan.exec_exact db plan in
+  let keep = 1.0 -. loss in
+  let gus =
+    Array.fold_left
+      (fun acc r ->
+        let g = Gus.bernoulli ~rel:r keep in
+        match acc with None -> Some g | Some a -> Some (Gus.join a g))
+      None full.Relation.lineage_schema
+    |> Option.get
+  in
+  let y = Moments.of_relation ~f full in
+  let eval = Expr.bind_float full.Relation.schema f in
+  let total = Relation.fold (fun acc tup -> acc +. eval tup) 0.0 full in
+  let sd = sqrt (Float.max 0.0 (Gus.variance gus ~y)) in
+  (total, sd /. Float.abs total)
+
+let () =
+  let skewed =
+    { Gus_tpch.Tpch.default_config with part_skew = 1.3; price_skew = 1.1 }
+  in
+  let db = Gus_tpch.Tpch.generate ~config:skewed ~seed:5 ~scale:0.5 () in
+  let join =
+    Splan.equi_join (Splan.scan "lineitem") (Splan.scan "orders")
+      ~on:("l_orderkey", "o_orderkey")
+  in
+  let report name f =
+    let total, cv = robustness db join ~f ~loss:0.01 in
+    Printf.printf "%-28s total = %12.4g   1%%-loss CV = %.4f%%%s\n" name total
+      (100.0 *. cv)
+      (if cv > 0.005 then "   <- fragile" else "")
+  in
+  Printf.printf "robustness of report aggregates to losing 1%% of tuples:\n\n";
+  report "SUM(revenue) (heavy tail)" Expr.(col "l_extendedprice" * (float 1.0 - col "l_discount"));
+  report "SUM(quantity) (uniform)" (Expr.col "l_quantity");
+  report "COUNT(*)" (Expr.float 1.0);
+  Printf.printf
+    "\nA large coefficient of variation flags a query whose answer depends \
+     on a few heavy tuples: its results should not be trusted under data \
+     loss or late-arriving data.\n"

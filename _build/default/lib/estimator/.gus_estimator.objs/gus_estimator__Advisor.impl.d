@@ -1,0 +1,1 @@
+lib/estimator/advisor.ml: Database Expr Gus_core Gus_relational Gus_sampling Gus_stats Gus_util Hashtbl List Option Printf Relation Sbox

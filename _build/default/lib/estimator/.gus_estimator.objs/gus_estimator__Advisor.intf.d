@@ -1,0 +1,1 @@
+lib/estimator/advisor.mli: Gus_core Gus_relational Gus_stats

@@ -1,0 +1,1 @@
+lib/estimator/moments.ml: Array Expr Gus_relational Gus_util Hashtbl Int64 Lineage Relation Tuple

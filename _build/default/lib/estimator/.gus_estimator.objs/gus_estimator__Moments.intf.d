@@ -1,0 +1,1 @@
+lib/estimator/moments.mli: Gus_relational

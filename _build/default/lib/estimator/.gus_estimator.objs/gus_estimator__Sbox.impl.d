@@ -1,0 +1,1 @@
+lib/estimator/sbox.ml: Array Expr Float Gus_core Gus_relational Gus_sampling Gus_stats Gus_util List Logs Moments Printf Relation String

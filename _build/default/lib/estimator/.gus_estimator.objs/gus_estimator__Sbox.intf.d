@@ -1,0 +1,1 @@
+lib/estimator/sbox.mli: Gus_core Gus_relational Gus_stats

@@ -1,0 +1,1 @@
+lib/estimator/size_estimator.ml: Expr Gus_core Gus_relational Gus_sampling Gus_stats Sbox

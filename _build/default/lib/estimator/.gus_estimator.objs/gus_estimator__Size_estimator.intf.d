@@ -1,0 +1,1 @@
+lib/estimator/size_estimator.mli: Gus_core Gus_relational Gus_stats

@@ -1,0 +1,1 @@
+lib/estimator/wr_baseline.ml: Expr Gus_relational Gus_stats Relation

@@ -1,0 +1,1 @@
+lib/estimator/wr_baseline.mli: Gus_relational

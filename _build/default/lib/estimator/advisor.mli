@@ -1,0 +1,52 @@
+(** A sampling-driven join-order advisor — the paper's "estimating the
+    size of intermediate relations" application (Section 8) put to work.
+
+    Each base relation is sampled {e once}; every candidate left-deep
+    order is then costed by executing its prefixes over the shared samples
+    and scaling the observed cardinalities up by the GUS inclusion
+    probability.  Because the same samples price every order, the
+    comparison between orders is consistent even when individual estimates
+    are noisy; and each prefix estimate carries a confidence interval, so
+    a caller can tell when two orders are statistically indistinguishable. *)
+
+type join_graph = {
+  relations : string list;
+  predicates : (string * string * Gus_relational.Expr.t * Gus_relational.Expr.t) list;
+      (** (relation_a, relation_b, key_a, key_b) equality predicates *)
+}
+
+type prefix_estimate = {
+  after_joining : string;  (** the relation whose join produced this prefix *)
+  size : float;  (** predicted intermediate cardinality *)
+  interval : Gus_stats.Interval.t;
+}
+
+type ranked_order = {
+  order : string list;
+  cost : float;  (** Σ predicted intermediate sizes (C_out cost model) *)
+  prefixes : prefix_estimate list;
+  cross_products : int;  (** prefixes that had no connecting predicate *)
+}
+
+val max_relations : int
+(** Orders are enumerated exhaustively; the advisor refuses graphs with
+    more than this many relations (7 ⇒ 5040 orders). *)
+
+val advise :
+  ?seed:int ->
+  ?rate:float ->
+  Gus_relational.Database.t ->
+  join_graph ->
+  ranked_order list
+(** All left-deep orders, cheapest predicted first (cross-product count is
+    the primary key — a cross product's cost estimate is reliable and
+    catastrophic — then predicted cost).  Default pilot [rate] 0.05.
+    Raises [Invalid_argument] on unknown relations, duplicate relations,
+    or too many relations. *)
+
+val best : ?seed:int -> ?rate:float -> Gus_relational.Database.t -> join_graph -> ranked_order
+
+val plan_of_order :
+  join_graph -> string list -> Gus_core.Splan.t
+(** The left-deep sample-free plan realizing an order (equi-joins where a
+    predicate connects, cross products otherwise). *)

@@ -1,0 +1,108 @@
+module Subset = Gus_util.Subset
+open Gus_relational
+
+module Key = struct
+  type t = int array
+
+  let equal = ( = )
+
+  let hash (l : t) =
+    let h = ref (Gus_util.Hashing.mix64 23L) in
+    Array.iter (fun id -> h := Gus_util.Hashing.combine !h (Int64.of_int id)) l;
+    Int64.to_int !h land max_int
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let of_pairs ~n_rels pairs =
+  if n_rels > Subset.max_universe then
+    invalid_arg "Moments.of_pairs: too many relations";
+  Array.iter
+    (fun (l, _) ->
+      if Array.length l <> n_rels then
+        invalid_arg "Moments.of_pairs: lineage length mismatch")
+    pairs;
+  let nmasks = Subset.count n_rels in
+  let y = Array.make nmasks 0.0 in
+  (* S = ∅: a single group containing everything. *)
+  let grand = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 pairs in
+  y.(Subset.empty) <- grand *. grand;
+  (* Every other subset is a genuine group-by on the restricted lineage.
+     Note S = full is NOT the plain sum of f²: block-granular lineage (block
+     sampling) makes several tuples share a full lineage, and they must be
+     summed within their group. *)
+  for s = 1 to nmasks - 1 do
+    let positions = Subset.elements s in
+    let groups = Tbl.create (max 64 (Array.length pairs / 4)) in
+    Array.iter
+      (fun (l, f) ->
+        let key = Lineage.restrict l ~positions in
+        match Tbl.find_opt groups key with
+        | Some sum -> Tbl.replace groups key (sum +. f)
+        | None -> Tbl.add groups key f)
+      pairs;
+    let acc = ref 0.0 in
+    Tbl.iter (fun _ sum -> acc := !acc +. (sum *. sum)) groups;
+    y.(s) <- !acc
+  done;
+  y
+
+let bilinear_of_pairs ~n_rels pairs =
+  if n_rels > Subset.max_universe then
+    invalid_arg "Moments.bilinear_of_pairs: too many relations";
+  Array.iter
+    (fun (l, _, _) ->
+      if Array.length l <> n_rels then
+        invalid_arg "Moments.bilinear_of_pairs: lineage length mismatch")
+    pairs;
+  let nmasks = Subset.count n_rels in
+  let y = Array.make nmasks 0.0 in
+  let grand_f = Array.fold_left (fun acc (_, f, _) -> acc +. f) 0.0 pairs in
+  let grand_g = Array.fold_left (fun acc (_, _, g) -> acc +. g) 0.0 pairs in
+  y.(Subset.empty) <- grand_f *. grand_g;
+  for s = 1 to nmasks - 1 do
+    let positions = Subset.elements s in
+    let groups = Tbl.create (max 64 (Array.length pairs / 4)) in
+    Array.iter
+      (fun (l, f, g) ->
+        let key = Lineage.restrict l ~positions in
+        match Tbl.find_opt groups key with
+        | Some (sf, sg) -> Tbl.replace groups key (sf +. f, sg +. g)
+        | None -> Tbl.add groups key (f, g))
+      pairs;
+    let acc = ref 0.0 in
+    Tbl.iter (fun _ (sf, sg) -> acc := !acc +. (sf *. sg)) groups;
+    y.(s) <- !acc
+  done;
+  y
+
+let bilinear_of_relation ~f ~g rel =
+  let open Gus_relational in
+  let ef = Expr.bind_float rel.Relation.schema f in
+  let eg = Expr.bind_float rel.Relation.schema g in
+  let out = Array.make (Relation.cardinality rel) ([||], 0.0, 0.0) in
+  let i = ref 0 in
+  Relation.iter
+    (fun tup ->
+      out.(!i) <- (tup.Tuple.lineage, ef tup, eg tup);
+      incr i)
+    rel;
+  bilinear_of_pairs ~n_rels:(Array.length rel.Relation.lineage_schema) out
+
+let pairs_of_relation ~f rel =
+  let eval = Expr.bind_float rel.Relation.schema f in
+  let out = Array.make (Relation.cardinality rel) ([||], 0.0) in
+  let i = ref 0 in
+  Relation.iter
+    (fun tup ->
+      out.(!i) <- (tup.Tuple.lineage, eval tup);
+      incr i)
+    rel;
+  out
+
+let of_relation ~f rel =
+  of_pairs
+    ~n_rels:(Array.length rel.Relation.lineage_schema)
+    (pairs_of_relation ~f rel)
+
+let total pairs = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 pairs

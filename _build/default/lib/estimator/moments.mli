@@ -1,0 +1,35 @@
+(** The y_S / Y_S data moments of Theorem 1 (Section 6.3).
+
+    For a subset [S] of the lineage schema,
+    [y_S = Σ_{lineage-groups on S} (Σ_{tuples in group} f)²] — a group-by
+    on the lineage ids of the relations in [S].  Computed over the full
+    query result these are the exact [y_S]; computed over a sample they are
+    the raw [Y_S] that the SBox corrects into unbiased [Ŷ_S]. *)
+
+val of_pairs : n_rels:int -> (int array * float) array -> float array
+(** [(lineage, f)] pairs → the [2^n_rels] moments, indexed by subset mask.
+    Every lineage must have length [n_rels]. *)
+
+val of_relation : f:Gus_relational.Expr.t -> Gus_relational.Relation.t -> float array
+(** Evaluate [f] on every tuple (Null ↦ 0) and delegate to {!of_pairs}
+    using the relation's lineage schema. *)
+
+val pairs_of_relation :
+  f:Gus_relational.Expr.t -> Gus_relational.Relation.t -> (int array * float) array
+(** The SBox input stream of Section 6.2: per-result-tuple lineage and
+    aggregate contribution. *)
+
+val total : (int array * float) array -> float
+(** Σ f — the quantity the estimate scales up. *)
+
+val bilinear_of_pairs : n_rels:int -> (int array * float * float) array -> float array
+(** Cross moments [y^{fg}_S = Σ_{groups on S} (Σ f)(Σ g)] — the bilinear
+    generalization used for covariance between two SUM aggregates over the
+    same sample (and hence for AVG via the delta method).
+    [bilinear_of_pairs] with [f = g] coincides with {!of_pairs}. *)
+
+val bilinear_of_relation :
+  f:Gus_relational.Expr.t ->
+  g:Gus_relational.Expr.t ->
+  Gus_relational.Relation.t ->
+  float array

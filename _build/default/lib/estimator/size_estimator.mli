@@ -1,0 +1,34 @@
+(** Intermediate-result size estimation (paper Section 8, third
+    application).
+
+    Query optimizers guess intermediate cardinalities from samples; the
+    GUS machinery upgrades the guess to an estimate {e with a confidence
+    interval}, so the optimizer can tell a trustworthy prediction from a
+    shot in the dark.  Size is COUNT over the intermediate expression,
+    i.e. SUM of 1 — directly covered by Theorem 1. *)
+
+type prediction = {
+  estimate : float;  (** predicted cardinality of the full intermediate *)
+  stddev : float;
+  interval : Gus_stats.Interval.t;  (** 95% normal interval *)
+  sample_tuples : int;  (** tuples the sampled intermediate produced *)
+}
+
+val predict :
+  ?seed:int ->
+  ?coverage:float ->
+  Gus_relational.Database.t ->
+  Gus_core.Splan.t ->
+  prediction
+(** [predict db plan] executes the sampling plan once and predicts the
+    cardinality of its sample-free skeleton. *)
+
+val predict_with_rates :
+  ?seed:int ->
+  ?coverage:float ->
+  Gus_relational.Database.t ->
+  rate:float ->
+  Gus_core.Splan.t ->
+  prediction
+(** Convenience: Bernoulli-sample every base relation of a (sample-free)
+    plan at [rate] and predict its output size. *)

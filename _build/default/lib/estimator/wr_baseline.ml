@@ -1,0 +1,21 @@
+open Gus_relational
+
+type report = {
+  estimate : float;
+  variance : float;
+  stddev : float;
+  n_draws : int;
+}
+
+let estimate_sum ~population ~f rel =
+  let eval = Expr.bind_float rel.Relation.schema f in
+  let summary = Gus_stats.Summary.create () in
+  Relation.iter (fun tup -> Gus_stats.Summary.add summary (eval tup)) rel;
+  let n = Gus_stats.Summary.count summary in
+  if n = 0 then { estimate = 0.0; variance = 0.0; stddev = 0.0; n_draws = 0 }
+  else begin
+    let nf = float_of_int n and pf = float_of_int population in
+    let estimate = pf *. Gus_stats.Summary.mean summary in
+    let variance = pf *. pf *. Gus_stats.Summary.variance summary /. nf in
+    { estimate; variance; stddev = sqrt variance; n_draws = n }
+  end

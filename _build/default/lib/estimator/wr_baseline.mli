@@ -1,0 +1,19 @@
+(** Classical with-replacement estimator — the non-GUS baseline.
+
+    For a single relation sampled WR with [n] draws out of [N], the
+    textbook estimator of [Σ f] is [(N/n) Σ_{draws} f] with variance
+    [N²·Var(f)/n] estimated from the sample.  The paper excludes WR from
+    GUS (it is not a filter); we keep it to compare accuracy in the
+    experiments and to show the algebra's generality is not vacuous. *)
+
+type report = {
+  estimate : float;
+  variance : float;
+  stddev : float;
+  n_draws : int;
+}
+
+val estimate_sum :
+  population:int -> f:Gus_relational.Expr.t -> Gus_relational.Relation.t -> report
+(** [population] is the base-relation cardinality [N]; the relation holds
+    the [n] WR draws. *)

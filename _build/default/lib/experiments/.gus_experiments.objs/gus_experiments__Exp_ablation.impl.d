@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Float Gus_core Gus_estimator Gus_stats Gus_util Harness List Printf

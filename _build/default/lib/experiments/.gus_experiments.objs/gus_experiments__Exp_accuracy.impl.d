@@ -1,0 +1,1 @@
+lib/experiments/exp_accuracy.ml: Gus_relational Gus_util Harness List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_coverage.ml: Database Gus_core Gus_estimator Gus_relational Gus_sampling Gus_stats Gus_util Harness Printf Relation

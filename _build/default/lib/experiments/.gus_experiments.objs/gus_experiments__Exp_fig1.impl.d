@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Array Float Gus_core Gus_relational Gus_sampling Gus_util Harness Printf Relation Schema Tuple Value

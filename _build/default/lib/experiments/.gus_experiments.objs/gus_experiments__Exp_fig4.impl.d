@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Array Expr Float Format Gus_core Gus_relational Gus_sampling Gus_util Harness List Printf String

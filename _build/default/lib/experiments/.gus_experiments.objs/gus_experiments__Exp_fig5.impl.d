@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Array Exp_query1 Float Gus_core Gus_util Harness List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_online.ml: Float Gus_estimator Gus_online Gus_stats Gus_util Harness List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_query1.mli: Gus_core

@@ -1,0 +1,1 @@
+lib/experiments/exp_robust.ml: Array Expr Float Gus_core Gus_estimator Gus_relational Gus_tpch Gus_util Harness Option Printf Relation

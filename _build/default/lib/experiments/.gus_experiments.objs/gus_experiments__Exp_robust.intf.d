@@ -1,0 +1,1 @@
+lib/experiments/exp_robust.mli: Gus_core Gus_relational

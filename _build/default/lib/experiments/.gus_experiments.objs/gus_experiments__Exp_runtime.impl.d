@@ -1,0 +1,1 @@
+lib/experiments/exp_runtime.ml: Array Expr Gus_core Gus_estimator Gus_relational Gus_sampling Gus_util Harness List Printf Relation

@@ -1,0 +1,1 @@
+lib/experiments/exp_size.ml: Expr Float Gus_core Gus_estimator Gus_relational Gus_stats Gus_util Harness List Printf Relation

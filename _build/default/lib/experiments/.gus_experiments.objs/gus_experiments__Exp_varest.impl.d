@@ -1,0 +1,1 @@
+lib/experiments/exp_varest.ml: Gus_core Gus_estimator Gus_util Harness List Printf

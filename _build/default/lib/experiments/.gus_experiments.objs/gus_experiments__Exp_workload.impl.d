@@ -1,0 +1,1 @@
+lib/experiments/exp_workload.ml: Array Gus_sql Gus_stats Gus_util Harness List Printf Workload

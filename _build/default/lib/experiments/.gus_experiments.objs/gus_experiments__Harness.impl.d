@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Database Expr Float Gus_core Gus_estimator Gus_relational Gus_sampling Gus_stats Gus_tpch Gus_util Hashtbl Printf Unix

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Gus_core Gus_relational

@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Buffer List String

@@ -1,0 +1,13 @@
+(** Ablations of the two design choices DESIGN.md calls out.
+
+    A1 — the Section-6.3 unbiased Ŷ correction: compare the variance
+    estimate with and without it (the "naive" variant plugs the raw sample
+    moments Y_S straight into Theorem 1).  The naive variant is badly
+    biased at small sampling rates; the correction removes the bias.
+
+    A2 — the Section-7 subsample-size choice (the paper's "10 000 result
+    tuples suffice"): sweep the target and report CI-width distortion and
+    moment-pass time, locating the knee. *)
+
+val run_correction : ?scale:float -> ?trials:int -> unit -> unit
+val run_target_sweep : ?scale:float -> ?trials:int -> unit -> unit

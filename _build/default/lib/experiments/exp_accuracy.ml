@@ -1,0 +1,33 @@
+module Tablefmt = Gus_util.Tablefmt
+
+let run ?(scale = 1.0) ?(trials = 200) () =
+  Harness.section "E1"
+    "Accuracy vs sampling fraction (Query 1 workload, SUM(revenue))";
+  let db = Harness.db_cached ~scale in
+  let orders_card =
+    Gus_relational.Relation.cardinality (Gus_relational.Database.find db "orders")
+  in
+  let t =
+    Tablefmt.create
+      ~headers:
+        [ "lineitem %"; "orders WOR"; "bias %"; "mean |rel.err| %";
+          "rmse/truth %"; "mean CI width/truth" ]
+  in
+  let fractions = [ 0.005; 0.01; 0.02; 0.05; 0.10; 0.20 ] in
+  List.iter
+    (fun p ->
+      let wor = max 10 (int_of_float (float_of_int orders_card *. p *. 4.0)) in
+      let plan = Harness.query1_plan ~bernoulli:p ~wor () in
+      let s = Harness.trials ~trials db plan ~f:Harness.revenue_f in
+      Tablefmt.add_row t
+        [ Printf.sprintf "%.1f" (100.0 *. p);
+          string_of_int wor;
+          Printf.sprintf "%+.2f" s.Harness.bias_pct;
+          Printf.sprintf "%.2f" s.Harness.mean_rel_err_pct;
+          Printf.sprintf "%.2f" s.Harness.rmse_over_truth_pct;
+          Printf.sprintf "%.3f" s.Harness.mean_ci_width_rel ])
+    fractions;
+  Tablefmt.print t;
+  Printf.printf
+    "\nexpected shape: bias ~ 0 at every rate; error decreasing roughly as \
+     1/sqrt(rate).\n"

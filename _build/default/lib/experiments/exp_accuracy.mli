@@ -1,0 +1,7 @@
+(** E1 — accuracy vs sampling fraction: unbiasedness and relative error of
+    the SUM estimate for the Query-1 workload, sweeping the Bernoulli rate
+    on lineitem (WOR size on orders scaled proportionally).  The paper's
+    qualitative claim: estimates are unbiased at every rate and error
+    shrinks roughly as 1/√rate. *)
+
+val run : ?scale:float -> ?trials:int -> unit -> unit

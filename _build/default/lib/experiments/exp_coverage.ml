@@ -1,0 +1,74 @@
+module Splan = Gus_core.Splan
+module Sampler = Gus_sampling.Sampler
+module Sbox = Gus_estimator.Sbox
+module Interval = Gus_stats.Interval
+module Summary = Gus_stats.Summary
+module Tablefmt = Gus_util.Tablefmt
+open Gus_relational
+
+(* The failure mode motivating the paper (Section 2): treat the result
+   tuples of a sampled join as if they were an independent Bernoulli(a)
+   sample of the join — i.e. analyze with a GUS whose cross terms b_l, b_o
+   equal b_∅, erasing the correlation induced by shared base tuples.  The
+   estimate is still unbiased; the variance (hence the interval) is not. *)
+let naive_join_coverage db ~trials ~seed =
+  (* Aggressive sampling of orders makes the shared-order clustering the
+     dominant variance term - exactly what the naive analysis misses. *)
+  let plan = Harness.join2_plan ~p_lineitem:0.5 ~p_orders:0.05 in
+  let truth = Sbox.exact db plan ~f:Harness.revenue_f in
+  let correct_gus = (Gus_core.Rewrite.analyze_db db plan).Gus_core.Rewrite.gus in
+  let naive_gus =
+    Gus_core.Gus.bernoulli_over correct_gus.Gus_core.Gus.rels
+      correct_gus.Gus_core.Gus.a
+  in
+  let hits = ref 0 in
+  for t = 1 to trials do
+    let rng = Gus_util.Rng.create (seed + t) in
+    let sample = Splan.exec db rng plan in
+    let r = Sbox.of_relation ~gus:naive_gus ~f:Harness.revenue_f sample in
+    let ci = Sbox.interval Interval.Normal r in
+    if Interval.contains ci truth then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let run ?(scale = 1.0) ?(trials = 300) () =
+  Harness.section "E2" "95% confidence-interval coverage across plan shapes";
+  let db = Harness.db_cached ~scale in
+  let t =
+    Tablefmt.create
+      ~headers:[ "plan"; "sampling"; "normal"; "chebyshev"; "nominal" ]
+  in
+  let run_case label sampling plan =
+    let s = Harness.trials ~trials db plan ~f:Harness.revenue_f in
+    Tablefmt.add_row t
+      [ label; sampling;
+        Printf.sprintf "%.3f" s.Harness.coverage_normal;
+        Printf.sprintf "%.3f" s.Harness.coverage_chebyshev; "0.95" ]
+  in
+  run_case "lineitem" "Bernoulli 5%" (Harness.single_plan ~p:0.05);
+  run_case "lineitem" "WOR 5%"
+    (Splan.Sample
+       ( Sampler.Wor
+           (Relation.cardinality (Database.find db "lineitem") / 20),
+         Splan.Scan "lineitem" ));
+  run_case "lineitem" "block(50) 10%"
+    (Splan.Sample
+       (Sampler.Block { rows_per_block = 50; p = 0.1 }, Splan.Scan "lineitem"));
+  run_case "2-way join" "B(10%) x B(20%)"
+    (Harness.join2_plan ~p_lineitem:0.1 ~p_orders:0.2);
+  run_case "2-way join" "B(10%) x WOR" (Harness.query1_plan ());
+  run_case "3-way join" "B x B x B"
+    (Harness.join3_plan ~p_lineitem:0.1 ~p_orders:0.2 ~p_customer:0.5);
+  run_case "2-way join" "B(50%) x B(5%), GUS"
+    (Harness.join2_plan ~p_lineitem:0.5 ~p_orders:0.05);
+  Tablefmt.add_sep t;
+  let cov_naive = naive_join_coverage db ~trials ~seed:99 in
+  Tablefmt.add_row t
+    [ "2-way join"; "naive var. (no correlation)"; Printf.sprintf "%.3f" cov_naive;
+      "-"; "0.95" ];
+  Tablefmt.print t;
+  Printf.printf
+    "\nexpected shape: GUS plans near 0.95 under the normal interval and \
+     ~1.00 under Chebyshev; the baseline that ignores the join-induced \
+     correlation (the pre-GUS state of the art for result-tuple analysis) \
+     undercovers badly.\n"

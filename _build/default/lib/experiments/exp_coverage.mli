@@ -1,0 +1,10 @@
+(** E2 — confidence-interval coverage: across plan shapes (single table,
+    2-way join, 3-way join; Bernoulli, WOR, block sampling; plus the
+    non-GUS WR baseline), the fraction of trials whose 95% interval
+    contains the truth.  The paper's claim: normal intervals sit near the
+    nominal level, Chebyshev intervals are conservative (≈ 1.0), for
+    {e every} GUS plan — while a baseline that analyzes the result tuples
+    as an independent sample (ignoring the correlation a join induces,
+    which is exactly what GUS's cross terms capture) undercovers badly. *)
+
+val run : ?scale:float -> ?trials:int -> unit -> unit

@@ -1,0 +1,17 @@
+(** T1 — Figure 1: GUS parameters of the basic sampling methods.
+
+    Prints the formula values for Bernoulli(p) and WOR(n, N) next to the
+    paper's closed forms, then validates both against Monte-Carlo inclusion
+    frequencies measured on a small population (where 30 000 repetitions
+    give tight frequencies). *)
+
+val run : unit -> unit
+
+val mc_inclusion :
+  sampler:Gus_sampling.Sampler.t ->
+  population:int ->
+  trials:int ->
+  seed:int ->
+  float * float
+(** Empirical (a, b_∅) for a single relation: the frequency with which row
+    0 is sampled, and with which rows 0 and 1 are both sampled. *)

@@ -1,0 +1,11 @@
+(** T3 — Figure 4: transformation of the 4-relation plan (lineitem,
+    orders, customer, part with three samplers and an identity GUS on
+    customer) and the full 16-coefficient table of the top operator
+    G(a₁₂₃, b̄₁₂₃), compared against every value printed in the paper. *)
+
+val run : unit -> unit
+
+val paper_g123 : (string list * float) list
+(** Subsets (as relation-name lists) and the printed b₁₂₃ values. *)
+
+val derived : unit -> Gus_core.Rewrite.result

@@ -1,0 +1,43 @@
+module Gus = Gus_core.Gus
+module Tablefmt = Gus_util.Tablefmt
+
+let bi_bernoulli () =
+  Gus.join (Gus.bernoulli ~rel:"lineitem" 0.2) (Gus.bernoulli ~rel:"orders" 0.3)
+
+let stacked () = Gus.compact (bi_bernoulli ()) (Exp_query1.derived ())
+
+let paper_g3 =
+  [ ("b{}", 0.0036); ("b{lineitem}", 0.018); ("b{orders}", 0.012);
+    ("b{lineitem,orders}", 0.06) ]
+
+let paper_stacked =
+  [ ("b{}", 1.598e-9); ("b{lineitem}", 7.992e-8); ("b{orders}", 8e-7);
+    ("b{lineitem,orders}", 4e-5) ]
+
+let coeff g name =
+  let found = ref None in
+  Array.iteri
+    (fun s _ -> if "b" ^ Gus.subset_name g s = name then found := Some s)
+    g.Gus.b;
+  match !found with Some s -> Gus.b_get g s | None -> invalid_arg name
+
+let table title g paper_a paper =
+  Printf.printf "%s\n" title;
+  let t = Tablefmt.create ~headers:[ "coefficient"; "paper"; "derived"; "rel.diff" ] in
+  let add name pv v =
+    Tablefmt.add_row t
+      [ name; Harness.fcell pv; Harness.fcell v;
+        Printf.sprintf "%.3f%%" (100.0 *. Float.abs (v -. pv) /. pv) ]
+  in
+  add "a" paper_a g.Gus.a;
+  List.iter (fun (name, pv) -> add name pv (coeff g name)) paper;
+  Tablefmt.print t;
+  print_newline ()
+
+let run () =
+  Harness.section "T4"
+    "Figure 5 / Examples 5-6 - bi-dimensional Bernoulli subsampling for cheap y_S";
+  table "Example 5: G3 = B(0.2) o B(0.3) (Prop 9 composition)" (bi_bernoulli ())
+    0.06 paper_g3;
+  table "Figure 5 (f): G(a123) = G3 compacted onto Query 1's G12 (Prop 8)"
+    (stacked ()) 4e-5 paper_stacked

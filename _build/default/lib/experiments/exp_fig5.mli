@@ -1,0 +1,12 @@
+(** T4 — Figure 5 / Examples 5–6: the Section-7 subsampling pipeline.
+    Reproduces (a) the bi-dimensional Bernoulli B(0.2, 0.3) composition of
+    Example 5 and (b) the stacked operator G(a₁₂₃, b̄₁₂₃) of Figure 5
+    obtained by compacting it onto Query 1's GUS. *)
+
+val run : unit -> unit
+
+val bi_bernoulli : unit -> Gus_core.Gus.t
+(** Example 5's G₃ = B(0.2) ∘ B(0.3) via Prop. 9. *)
+
+val stacked : unit -> Gus_core.Gus.t
+(** Figure 5's G(a₁₂₃): G₃ compacted onto Query 1's G₁₂ (Prop. 8). *)

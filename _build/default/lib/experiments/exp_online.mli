@@ -1,0 +1,7 @@
+(** E8 — online aggregation (the ripple-join/DBO capability of the
+    paper's Section 2, rebuilt on the GUS algebra): as random-order scans
+    progress, the estimate refines and the 95% interval shrinks, reaching
+    the exact answer (zero width) at 100%.  Reproduces the canonical
+    online-aggregation convergence curve. *)
+
+val run : ?scale:float -> unit -> unit

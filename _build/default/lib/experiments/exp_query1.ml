@@ -1,0 +1,58 @@
+module Gus = Gus_core.Gus
+module Splan = Gus_core.Splan
+module Rewrite = Gus_core.Rewrite
+module Sampler = Gus_sampling.Sampler
+module Tablefmt = Gus_util.Tablefmt
+open Gus_relational
+
+let paper_values =
+  [ ("a", 6.667e-4);
+    ("b{}", 4.44e-7);
+    ("b{lineitem}", 4.44e-6);
+    ("b{orders}", 6.667e-5);
+    ("b{lineitem,orders}", 6.667e-4) ]
+
+let paper_card = function
+  | "orders" -> 150000
+  | "lineitem" -> 6000000
+  | r -> invalid_arg r
+
+let plan () =
+  Splan.Equi_join
+    { left = Splan.Sample (Sampler.Bernoulli 0.1, Splan.Scan "lineitem");
+      right = Splan.Sample (Sampler.Wor 1000, Splan.Scan "orders");
+      left_key = Expr.col "l_orderkey";
+      right_key = Expr.col "o_orderkey" }
+
+let derived () = (Rewrite.analyze ~card:paper_card (plan ())).Rewrite.gus
+
+let run () =
+  Harness.section "T2"
+    "Examples 1-3 / Figure 2 - GUS derivation for Query 1 (B(0.1) x WOR(1000/150k))";
+  let g = derived () in
+  let t =
+    Tablefmt.create ~headers:[ "coefficient"; "paper"; "derived"; "rel.diff" ]
+  in
+  let lookup name =
+    if name = "a" then g.Gus.a
+    else begin
+      let mask = ref (-1) in
+      for s = 0 to Array.length g.Gus.b - 1 do
+        if "b" ^ Gus.subset_name g s = name then mask := s
+      done;
+      if !mask < 0 then invalid_arg name else Gus.b_get g !mask
+    end
+  in
+  List.iter
+    (fun (name, paper) ->
+      let v = lookup name in
+      Tablefmt.add_row t
+        [ name; Harness.fcell paper; Harness.fcell v;
+          Printf.sprintf "%.3f%%" (100.0 *. Float.abs (v -. paper) /. paper) ])
+    paper_values;
+  Tablefmt.print t;
+  print_newline ();
+  print_endline "Plan transformation (Figure 2 (a) -> (c)):";
+  Format.printf "%a@." Splan.pp_tree (plan ());
+  Format.printf "  =SOA=>  SUM o G(a,b) o join@.@.";
+  Format.printf "  @[%a@]@." Gus.pp g

@@ -1,0 +1,11 @@
+(** T2 — Examples 1–3 / Figure 2: the GUS derivation for Query 1
+    (lineitem Bernoulli 10% ⋈ orders WOR 1000-of-150000), checked
+    coefficient by coefficient against the numbers printed in the paper. *)
+
+val run : unit -> unit
+
+val paper_values : (string * float) list
+(** (coefficient, value) as printed in Example 3. *)
+
+val derived : unit -> Gus_core.Gus.t
+(** The rewriter's top GUS for Query 1 at the paper's cardinalities. *)

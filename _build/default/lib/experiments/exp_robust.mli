@@ -1,0 +1,16 @@
+(** E6 — "database as a sample" (Section 8): view every base relation as
+    a 99% Bernoulli sample of a hypothetical complete database and use the
+    Theorem-1 variance as a robustness score — how much would the answer
+    move if 1% of the tuples were lost?  Skew-dominated aggregates come out
+    far more fragile than uniform ones at identical totals. *)
+
+val run : ?scale:float -> unit -> unit
+
+val robustness_cv :
+  Gus_relational.Database.t ->
+  Gus_core.Splan.t ->
+  f:Gus_relational.Expr.t ->
+  loss:float ->
+  float
+(** Coefficient of variation (σ/µ) of the answer under i.i.d. tuple loss
+    at rate [loss], computed exactly from the full data's y_S moments. *)

@@ -1,0 +1,19 @@
+(** E4 — runtime analysis of the SBox.
+
+    Two scalings the paper claims:
+    - plan rewriting + c_S computation is "a few milliseconds even for
+      plans involving 10 relations" despite the 2ⁿ coefficient vectors;
+    - the y_S moment pass is the dominant per-tuple cost and is linear in
+      the sample size (times 2ⁿ group-bys).
+
+    Measured with median-of-repeats wall-clock timing; the Bechamel
+    micro-benchmarks in [bench/main.exe] cover the same code paths with
+    rigorous regression-based timing. *)
+
+val run : unit -> unit
+
+val chain_plan : n:int -> Gus_core.Splan.t
+(** A left-deep join of [n] Bernoulli-sampled synthetic relations
+    [r0 … r(n−1)] (used to scale the analysis to many relations). *)
+
+val chain_card : string -> int

@@ -1,0 +1,47 @@
+module Splan = Gus_core.Splan
+module Size = Gus_estimator.Size_estimator
+module Interval = Gus_stats.Interval
+module Tablefmt = Gus_util.Tablefmt
+open Gus_relational
+
+let run ?(scale = 1.0) () =
+  Harness.section "E9"
+    "Intermediate-size estimation with confidence intervals (Section 8)";
+  let db = Harness.db_cached ~scale in
+  let join = Harness.join2_plan ~p_lineitem:1.0 ~p_orders:1.0 in
+  let with_filter threshold =
+    Splan.Select (Expr.(col "l_extendedprice" > float threshold), join)
+  in
+  let cases =
+    [ ("lineitem x orders", Splan.strip_samples join);
+      ("... where price > 3000", with_filter 3000.0);
+      ("... where price > 7000", with_filter 7000.0);
+      ("... where price > 10000", with_filter 10000.0);
+      ( "3-way join",
+        Splan.strip_samples
+          (Harness.join3_plan ~p_lineitem:1.0 ~p_orders:1.0 ~p_customer:1.0) ) ]
+  in
+  let t =
+    Tablefmt.create
+      ~headers:
+        [ "intermediate"; "true size"; "predicted"; "95% CI"; "inside"; "rel.err %" ]
+  in
+  List.iter
+    (fun (name, plan) ->
+      let truth = float_of_int (Relation.cardinality (Splan.exec_exact db plan)) in
+      let p = Size.predict_with_rates ~seed:3 db ~rate:0.05 plan in
+      Tablefmt.add_row t
+        [ name;
+          Printf.sprintf "%.0f" truth;
+          Printf.sprintf "%.0f" p.Size.estimate;
+          Printf.sprintf "[%.0f, %.0f]" p.Size.interval.Interval.lo
+            p.Size.interval.Interval.hi;
+          string_of_bool (Interval.contains p.Size.interval truth);
+          Printf.sprintf "%.1f"
+            (if truth = 0.0 then 0.0
+             else 100.0 *. Float.abs (p.Size.estimate -. truth) /. truth) ])
+    cases;
+  Tablefmt.print t;
+  Printf.printf
+    "\nexpected shape: predictions within the interval; wider intervals on \
+     more selective intermediates (fewer surviving sample tuples).\n"

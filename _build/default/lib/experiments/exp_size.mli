@@ -1,0 +1,6 @@
+(** E9 — intermediate-result size estimation (Section 8): predicted
+    cardinality ± CI of join intermediates from small Bernoulli samples,
+    vs the true sizes, across selectivities.  The paper's pitch: the CI
+    tells the optimizer when the prediction is too noisy to act on. *)
+
+val run : ?scale:float -> unit -> unit

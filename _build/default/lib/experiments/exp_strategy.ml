@@ -1,0 +1,54 @@
+module Splan = Gus_core.Splan
+module Rewrite = Gus_core.Rewrite
+module Gus = Gus_core.Gus
+module Sbox = Gus_estimator.Sbox
+module Summary = Gus_stats.Summary
+module Tablefmt = Gus_util.Tablefmt
+
+let run ?(scale = 1.0) ?(trials = 150) () =
+  Harness.section "E7"
+    "Predicting alternative designs' variance from one sample's Y-hat moments";
+  let db = Harness.db_cached ~scale in
+  (* The observed sample: B(10%) x B(20%). *)
+  let observed_plan = Harness.join2_plan ~p_lineitem:0.25 ~p_orders:0.5 in
+  let analysis = Rewrite.analyze_db db observed_plan in
+  let rng = Gus_util.Rng.create 2025 in
+  let sample = Splan.exec db rng observed_plan in
+  let report =
+    Sbox.of_relation ~gus:analysis.Rewrite.gus ~f:Harness.revenue_f sample
+  in
+  let y_hat = report.Sbox.y_hat in
+  Printf.printf
+    "observed design: B(25%%) x B(50%%), %d result tuples; Y-hat moments \
+     estimated once from this sample.\n\n"
+    report.Sbox.n_tuples;
+  let candidates =
+    [ ("B(5%) x B(20%)", Harness.join2_plan ~p_lineitem:0.05 ~p_orders:0.2);
+      ("B(10%) x B(10%)", Harness.join2_plan ~p_lineitem:0.1 ~p_orders:0.1);
+      ("B(20%) x B(20%)", Harness.join2_plan ~p_lineitem:0.2 ~p_orders:0.2);
+      ("B(10%) x WOR(1500)",
+       Splan.Equi_join
+         { left =
+             Splan.Sample (Gus_sampling.Sampler.Bernoulli 0.1, Splan.Scan "lineitem");
+           right = Splan.Sample (Gus_sampling.Sampler.Wor 1500, Splan.Scan "orders");
+           left_key = Gus_relational.Expr.col "l_orderkey";
+           right_key = Gus_relational.Expr.col "o_orderkey" }) ]
+  in
+  let t =
+    Tablefmt.create
+      ~headers:[ "candidate design"; "predicted sd"; "actual MC sd"; "pred/actual" ]
+  in
+  List.iter
+    (fun (label, plan) ->
+      let cand_gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+      let predicted = sqrt (Float.max 0.0 (Gus.variance cand_gus ~y:y_hat)) in
+      let stats = Harness.trials ~trials ~seed:4242 db plan ~f:Harness.revenue_f in
+      let actual = sqrt stats.Harness.mc_variance in
+      Tablefmt.add_row t
+        [ label; Harness.fcell predicted; Harness.fcell actual;
+          Printf.sprintf "%.2f" (predicted /. actual) ])
+    candidates;
+  Tablefmt.print t;
+  Printf.printf
+    "\nexpected shape: pred/actual ~ 1 for every candidate - one sample \
+     ranks all designs without running them.\n"

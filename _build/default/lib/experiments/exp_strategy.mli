@@ -1,0 +1,6 @@
+(** E7 — choosing sampling parameters (Section 8): from {e one} observed
+    sample, the unbiased Ŷ_S moments let us predict the variance any other
+    GUS design would have had on the same query — here validated against
+    the Monte-Carlo variance of actually running each candidate design. *)
+
+val run : ?scale:float -> ?trials:int -> unit -> unit

@@ -1,0 +1,7 @@
+(** E5 — Section-7 efficient variance estimation: estimate the y_S moments
+    from a ≈10 000-tuple lineage-keyed Bernoulli subsample instead of the
+    full sample.  The paper's claim: the confidence interval stays almost
+    unchanged (the moments only need to be roughly right) while the moment
+    pass gets much cheaper and lineage is only needed for the subsample. *)
+
+val run : ?scale:float -> ?trials:int -> ?target:int -> unit -> unit

@@ -1,0 +1,8 @@
+(** E3 — quality of the variance estimator: the mean of the SBox's
+    Ŷ-based variance estimate against (a) the exact Theorem-1 variance
+    computed from the full result's y_S moments and (b) the Monte-Carlo
+    variance of the estimates themselves.  The paper's claim: the
+    Section-6.3 correction makes the variance estimate unbiased (ratios
+    ≈ 1) even at small sampling fractions. *)
+
+val run : ?scale:float -> ?trials:int -> unit -> unit

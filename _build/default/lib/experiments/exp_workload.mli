@@ -1,0 +1,8 @@
+(** E10 — estimate quality across a TPC-H-derived workload: relative
+    error and 95% interval coverage per query, the broad-coverage table a
+    VLDB evaluation section leads with.  Expected shape: single-digit
+    relative errors at the configured rates, coverage near nominal for
+    every query shape (1–4 relations, selections, skewed joins, AVG and
+    COUNT alongside SUM). *)
+
+val run : ?scale:float -> ?trials:int -> unit -> unit

@@ -1,0 +1,121 @@
+module Splan = Gus_core.Splan
+module Rewrite = Gus_core.Rewrite
+module Sbox = Gus_estimator.Sbox
+module Sampler = Gus_sampling.Sampler
+module Interval = Gus_stats.Interval
+module Summary = Gus_stats.Summary
+open Gus_relational
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n\n" id title
+
+let fcell = Gus_util.Tablefmt.float_cell ~digits:3
+
+let query1_f = Expr.(col "l_discount" * (float 1.0 - col "l_tax"))
+let revenue_f = Expr.(col "l_extendedprice" * (float 1.0 - col "l_discount"))
+
+let price_filter = Expr.(col "l_extendedprice" > float 100.0)
+
+let query1_plan ?(bernoulli = 0.1) ?(wor = 1000) () =
+  Splan.Select
+    ( price_filter,
+      Splan.Equi_join
+        { left = Splan.Sample (Sampler.Bernoulli bernoulli, Splan.Scan "lineitem");
+          right = Splan.Sample (Sampler.Wor wor, Splan.Scan "orders");
+          left_key = Expr.col "l_orderkey";
+          right_key = Expr.col "o_orderkey" } )
+
+let join2_plan ~p_lineitem ~p_orders =
+  Splan.Equi_join
+    { left = Splan.Sample (Sampler.Bernoulli p_lineitem, Splan.Scan "lineitem");
+      right = Splan.Sample (Sampler.Bernoulli p_orders, Splan.Scan "orders");
+      left_key = Expr.col "l_orderkey";
+      right_key = Expr.col "o_orderkey" }
+
+let join3_plan ~p_lineitem ~p_orders ~p_customer =
+  Splan.Equi_join
+    { left = join2_plan ~p_lineitem ~p_orders;
+      right = Splan.Sample (Sampler.Bernoulli p_customer, Splan.Scan "customer");
+      left_key = Expr.col "o_custkey";
+      right_key = Expr.col "c_custkey" }
+
+let single_plan ~p =
+  Splan.Sample (Sampler.Bernoulli p, Splan.Scan "lineitem")
+
+type trial_stats = {
+  trials : int;
+  truth : float;
+  mean_estimate : float;
+  bias_pct : float;
+  mean_rel_err_pct : float;
+  rmse_over_truth_pct : float;
+  mc_variance : float;
+  mean_est_variance : float;
+  coverage_normal : float;
+  coverage_chebyshev : float;
+  mean_ci_width_rel : float;
+}
+
+let trials ?(trials = 200) ?(seed = 1) db plan ~f =
+  let truth = Sbox.exact db plan ~f in
+  let analysis = Rewrite.analyze_db db plan in
+  let gus = analysis.Rewrite.gus in
+  let estimates = Summary.create () in
+  let est_var = Summary.create () in
+  let rel_err = Summary.create () in
+  let ci_width = Summary.create () in
+  let hits_normal = ref 0 and hits_cheby = ref 0 in
+  for t = 1 to trials do
+    let rng = Gus_util.Rng.create (seed + (7919 * t)) in
+    let sample = Splan.exec db rng plan in
+    let r = Sbox.of_relation ~gus ~f sample in
+    Summary.add estimates r.Sbox.estimate;
+    Summary.add est_var r.Sbox.variance;
+    Summary.add rel_err (Summary.relative_error ~truth r.Sbox.estimate);
+    let ci_n = Sbox.interval Interval.Normal r in
+    let ci_c = Sbox.interval Interval.Chebyshev r in
+    Summary.add ci_width (Interval.width ci_n /. Float.abs truth);
+    if Interval.contains ci_n truth then incr hits_normal;
+    if Interval.contains ci_c truth then incr hits_cheby
+  done;
+  let tf = float_of_int trials in
+  { trials;
+    truth;
+    mean_estimate = Summary.mean estimates;
+    bias_pct = 100.0 *. (Summary.mean estimates -. truth) /. truth;
+    mean_rel_err_pct = 100.0 *. Summary.mean rel_err;
+    rmse_over_truth_pct =
+      (let acc = ref 0.0 in
+       (* RMSE via MC variance + bias. *)
+       acc := Summary.variance_population estimates;
+       let bias = Summary.mean estimates -. truth in
+       100.0 *. sqrt (!acc +. (bias *. bias)) /. Float.abs truth);
+    mc_variance = Summary.variance estimates;
+    mean_est_variance = Summary.mean est_var;
+    coverage_normal = float_of_int !hits_normal /. tf;
+    coverage_chebyshev = float_of_int !hits_cheby /. tf;
+    mean_ci_width_rel = Summary.mean ci_width }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let median_time_us ?(repeats = 9) f =
+  let times =
+    Array.init repeats (fun _ ->
+        let _, dt = time f in
+        dt *. 1e6)
+  in
+  Array.sort compare times;
+  times.(repeats / 2)
+
+let cache : (float, Database.t) Hashtbl.t = Hashtbl.create 4
+
+let db_cached ~scale =
+  match Hashtbl.find_opt cache scale with
+  | Some db -> db
+  | None ->
+      let db = Gus_tpch.Tpch.generate ~seed:20130630 ~scale () in
+      Hashtbl.add cache scale db;
+      db

@@ -1,0 +1,64 @@
+(** Shared plumbing for the experiment drivers: canonical workloads,
+    Monte-Carlo trial loops, and paper-vs-measured table output. *)
+
+module Splan = Gus_core.Splan
+
+val section : string -> string -> unit
+(** [section id title] prints the experiment banner. *)
+
+val fcell : float -> string
+(** Number formatting used across all tables. *)
+
+val query1_f : Gus_relational.Expr.t
+(** The paper's running aggregate: [l_discount * (1.0 - l_tax)]. *)
+
+val revenue_f : Gus_relational.Expr.t
+(** [l_extendedprice * (1.0 - l_discount)]. *)
+
+val query1_plan : ?bernoulli:float -> ?wor:int -> unit -> Splan.t
+(** lineitem TABLESAMPLE Bernoulli × orders TABLESAMPLE WOR joined on
+    orderkey, with the paper's selection [l_extendedprice > 100].
+    Defaults: 10% and 1000 rows. *)
+
+val join2_plan : p_lineitem:float -> p_orders:float -> Splan.t
+(** Bernoulli on both sides of the lineitem ⋈ orders join. *)
+
+val join3_plan : p_lineitem:float -> p_orders:float -> p_customer:float -> Splan.t
+(** Three-way join lineitem ⋈ orders ⋈ customer, all Bernoulli-sampled. *)
+
+val single_plan : p:float -> Splan.t
+(** Bernoulli sample of lineitem alone. *)
+
+type trial_stats = {
+  trials : int;
+  truth : float;
+  mean_estimate : float;
+  bias_pct : float;
+  mean_rel_err_pct : float;
+  rmse_over_truth_pct : float;
+  mc_variance : float;
+  mean_est_variance : float;
+  coverage_normal : float;
+  coverage_chebyshev : float;
+  mean_ci_width_rel : float;  (** normal CI width / truth *)
+}
+
+val trials :
+  ?trials:int ->
+  ?seed:int ->
+  Gus_relational.Database.t ->
+  Splan.t ->
+  f:Gus_relational.Expr.t ->
+  trial_stats
+(** Repeatedly execute the plan with fresh RNGs, run the SBox, and
+    aggregate accuracy statistics against the exact answer. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock seconds. *)
+
+val median_time_us : ?repeats:int -> (unit -> unit) -> float
+(** Median wall-clock microseconds over [repeats] runs (default 9). *)
+
+val db_cached : scale:float -> Gus_relational.Database.t
+(** Memoized TPC-H database per scale (seed fixed at 20130630 — the arXiv
+    date — so every experiment sees the same data). *)

@@ -1,0 +1,95 @@
+type experiment = {
+  id : string;
+  title : string;
+  paper_artifact : string;
+  run : unit -> unit;
+  quick : unit -> unit;
+}
+
+let all =
+  [ { id = "T1";
+      title = "GUS parameters of known sampling methods";
+      paper_artifact = "Figure 1";
+      run = Exp_fig1.run;
+      quick = Exp_fig1.run };
+    { id = "T2";
+      title = "Query 1 GUS derivation";
+      paper_artifact = "Examples 1-3, Figure 2";
+      run = Exp_query1.run;
+      quick = Exp_query1.run };
+    { id = "T3";
+      title = "4-relation plan transformation";
+      paper_artifact = "Figure 4";
+      run = Exp_fig4.run;
+      quick = Exp_fig4.run };
+    { id = "T4";
+      title = "Subsampling pipeline coefficients";
+      paper_artifact = "Figure 5, Examples 5-6";
+      run = Exp_fig5.run;
+      quick = Exp_fig5.run };
+    { id = "E1";
+      title = "Accuracy vs sampling fraction";
+      paper_artifact = "evaluation: accuracy analysis";
+      run = (fun () -> Exp_accuracy.run ());
+      quick = (fun () -> Exp_accuracy.run ~scale:0.3 ~trials:40 ()) };
+    { id = "E2";
+      title = "Confidence-interval coverage";
+      paper_artifact = "evaluation: accuracy analysis";
+      run = (fun () -> Exp_coverage.run ());
+      quick = (fun () -> Exp_coverage.run ~scale:0.3 ~trials:60 ()) };
+    { id = "E3";
+      title = "Variance-estimator quality";
+      paper_artifact = "evaluation: accuracy analysis";
+      run = (fun () -> Exp_varest.run ());
+      quick = (fun () -> Exp_varest.run ~scale:0.3 ~trials:40 ()) };
+    { id = "E4";
+      title = "Runtime of the analysis";
+      paper_artifact = "evaluation: runtime analysis (Section 6.1 claim)";
+      run = Exp_runtime.run;
+      quick = Exp_runtime.run };
+    { id = "E5";
+      title = "Subsampled variance estimation";
+      paper_artifact = "Section 7";
+      run = (fun () -> Exp_subsample.run ());
+      quick = (fun () -> Exp_subsample.run ~scale:1.0 ~trials:8 ~target:2000 ()) };
+    { id = "E6";
+      title = "Database-as-a-sample robustness";
+      paper_artifact = "Section 8 application";
+      run = (fun () -> Exp_robust.run ());
+      quick = (fun () -> Exp_robust.run ~scale:0.2 ()) };
+    { id = "E7";
+      title = "Sampling-strategy comparison from one sample";
+      paper_artifact = "Section 8 application";
+      run = (fun () -> Exp_strategy.run ());
+      quick = (fun () -> Exp_strategy.run ~scale:0.3 ~trials:40 ()) };
+    { id = "E8";
+      title = "Online aggregation via GUS (interval shrinkage)";
+      paper_artifact = "Section 2 related work (ripple join / DBO), rebuilt";
+      run = (fun () -> Exp_online.run ());
+      quick = (fun () -> Exp_online.run ~scale:0.3 ()) };
+    { id = "E9";
+      title = "Intermediate-size estimation with CIs";
+      paper_artifact = "Section 8 application";
+      run = (fun () -> Exp_size.run ());
+      quick = (fun () -> Exp_size.run ~scale:0.4 ()) };
+    { id = "E10";
+      title = "TPC-H-derived workload quality sweep";
+      paper_artifact = "evaluation: accuracy across a query suite";
+      run = (fun () -> Exp_workload.run ());
+      quick = (fun () -> Exp_workload.run ~scale:0.3 ~trials:25 ()) };
+    { id = "A1";
+      title = "Ablation: Y-hat correction vs raw moments";
+      paper_artifact = "Section 6.3 design choice";
+      run = (fun () -> Exp_ablation.run_correction ());
+      quick = (fun () -> Exp_ablation.run_correction ~scale:0.3 ~trials:50 ()) };
+    { id = "A2";
+      title = "Ablation: subsample target size";
+      paper_artifact = "Section 7's 10k rule of thumb";
+      run = (fun () -> Exp_ablation.run_target_sweep ());
+      quick = (fun () -> Exp_ablation.run_target_sweep ~scale:1.0 ~trials:5 ()) } ]
+
+let find id =
+  List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
+
+let run_all ?(quick = false) () =
+  List.iter (fun e -> if quick then e.quick () else e.run ()) all

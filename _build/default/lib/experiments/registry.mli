@@ -1,0 +1,13 @@
+(** Experiment registry shared by the bench harness and the CLI. *)
+
+type experiment = {
+  id : string;  (** "T1" … "E7" *)
+  title : string;
+  paper_artifact : string;  (** which table/figure of the paper it covers *)
+  run : unit -> unit;
+  quick : unit -> unit;  (** reduced trials/scale for smoke runs *)
+}
+
+val all : experiment list
+val find : string -> experiment option
+val run_all : ?quick:bool -> unit -> unit

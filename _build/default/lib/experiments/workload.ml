@@ -1,0 +1,84 @@
+type query = {
+  id : string;
+  description : string;
+  tpch_ancestor : string;
+  sampled : string;
+  exact : string;
+}
+
+(* Each entry is written with a [SAMPLE:...] marker replaced by the
+   TABLESAMPLE clause in the sampled form and by nothing in the exact
+   form, so the two variants cannot drift apart. *)
+let make ~id ~description ~tpch_ancestor text =
+  let replace ~with_ =
+    let buf = Buffer.create (String.length text) in
+    let n = String.length text in
+    let i = ref 0 in
+    while !i < n do
+      if !i + 8 <= n && String.sub text !i 8 = "[SAMPLE:" then begin
+        let close = String.index_from text !i ']' in
+        if with_ then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (String.sub text (!i + 8) (close - !i - 8))
+        end;
+        i := close + 1
+      end
+      else begin
+        Buffer.add_char buf text.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  { id;
+    description;
+    tpch_ancestor;
+    sampled = replace ~with_:true;
+    exact = replace ~with_:false }
+
+let all =
+  [ make ~id:"W1" ~description:"pricing summary over recent shipments"
+      ~tpch_ancestor:"Q1"
+      "SELECT SUM(l_quantity) AS sum_qty, \
+              SUM(l_extendedprice) AS sum_base, \
+              SUM(l_extendedprice * (1.0 - l_discount)) AS sum_disc, \
+              AVG(l_quantity) AS avg_qty, \
+              COUNT(*) AS n \
+       FROM lineitem[SAMPLE:TABLESAMPLE (10 PERCENT)] \
+       WHERE l_shipdate <= 2400";
+    make ~id:"W2" ~description:"revenue increase from dropping small discounts"
+      ~tpch_ancestor:"Q6"
+      "SELECT SUM(l_extendedprice * l_discount) AS potential \
+       FROM lineitem[SAMPLE:TABLESAMPLE (10 PERCENT)] \
+       WHERE l_shipdate >= 600 AND l_shipdate < 1700 AND \
+             l_discount >= 0.03 AND l_discount <= 0.08 AND l_quantity < 24";
+    make ~id:"W3" ~description:"unshipped revenue for a market segment"
+      ~tpch_ancestor:"Q3"
+      "SELECT SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+       FROM customer, \
+            orders[SAMPLE:TABLESAMPLE (2000 ROWS)], \
+            lineitem[SAMPLE:TABLESAMPLE (20 PERCENT)] \
+       WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND \
+             l_orderkey = o_orderkey AND o_orderdate < 1800";
+    make ~id:"W4" ~description:"local-supplier revenue (nation co-location)"
+      ~tpch_ancestor:"Q5"
+      "SELECT SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+       FROM customer, orders, \
+            lineitem[SAMPLE:TABLESAMPLE (25 PERCENT)], \
+            supplier \
+       WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND \
+             l_suppkey = s_suppkey AND c_nationkey = s_nationkey";
+    make ~id:"W5" ~description:"revenue lost to returned items"
+      ~tpch_ancestor:"Q10"
+      "SELECT SUM(l_extendedprice * (1.0 - l_discount)) AS lost, COUNT(*) AS items \
+       FROM customer, orders[SAMPLE:TABLESAMPLE (30 PERCENT)], \
+            lineitem[SAMPLE:TABLESAMPLE (30 PERCENT)] \
+       WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND \
+             l_returnflag = 'R'";
+    make ~id:"W6" ~description:"average price of small-part shipments (skewed join)"
+      ~tpch_ancestor:"Q19"
+      "SELECT AVG(l_extendedprice) AS avg_price, COUNT(*) AS n \
+       FROM lineitem[SAMPLE:TABLESAMPLE (15 PERCENT)], part \
+       WHERE p_partkey = l_partkey AND p_size <= 15 AND l_quantity >= 10" ]
+
+let find id = List.find_opt (fun q -> String.lowercase_ascii q.id = String.lowercase_ascii id) all

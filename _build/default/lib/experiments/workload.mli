@@ -1,0 +1,18 @@
+(** A TPC-H-derived query workload in the paper's dialect.
+
+    Six aggregate queries modelled on the classic suite (Q1, Q6, Q3, Q5,
+    Q10, Q19 shapes), restricted to the SUM/COUNT/AVG aggregates the
+    theory covers, each in two forms: exact (no TABLESAMPLE) and sampled.
+    Used by E10 and by the integration tests; also a convenient corpus for
+    anyone extending the SQL frontend. *)
+
+type query = {
+  id : string;  (** "W1" … "W6" *)
+  description : string;
+  tpch_ancestor : string;  (** which TPC-H query the shape comes from *)
+  sampled : string;  (** dialect text with TABLESAMPLE clauses *)
+  exact : string;  (** same query, sampling removed *)
+}
+
+val all : query list
+val find : string -> query option

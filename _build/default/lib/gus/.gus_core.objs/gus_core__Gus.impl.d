@@ -1,0 +1,1 @@
+lib/gus/gus.ml: Array Float Format Gus_util Hashtbl Printf String

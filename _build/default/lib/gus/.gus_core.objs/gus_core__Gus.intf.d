@@ -1,0 +1,1 @@
+lib/gus/gus.mli: Format Gus_util

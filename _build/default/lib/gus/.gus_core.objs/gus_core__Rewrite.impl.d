@@ -1,0 +1,1 @@
+lib/gus/rewrite.ml: Array Database Gus Gus_relational Gus_sampling Lineage List Printf Relation Splan String

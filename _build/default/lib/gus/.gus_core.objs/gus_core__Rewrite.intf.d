@@ -1,0 +1,1 @@
+lib/gus/rewrite.mli: Gus Gus_relational Gus_sampling Splan

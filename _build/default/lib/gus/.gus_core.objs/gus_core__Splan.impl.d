@@ -1,0 +1,1 @@
+lib/gus/splan.ml: Array Database Expr Format Gus_relational Gus_sampling Gus_util Lineage List Ops String

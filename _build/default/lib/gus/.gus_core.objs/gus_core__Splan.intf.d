@@ -1,0 +1,1 @@
+lib/gus/splan.mli: Database Expr Format Gus_relational Gus_sampling Gus_util Lineage Relation

@@ -1,0 +1,122 @@
+open Gus_relational
+module Sampler = Gus_sampling.Sampler
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type result = {
+  skeleton : Splan.t;
+  gus : Gus.t;
+  steps : (string * Gus.t) list;
+}
+
+let sampler_gus ~card ~over ~base sampler =
+  Sampler.validate sampler;
+  match sampler with
+  | Sampler.Bernoulli p ->
+      if Array.length over = 1 then Gus.bernoulli ~rel:over.(0) p
+      else Gus.bernoulli_over over p
+  | Sampler.Hash_bernoulli { p; _ } ->
+      (* One pseudo-random decision per lineage id: pairwise it behaves as
+         an independent Bernoulli(p) filter. *)
+      if Array.length over = 1 then Gus.bernoulli ~rel:over.(0) p
+      else
+        unsupported
+          "hash-Bernoulli over a derived input (lineage [%s]); use the \
+           multi-dimensional Subsample instead"
+          (String.concat "," (Array.to_list over))
+  | Sampler.Wor n ->
+      if base && Array.length over = 1 then
+        Gus.wor ~rel:over.(0) ~n ~out_of:(card over.(0))
+      else
+        unsupported
+          "WOR over a derived or already-sampled input: its inclusion \
+           probability n/N depends on a random cardinality"
+  | Sampler.Block { p; _ } ->
+      if base && Array.length over = 1 then
+        (* Block-granular lineage: a kept *block* is one Bernoulli unit, so
+           as a GUS (over block ids) the parameters are Bernoulli's. *)
+        Gus.bernoulli ~rel:over.(0) p
+      else unsupported "block sampling is only supported directly over a base table"
+  | Sampler.Wr _ ->
+      unsupported
+        "with-replacement sampling is not a randomized filter, hence not a \
+         GUS method (see paper Section 9)"
+
+let analyze ~card plan =
+  let steps = ref [] in
+  let note what gus = steps := (what, gus) :: !steps in
+  let rec go plan =
+    match plan with
+    | Splan.Scan name ->
+        let g = Gus.identity (Lineage.schema_of name) in
+        (Splan.Scan name, g)
+    | Splan.Select (p, q) ->
+        (* Prop 5: selection commutes with GUS. *)
+        let skel, g = go q in
+        (Splan.Select (p, skel), g)
+    | Splan.Project (fields, q) ->
+        let skel, g = go q in
+        (Splan.Project (fields, skel), g)
+    | Splan.Equi_join { left; right; left_key; right_key } ->
+        let skel_l, gl = go left in
+        let skel_r, gr = go right in
+        let g = join_gus gl gr in
+        (Splan.Equi_join { left = skel_l; right = skel_r; left_key; right_key }, g)
+    | Splan.Theta_join (p, l, r) ->
+        let skel_l, gl = go l in
+        let skel_r, gr = go r in
+        let g = join_gus gl gr in
+        (Splan.Theta_join (p, skel_l, skel_r), g)
+    | Splan.Cross (l, r) ->
+        let skel_l, gl = go l in
+        let skel_r, gr = go r in
+        let g = join_gus gl gr in
+        (Splan.Cross (skel_l, skel_r), g)
+    | Splan.Sample (s, q) ->
+        let skel, g = go q in
+        let over = Splan.lineage_schema skel in
+        let base = match q with Splan.Scan _ -> true | _ -> false in
+        let gs = sampler_gus ~card ~over ~base s in
+        note (Printf.sprintf "translate %s" (Sampler.to_string s)) gs;
+        (* Prop 8: stacking the sampler's GUS on the input's GUS. *)
+        let combined = Gus.compact gs g in
+        note (Printf.sprintf "compact %s into input" (Sampler.to_string s)) combined;
+        (skel, combined)
+    | Splan.Distinct q ->
+        let skel, g = go q in
+        let is_identity =
+          Gus.equal_approx g (Gus.identity g.Gus.rels)
+        in
+        if not is_identity then
+          unsupported
+            "DISTINCT above sampling is outside GUS (Section 9): duplicate \
+             elimination depends on more than pairwise inclusion \
+             probabilities";
+        (Splan.Distinct skel, g)
+    | Splan.Union_samples (l, r) ->
+        let skel_l, gl = go l in
+        let skel_r, gr = go r in
+        if not (Splan.equal skel_l skel_r) then
+          unsupported
+            "union of samples of two different expressions (Prop 7 requires \
+             both samples to come from the same expression)";
+        let g = Gus.union gl gr in
+        note "GUS union (Prop 7)" g;
+        (skel_l, g)
+  and join_gus gl gr =
+    match Gus.join gl gr with
+    | g ->
+        note "join (Prop 6)" g;
+        g
+    | exception Gus.Incompatible msg -> unsupported "%s" msg
+  in
+  match go plan with
+  | skeleton, gus -> { skeleton; gus; steps = List.rev !steps }
+  | exception Lineage.Overlap r ->
+      unsupported "relation %s used twice (self-joins are outside GUS)" r
+
+let analyze_db db plan =
+  analyze plan
+    ~card:(fun r -> Relation.cardinality (Database.find db r))

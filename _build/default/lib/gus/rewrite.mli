@@ -1,0 +1,39 @@
+(** The SOA-equivalence rewriter (Section 4): transform a plan containing
+    sampling operators into an analytically equivalent plan with a single
+    GUS quasi-operator on top of a sample-free relational skeleton.
+
+    The returned {!Gus.t} plus the executed sample's result tuples are all
+    the SBox needs (Theorem 1 + Section 6).  The rewrite never executes
+    anything; it is a pure bottom-up fold using Props. 4–8. *)
+
+exception Unsupported of string
+(** Raised for plans outside the GUS theory: with-replacement sampling,
+    WOR or block sampling over derived inputs, self-joins (reported via the
+    underlying [Lineage.Overlap]/[Gus.Incompatible] as [Unsupported]),
+    union of samples of different expressions, DISTINCT above sampling
+    (duplicate elimination needs more than second-order inclusion
+    probabilities — paper Section 9). *)
+
+type result = {
+  skeleton : Splan.t;  (** the input with every sampling operator removed *)
+  gus : Gus.t;  (** single equivalent GUS over the skeleton's lineage *)
+  steps : (string * Gus.t) list;
+      (** derivation trace, leaves first — the Figure-4 walk-through *)
+}
+
+val analyze : card:(string -> int) -> Splan.t -> result
+(** [card] resolves base-relation cardinalities (needed to translate
+    [WOR(n)] into [a = n/N]); typically [fun r -> Relation.cardinality
+    (Database.find db r)]. *)
+
+val analyze_db : Gus_relational.Database.t -> Splan.t -> result
+
+val sampler_gus :
+  card:(string -> int) ->
+  over:Gus_relational.Lineage.schema ->
+  base:bool ->
+  Gus_sampling.Sampler.t ->
+  Gus.t
+(** GUS translation of one sampling operator applied to an input with the
+    given lineage schema; [base] says whether the input is a bare [Scan]
+    (WOR and block sampling are only translatable there). *)

@@ -1,0 +1,139 @@
+open Gus_relational
+module Sampler = Gus_sampling.Sampler
+
+type t =
+  | Scan of string
+  | Select of Expr.t * t
+  | Project of (string * Expr.t) list * t
+  | Equi_join of { left : t; right : t; left_key : Expr.t; right_key : Expr.t }
+  | Theta_join of Expr.t * t * t
+  | Cross of t * t
+  | Distinct of t
+  | Sample of Sampler.t * t
+  | Union_samples of t * t
+
+let scan name = Scan name
+let select pred q = Select (pred, q)
+
+let equi_join left right ~on:(lk, rk) =
+  Equi_join { left; right; left_key = Expr.col lk; right_key = Expr.col rk }
+
+let sample s q = Sample (s, q)
+
+let rec lineage_schema = function
+  | Scan name -> Lineage.schema_of name
+  | Select (_, q) | Project (_, q) | Sample (_, q) | Distinct q ->
+      lineage_schema q
+  | Equi_join { left; right; _ } ->
+      Lineage.schema_concat (lineage_schema left) (lineage_schema right)
+  | Theta_join (_, l, r) | Cross (l, r) ->
+      Lineage.schema_concat (lineage_schema l) (lineage_schema r)
+  | Union_samples (l, _) -> lineage_schema l
+
+let rec strip_samples = function
+  | Scan name -> Scan name
+  | Select (p, q) -> Select (p, strip_samples q)
+  | Project (fields, q) -> Project (fields, strip_samples q)
+  | Equi_join { left; right; left_key; right_key } ->
+      Equi_join
+        { left = strip_samples left;
+          right = strip_samples right;
+          left_key;
+          right_key }
+  | Theta_join (p, l, r) -> Theta_join (p, strip_samples l, strip_samples r)
+  | Cross (l, r) -> Cross (strip_samples l, strip_samples r)
+  | Distinct q -> Distinct (strip_samples q)
+  | Sample (_, q) -> strip_samples q
+  | Union_samples (l, _) -> strip_samples l
+
+let rec equal p q =
+  match (p, q) with
+  | Scan a, Scan b -> String.equal a b
+  | Select (e1, q1), Select (e2, q2) -> e1 = e2 && equal q1 q2
+  | Project (f1, q1), Project (f2, q2) -> f1 = f2 && equal q1 q2
+  | Equi_join j1, Equi_join j2 ->
+      j1.left_key = j2.left_key && j1.right_key = j2.right_key
+      && equal j1.left j2.left && equal j1.right j2.right
+  | Theta_join (e1, l1, r1), Theta_join (e2, l2, r2) ->
+      e1 = e2 && equal l1 l2 && equal r1 r2
+  | Cross (l1, r1), Cross (l2, r2) -> equal l1 l2 && equal r1 r2
+  | Sample (s1, q1), Sample (s2, q2) -> s1 = s2 && equal q1 q2
+  | Distinct q1, Distinct q2 -> equal q1 q2
+  | Union_samples (l1, r1), Union_samples (l2, r2) -> equal l1 l2 && equal r1 r2
+  | ( ( Scan _ | Select _ | Project _ | Equi_join _ | Theta_join _ | Cross _
+      | Distinct _ | Sample _ | Union_samples _ ),
+      _ ) ->
+      false
+
+let rec exec db rng = function
+  | Scan name -> Database.find db name
+  | Select (pred, q) -> Ops.select pred (exec db rng q)
+  | Project (fields, q) -> Ops.project fields (exec db rng q)
+  | Equi_join { left; right; left_key; right_key } ->
+      Ops.equi_join ~left_key ~right_key (exec db rng left) (exec db rng right)
+  | Theta_join (pred, l, r) -> Ops.theta_join pred (exec db rng l) (exec db rng r)
+  | Cross (l, r) -> Ops.cross (exec db rng l) (exec db rng r)
+  | Distinct q -> Ops.distinct (exec db rng q)
+  | Sample (s, q) -> Sampler.apply s rng (exec db rng q)
+  | Union_samples (l, r) -> Ops.union_lineage (exec db rng l) (exec db rng r)
+
+let exec_exact db q =
+  (* No sampling remains, so the RNG is never consulted. *)
+  exec db (Gus_util.Rng.create 0) (strip_samples q)
+
+let rec pp ppf = function
+  | Scan name -> Format.pp_print_string ppf name
+  | Select (e, q) -> Format.fprintf ppf "select[%a](%a)" Expr.pp e pp q
+  | Project (fields, q) ->
+      Format.fprintf ppf "project[%s](%a)"
+        (String.concat "," (List.map fst fields))
+        pp q
+  | Equi_join { left; right; left_key; right_key } ->
+      Format.fprintf ppf "join[%a=%a](%a, %a)" Expr.pp left_key Expr.pp right_key
+        pp left pp right
+  | Theta_join (e, l, r) ->
+      Format.fprintf ppf "theta_join[%a](%a, %a)" Expr.pp e pp l pp r
+  | Cross (l, r) -> Format.fprintf ppf "cross(%a, %a)" pp l pp r
+  | Distinct q -> Format.fprintf ppf "distinct(%a)" pp q
+  | Sample (s, q) -> Format.fprintf ppf "%s(%a)" (Sampler.to_string s) pp q
+  | Union_samples (l, r) -> Format.fprintf ppf "union(%a, %a)" pp l pp r
+
+let pp_tree ppf plan =
+  let rec go indent node =
+    let pad = String.make indent ' ' in
+    let line fmt = Format.fprintf ppf ("%s" ^^ fmt ^^ "@\n") pad in
+    match node with
+    | Scan name -> line "%s" name
+    | Select (e, q) ->
+        line "select %a" Expr.pp e;
+        go (indent + 2) q
+    | Project (fields, q) ->
+        line "project %s" (String.concat "," (List.map fst fields));
+        go (indent + 2) q
+    | Equi_join { left; right; left_key; right_key } ->
+        line "join %a = %a" Expr.pp left_key Expr.pp right_key;
+        go (indent + 2) left;
+        go (indent + 2) right
+    | Theta_join (e, l, r) ->
+        line "theta-join %a" Expr.pp e;
+        go (indent + 2) l;
+        go (indent + 2) r
+    | Cross (l, r) ->
+        line "cross";
+        go (indent + 2) l;
+        go (indent + 2) r
+    | Distinct q ->
+        line "distinct";
+        go (indent + 2) q
+    | Sample (s, q) ->
+        line "%s" (Sampler.to_string s);
+        go (indent + 2) q
+    | Union_samples (l, r) ->
+        line "union-samples";
+        go (indent + 2) l;
+        go (indent + 2) r
+  in
+  go 0 plan
+
+let relations plan =
+  Array.to_list (lineage_schema plan)

@@ -1,0 +1,60 @@
+(** Sampling query plans: relational algebra plus [Sample] nodes.
+
+    This is the AST the user (or the SQL frontend) builds.  It is executed
+    directly with the concrete samplers ({!exec}); the statistical analysis
+    never executes GUS operators — it rewrites the plan with {!Rewrite}. *)
+
+open Gus_relational
+
+type t =
+  | Scan of string
+  | Select of Expr.t * t
+  | Project of (string * Expr.t) list * t
+  | Equi_join of { left : t; right : t; left_key : Expr.t; right_key : Expr.t }
+  | Theta_join of Expr.t * t * t
+  | Cross of t * t
+  | Distinct of t
+      (** duplicate elimination by value.  Executable, but {e not}
+          analyzable: DISTINCT does not commute with GUS (paper Section 9 —
+          its expectation depends on more than pairwise inclusion
+          probabilities), so {!Rewrite.analyze} rejects plans that sample
+          below a [Distinct]. *)
+  | Sample of Gus_sampling.Sampler.t * t
+  | Union_samples of t * t
+      (** Set union by lineage of two sampled versions of the {e same}
+          expression (Prop. 7's use case: reusing two samples).  The
+          rewriter checks that both sides strip to the same relational
+          skeleton. *)
+
+val scan : string -> t
+val select : Expr.t -> t -> t
+val equi_join : t -> t -> on:string * string -> t
+(** Convenience for a key-equality join on two column names. *)
+
+val sample : Gus_sampling.Sampler.t -> t -> t
+
+val lineage_schema : t -> Lineage.schema
+(** Base relations in scope, in plan order.  Raises [Lineage.Overlap] on a
+    self-join. *)
+
+val strip_samples : t -> t
+(** The relational skeleton: every [Sample] removed, [Union_samples]
+    collapsed to one branch. *)
+
+val equal : t -> t -> bool
+(** Structural equality (expressions compared structurally). *)
+
+val exec : Database.t -> Gus_util.Rng.t -> t -> Relation.t
+(** Run the plan, sampling with the given RNG. *)
+
+val exec_exact : Database.t -> t -> Relation.t
+(** Run {!strip_samples} — the full, non-approximate answer. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering. *)
+
+val pp_tree : Format.formatter -> t -> unit
+(** Indented tree rendering, one operator per line (the Figure-4 shape). *)
+
+val relations : t -> string list
+(** Distinct base relations scanned, in first-use order. *)

@@ -1,0 +1,1 @@
+lib/online/online.ml: Array Database Expr Fun Gus_core Gus_estimator Gus_relational Gus_stats Gus_util List Option Relation

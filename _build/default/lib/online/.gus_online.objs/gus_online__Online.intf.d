@@ -1,0 +1,1 @@
+lib/online/online.mli: Gus_core Gus_estimator Gus_relational Gus_stats

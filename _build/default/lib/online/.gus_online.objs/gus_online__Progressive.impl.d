@@ -1,0 +1,1 @@
+lib/online/progressive.ml: Float Gus_core Gus_estimator Gus_sampling Gus_stats Gus_util Int64 List

@@ -1,0 +1,1 @@
+lib/online/progressive.mli: Gus_core Gus_estimator Gus_relational Gus_stats

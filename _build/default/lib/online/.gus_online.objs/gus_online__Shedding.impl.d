@@ -1,0 +1,1 @@
+lib/online/shedding.ml: Database Expr Float Gus_core Gus_estimator Gus_relational Gus_sampling Gus_stats Gus_util List Option Relation Tuple

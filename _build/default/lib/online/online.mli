@@ -1,0 +1,49 @@
+(** Online aggregation on top of the GUS algebra.
+
+    The ripple-join / DBO line of work (paper Section 2) streams base
+    tables in random order and keeps refining an estimate with a shrinking
+    confidence interval.  The GUS algebra reconstructs that capability with
+    no bespoke theory: after reading a prefix of [n_i] rows from a random
+    permutation of relation [i], the rows read are exactly a WOR(n_i, N_i)
+    sample, so the plan-with-prefixes rewrites (Prop. 6/8) to a single GUS
+    and Theorem 1 prices the current estimate.  At 100% the GUS degenerates
+    to the identity and the interval collapses onto the exact answer.
+
+    This implementation re-executes the (sample-free) skeleton over the
+    current prefixes at every checkpoint — O(checkpoints × join); a
+    production engine would maintain the join incrementally (ripple join),
+    which changes cost, not statistics. *)
+
+type t
+
+type checkpoint = {
+  fractions : (string * float) list;
+      (** per base relation, share of rows consumed so far *)
+  rows_read : int;  (** total base rows consumed so far *)
+  report : Gus_estimator.Sbox.report;
+  interval : Gus_stats.Interval.t;  (** 95% normal interval *)
+}
+
+val create :
+  ?seed:int ->
+  Gus_relational.Database.t ->
+  plan:Gus_core.Splan.t ->
+  f:Gus_relational.Expr.t ->
+  t
+(** Sampling operators in [plan] are stripped — the driver owns the
+    randomness (one independent shuffle per base relation). *)
+
+val finished : t -> bool
+val step : t -> rows:int -> checkpoint
+(** Consume up to [rows] further rows from {e each} base relation (clamped
+    at the end), then re-estimate.  Raises [Invalid_argument] if
+    [rows <= 0]. *)
+
+val run : ?seed:int ->
+  Gus_relational.Database.t ->
+  plan:Gus_core.Splan.t ->
+  f:Gus_relational.Expr.t ->
+  checkpoints:int ->
+  checkpoint list
+(** Evenly spaced checkpoints up to full consumption; the last checkpoint
+    has zero-width interval and the exact answer. *)

@@ -1,0 +1,34 @@
+(** Progressive refinement: keep enlarging the sample until the confidence
+    interval is tight enough.
+
+    Each round samples every base relation with a lineage-keyed Bernoulli
+    at a growing rate {e under fixed per-relation seeds}, so round k's
+    sample contains round k−1's — a real engine only fetches the delta
+    (the same nesting trick as the Section-7 subsampler, run in reverse).
+    Every round is an ordinary GUS plan, so its interval needs no new
+    theory; the loop stops as soon as the relative 95% width reaches the
+    target, or the rate hits 1 (at which point the answer is exact). *)
+
+type round = {
+  index : int;
+  rate : float;  (** per-relation Bernoulli rate this round *)
+  report : Gus_estimator.Sbox.report;
+  interval : Gus_stats.Interval.t;
+  rel_width : float;  (** 95% width / |estimate|; 0 when exact *)
+  met : bool;  (** this round satisfied the target *)
+}
+
+val run :
+  ?seed:int ->
+  ?initial_rate:float ->
+  ?growth:float ->
+  ?max_rounds:int ->
+  Gus_relational.Database.t ->
+  plan:Gus_core.Splan.t ->
+  f:Gus_relational.Expr.t ->
+  target_rel_width:float ->
+  round list
+(** Defaults: initial rate 1%, growth 2×, at most 12 rounds.  Sampling
+    operators already in [plan] are stripped; the last returned round
+    either meets the target or has rate 1.  Raises [Invalid_argument] on
+    a non-positive target or parameters outside their ranges. *)

@@ -1,0 +1,66 @@
+(** Load shedding with accuracy control (paper Section 8, fourth
+    application).
+
+    A stream processor that cannot keep up must drop tuples.  Dropping via
+    per-stream Bernoulli filters is a GUS, so Theorem 1 prices any choice
+    of keep rates — and the Ŷ moments estimated from the {e previous}
+    window let the shedder pick, for the next window, the rate split that
+    minimizes the estimate's variance under the throughput budget
+    [Σ_i N_i·r_i ≤ capacity].
+
+    Rates are held constant within a window (keeping each window a bona
+    fide GUS plan) and re-optimized between windows. *)
+
+type rates = (string * float) list
+
+val optimize_rates :
+  gus_of:(rates -> Gus_core.Gus.t) ->
+  y:float array ->
+  arrivals:(string * int) list ->
+  capacity:int ->
+  ?grid:int ->
+  unit ->
+  rates * float
+(** Minimize [Gus.variance (gus_of rates) ~y] subject to
+    [Σ N_i·r_i ≤ capacity], by grid search over the budget surface
+    ([grid] points per free dimension, default 40).  Supports 1–3 streams
+    (exhaustive); raises [Invalid_argument] beyond that or when capacity
+    is non-positive.  Returns the winning rates and their predicted
+    variance.  When the capacity exceeds the total arrivals, all rates
+    are 1 and the variance is 0. *)
+
+val proportional_rates : arrivals:(string * int) list -> capacity:int -> rates
+(** The naive baseline: one shared rate [capacity / Σ N_i] for every
+    stream (clamped to 1). *)
+
+type window_report = {
+  window : int;  (** 0-based *)
+  arrivals : (string * int) list;
+  kept : (string * int) list;
+  rates : rates;
+  report : Gus_estimator.Sbox.report;
+  interval : Gus_stats.Interval.t;  (** 95% normal, for the window total *)
+}
+
+val simulate :
+  ?seed:int ->
+  Gus_relational.Database.t ->
+  plan:Gus_core.Splan.t ->
+  f:Gus_relational.Expr.t ->
+  windows:int ->
+  capacity:int ->
+  window_report list
+(** Slice every base relation of the (sample-free) [plan] into [windows]
+    contiguous arrival chunks and process them window by window: shed each
+    stream with a lineage-keyed Bernoulli at the current rates, estimate
+    the window's aggregate with a confidence interval, then re-optimize
+    the rates for the next window from this window's Ŷ moments.  The
+    first window uses {!proportional_rates}. *)
+
+val window_truth :
+  Gus_relational.Database.t ->
+  plan:Gus_core.Splan.t ->
+  f:Gus_relational.Expr.t ->
+  windows:int ->
+  float list
+(** Exact per-window aggregates (for evaluation). *)

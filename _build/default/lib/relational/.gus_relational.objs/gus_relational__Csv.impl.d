@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Fun List Printf Relation Schema String Tuple Value

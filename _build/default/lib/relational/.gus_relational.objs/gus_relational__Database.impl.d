@@ -1,0 +1,1 @@
+lib/relational/database.ml: Hashtbl List Printf Relation

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Format Hashtbl List Printf Schema Stdlib Tuple Value

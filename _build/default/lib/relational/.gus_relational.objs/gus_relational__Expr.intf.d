@@ -1,0 +1,1 @@
+lib/relational/expr.mli: Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/lineage.ml: Array Format Gus_util Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/relational/lineage.mli: Format Gus_util

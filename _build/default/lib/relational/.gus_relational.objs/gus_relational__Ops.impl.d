@@ -1,0 +1,1 @@
+lib/relational/ops.ml: Array Expr Gus_util Hashtbl Lineage List Option Printf Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/ops.mli: Expr Relation

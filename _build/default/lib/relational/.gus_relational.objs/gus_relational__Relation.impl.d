@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Buffer Format Gus_util Lineage List Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Format Gus_util Lineage Schema Tuple Value

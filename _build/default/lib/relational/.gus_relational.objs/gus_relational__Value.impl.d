@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Float Format Gus_util Hashtbl Int Int64 Printf String

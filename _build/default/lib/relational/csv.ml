@@ -1,0 +1,59 @@
+let save ~path rel =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Relation.iter
+        (fun tup ->
+          let cells =
+            Array.map
+              (fun v ->
+                let s = Value.to_display v in
+                if String.contains s ',' then
+                  failwith (Printf.sprintf "Csv.save: comma in field %S" s);
+                s)
+              tup.Tuple.values
+          in
+          output_string oc (String.concat "," (Array.to_list cells));
+          output_char oc '\n')
+        rel)
+
+let parse_cell ~line ty s =
+  let fail () =
+    failwith (Printf.sprintf "Csv.load: line %d: cannot parse %S as %s" line s
+                (Value.ty_name ty))
+  in
+  if s = "NULL" then Value.Null
+  else
+    match ty with
+    | Value.TInt -> (try Value.Int (int_of_string s) with _ -> fail ())
+    | Value.TFloat -> (try Value.Float (float_of_string s) with _ -> fail ())
+    | Value.TBool -> (try Value.Bool (bool_of_string s) with _ -> fail ())
+    | Value.TStr -> Value.Str s
+
+let load ~path ~name schema =
+  let rel = Relation.create_base ~name schema in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let tys = List.map (fun c -> c.Schema.ty) (Schema.columns schema) in
+      let line_no = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr line_no;
+          if String.trim line <> "" then begin
+            let cells = String.split_on_char ',' line in
+            if List.length cells <> List.length tys then
+              failwith
+                (Printf.sprintf "Csv.load: line %d: %d fields, expected %d"
+                   !line_no (List.length cells) (List.length tys));
+            let values =
+              List.map2 (fun ty s -> parse_cell ~line:!line_no ty s) tys cells
+            in
+            Relation.append_row rel (Array.of_list values)
+          end
+        done;
+        rel
+      with End_of_file -> rel)

@@ -1,0 +1,8 @@
+(** Minimal CSV import/export for base relations (no quoting: the
+    generators never emit commas inside fields; a field containing a comma
+    raises on export). *)
+
+val save : path:string -> Relation.t -> unit
+val load : path:string -> name:string -> Schema.t -> Relation.t
+(** Parses each cell per the declared column type; raises [Failure] with a
+    line number on malformed input. *)

@@ -1,0 +1,28 @@
+type t = {
+  relations : (string, Relation.t) Hashtbl.t;
+  mutable order : string list; (* reversed insertion order *)
+}
+
+exception Unknown_relation of string
+
+let create () = { relations = Hashtbl.create 16; order = [] }
+
+let add t rel =
+  let name = rel.Relation.name in
+  if Hashtbl.mem t.relations name then
+    invalid_arg (Printf.sprintf "Database.add: relation %s already exists" name);
+  Hashtbl.add t.relations name rel;
+  t.order <- name :: t.order
+
+let find_opt t name = Hashtbl.find_opt t.relations name
+
+let find t name =
+  match find_opt t name with
+  | Some r -> r
+  | None -> raise (Unknown_relation name)
+
+let mem t name = Hashtbl.mem t.relations name
+let names t = List.rev t.order
+
+let total_rows t =
+  List.fold_left (fun acc n -> acc + Relation.cardinality (find t n)) 0 (names t)

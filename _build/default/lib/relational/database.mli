@@ -1,0 +1,17 @@
+(** A named collection of base relations (the catalog). *)
+
+type t
+
+exception Unknown_relation of string
+
+val create : unit -> t
+val add : t -> Relation.t -> unit
+(** Raises [Invalid_argument] if the name is already registered. *)
+
+val find : t -> string -> Relation.t
+(** Raises {!Unknown_relation}. *)
+
+val find_opt : t -> string -> Relation.t option
+val mem : t -> string -> bool
+val names : t -> string list
+val total_rows : t -> int

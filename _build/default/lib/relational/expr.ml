@@ -1,0 +1,155 @@
+type binop = Add | Sub | Mul | Div
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Col of string
+  | Lit of Value.t
+  | Neg of t
+  | Bin of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let col c = Col c
+let int i = Lit (Value.Int i)
+let float f = Lit (Value.Float f)
+let str s = Lit (Value.Str s)
+let bool b = Lit (Value.Bool b)
+let null = Lit Value.Null
+
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( = ) a b = Cmp (Eq, a, b)
+let ( <> ) a b = Cmp (Neq, a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ e = Not e
+
+exception Bind_error of string
+
+let cmp_result op c =
+  let open Stdlib in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(* Compile to a closure once; evaluation is then allocation-light. *)
+let rec compile schema expr : Tuple.t -> Value.t =
+  match expr with
+  | Col name -> begin
+      match Schema.find_index schema name with
+      | Some i -> fun tup -> Tuple.value tup i
+      | None -> raise (Bind_error (Printf.sprintf "unknown column %s" name))
+    end
+  | Lit v -> fun _ -> v
+  | Neg e ->
+      let f = compile schema e in
+      fun tup -> Value.neg (f tup)
+  | Bin (op, a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      let g =
+        match op with
+        | Add -> Value.add
+        | Sub -> Value.sub
+        | Mul -> Value.mul
+        | Div -> Value.div
+      in
+      fun tup -> g (fa tup) (fb tup)
+  | Cmp (op, a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun tup -> begin
+        match Value.compare_sql (fa tup) (fb tup) with
+        | None -> Value.Null
+        | Some c -> Value.Bool (cmp_result op c)
+      end
+  | And (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun tup -> begin
+        (* SQL three-valued AND. *)
+        match (fa tup, fb tup) with
+        | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+        | Value.Bool true, Value.Bool true -> Value.Bool true
+        | (Value.Bool _ | Value.Null), (Value.Bool _ | Value.Null) -> Value.Null
+        | v, _ -> raise (Value.Type_error ("AND on " ^ Value.to_display v))
+      end
+  | Or (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun tup -> begin
+        match (fa tup, fb tup) with
+        | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+        | Value.Bool false, Value.Bool false -> Value.Bool false
+        | (Value.Bool _ | Value.Null), (Value.Bool _ | Value.Null) -> Value.Null
+        | v, _ -> raise (Value.Type_error ("OR on " ^ Value.to_display v))
+      end
+  | Not e ->
+      let f = compile schema e in
+      fun tup -> begin
+        match f tup with
+        | Value.Bool b -> Value.Bool (not b)
+        | Value.Null -> Value.Null
+        | v -> raise (Value.Type_error ("NOT on " ^ Value.to_display v))
+      end
+
+let bind schema expr = compile schema expr
+
+let bind_predicate schema expr =
+  let f = compile schema expr in
+  fun tup -> match f tup with Value.Bool b -> b | _ -> false
+
+let bind_float schema expr =
+  let f = compile schema expr in
+  fun tup ->
+    match f tup with
+    | Value.Null -> 0.0
+    | v -> Value.to_float v
+
+let columns expr =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Col c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.add seen c ();
+          out := c :: !out
+        end
+    | Lit _ -> ()
+    | Neg e | Not e -> go e
+    | Bin (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+        go a;
+        go b
+  in
+  go expr;
+  List.rev !out
+
+let binop_sym = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmpop_sym = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp ppf = function
+  | Col c -> Format.pp_print_string ppf c
+  | Lit v -> Value.pp ppf v
+  | Neg e -> Format.fprintf ppf "-(%a)" pp e
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_sym op) pp b
+  | Cmp (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (cmpop_sym op) pp b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not e -> Format.fprintf ppf "(NOT %a)" pp e
+
+let to_string e = Format.asprintf "%a" pp e

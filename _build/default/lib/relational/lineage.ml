@@ -1,0 +1,59 @@
+type schema = string array
+
+exception Overlap of string
+
+let schema_empty = [||]
+let schema_of name = [| name |]
+
+let schema_mem s name = Array.exists (String.equal name) s
+
+let schema_concat a b =
+  Array.iter
+    (fun name -> if schema_mem a name then raise (Overlap name))
+    b;
+  Array.append a b
+
+let schema_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i n -> if not (String.equal n b.(i)) then ok := false) a;
+      !ok)
+
+let position s name =
+  let rec go i =
+    if i >= Array.length s then None
+    else if String.equal s.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+type t = int array
+
+let concat = Array.append
+
+let common l l' =
+  if Array.length l <> Array.length l' then
+    invalid_arg "Lineage.common: schema mismatch";
+  let s = ref Gus_util.Subset.empty in
+  Array.iteri (fun i id -> if id = l'.(i) then s := Gus_util.Subset.add !s i) l;
+  !s
+
+let restrict l ~positions = Array.of_list (List.map (fun i -> l.(i)) positions)
+
+let hash l =
+  let h = ref (Gus_util.Hashing.mix64 17L) in
+  Array.iter (fun id -> h := Gus_util.Hashing.combine !h (Int64.of_int id)) l;
+  Int64.to_int !h
+
+let equal a b = a = b
+
+let pp ~schema ppf l =
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun i id ->
+           let name = if i < Array.length schema then schema.(i) else "?" in
+           Printf.sprintf "%s=%d" name id)
+         l)
+  in
+  Format.fprintf ppf "[%s]" (String.concat "; " parts)

@@ -1,0 +1,38 @@
+(** Tuple lineage (Section 4.2 / 6.2 of the paper).
+
+    Lineage dissociates a tuple's identity from its content: each base
+    relation contributes one row-id slot, joins concatenate slots,
+    selections/projections preserve them.  The GUS analysis only ever
+    *compares* ids, so any injective id assignment works.
+
+    A {e lineage schema} is the ordered array of base-relation names whose
+    ids a tuple carries; a tuple's lineage is an int array aligned to it. *)
+
+type schema = string array
+
+val schema_empty : schema
+val schema_of : string -> schema
+val schema_concat : schema -> schema -> schema
+(** Raises {!Overlap} when the two sides share a base relation — the
+    paper's Prop. 6 precondition (self-joins are out of scope). *)
+
+exception Overlap of string
+
+val schema_equal : schema -> schema -> bool
+val schema_mem : schema -> string -> bool
+val position : schema -> string -> int option
+
+type t = int array
+(** Row ids aligned to a schema. *)
+
+val concat : t -> t -> t
+
+val common : t -> t -> Gus_util.Subset.t
+(** [common l l'] is the subset of slot positions where the two lineages
+    agree — the paper's T(t,t').  Both lineages must have equal length. *)
+
+val restrict : t -> positions:int list -> t
+
+val hash : t -> int
+val equal : t -> t -> bool
+val pp : schema:schema -> Format.formatter -> t -> unit

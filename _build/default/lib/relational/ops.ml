@@ -1,0 +1,277 @@
+module Vec = Gus_util.Vec
+
+let select pred rel =
+  let keep = Expr.bind_predicate rel.Relation.schema pred in
+  let out =
+    Relation.derived
+      ~name:(Printf.sprintf "select(%s)" rel.Relation.name)
+      rel.Relation.schema rel.Relation.lineage_schema
+  in
+  Relation.iter (fun tup -> if keep tup then Relation.append_tuple out tup) rel;
+  out
+
+let project fields rel =
+  let schema = rel.Relation.schema in
+  let evals = List.map (fun (_, e) -> Expr.bind schema e) fields in
+  let out_schema =
+    Schema.make
+      (List.map
+         (fun (name, e) ->
+           let ty =
+             (* Infer a column type from the expression shape when obvious;
+                fall back to float, the common case for aggregated inputs. *)
+             match e with
+             | Expr.Col c -> Schema.column_ty schema (Schema.index_of schema c)
+             | Expr.Lit v -> Option.value (Value.type_of v) ~default:Value.TFloat
+             | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ -> Value.TBool
+             | _ -> Value.TFloat
+           in
+           { Schema.name; ty })
+         fields)
+  in
+  let out =
+    Relation.derived
+      ~name:(Printf.sprintf "project(%s)" rel.Relation.name)
+      out_schema rel.Relation.lineage_schema
+  in
+  Relation.iter
+    (fun tup ->
+      let values = Array.of_list (List.map (fun f -> f tup) evals) in
+      Relation.append_tuple out (Tuple.with_values tup values))
+    rel;
+  out
+
+let joined_name a b =
+  Printf.sprintf "(%s*%s)" a.Relation.name b.Relation.name
+
+let join_output a b =
+  let schema = Schema.concat a.Relation.schema b.Relation.schema in
+  let lschema =
+    Lineage.schema_concat a.Relation.lineage_schema b.Relation.lineage_schema
+  in
+  Relation.derived ~name:(joined_name a b) schema lschema
+
+let cross a b =
+  let out = join_output a b in
+  Relation.iter
+    (fun ta -> Relation.iter (fun tb -> Relation.append_tuple out (Tuple.concat ta tb)) b)
+    a;
+  out
+
+let equi_join ~left_key ~right_key a b =
+  let out = join_output a b in
+  let lkey = Expr.bind a.Relation.schema left_key in
+  let rkey = Expr.bind b.Relation.schema right_key in
+  (* Build on the smaller side. *)
+  let build, probe, build_key, probe_key, build_left =
+    if Relation.cardinality a <= Relation.cardinality b then (a, b, lkey, rkey, true)
+    else (b, a, rkey, lkey, false)
+  in
+  let table : (Value.t, Tuple.t Vec.t) Hashtbl.t =
+    Hashtbl.create (max 16 (Relation.cardinality build))
+  in
+  Relation.iter
+    (fun tup ->
+      let k = build_key tup in
+      if not (Value.is_null k) then begin
+        let bucket =
+          match Hashtbl.find_opt table k with
+          | Some v -> v
+          | None ->
+              let v = Vec.create () in
+              Hashtbl.add table k v;
+              v
+        in
+        Vec.push bucket tup
+      end)
+    build;
+  Relation.iter
+    (fun tup ->
+      let k = probe_key tup in
+      if not (Value.is_null k) then
+        match Hashtbl.find_opt table k with
+        | None -> ()
+        | Some bucket ->
+            Vec.iter
+              (fun btup ->
+                let joined =
+                  if build_left then Tuple.concat btup tup else Tuple.concat tup btup
+                in
+                Relation.append_tuple out joined)
+              bucket)
+    probe;
+  out
+
+let theta_join pred a b =
+  let out = join_output a b in
+  let keep = Expr.bind_predicate out.Relation.schema pred in
+  Relation.iter
+    (fun ta ->
+      Relation.iter
+        (fun tb ->
+          let joined = Tuple.concat ta tb in
+          if keep joined then Relation.append_tuple out joined)
+        b)
+    a;
+  out
+
+let require_same_shape a b =
+  if Schema.arity a.Relation.schema <> Schema.arity b.Relation.schema then
+    invalid_arg "Ops.union: schema arity mismatch";
+  if not (Lineage.schema_equal a.Relation.lineage_schema b.Relation.lineage_schema)
+  then invalid_arg "Ops.union: lineage schema mismatch"
+
+let union_all a b =
+  require_same_shape a b;
+  let out =
+    Relation.derived
+      ~name:(Printf.sprintf "(%s+%s)" a.Relation.name b.Relation.name)
+      a.Relation.schema a.Relation.lineage_schema
+  in
+  Relation.iter (Relation.append_tuple out) a;
+  Relation.iter (Relation.append_tuple out) b;
+  out
+
+let union_lineage a b =
+  require_same_shape a b;
+  let out =
+    Relation.derived
+      ~name:(Printf.sprintf "(%s|%s)" a.Relation.name b.Relation.name)
+      a.Relation.schema a.Relation.lineage_schema
+  in
+  let seen = Hashtbl.create (Relation.cardinality a + Relation.cardinality b) in
+  let push tup =
+    let key = Array.to_list tup.Tuple.lineage in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Relation.append_tuple out tup
+    end
+  in
+  Relation.iter push a;
+  Relation.iter push b;
+  out
+
+let distinct rel =
+  let out =
+    Relation.derived
+      ~name:(Printf.sprintf "distinct(%s)" rel.Relation.name)
+      rel.Relation.schema rel.Relation.lineage_schema
+  in
+  let seen = Hashtbl.create (max 16 (Relation.cardinality rel)) in
+  Relation.iter
+    (fun tup ->
+      let key = Array.to_list (Array.map Value.to_display tup.Tuple.values) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        Relation.append_tuple out tup
+      end)
+    rel;
+  out
+
+type agg = Sum of Expr.t | Count | Avg of Expr.t | Min of Expr.t | Max of Expr.t
+
+type agg_state = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let state_create () =
+  { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let state_add st x =
+  st.count <- st.count + 1;
+  st.sum <- st.sum +. x;
+  if x < st.min_v then st.min_v <- x;
+  if x > st.max_v then st.max_v <- x
+
+let agg_expr = function
+  | Sum e | Avg e | Min e | Max e -> Some e
+  | Count -> None
+
+let finish agg st =
+  match agg with
+  | Sum _ -> st.sum
+  | Count -> float_of_int st.count
+  | Avg _ ->
+      if st.count = 0 then invalid_arg "Ops.aggregate: AVG of empty input"
+      else st.sum /. float_of_int st.count
+  | Min _ ->
+      if st.count = 0 then invalid_arg "Ops.aggregate: MIN of empty input"
+      else st.min_v
+  | Max _ ->
+      if st.count = 0 then invalid_arg "Ops.aggregate: MAX of empty input"
+      else st.max_v
+
+let aggregate agg rel =
+  let st = state_create () in
+  begin
+    match agg_expr agg with
+    | None -> Relation.iter (fun _ -> state_add st 1.0) rel
+    | Some e ->
+        let f = Expr.bind rel.Relation.schema e in
+        Relation.iter
+          (fun tup ->
+            match f tup with
+            | Value.Null -> ()
+            | v -> state_add st (Value.to_float v))
+          rel
+  end;
+  finish agg st
+
+let group_by ~keys ~aggs rel =
+  let schema = rel.Relation.schema in
+  let key_fns = List.map (Expr.bind schema) keys in
+  let agg_fns =
+    List.map
+      (fun (_, a) -> (a, Option.map (Expr.bind schema) (agg_expr a)))
+      aggs
+  in
+  let groups : (string list, Value.t list * agg_state list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = Vec.create () in
+  Relation.iter
+    (fun tup ->
+      let key_vals = List.map (fun f -> f tup) key_fns in
+      let key = List.map Value.to_display key_vals in
+      let _, states =
+        match Hashtbl.find_opt groups key with
+        | Some entry -> entry
+        | None ->
+            let entry = (key_vals, List.map (fun _ -> state_create ()) agg_fns) in
+            Hashtbl.add groups key entry;
+            Vec.push order key;
+            entry
+      in
+      List.iter2
+        (fun st (_, f) ->
+          match f with
+          | None -> state_add st 1.0
+          | Some f -> begin
+              match f tup with
+              | Value.Null -> ()
+              | v -> state_add st (Value.to_float v)
+            end)
+        states agg_fns)
+    rel;
+  let key_cols =
+    List.mapi (fun i _ -> { Schema.name = Printf.sprintf "k%d" i; ty = Value.TStr }) keys
+  in
+  let agg_cols =
+    List.map (fun (name, _) -> { Schema.name; ty = Value.TFloat }) aggs
+  in
+  let out_schema = Schema.make (key_cols @ agg_cols) in
+  let out = Relation.derived ~name:"group_by" out_schema Lineage.schema_empty in
+  Vec.iter
+    (fun key ->
+      let key_vals, states = Hashtbl.find groups key in
+      let key_strs = List.map (fun v -> Value.Str (Value.to_display v)) key_vals in
+      let agg_vals =
+        List.map2 (fun st (a, _) -> Value.Float (finish a st)) states agg_fns
+      in
+      Relation.append_tuple out
+        (Tuple.make (Array.of_list (key_strs @ agg_vals)) [||]))
+    order;
+  out

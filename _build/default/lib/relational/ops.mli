@@ -1,0 +1,39 @@
+(** Physical relational operators over materialized relations.
+
+    Every operator propagates lineage per Section 6.2 of the paper:
+    selection/projection keep it, joins concatenate it.  Inputs are never
+    mutated. *)
+
+val select : Expr.t -> Relation.t -> Relation.t
+
+val project : (string * Expr.t) list -> Relation.t -> Relation.t
+(** [(output name, expression)] pairs; lineage preserved. *)
+
+val cross : Relation.t -> Relation.t -> Relation.t
+
+val equi_join : left_key:Expr.t -> right_key:Expr.t -> Relation.t -> Relation.t -> Relation.t
+(** Hash join on key equality (Null keys never match). *)
+
+val theta_join : Expr.t -> Relation.t -> Relation.t -> Relation.t
+(** Nested loops with an arbitrary predicate over the concatenated schema. *)
+
+val union_all : Relation.t -> Relation.t -> Relation.t
+(** Schemas and lineage schemas must match. *)
+
+val union_lineage : Relation.t -> Relation.t -> Relation.t
+(** Set union by lineage: duplicates (same lineage) kept once — the
+    duplicate-elimination the paper's Prop. 7 (GUS Union) requires. *)
+
+val distinct : Relation.t -> Relation.t
+(** Distinct by values (not lineage); keeps the first witness. *)
+
+type agg = Sum of Expr.t | Count | Avg of Expr.t | Min of Expr.t | Max of Expr.t
+
+val aggregate : agg -> Relation.t -> float
+(** Whole-relation aggregate; SUM/AVG/MIN/MAX read the expression as float
+    with Null → skipped.  MIN/MAX on an empty input raise
+    [Invalid_argument]. *)
+
+val group_by : keys:Expr.t list -> aggs:(string * agg) list -> Relation.t -> Relation.t
+(** Output columns: one per key (named k0, k1, …) then one per aggregate.
+    Output lineage is empty (grouped rows have no single lineage). *)

@@ -1,0 +1,64 @@
+module Vec = Gus_util.Vec
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  lineage_schema : Lineage.schema;
+  tuples : Tuple.t Vec.t;
+}
+
+let create_base ~name schema =
+  { name;
+    schema;
+    lineage_schema = Lineage.schema_of name;
+    tuples = Vec.create () }
+
+let derived ?(name = "<derived>") schema lineage_schema =
+  { name; schema; lineage_schema; tuples = Vec.create () }
+
+let append_row t values =
+  if not (Lineage.schema_equal t.lineage_schema (Lineage.schema_of t.name)) then
+    invalid_arg "Relation.append_row: not a base relation";
+  Schema.check_tuple t.schema values;
+  Vec.push t.tuples (Tuple.make values [| Vec.length t.tuples |])
+
+let append_tuple t tup = Vec.push t.tuples tup
+
+let cardinality t = Vec.length t.tuples
+let tuple t i = Vec.get t.tuples i
+let iter f t = Vec.iter f t.tuples
+let fold f acc t = Vec.fold f acc t.tuples
+
+let column_values t name =
+  let i = Schema.index_of t.schema name in
+  Array.map (fun tup -> Tuple.value tup i) (Vec.to_array t.tuples)
+
+let pp ppf t =
+  Format.fprintf ppf "%s%a (%d rows)" t.name Schema.pp t.schema (cardinality t);
+  let limit = min 5 (cardinality t) in
+  for i = 0 to limit - 1 do
+    Format.fprintf ppf "@\n  %a" Tuple.pp (tuple t i)
+  done;
+  if cardinality t > limit then Format.fprintf ppf "@\n  ..."
+
+let to_csv_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (String.concat "," (List.map (fun c -> c.Schema.name) (Schema.columns t.schema)));
+  Buffer.add_char buf '\n';
+  iter
+    (fun tup ->
+      let cells = Array.map Value.to_display tup.Tuple.values in
+      Buffer.add_string buf (String.concat "," (Array.to_list cells));
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let sum_column t name =
+  let i = Schema.index_of t.schema name in
+  fold
+    (fun acc tup ->
+      match Tuple.value tup i with
+      | Value.Null -> acc
+      | v -> acc +. Value.to_float v)
+    0.0 t

@@ -1,0 +1,34 @@
+(** A materialized relation: schema, lineage schema, and rows.
+
+    Base relations have a single-entry lineage schema (their own name) and
+    row ids 0..n−1; derived relations carry whatever lineage their operators
+    produced. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  lineage_schema : Lineage.schema;
+  tuples : Tuple.t Gus_util.Vec.t;
+}
+
+val create_base : name:string -> Schema.t -> t
+(** Empty base relation; rows appended with {!append_row} get consecutive
+    row ids. *)
+
+val derived : ?name:string -> Schema.t -> Lineage.schema -> t
+val append_row : t -> Value.t array -> unit
+(** Base relations only (lineage schema must be the relation itself);
+    type-checks against the schema. *)
+
+val append_tuple : t -> Tuple.t -> unit
+val cardinality : t -> int
+val tuple : t -> int -> Tuple.t
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+val column_values : t -> string -> Value.t array
+val pp : Format.formatter -> t -> unit
+(** Header plus first rows (for debugging). *)
+
+val to_csv_string : t -> string
+val sum_column : t -> string -> float
+(** Exact SUM over a numeric column, [Null]s contribute 0. *)

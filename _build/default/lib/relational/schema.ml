@@ -1,0 +1,60 @@
+type column = { name : string; ty : Value.ty }
+
+type t = {
+  cols : column array;
+  index : (string, int) Hashtbl.t;
+}
+
+exception Unknown_column of string
+
+let make cols =
+  let cols = Array.of_list cols in
+  let index = Hashtbl.create (Array.length cols * 2) in
+  Array.iteri
+    (fun i c ->
+      if Hashtbl.mem index c.name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %s" c.name);
+      Hashtbl.add index c.name i)
+    cols;
+  { cols; index }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let column_name t i = t.cols.(i).name
+let column_ty t i = t.cols.(i).ty
+
+let find_index t name = Hashtbl.find_opt t.index name
+
+let index_of t name =
+  match find_index t name with
+  | Some i -> i
+  | None -> raise (Unknown_column name)
+
+let mem t name = Hashtbl.mem t.index name
+
+let concat a b = make (columns a @ columns b)
+
+let project t names = make (List.map (fun n -> t.cols.(index_of t n)) names)
+
+let check_tuple t values =
+  if Array.length values <> arity t then
+    invalid_arg
+      (Printf.sprintf "Schema.check_tuple: arity %d, expected %d"
+         (Array.length values) (arity t));
+  Array.iteri
+    (fun i v ->
+      if not (Value.conforms v t.cols.(i).ty) then
+        raise
+          (Value.Type_error
+             (Printf.sprintf "column %s expects %s, got %s" t.cols.(i).name
+                (Value.ty_name t.cols.(i).ty)
+                (Value.to_display v))))
+    values
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun c -> Printf.sprintf "%s:%s" c.name (Value.ty_name c.ty))
+          (columns t)))

@@ -1,0 +1,32 @@
+(** Column layout of a relation: ordered, uniquely named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+exception Unknown_column of string
+
+val make : column list -> t
+(** Raises [Invalid_argument] on duplicate column names. *)
+
+val columns : t -> column list
+val arity : t -> int
+val column_name : t -> int -> string
+val column_ty : t -> int -> Value.ty
+val index_of : t -> string -> int
+(** Raises {!Unknown_column}. *)
+
+val find_index : t -> string -> int option
+val mem : t -> string -> bool
+
+val concat : t -> t -> t
+(** Join output schema.  Raises [Invalid_argument] when names collide;
+    callers qualify names (e.g. ["l_orderkey"]) so collisions indicate a
+    real user error. *)
+
+val project : t -> string list -> t
+val check_tuple : t -> Value.t array -> unit
+(** Arity and per-column type conformance; raises [Invalid_argument] or
+    [Value.Type_error]. *)
+
+val pp : Format.formatter -> t -> unit

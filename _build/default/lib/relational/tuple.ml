@@ -1,0 +1,17 @@
+type t = {
+  values : Value.t array;
+  lineage : Lineage.t;
+}
+
+let make values lineage = { values; lineage }
+let value t i = t.values.(i)
+
+let concat a b =
+  { values = Array.append a.values b.values;
+    lineage = Lineage.concat a.lineage b.lineage }
+
+let with_values t values = { t with values }
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_display t.values)))

@@ -1,0 +1,16 @@
+(** A row: values plus lineage. *)
+
+type t = {
+  values : Value.t array;
+  lineage : Lineage.t;
+}
+
+val make : Value.t array -> Lineage.t -> t
+val value : t -> int -> Value.t
+val concat : t -> t -> t
+(** Values and lineage both concatenated (join output). *)
+
+val with_values : t -> Value.t array -> t
+(** Same lineage, new values (projection output). *)
+
+val pp : Format.formatter -> t -> unit

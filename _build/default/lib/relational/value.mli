@@ -1,0 +1,55 @@
+(** Atomic values stored in tuples.
+
+    Arithmetic silently promotes [Int] to [Float] when the two sides mix,
+    like SQL numeric coercion; every other type confusion raises
+    {!Type_error} rather than producing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+exception Type_error of string
+
+type ty = TBool | TInt | TFloat | TStr
+(** Declared column types. [Null] inhabits all of them. *)
+
+val ty_name : ty -> string
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val conforms : t -> ty -> bool
+
+val is_null : t -> bool
+
+val to_float : t -> float
+(** Numeric read; raises {!Type_error} on non-numeric values. *)
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_string_exn : t -> string
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** SQL semantics: anything with a [Null] operand is [Null]; division by a
+    zero number raises {!Type_error} (we prefer loud failures in a research
+    engine). *)
+
+val neg : t -> t
+
+val compare_sql : t -> t -> int option
+(** Three-valued comparison: [None] when either side is [Null] or the types
+    are incomparable. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Null] equals [Null]); used for grouping keys, not
+    for SQL predicates. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_display : t -> string

@@ -1,0 +1,1 @@
+lib/sampling/sampler.ml: Array Float Format Gus_relational Gus_util Printf Relation String Tuple

@@ -1,0 +1,1 @@
+lib/sampling/sampler.mli: Format Gus_relational Gus_util

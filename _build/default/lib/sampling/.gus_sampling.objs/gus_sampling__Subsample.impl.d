@@ -1,0 +1,1 @@
+lib/sampling/subsample.ml: Array Float Gus_relational Gus_util List Printf Relation String Tuple

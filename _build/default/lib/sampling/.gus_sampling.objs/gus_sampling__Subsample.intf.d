@@ -1,0 +1,1 @@
+lib/sampling/subsample.mli: Gus_relational

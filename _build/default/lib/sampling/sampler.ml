@@ -1,0 +1,108 @@
+module Rng = Gus_util.Rng
+module Hashing = Gus_util.Hashing
+open Gus_relational
+
+type t =
+  | Bernoulli of float
+  | Wor of int
+  | Wr of int
+  | Block of { rows_per_block : int; p : float }
+  | Hash_bernoulli of { seed : int; p : float }
+
+let pp ppf = function
+  | Bernoulli p -> Format.fprintf ppf "Bernoulli(%g)" p
+  | Wor n -> Format.fprintf ppf "WOR(%d)" n
+  | Wr n -> Format.fprintf ppf "WR(%d)" n
+  | Block { rows_per_block; p } -> Format.fprintf ppf "Block(%d,%g)" rows_per_block p
+  | Hash_bernoulli { seed; p } -> Format.fprintf ppf "HashBernoulli(seed=%d,%g)" seed p
+
+let to_string s = Format.asprintf "%a" pp s
+
+let check_p p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Sampler: probability %g not in [0,1]" p)
+
+let validate = function
+  | Bernoulli p -> check_p p
+  | Wor n | Wr n ->
+      if n < 0 then invalid_arg "Sampler: negative sample size"
+  | Block { rows_per_block; p } ->
+      if rows_per_block <= 0 then invalid_arg "Sampler: block size must be positive";
+      check_p p
+  | Hash_bernoulli { p; _ } -> check_p p
+
+let copy_shape ?(suffix = "sample") rel =
+  Relation.derived
+    ~name:(Printf.sprintf "%s(%s)" suffix rel.Relation.name)
+    rel.Relation.schema rel.Relation.lineage_schema
+
+let require_base which rel =
+  if Array.length rel.Relation.lineage_schema <> 1 then
+    invalid_arg
+      (Printf.sprintf "Sampler.apply: %s requires a base relation, got lineage %s"
+         which
+         (String.concat "," (Array.to_list rel.Relation.lineage_schema)))
+
+let apply t rng rel =
+  validate t;
+  (match t with
+  | Block _ -> require_base "block sampling" rel
+  | Hash_bernoulli _ -> require_base "hash-Bernoulli sampling" rel
+  | Bernoulli _ | Wor _ | Wr _ -> ());
+  match t with
+  | Bernoulli p ->
+      let out = copy_shape rel in
+      Relation.iter
+        (fun tup -> if Rng.bernoulli rng p then Relation.append_tuple out tup)
+        rel;
+      out
+  | Wor n ->
+      let out = copy_shape rel in
+      let card = Relation.cardinality rel in
+      let k = min n card in
+      let idx = Rng.sample_without_replacement rng k card in
+      Array.sort compare idx;
+      Array.iter (fun i -> Relation.append_tuple out (Relation.tuple rel i)) idx;
+      out
+  | Wr n ->
+      let out = copy_shape rel in
+      let card = Relation.cardinality rel in
+      if card > 0 then
+        for _ = 1 to n do
+          Relation.append_tuple out (Relation.tuple rel (Rng.int rng card))
+        done;
+      out
+  | Block { rows_per_block; p } ->
+      (* Lineage is rewritten to block granularity: the filter decision is
+         per block, and two rows of one kept block are *not* independent, so
+         the GUS analysis must treat the block as the sampled unit. *)
+      let out = copy_shape ~suffix:"blocksample" rel in
+      let card = Relation.cardinality rel in
+      let nblocks = (card + rows_per_block - 1) / rows_per_block in
+      let keep = Array.init nblocks (fun _ -> Rng.bernoulli rng p) in
+      Relation.iter
+        (fun tup ->
+          let row = tup.Tuple.lineage.(0) in
+          let block = row / rows_per_block in
+          if keep.(block) then begin
+            let lineage = Array.copy tup.Tuple.lineage in
+            lineage.(0) <- block;
+            Relation.append_tuple out { tup with Tuple.lineage }
+          end)
+        rel;
+      out
+  | Hash_bernoulli { seed; p } ->
+      let out = copy_shape ~suffix:"hashsample" rel in
+      Relation.iter
+        (fun tup ->
+          let id = tup.Tuple.lineage.(0) in
+          if Hashing.prf_float ~seed id < p then Relation.append_tuple out tup)
+        rel;
+      out
+
+let sampling_fraction t ~n =
+  match t with
+  | Bernoulli p -> p
+  | Wor k | Wr k -> if n = 0 then 0.0 else Float.min 1.0 (float_of_int k /. float_of_int n)
+  | Block { p; _ } -> p
+  | Hash_bernoulli { p; _ } -> p

@@ -1,0 +1,21 @@
+(** Section-7 multi-dimensional Bernoulli subsampling of a {e result} set.
+
+    To estimate the y_S moments cheaply, the SBox draws a lineage-keyed
+    Bernoulli subsample of the query's result tuples: relation [i] gets a
+    seed and a rate [p_i], and a result tuple survives iff every one of its
+    lineage ids passes its relation's pseudo-random test.  Because the
+    decision is a deterministic function of (seed, id), a base tuple is
+    dropped from {e all} result tuples it contributes to — exactly the
+    filter behaviour a GUS method requires. *)
+
+type dim = { relation : string; seed : int; p : float }
+
+val apply : dim list -> Gus_relational.Relation.t -> Gus_relational.Relation.t
+(** Every relation of the input's lineage schema must appear in exactly one
+    [dim] (missing ⇒ [Invalid_argument]); rates outside [0,1] are
+    rejected. *)
+
+val plan_rates : target:int -> current:int -> ndims:int -> float
+(** Uniform per-dimension rate r so that a result of [current] tuples
+    shrinks to about [target]: r = (target/current)^(1/ndims), clamped to
+    (0, 1].  [current = 0] yields 1. *)

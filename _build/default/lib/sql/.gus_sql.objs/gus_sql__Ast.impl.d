@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Expr Format Gus_relational List Printf String

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Expr Float Gus_relational Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/sql/planner.ml: Ast Database Expr Gus_core Gus_relational Gus_sampling Hashtbl List Option Printf Relation Schema String

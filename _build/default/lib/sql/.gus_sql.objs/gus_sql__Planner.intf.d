@@ -1,0 +1,1 @@
+lib/sql/planner.mli: Ast Gus_core Gus_relational Gus_sampling

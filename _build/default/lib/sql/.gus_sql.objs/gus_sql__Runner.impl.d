@@ -1,0 +1,1 @@
+lib/sql/runner.ml: Ast Expr Format Gus_core Gus_estimator Gus_relational Gus_stats Gus_util Hashtbl List Parser Planner Relation String Value

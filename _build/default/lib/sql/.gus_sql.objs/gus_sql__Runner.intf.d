@@ -1,0 +1,1 @@
+lib/sql/runner.mli: Format Gus_core Gus_relational Gus_stats

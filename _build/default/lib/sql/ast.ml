@@ -1,0 +1,66 @@
+open Gus_relational
+
+type sample_spec =
+  | Percent of float
+  | Rows of int
+  | System_percent of float
+
+type from_item = { relation : string; sample : sample_spec option }
+
+type agg =
+  | Sum of Expr.t
+  | Count_star
+  | Count of Expr.t
+  | Avg of Expr.t
+  | Quantile of agg * float
+
+type select_item = { agg : agg; alias : string option }
+
+type query = {
+  view : (string * string list) option;
+  items : select_item list;
+  from : from_item list;
+  where : Expr.t option;
+  group_by : Expr.t list;
+}
+
+let rec agg_label = function
+  | Sum e -> Printf.sprintf "sum(%s)" (Expr.to_string e)
+  | Count_star -> "count(*)"
+  | Count e -> Printf.sprintf "count(%s)" (Expr.to_string e)
+  | Avg e -> Printf.sprintf "avg(%s)" (Expr.to_string e)
+  | Quantile (a, q) -> Printf.sprintf "quantile(%s, %g)" (agg_label a) q
+
+let pp_sample ppf = function
+  | Percent p -> Format.fprintf ppf " TABLESAMPLE (%g PERCENT)" p
+  | Rows n -> Format.fprintf ppf " TABLESAMPLE (%d ROWS)" n
+  | System_percent p -> Format.fprintf ppf " TABLESAMPLE SYSTEM (%g PERCENT)" p
+
+let pp_query ppf q =
+  (match q.view with
+  | Some (name, cols) ->
+      Format.fprintf ppf "CREATE VIEW %s (%s) AS@ " name (String.concat ", " cols)
+  | None -> ());
+  Format.fprintf ppf "SELECT %s"
+    (String.concat ", "
+       (List.map
+          (fun item ->
+            let base = agg_label item.agg in
+            match item.alias with
+            | Some a -> base ^ " AS " ^ a
+            | None -> base)
+          q.items));
+  let from_item fi =
+    match fi.sample with
+    | None -> fi.relation
+    | Some s -> Format.asprintf "%s%a" fi.relation pp_sample s
+  in
+  Format.fprintf ppf "@ FROM %s" (String.concat ", " (List.map from_item q.from));
+  (match q.where with
+  | Some w -> Format.fprintf ppf "@ WHERE %a" Expr.pp w
+  | None -> ());
+  match q.group_by with
+  | [] -> ()
+  | keys ->
+      Format.fprintf ppf "@ GROUP BY %s"
+        (String.concat ", " (List.map Expr.to_string keys))

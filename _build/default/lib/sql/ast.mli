@@ -1,0 +1,48 @@
+(** Abstract syntax of the dialect.
+
+    Grammar (paper Sections 1 and 6):
+    {v
+    query     ::= [CREATE VIEW ident [cols] AS] SELECT items
+                  FROM from_item [, from_item]... [WHERE expr]
+                  [GROUP BY expr [, expr]...] [;]
+    items     ::= item [, item]...
+    item      ::= agg [AS ident]
+    agg       ::= SUM(expr) | COUNT(star) | COUNT(expr) | AVG(expr)
+                | QUANTILE(agg, number)
+    from_item ::= ident [TABLESAMPLE [BERNOULLI|SYSTEM] (spec)]
+    spec      ::= number PERCENT | integer ROWS
+    v} *)
+
+type sample_spec =
+  | Percent of float  (** row-level Bernoulli, rate percent/100 *)
+  | Rows of int  (** fixed-size WOR *)
+  | System_percent of float
+      (** page/block-level sampling — SQL's SYSTEM keyword *)
+
+type from_item = { relation : string; sample : sample_spec option }
+
+type agg =
+  | Sum of Gus_relational.Expr.t
+  | Count_star
+  | Count of Gus_relational.Expr.t
+  | Avg of Gus_relational.Expr.t
+  | Quantile of agg * float
+
+type select_item = { agg : agg; alias : string option }
+
+type query = {
+  view : (string * string list) option;  (** CREATE VIEW name (cols) AS … *)
+  items : select_item list;
+  from : from_item list;
+  where : Gus_relational.Expr.t option;
+  group_by : Gus_relational.Expr.t list;
+      (** grouping keys; estimation per group is sound because group
+          membership is a content selection, which commutes with GUS
+          (Prop. 5).  Only groups witnessed in the sample are reported. *)
+}
+
+val agg_label : agg -> string
+(** Default output label when no alias is given, e.g.
+    ["sum(l_discount * …)"]. *)
+
+val pp_query : Format.formatter -> query -> unit

@@ -1,0 +1,121 @@
+exception Error of { pos : int; message : string }
+
+let error pos fmt = Printf.ksprintf (fun message -> raise (Error { pos; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some '-' when !pos + 1 < n && input.[!pos + 1] = '-' ->
+        (* SQL line comment *)
+        while !pos < n && input.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let lex_number () =
+    let start = !pos in
+    let is_float = ref false in
+    while
+      !pos < n
+      && (is_digit input.[!pos]
+         || input.[!pos] = '.'
+         || input.[!pos] = 'e' || input.[!pos] = 'E'
+         || ((input.[!pos] = '+' || input.[!pos] = '-')
+            && !pos > start
+            && (input.[!pos - 1] = 'e' || input.[!pos - 1] = 'E')))
+    do
+      if not (is_digit input.[!pos]) then is_float := true;
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> emit (Token.FLOAT f)
+      | None -> error start "malformed number %s" text
+    else
+      match int_of_string_opt text with
+      | Some i -> emit (Token.INT i)
+      | None -> error start "malformed number %s" text
+  in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < n && is_ident_char input.[!pos] do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    match Token.keyword_of_string text with
+    | Some kw -> emit kw
+    | None -> emit (Token.IDENT (String.lowercase_ascii text))
+  in
+  let lex_string () =
+    let start = !pos in
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error start "unterminated string literal"
+      else if input.[!pos] = '\'' then
+        if !pos + 1 < n && input.[!pos + 1] = '\'' then begin
+          Buffer.add_char buf '\'';
+          pos := !pos + 2;
+          go ()
+        end
+        else advance ()
+      else begin
+        Buffer.add_char buf input.[!pos];
+        advance ();
+        go ()
+      end
+    in
+    go ();
+    emit (Token.STRING (Buffer.contents buf))
+  in
+  let lex_symbol c =
+    let two tok = advance (); advance (); emit tok in
+    let one tok = advance (); emit tok in
+    let next = if !pos + 1 < n then Some input.[!pos + 1] else None in
+    match (c, next) with
+    | '<', Some '=' -> two Token.LE
+    | '<', Some '>' -> two Token.NEQ
+    | '>', Some '=' -> two Token.GE
+    | '!', Some '=' -> two Token.NEQ
+    | '<', _ -> one Token.LT
+    | '>', _ -> one Token.GT
+    | '=', _ -> one Token.EQ
+    | '(', _ -> one Token.LPAREN
+    | ')', _ -> one Token.RPAREN
+    | ',', _ -> one Token.COMMA
+    | ';', _ -> one Token.SEMI
+    | '*', _ -> one Token.STAR
+    | '+', _ -> one Token.PLUS
+    | '-', _ -> one Token.MINUS
+    | '/', _ -> one Token.SLASH
+    | _ -> error !pos "unexpected character %C" c
+  in
+  let rec loop () =
+    skip_ws ();
+    match peek () with
+    | None -> ()
+    | Some c ->
+        if is_digit c then lex_number ()
+        else if is_ident_start c then lex_ident ()
+        else if c = '\'' then lex_string ()
+        else lex_symbol c;
+        loop ()
+  in
+  loop ();
+  emit Token.EOF;
+  List.rev !tokens

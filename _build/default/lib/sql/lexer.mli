@@ -1,0 +1,8 @@
+(** Hand-written lexer for the SQL dialect. *)
+
+exception Error of { pos : int; message : string }
+
+val tokenize : string -> Token.t list
+(** Whole-input tokenization, [EOF]-terminated.  Identifiers are
+    lower-cased (the dialect is case-insensitive); string literals use
+    single quotes with [''] as the escape. *)

@@ -1,0 +1,305 @@
+open Gus_relational
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type state = {
+  mutable tokens : Token.t list;
+}
+
+let peek st = match st.tokens with [] -> Token.EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    error "expected %s but found %s" (Token.to_string tok) (Token.to_string t)
+
+let expect_ident st =
+  match next st with
+  | Token.IDENT s -> s
+  | t -> error "expected an identifier but found %s" (Token.to_string t)
+
+let number st =
+  match next st with
+  | Token.INT i -> float_of_int i
+  | Token.FLOAT f -> f
+  | t -> error "expected a number but found %s" (Token.to_string t)
+
+(* Expression grammar, loosest first:
+   or  ::= and [OR and]...
+   and ::= not [AND not]...
+   not ::= NOT not | cmp
+   cmp ::= add [cmpop add]
+   add ::= mul [(+|-) mul]...
+   mul ::= unary [(star|/) unary]...
+   unary ::= - unary | NOT unary | primary
+   primary ::= literal | ident | ( or ) *)
+let rec parse_or st =
+  let lhs = parse_and st in
+  if peek st = Token.OR then begin
+    advance st;
+    Expr.Or (lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if peek st = Token.AND then begin
+    advance st;
+    Expr.And (lhs, parse_and st)
+  end
+  else lhs
+
+and parse_not st =
+  if peek st = Token.NOT then begin
+    advance st;
+    Expr.Not (parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Token.EQ -> Some Expr.Eq
+    | Token.NEQ -> Some Expr.Neq
+    | Token.LT -> Some Expr.Lt
+    | Token.LE -> Some Expr.Le
+    | Token.GT -> Some Expr.Gt
+    | Token.GE -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Expr.Cmp (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.PLUS ->
+        advance st;
+        lhs := Expr.Bin (Expr.Add, !lhs, parse_mul st)
+    | Token.MINUS ->
+        advance st;
+        lhs := Expr.Bin (Expr.Sub, !lhs, parse_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.STAR ->
+        advance st;
+        lhs := Expr.Bin (Expr.Mul, !lhs, parse_unary st)
+    | Token.SLASH ->
+        advance st;
+        lhs := Expr.Bin (Expr.Div, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      Expr.Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Token.INT i -> Expr.int i
+  | Token.FLOAT f -> Expr.float f
+  | Token.STRING s -> Expr.str s
+  | Token.TRUE -> Expr.bool true
+  | Token.FALSE -> Expr.bool false
+  | Token.NULL -> Expr.null
+  | Token.IDENT name -> Expr.col name
+  | Token.LPAREN ->
+      let e = parse_or st in
+      expect st Token.RPAREN;
+      e
+  | t -> error "expected an expression but found %s" (Token.to_string t)
+
+let rec parse_agg st =
+  match next st with
+  | Token.SUM ->
+      expect st Token.LPAREN;
+      let e = parse_or st in
+      expect st Token.RPAREN;
+      Ast.Sum e
+  | Token.AVG ->
+      expect st Token.LPAREN;
+      let e = parse_or st in
+      expect st Token.RPAREN;
+      Ast.Avg e
+  | Token.COUNT ->
+      expect st Token.LPAREN;
+      if peek st = Token.STAR then begin
+        advance st;
+        expect st Token.RPAREN;
+        Ast.Count_star
+      end
+      else begin
+        let e = parse_or st in
+        expect st Token.RPAREN;
+        Ast.Count e
+      end
+  | Token.QUANTILE ->
+      expect st Token.LPAREN;
+      let inner = parse_agg st in
+      expect st Token.COMMA;
+      let q = number st in
+      expect st Token.RPAREN;
+      if not (q > 0.0 && q < 1.0) then
+        error "QUANTILE level %g must be in (0,1)" q;
+      (match inner with
+      | Ast.Quantile _ -> error "nested QUANTILE is not allowed"
+      | _ -> ());
+      Ast.Quantile (inner, q)
+  | t -> error "expected an aggregate (SUM/COUNT/AVG/QUANTILE) but found %s"
+           (Token.to_string t)
+
+let parse_select_item st =
+  let agg = parse_agg st in
+  let alias =
+    match peek st with
+    | Token.AS ->
+        advance st;
+        Some (expect_ident st)
+    | Token.IDENT name ->
+        advance st;
+        Some name
+    | _ -> None
+  in
+  { Ast.agg; alias }
+
+let parse_sample_spec st =
+  (* TABLESAMPLE already consumed. *)
+  let flavor =
+    match peek st with
+    | Token.BERNOULLI ->
+        advance st;
+        `Bernoulli
+    | Token.SYSTEM ->
+        advance st;
+        `System
+    | _ -> `Default
+  in
+  expect st Token.LPAREN;
+  let v = number st in
+  let spec =
+    match next st with
+    | Token.PERCENT -> begin
+        if not (v >= 0.0 && v <= 100.0) then
+          error "sampling percentage %g out of [0,100]" v;
+        match flavor with
+        | `System -> Ast.System_percent v
+        | `Bernoulli | `Default -> Ast.Percent v
+      end
+    | Token.ROWS ->
+        if flavor = `System then error "SYSTEM sampling takes PERCENT, not ROWS";
+        if Float.of_int (int_of_float v) <> v || v < 0.0 then
+          error "ROWS count must be a non-negative integer";
+        Ast.Rows (int_of_float v)
+    | t -> error "expected PERCENT or ROWS but found %s" (Token.to_string t)
+  in
+  expect st Token.RPAREN;
+  (* Optional REPEATABLE (seed) — accepted and ignored, like many engines. *)
+  if peek st = Token.REPEATABLE then begin
+    advance st;
+    expect st Token.LPAREN;
+    ignore (number st);
+    expect st Token.RPAREN
+  end;
+  spec
+
+let parse_from_item st =
+  let relation = expect_ident st in
+  let sample =
+    if peek st = Token.TABLESAMPLE then begin
+      advance st;
+      Some (parse_sample_spec st)
+    end
+    else None
+  in
+  { Ast.relation; sample }
+
+let parse_comma_list st parse_one =
+  let rec go acc =
+    let item = parse_one st in
+    if peek st = Token.COMMA then begin
+      advance st;
+      go (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  go []
+
+let parse_query st =
+  let view =
+    if peek st = Token.CREATE then begin
+      advance st;
+      expect st Token.VIEW;
+      let name = expect_ident st in
+      let cols =
+        if peek st = Token.LPAREN then begin
+          advance st;
+          let cols = parse_comma_list st expect_ident in
+          expect st Token.RPAREN;
+          cols
+        end
+        else []
+      in
+      expect st Token.AS;
+      Some (name, cols)
+    end
+    else None
+  in
+  expect st Token.SELECT;
+  let items = parse_comma_list st parse_select_item in
+  expect st Token.FROM;
+  let from = parse_comma_list st parse_from_item in
+  let where =
+    if peek st = Token.WHERE then begin
+      advance st;
+      Some (parse_or st)
+    end
+    else None
+  in
+  let group_by =
+    if peek st = Token.GROUP then begin
+      advance st;
+      expect st Token.BY;
+      parse_comma_list st parse_or
+    end
+    else []
+  in
+  if peek st = Token.SEMI then advance st;
+  expect st Token.EOF;
+  { Ast.view; items; from; where; group_by }
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  parse_query st
+
+let parse_expr input =
+  let st = { tokens = Lexer.tokenize input } in
+  let e = parse_or st in
+  expect st Token.EOF;
+  e

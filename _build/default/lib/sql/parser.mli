@@ -1,0 +1,10 @@
+(** Recursive-descent parser. *)
+
+exception Error of string
+
+val parse : string -> Ast.query
+(** Lex + parse one query.  Raises {!Error} (or [Lexer.Error]) with a
+    human-readable message on malformed input. *)
+
+val parse_expr : string -> Gus_relational.Expr.t
+(** Parse a standalone scalar expression (used by tests and the CLI). *)

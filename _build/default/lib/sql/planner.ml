@@ -1,0 +1,137 @@
+open Gus_relational
+module Splan = Gus_core.Splan
+module Sampler = Gus_sampling.Sampler
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type compiled = {
+  plan : Splan.t;
+  query : Ast.query;
+}
+
+let system_block_rows = 100
+
+let sampler_of_spec = function
+  | Ast.Percent p ->
+      if p >= 100.0 then None else Some (Sampler.Bernoulli (p /. 100.0))
+  | Ast.Rows n -> Some (Sampler.Wor n)
+  | Ast.System_percent p ->
+      if p >= 100.0 then None
+      else Some (Sampler.Block { rows_per_block = system_block_rows; p = p /. 100.0 })
+
+(* Split a WHERE tree into its top-level conjuncts. *)
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec conjoin = function
+  | [] -> None
+  | [ e ] -> Some e
+  | e :: rest -> (
+      match conjoin rest with None -> Some e | Some r -> Some (Expr.And (e, r)))
+
+let compile db query =
+  (match query.Ast.from with [] -> error "empty FROM clause" | _ -> ());
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun fi ->
+      let r = fi.Ast.relation in
+      if Hashtbl.mem seen r then
+        error "relation %s appears twice in FROM (self-joins are not supported \
+               by the GUS theory)" r;
+      Hashtbl.add seen r ();
+      if not (Database.mem db r) then error "unknown relation %s" r)
+    query.Ast.from;
+  (* Which FROM relation owns a column name. *)
+  let owner col =
+    let owners =
+      List.filter
+        (fun fi -> Schema.mem (Database.find db fi.Ast.relation).Relation.schema col)
+        query.Ast.from
+    in
+    match owners with
+    | [ fi ] -> fi.Ast.relation
+    | [] -> error "unknown column %s" col
+    | _ -> error "ambiguous column %s" col
+  in
+  let relations_of_expr e =
+    List.sort_uniq String.compare (List.map owner (Expr.columns e))
+  in
+  let preds = match query.Ast.where with None -> [] | Some w -> conjuncts w in
+  (* Partition predicates. *)
+  let single, multi =
+    List.partition (fun p -> List.length (relations_of_expr p) <= 1) preds
+  in
+  let single_for rel =
+    List.filter (fun p -> relations_of_expr p = [ rel ]) single
+  in
+  let constant_preds = List.filter (fun p -> relations_of_expr p = []) single in
+  (* Key-equality join predicates: col = col across two relations. *)
+  let is_join_key = function
+    | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+        let ra = owner a and rb = owner b in
+        if ra <> rb then Some ((ra, a), (rb, b)) else None
+    | _ -> None
+  in
+  let join_keys = List.filter_map is_join_key multi in
+  let other_multi = List.filter (fun p -> is_join_key p = None) multi in
+  (* Leaf plan for one FROM item: scan, sample, single-table filters. *)
+  let leaf fi =
+    let base = Splan.Scan fi.Ast.relation in
+    let sampled =
+      match Option.map sampler_of_spec fi.Ast.sample with
+      | Some (Some s) -> Splan.Sample (s, base)
+      | Some None | None -> base
+    in
+    match conjoin (single_for fi.Ast.relation) with
+    | Some pred -> Splan.Select (pred, sampled)
+    | None -> sampled
+  in
+  (* Greedy left-to-right join ordering. *)
+  let used_keys = Hashtbl.create 8 in
+  let connect acc acc_rels fi =
+    let rel = fi.Ast.relation in
+    let key =
+      List.find_opt
+        (fun (((ra, _), (rb, _)) as k) ->
+          (not (Hashtbl.mem used_keys k))
+          && ((List.mem ra acc_rels && rb = rel) || (List.mem rb acc_rels && ra = rel)))
+        join_keys
+    in
+    match key with
+    | Some (((ra, ca), (_, cb)) as k) ->
+        Hashtbl.add used_keys k ();
+        let left_col, right_col = if List.mem ra acc_rels then (ca, cb) else (cb, ca) in
+        Splan.Equi_join
+          { left = acc;
+            right = leaf fi;
+            left_key = Expr.col left_col;
+            right_key = Expr.col right_col }
+    | None -> Splan.Cross (acc, leaf fi)
+  in
+  let plan, _ =
+    match query.Ast.from with
+    | [] -> assert false
+    | first :: rest ->
+        List.fold_left
+          (fun (acc, rels) fi -> (connect acc rels fi, fi.Ast.relation :: rels))
+          (leaf first, [ first.Ast.relation ])
+          rest
+  in
+  (* Join keys not consumed by the greedy order, non-key multi-relation
+     predicates, and constant predicates become a final selection. *)
+  let leftover_keys =
+    List.filter_map
+      (fun (((_, ca), (_, cb)) as k) ->
+        if Hashtbl.mem used_keys k then None
+        else Some Expr.(col ca = col cb))
+      join_keys
+  in
+  let plan =
+    match conjoin (constant_preds @ other_multi @ leftover_keys) with
+    | Some pred -> Splan.Select (pred, plan)
+    | None -> plan
+  in
+  { plan; query }

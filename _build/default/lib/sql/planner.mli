@@ -1,0 +1,26 @@
+(** Compile a parsed query to a sampling plan.
+
+    A deliberately simple planner in the spirit of Section 6: FROM items
+    are combined left to right, using a hash equi-join whenever the WHERE
+    clause supplies a key-equality predicate connecting the new item to the
+    already-joined set (cross product otherwise); single-table predicates
+    are placed directly above each (sampled) scan; whatever remains goes in
+    a final selection.  TABLESAMPLE clauses become [Splan.Sample] nodes on
+    the scans, so the sampling-then-filtering order matches SQL. *)
+
+exception Error of string
+
+type compiled = {
+  plan : Gus_core.Splan.t;
+  query : Ast.query;
+}
+
+val compile : Gus_relational.Database.t -> Ast.query -> compiled
+(** Raises {!Error} on unknown relations/columns, duplicate FROM relations
+    (self-joins are outside the theory), or an empty FROM list. *)
+
+val sampler_of_spec : Ast.sample_spec -> Gus_sampling.Sampler.t option
+(** [None] for a 100-PERCENT sample (no-op). [System_percent] maps to
+    block sampling with {!system_block_rows} rows per block. *)
+
+val system_block_rows : int

@@ -1,0 +1,163 @@
+open Gus_relational
+module Splan = Gus_core.Splan
+module Rewrite = Gus_core.Rewrite
+module Sbox = Gus_estimator.Sbox
+module Interval = Gus_stats.Interval
+
+type cell = {
+  label : string;
+  value : float;
+  stddev : float;
+  ci95_normal : Interval.t;
+  ci95_chebyshev : Interval.t;
+}
+
+type group_row = {
+  keys : string list;
+  group_cells : cell list;
+}
+
+type result = {
+  cells : cell list;
+  groups : group_row list;
+  n_sample_tuples : int;
+  gus : Gus_core.Gus.t;
+  plan : Splan.t;
+}
+
+let label_of item =
+  match item.Ast.alias with Some a -> a | None -> Ast.agg_label item.Ast.agg
+
+let one = Expr.float 1.0
+
+let cell_of_report ~label ?quantile (estimate, stddev) =
+  let safe_interval method_ =
+    Interval.make ~method_ ~coverage:0.95 ~estimate ~stddev
+  in
+  let value =
+    match quantile with
+    | None -> estimate
+    | Some q -> Interval.quantile_bound ~estimate ~stddev q
+  in
+  { label;
+    value;
+    stddev;
+    ci95_normal = safe_interval Interval.Normal;
+    ci95_chebyshev = safe_interval Interval.Chebyshev }
+
+let eval_item ~gus sample item =
+  let label = label_of item in
+  let rec go ?quantile agg =
+    match agg with
+    | Ast.Sum e ->
+        let r = Sbox.of_relation ~gus ~f:e sample in
+        cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
+    | Ast.Count_star ->
+        let r = Sbox.of_relation ~gus ~f:one sample in
+        cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
+    | Ast.Count e ->
+        (* COUNT(e) counts non-null rows: e*0 + 1 is 1 when e is a number
+           and Null (→ 0 under SUM) when e is Null. *)
+        let indicator = Expr.(Bin (Add, Bin (Mul, e, Expr.float 0.0), Expr.float 1.0)) in
+        let r = Sbox.of_relation ~gus ~f:indicator sample in
+        cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
+    | Ast.Avg e ->
+        let r = Sbox.avg ~gus ~f:e sample in
+        cell_of_report ~label ?quantile (r.Sbox.ratio_estimate, r.Sbox.ratio_stddev)
+    | Ast.Quantile (inner, q) -> go ~quantile:q inner
+  in
+  go item.Ast.agg
+
+(* Partition a relation into per-group sub-relations by rendered key
+   values, preserving first-seen group order. *)
+let partition_groups keys rel =
+  let evals = List.map (Expr.bind rel.Relation.schema) keys in
+  let groups : (string list, Relation.t) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  Relation.iter
+    (fun tup ->
+      let k = List.map (fun ev -> Value.to_display (ev tup)) evals in
+      let sub =
+        match Hashtbl.find_opt groups k with
+        | Some r -> r
+        | None ->
+            let r =
+              Relation.derived ~name:"group" rel.Relation.schema
+                rel.Relation.lineage_schema
+            in
+            Hashtbl.add groups k r;
+            order := k :: !order;
+            r
+      in
+      Relation.append_tuple sub tup)
+    rel;
+  List.rev_map (fun k -> (k, Hashtbl.find groups k)) !order
+
+let run ?(seed = 42) db sql =
+  let query = Parser.parse sql in
+  let { Planner.plan; _ } = Planner.compile db query in
+  let rng = Gus_util.Rng.create seed in
+  let sample = Splan.exec db rng plan in
+  let analysis = Rewrite.analyze_db db plan in
+  let gus = analysis.Rewrite.gus in
+  let cells, groups =
+    match query.Ast.group_by with
+    | [] -> (List.map (eval_item ~gus sample) query.Ast.items, [])
+    | keys ->
+        let per_group =
+          List.map
+            (fun (k, sub) ->
+              { keys = k;
+                group_cells = List.map (eval_item ~gus sub) query.Ast.items })
+            (partition_groups keys sample)
+        in
+        ([], per_group)
+  in
+  { cells; groups; n_sample_tuples = Relation.cardinality sample; gus; plan }
+
+let exact_values query exact_rel =
+  let eval_f f =
+    let ev = Expr.bind_float exact_rel.Relation.schema f in
+    Relation.fold (fun acc tup -> acc +. ev tup) 0.0 exact_rel
+  in
+  let rec value = function
+    | Ast.Sum e -> eval_f e
+    | Ast.Count_star -> float_of_int (Relation.cardinality exact_rel)
+    | Ast.Count e ->
+        eval_f Expr.(Bin (Add, Bin (Mul, e, Expr.float 0.0), Expr.float 1.0))
+    | Ast.Avg e ->
+        let n = Relation.cardinality exact_rel in
+        if n = 0 then 0.0 else eval_f e /. float_of_int n
+    | Ast.Quantile (inner, _) -> value inner
+  in
+  List.map (fun item -> (label_of item, value item.Ast.agg)) query.Ast.items
+
+let run_exact db sql =
+  let query = Parser.parse sql in
+  let { Planner.plan; _ } = Planner.compile db query in
+  let exact_rel = Splan.exec_exact db plan in
+  exact_values query exact_rel
+
+let run_exact_groups db sql =
+  let query = Parser.parse sql in
+  let { Planner.plan; _ } = Planner.compile db query in
+  let exact_rel = Splan.exec_exact db plan in
+  List.map
+    (fun (k, sub) -> (k, exact_values query sub))
+    (partition_groups query.Ast.group_by exact_rel)
+
+let pp_cell ppf c =
+  Format.fprintf ppf
+    "%s = %.6g (sd %.4g)@,  95%% normal    %a@,  95%% chebyshev %a@," c.label
+    c.value c.stddev Interval.pp c.ci95_normal Interval.pp c.ci95_chebyshev
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "sample tuples: %d@," r.n_sample_tuples;
+  List.iter (pp_cell ppf) r.cells;
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "group [%s]:@," (String.concat ", " g.keys);
+      List.iter (pp_cell ppf) g.group_cells)
+    r.groups;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** End-to-end execution of dialect queries: parse → plan → sample →
+    SBox → answers with accuracy information. *)
+
+type cell = {
+  label : string;
+  value : float;  (** the estimate (or quantile bound for QUANTILE items) *)
+  stddev : float;
+  ci95_normal : Gus_stats.Interval.t;
+  ci95_chebyshev : Gus_stats.Interval.t;
+}
+
+type group_row = {
+  keys : string list;  (** rendered grouping-key values *)
+  group_cells : cell list;
+}
+
+type result = {
+  cells : cell list;  (** whole-query aggregates (empty under GROUP BY) *)
+  groups : group_row list;
+      (** one row per group witnessed in the sample.  Per-group analysis
+          is sound: group membership is a selection on tuple content,
+          which commutes with the GUS operator (Prop. 5).  Groups whose
+          every contributing tuple was dropped by sampling are absent. *)
+  n_sample_tuples : int;
+  gus : Gus_core.Gus.t;
+  plan : Gus_core.Splan.t;
+}
+
+val run : ?seed:int -> Gus_relational.Database.t -> string -> result
+(** Raises [Parser.Error] / [Planner.Error] / [Rewrite.Unsupported] on bad
+    input. *)
+
+val run_exact : Gus_relational.Database.t -> string -> (string * float) list
+(** Ground truth for each SELECT item, ignoring all TABLESAMPLE clauses
+    (QUANTILE items report the exact aggregate).  Not defined for GROUP BY
+    queries — use {!run_exact_groups}. *)
+
+val run_exact_groups : Gus_relational.Database.t -> string -> (string list * (string * float) list) list
+(** Ground truth per group for a GROUP BY query, keyed like
+    {!group_row.keys}. *)
+
+val pp_result : Format.formatter -> result -> unit

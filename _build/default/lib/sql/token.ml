@@ -1,0 +1,69 @@
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SELECT | FROM | WHERE | AS | AND | OR | NOT
+  | SUM | COUNT | AVG | QUANTILE
+  | TABLESAMPLE | PERCENT | ROWS | BERNOULLI | SYSTEM | REPEATABLE
+  | CREATE | VIEW | TRUE | FALSE | NULL | GROUP | BY
+  | LPAREN | RPAREN | COMMA | SEMI | STAR
+  | PLUS | MINUS | SLASH
+  | EQ | NEQ | LT | LE | GT | GE
+  | EOF
+
+let keywords =
+  [ ("select", SELECT); ("from", FROM); ("where", WHERE); ("as", AS);
+    ("and", AND); ("or", OR); ("not", NOT); ("sum", SUM); ("count", COUNT);
+    ("avg", AVG); ("quantile", QUANTILE); ("tablesample", TABLESAMPLE);
+    ("percent", PERCENT); ("rows", ROWS); ("bernoulli", BERNOULLI);
+    ("system", SYSTEM); ("repeatable", REPEATABLE); ("create", CREATE);
+    ("view", VIEW); ("true", TRUE); ("false", FALSE); ("null", NULL);
+    ("group", GROUP); ("by", BY) ]
+
+let keyword_of_string s = List.assoc_opt (String.lowercase_ascii s) keywords
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | SELECT -> "SELECT"
+  | FROM -> "FROM"
+  | WHERE -> "WHERE"
+  | AS -> "AS"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | SUM -> "SUM"
+  | COUNT -> "COUNT"
+  | AVG -> "AVG"
+  | QUANTILE -> "QUANTILE"
+  | TABLESAMPLE -> "TABLESAMPLE"
+  | PERCENT -> "PERCENT"
+  | ROWS -> "ROWS"
+  | BERNOULLI -> "BERNOULLI"
+  | SYSTEM -> "SYSTEM"
+  | REPEATABLE -> "REPEATABLE"
+  | CREATE -> "CREATE"
+  | VIEW -> "VIEW"
+  | TRUE -> "TRUE"
+  | FALSE -> "FALSE"
+  | NULL -> "NULL"
+  | GROUP -> "GROUP"
+  | BY -> "BY"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<end of input>"

@@ -1,0 +1,22 @@
+(** Lexical tokens of the paper's SQL dialect. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* keywords *)
+  | SELECT | FROM | WHERE | AS | AND | OR | NOT
+  | SUM | COUNT | AVG | QUANTILE
+  | TABLESAMPLE | PERCENT | ROWS | BERNOULLI | SYSTEM | REPEATABLE
+  | CREATE | VIEW | TRUE | FALSE | NULL | GROUP | BY
+  (* punctuation *)
+  | LPAREN | RPAREN | COMMA | SEMI | STAR
+  | PLUS | MINUS | SLASH
+  | EQ | NEQ | LT | LE | GT | GE
+  | EOF
+
+val keyword_of_string : string -> t option
+(** Case-insensitive keyword lookup. *)
+
+val to_string : t -> string

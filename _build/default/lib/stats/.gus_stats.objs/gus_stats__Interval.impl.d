@@ -1,0 +1,1 @@
+lib/stats/interval.ml: Format Normal

@@ -1,0 +1,1 @@
+lib/stats/interval.mli: Format

@@ -1,0 +1,35 @@
+type method_ = Normal | Chebyshev
+
+type t = {
+  lo : float;
+  hi : float;
+  estimate : float;
+  stddev : float;
+  coverage : float;
+  method_ : method_;
+}
+
+let make ~method_ ~coverage ~estimate ~stddev =
+  if stddev < 0.0 then invalid_arg "Interval.make: negative stddev";
+  if not (coverage > 0.0 && coverage < 1.0) then
+    invalid_arg "Interval.make: coverage not in (0,1)";
+  let k =
+    match method_ with
+    | Normal -> Normal.quantile ((1.0 +. coverage) /. 2.0)
+    | Chebyshev -> Normal.chebyshev_factor coverage
+  in
+  let half = k *. stddev in
+  { lo = estimate -. half; hi = estimate +. half; estimate; stddev; coverage; method_ }
+
+let contains t x = t.lo <= x && x <= t.hi
+let width t = t.hi -. t.lo
+
+let quantile_bound ~estimate ~stddev q = estimate +. (Normal.quantile q *. stddev)
+
+let method_name = function Normal -> "normal" | Chebyshev -> "chebyshev"
+
+let pp ppf t =
+  Format.fprintf ppf "[%g, %g] (%.0f%% %s, est=%g, sd=%g)" t.lo t.hi
+    (100.0 *. t.coverage) (method_name t.method_) t.estimate t.stddev
+
+let to_string t = Format.asprintf "%a" pp t

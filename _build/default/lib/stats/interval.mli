@@ -1,0 +1,29 @@
+(** Confidence intervals produced by the SBox (Section 6.4 of the paper). *)
+
+type method_ =
+  | Normal     (** optimistic: estimate ± Φ⁻¹((1+cov)/2)·σ̂ *)
+  | Chebyshev  (** pessimistic: estimate ± σ̂/√(1−cov), valid for any
+                   distribution *)
+
+type t = {
+  lo : float;
+  hi : float;
+  estimate : float;
+  stddev : float;
+  coverage : float;
+  method_ : method_;
+}
+
+val make : method_:method_ -> coverage:float -> estimate:float -> stddev:float -> t
+(** Raises [Invalid_argument] on negative stddev or coverage ∉ (0,1). *)
+
+val contains : t -> float -> bool
+val width : t -> float
+
+val quantile_bound : estimate:float -> stddev:float -> float -> float
+(** [quantile_bound ~estimate ~stddev q] is the normal-approximation value v
+    with P(truth < v) ≈ q — the paper's [QUANTILE(SUM(…), q)].  [q] in
+    (0,1). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

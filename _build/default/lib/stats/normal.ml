@@ -1,0 +1,68 @@
+(* erf via the Numerical-Recipes erfc approximation (fractional error
+   everywhere below 1.2e-7). *)
+let erfc_nr x =
+  let z = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.5 *. z)) in
+  let horner coeffs =
+    Array.fold_left (fun acc c -> (acc *. t) +. c) 0.0 coeffs
+  in
+  let poly =
+    horner
+      [| 0.17087277; -0.82215223; 1.48851587; -1.13520398; 0.27886807;
+         -0.18628806; 0.09678418; 0.37409196; 1.00002368; -1.26551223 |]
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0.0 then ans else 2.0 -. ans
+
+let erf x = 1.0 -. erfc_nr x
+
+let cdf x = 0.5 *. erfc_nr (-.x /. sqrt 2.0)
+
+(* Acklam's inverse normal CDF (relative error < 1.15e-9), refined with one
+   Halley step against the erfc-based CDF. *)
+let quantile p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg (Printf.sprintf "Normal.quantile: p=%g not in (0,1)" p);
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01; 1.0 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00; 1.0 |]
+  in
+  let horner coeffs x =
+    Array.fold_left (fun acc k -> (acc *. x) +. k) 0.0 coeffs
+  in
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  let x0 =
+    if p < p_low then
+      let q = sqrt (-2.0 *. log p) in
+      horner c q /. horner d q
+    else if p <= p_high then
+      let q = p -. 0.5 in
+      let r = q *. q in
+      q *. horner a r /. horner b r
+    else
+      let q = sqrt (-2.0 *. log (1.0 -. p)) in
+      -.(horner c q) /. horner d q
+  in
+  let e = cdf x0 -. p in
+  let u = e *. sqrt (2.0 *. Float.pi) *. exp (x0 *. x0 /. 2.0) in
+  x0 -. (u /. (1.0 +. (x0 *. u /. 2.0)))
+
+let z_95 = quantile 0.975
+
+let chebyshev_factor coverage =
+  if not (coverage > 0.0 && coverage < 1.0) then
+    invalid_arg "Normal.chebyshev_factor: coverage not in (0,1)";
+  1.0 /. sqrt (1.0 -. coverage)

@@ -1,0 +1,25 @@
+(** Standard normal distribution: CDF, quantile, error function.
+
+    The SBox turns an (estimate, variance) pair into confidence bounds by
+    inverting the normal CDF at user-supplied quantiles (the QUANTILE(…, q)
+    syntax from the paper's introduction). *)
+
+val erf : float -> float
+(** Abramowitz–Stegun 7.1.26-style rational approximation refined with a
+    continued-fraction tail; absolute error below 1.2e-7, ample for
+    confidence-interval work. *)
+
+val cdf : float -> float
+(** Φ(x) for the standard normal. *)
+
+val quantile : float -> float
+(** Φ⁻¹(p) for p ∈ (0,1), Acklam's algorithm (relative error < 1.15e-9).
+    Raises [Invalid_argument] outside (0,1). *)
+
+val z_95 : float
+(** Φ⁻¹(0.975) ≈ 1.96 — the paper's optimistic 95% factor. *)
+
+val chebyshev_factor : float -> float
+(** [chebyshev_factor coverage] is the k with P(|X−µ| ≥ kσ) ≤ 1−coverage,
+    i.e. 1/√(1−coverage).  At 0.95 this is ≈ 4.47, the paper's pessimistic
+    factor. *)

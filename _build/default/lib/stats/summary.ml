@@ -1,0 +1,88 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.total <- t.total +. x
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    { n;
+      mean;
+      m2;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+      total = a.total +. b.total }
+  end
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let variance_population t = if t.n = 0 then 0.0 else t.m2 /. float_of_int t.n
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+let total t = t.total
+
+let of_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  t
+
+let quantile_sorted a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Summary.quantile_sorted: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile_sorted: q not in [0,1]";
+  if n = 1 then a.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then a.(n - 1) else a.(i) +. (frac *. (a.(i + 1) -. a.(i)))
+  end
+
+let quantile a q =
+  let b = Array.copy a in
+  Array.sort compare b;
+  quantile_sorted b q
+
+let mean_of a = mean (of_array a)
+
+let rmse ~truth a =
+  if Array.length a = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. truth in
+        acc := !acc +. (d *. d))
+      a;
+    sqrt (!acc /. float_of_int (Array.length a))
+  end
+
+let relative_error ~truth x =
+  if truth = 0.0 then if x = 0.0 then 0.0 else infinity
+  else Float.abs (x -. truth) /. Float.abs truth

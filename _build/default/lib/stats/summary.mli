@@ -1,0 +1,37 @@
+(** Streaming univariate summaries (Welford) and batch helpers. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val merge : t -> t -> t
+(** Chan et al. parallel combination of two summaries. *)
+
+val count : t -> int
+val mean : t -> float
+(** 0 on an empty summary. *)
+
+val variance : t -> float
+(** Unbiased (n−1) sample variance; 0 when n < 2. *)
+
+val variance_population : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val of_array : float array -> t
+
+val quantile_sorted : float array -> float -> float
+(** [quantile_sorted a q] with [a] sorted ascending, linear interpolation;
+    raises on empty input or q outside [0,1]. *)
+
+val quantile : float array -> float -> float
+(** Copies and sorts, then {!quantile_sorted}. *)
+
+val mean_of : float array -> float
+val rmse : truth:float -> float array -> float
+(** Root-mean-square error of estimates against a fixed truth. *)
+
+val relative_error : truth:float -> float -> float
+(** |x − truth| / |truth|; infinite when truth = 0 and x ≠ 0. *)

@@ -1,0 +1,1 @@
+lib/tpch/tpch.ml: Array Database Float Gus_relational Gus_util Relation Schema Value

@@ -1,0 +1,1 @@
+lib/tpch/tpch.mli: Gus_relational

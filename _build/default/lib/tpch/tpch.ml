@@ -1,0 +1,164 @@
+module Rng = Gus_util.Rng
+module Dist = Gus_util.Dist
+open Gus_relational
+
+type config = {
+  customers_per_scale : int;
+  orders_per_customer : int;
+  max_lines_per_order : int;
+  parts_per_scale : int;
+  suppliers_per_scale : int;
+  part_skew : float;
+  price_skew : float;
+}
+
+let default_config =
+  { customers_per_scale = 1500;
+    orders_per_customer = 10;
+    max_lines_per_order = 7;
+    parts_per_scale = 2000;
+    suppliers_per_scale = 100;
+    part_skew = 0.8;
+    price_skew = 2.5 }
+
+let col name ty = { Schema.name; ty }
+
+let customer_schema =
+  Schema.make
+    [ col "c_custkey" Value.TInt;
+      col "c_nationkey" Value.TInt;
+      col "c_acctbal" Value.TFloat;
+      col "c_mktsegment" Value.TStr ]
+
+let orders_schema =
+  Schema.make
+    [ col "o_orderkey" Value.TInt;
+      col "o_custkey" Value.TInt;
+      col "o_totalprice" Value.TFloat;
+      col "o_orderdate" Value.TInt;
+      col "o_orderpriority" Value.TStr ]
+
+let lineitem_schema =
+  Schema.make
+    [ col "l_orderkey" Value.TInt;
+      col "l_linenumber" Value.TInt;
+      col "l_partkey" Value.TInt;
+      col "l_suppkey" Value.TInt;
+      col "l_quantity" Value.TFloat;
+      col "l_extendedprice" Value.TFloat;
+      col "l_discount" Value.TFloat;
+      col "l_tax" Value.TFloat;
+      col "l_shipdate" Value.TInt;
+      col "l_returnflag" Value.TStr ]
+
+let part_schema =
+  Schema.make
+    [ col "p_partkey" Value.TInt;
+      col "p_retailprice" Value.TFloat;
+      col "p_brand" Value.TStr;
+      col "p_size" Value.TInt ]
+
+let supplier_schema =
+  Schema.make
+    [ col "s_suppkey" Value.TInt;
+      col "s_nationkey" Value.TInt;
+      col "s_acctbal" Value.TFloat ]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let brands = [| "Brand#11"; "Brand#12"; "Brand#23"; "Brand#34"; "Brand#55" |]
+let flags = [| "A"; "N"; "R" |]
+
+let pick rng a = a.(Rng.int rng (Array.length a))
+
+let scaled scale n = max 1 (int_of_float (Float.round (scale *. float_of_int n)))
+
+let generate ?(config = default_config) ~seed ~scale () =
+  if scale <= 0.0 then invalid_arg "Tpch.generate: scale must be positive";
+  let rng = Rng.create seed in
+  let db = Database.create () in
+
+  let n_customers = scaled scale config.customers_per_scale in
+  let n_parts = scaled scale config.parts_per_scale in
+  let n_suppliers = scaled scale config.suppliers_per_scale in
+
+  let part = Relation.create_base ~name:"part" part_schema in
+  for pk = 1 to n_parts do
+    Relation.append_row part
+      [| Value.Int pk;
+         Value.Float (900.0 +. Rng.float_range rng 0.0 1200.0);
+         Value.Str (pick rng brands);
+         Value.Int (Dist.uniform_int rng 1 50) |]
+  done;
+  Database.add db part;
+
+  let supplier = Relation.create_base ~name:"supplier" supplier_schema in
+  for sk = 1 to n_suppliers do
+    Relation.append_row supplier
+      [| Value.Int sk;
+         Value.Int (Dist.uniform_int rng 0 24);
+         Value.Float (Rng.float_range rng (-999.0) 9999.0) |]
+  done;
+  Database.add db supplier;
+
+  let customer = Relation.create_base ~name:"customer" customer_schema in
+  for ck = 1 to n_customers do
+    Relation.append_row customer
+      [| Value.Int ck;
+         Value.Int (Dist.uniform_int rng 0 24);
+         Value.Float (Rng.float_range rng (-999.0) 9999.0);
+         Value.Str (pick rng segments) |]
+  done;
+  Database.add db customer;
+
+  let part_zipf =
+    if config.part_skew <= 0.0 then None
+    else Some (Dist.zipf_create ~n:n_parts ~s:config.part_skew)
+  in
+  let draw_part () =
+    match part_zipf with
+    | None -> Dist.uniform_int rng 1 n_parts
+    | Some z -> Dist.zipf_draw z rng
+  in
+  let draw_price base =
+    if Float.is_integer config.price_skew && config.price_skew = infinity then base
+    else base *. (Dist.pareto rng ~scale:1.0 ~shape:config.price_skew)
+  in
+
+  let orders = Relation.create_base ~name:"orders" orders_schema in
+  let lineitem = Relation.create_base ~name:"lineitem" lineitem_schema in
+  let orderkey = ref 0 in
+  for ck = 1 to n_customers do
+    for _ = 1 to config.orders_per_customer do
+      incr orderkey;
+      let ok = !orderkey in
+      let nlines = Dist.uniform_int rng 1 config.max_lines_per_order in
+      let total = ref 0.0 in
+      for ln = 1 to nlines do
+        let quantity = float_of_int (Dist.uniform_int rng 1 50) in
+        let base = Rng.float_range rng 900.0 2100.0 in
+        let extended = draw_price (quantity *. base /. 10.0) in
+        total := !total +. extended;
+        Relation.append_row lineitem
+          [| Value.Int ok;
+             Value.Int ln;
+             Value.Int (draw_part ());
+             Value.Int (Dist.uniform_int rng 1 n_suppliers);
+             Value.Float quantity;
+             Value.Float extended;
+             Value.Float (float_of_int (Dist.uniform_int rng 0 10) /. 100.0);
+             Value.Float (float_of_int (Dist.uniform_int rng 0 8) /. 100.0);
+             Value.Int (Dist.uniform_int rng 0 2555);
+             Value.Str (pick rng flags) |]
+      done;
+      Relation.append_row orders
+        [| Value.Int ok;
+           Value.Int ck;
+           Value.Float !total;
+           Value.Int (Dist.uniform_int rng 0 2555);
+           Value.Str (pick rng priorities) |]
+    done
+  done;
+  Database.add db orders;
+  Database.add db lineitem;
+  db

@@ -1,0 +1,36 @@
+(** Deterministic synthetic TPC-H-style data.
+
+    Stands in for the paper's TPC-H dbgen database (see DESIGN.md's
+    substitution table): same star-ish schema (customer → orders →
+    lineitem, plus part and supplier dimensions), same cardinality ratios
+    (1 : 10 : ~40 per customer), and knobs for value skew so the accuracy
+    experiments can exercise both benign and heavy-tailed aggregates.
+
+    [scale = 1.0] produces 1 500 customers / 15 000 orders / ≈60 000
+    lineitems — laptop-sized; the paper's 150 000-order example is
+    [scale = 10.0]. *)
+
+type config = {
+  customers_per_scale : int;  (** default 1500 *)
+  orders_per_customer : int;  (** default 10 *)
+  max_lines_per_order : int;  (** default 7, uniform 1..max *)
+  parts_per_scale : int;  (** default 2000 *)
+  suppliers_per_scale : int;  (** default 100 *)
+  part_skew : float;
+      (** Zipf exponent for part popularity in lineitem; 0 = uniform *)
+  price_skew : float;
+      (** Pareto shape for extended prices; larger = lighter tail;
+          [infinity] = uniform prices *)
+}
+
+val default_config : config
+
+val generate : ?config:config -> seed:int -> scale:float -> unit -> Gus_relational.Database.t
+(** Relations registered: [customer], [orders], [lineitem], [part],
+    [supplier].  Deterministic in [(config, seed, scale)]. *)
+
+val customer_schema : Gus_relational.Schema.t
+val orders_schema : Gus_relational.Schema.t
+val lineitem_schema : Gus_relational.Schema.t
+val part_schema : Gus_relational.Schema.t
+val supplier_schema : Gus_relational.Schema.t

@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Hashtbl Int64 Printf Vec

@@ -1,0 +1,1 @@
+lib/util/subset.ml: Array Format List Printf String

@@ -1,0 +1,42 @@
+let uniform_int rng lo hi =
+  if hi < lo then invalid_arg "Dist.uniform_int: hi < lo";
+  lo + Rng.int rng (hi - lo + 1)
+
+let exponential rng lambda =
+  if lambda <= 0.0 then invalid_arg "Dist.exponential: lambda <= 0";
+  let u = 1.0 -. Rng.float rng in
+  -.log u /. lambda
+
+let gaussian rng ~mu ~sigma =
+  let u1 = 1.0 -. Rng.float rng in
+  let u2 = Rng.float rng in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+type zipf = { cum : float array }
+
+let zipf_create ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf_create: n <= 0";
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 1 to n do
+    total := !total +. (1.0 /. Float.pow (float_of_int k) s);
+    cum.(k - 1) <- !total
+  done;
+  let norm = !total in
+  Array.iteri (fun i c -> cum.(i) <- c /. norm) cum;
+  { cum }
+
+let zipf_draw z rng =
+  let u = Rng.float rng in
+  (* Smallest index with cum.(i) >= u. *)
+  let lo = ref 0 and hi = ref (Array.length z.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cum.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let pareto rng ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Dist.pareto";
+  let u = 1.0 -. Rng.float rng in
+  scale /. Float.pow u (1.0 /. shape)

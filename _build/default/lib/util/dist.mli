@@ -1,0 +1,20 @@
+(** Random variates for workload generation. *)
+
+val uniform_int : Rng.t -> int -> int -> int
+(** [uniform_int rng lo hi] is uniform on [lo, hi] inclusive. *)
+
+val exponential : Rng.t -> float -> float
+(** [exponential rng lambda] with rate [lambda > 0]. *)
+
+val gaussian : Rng.t -> mu:float -> sigma:float -> float
+(** Box–Muller. *)
+
+type zipf
+(** Precomputed Zipf(s, n) sampler over ranks [1..n]. *)
+
+val zipf_create : n:int -> s:float -> zipf
+val zipf_draw : zipf -> Rng.t -> int
+(** Rank in [1..n]; rank 1 is the most frequent.  Inverse-CDF by binary
+    search over the precomputed cumulative weights: O(log n) per draw. *)
+
+val pareto : Rng.t -> scale:float -> shape:float -> float

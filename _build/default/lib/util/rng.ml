@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let float t =
+  (* 53 top bits -> [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0)
+
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then
+    invalid_arg (Printf.sprintf "Rng.sample_without_replacement: k=%d n=%d" k n);
+  (* Floyd's algorithm. *)
+  let chosen = Hashtbl.create (2 * k) in
+  let out = Vec.create ~capacity:k () in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    let pick = if Hashtbl.mem chosen r then j else r in
+    Hashtbl.replace chosen pick ();
+    Vec.push out pick
+  done;
+  let a = Vec.to_array out in
+  shuffle t a;
+  a

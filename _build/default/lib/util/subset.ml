@@ -1,0 +1,84 @@
+type t = int
+
+let max_universe = 26
+
+let check_universe n =
+  if n < 0 || n > max_universe then
+    invalid_arg
+      (Printf.sprintf "Subset: universe size %d not in [0,%d]" n max_universe)
+
+let empty = 0
+
+let full n =
+  check_universe n;
+  (1 lsl n) - 1
+
+let singleton i = 1 lsl i
+let add s i = s lor (1 lsl i)
+let remove s i = s land lnot (1 lsl i)
+let mem s i = s land (1 lsl i) <> 0
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
+  go s 0
+
+let subset s t = s land t = s
+let inter s t = s land t
+let union s t = s lor t
+let diff s t = s land lnot t
+
+let complement n s =
+  check_universe n;
+  full n land lnot s
+
+let elements s =
+  let rec go i acc =
+    if 1 lsl i > s then List.rev acc
+    else go (i + 1) (if mem s i then i :: acc else acc)
+  in
+  go 0 []
+
+let of_elements = List.fold_left add empty
+
+let count n =
+  check_universe n;
+  1 lsl n
+
+let iter_all n f =
+  let m = count n in
+  for s = 0 to m - 1 do
+    f s
+  done
+
+(* Enumerating subsets of a mask via the standard (sub - 1) land s trick,
+   emitted in increasing order by collecting then reversing the usual
+   decreasing enumeration. *)
+let iter_subsets s f =
+  let acc = ref [] in
+  let sub = ref s in
+  let continue = ref true in
+  while !continue do
+    acc := !sub :: !acc;
+    if !sub = 0 then continue := false else sub := (!sub - 1) land s
+  done;
+  List.iter f !acc
+
+let iter_supersets n s f =
+  let comp = complement n s in
+  iter_subsets comp (fun extra -> f (union s extra))
+
+let fold_subsets s f acc =
+  let acc = ref acc in
+  iter_subsets s (fun t -> acc := f !acc t);
+  !acc
+
+let sign s t = if (cardinal s + cardinal t) land 1 = 0 then 1.0 else -1.0
+
+let pp ~names ppf s =
+  let items = elements s in
+  let name i =
+    if i < Array.length names then names.(i) else Printf.sprintf "#%d" i
+  in
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map name items))
+
+let to_string ~names s = Format.asprintf "%a" (pp ~names) s

@@ -1,0 +1,57 @@
+(** Subsets of a small universe [{0, …, n−1}] represented as int bitmasks.
+
+    The GUS algebra indexes second-order inclusion probabilities [b_T] by
+    subsets [T] of the lineage schema; everything here is O(1) or a tight
+    loop over masks.  The universe size is capped at {!max_universe} because
+    the algebra materializes arrays of length [2^n]. *)
+
+type t = int
+(** A subset as a bitmask; bit [i] set means element [i] is a member. *)
+
+val max_universe : int
+(** Largest supported universe size (26: [2^26] floats = 512 MB upper bound,
+    far beyond any realistic query). *)
+
+val empty : t
+val full : int -> t
+(** [full n] is the subset containing [0..n-1]. *)
+
+val singleton : int -> t
+val add : t -> int -> t
+val remove : t -> int -> t
+val mem : t -> int -> bool
+val cardinal : t -> int
+val subset : t -> t -> bool
+(** [subset s t] is [s ⊆ t]. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val complement : int -> t -> t
+(** [complement n s] is [{0..n-1} \ s]. *)
+
+val elements : t -> int list
+val of_elements : int list -> t
+
+val iter_all : int -> (t -> unit) -> unit
+(** [iter_all n f] calls [f] on all [2^n] subsets of a universe of size [n]. *)
+
+val iter_subsets : t -> (t -> unit) -> unit
+(** [iter_subsets s f] calls [f] on every subset of [s] (including [empty]
+    and [s] itself), in increasing mask order. *)
+
+val iter_supersets : int -> t -> (t -> unit) -> unit
+(** [iter_supersets n s f] calls [f] on every [t] with [s ⊆ t ⊆ full n]. *)
+
+val fold_subsets : t -> ('acc -> t -> 'acc) -> 'acc -> 'acc
+val count : int -> int
+(** [count n = 2^n], checked against overflow. *)
+
+val sign : t -> t -> float
+(** [sign s t] is [(-1)^(|s| + |t|)] — the Möbius sign used throughout the
+    coefficient computations. *)
+
+val pp : names:string array -> Format.formatter -> t -> unit
+(** Pretty-print a subset as e.g. ["{l,o}"] using per-element names. *)
+
+val to_string : names:string array -> t -> string

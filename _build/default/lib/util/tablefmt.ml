@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  headers : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render ?align t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc r -> match r with Cells c -> max acc (List.length c) | Sep -> acc)
+      (List.length t.headers) rows
+  in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri
+      (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  note_row t.headers;
+  List.iter (function Cells c -> note_row c | Sep -> ()) rows;
+  let aligns =
+    match align with
+    | Some a -> Array.of_list a
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let align_of i = if i < Array.length aligns then aligns.(i) else Right in
+  let pad i s =
+    let w = widths.(i) in
+    let fill = String.make (max 0 (w - String.length s)) ' ' in
+    match align_of i with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    for i = 0 to ncols - 1 do
+      Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+      if i < ncols - 1 then Buffer.add_char buf '+'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    let cells = Array.of_list cells in
+    for i = 0 to ncols - 1 do
+      let c = if i < Array.length cells then cells.(i) else "" in
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad i c);
+      Buffer.add_char buf ' ';
+      if i < ncols - 1 then Buffer.add_char buf '|'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  rule ();
+  List.iter (function Cells c -> emit c | Sep -> rule ()) rows;
+  Buffer.contents buf
+
+let print ?align t = print_string (render ?align t)
+
+let float_cell ?(digits = 3) x =
+  if Float.is_nan x then "nan"
+  else if Float.is_integer x && Float.abs x < 1e7 then
+    Printf.sprintf "%.0f" x
+  else if x <> 0.0 && (Float.abs x < 0.001 || Float.abs x >= 1e7) then
+    Printf.sprintf "%.*e" digits x
+  else Printf.sprintf "%.*f" digits x

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+val add_sep : t -> unit
+(** Insert a horizontal rule between the rows added before and after. *)
+
+val render : ?align:align list -> t -> string
+(** Pads every column to its widest cell.  [align] defaults to [Left] for
+    the first column and [Right] for the rest (the usual label+numbers
+    layout). *)
+
+val print : ?align:align list -> t -> unit
+
+val float_cell : ?digits:int -> float -> string
+(** Compact scientific/fixed formatting matching the paper's tables
+    (e.g. ["6.667e-04"], ["0.100"]). *)

@@ -1,0 +1,99 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  ignore (max capacity 1);
+  { data = [||]; size = 0 }
+
+let make n x = { data = Array.make (max n 1) x; size = n }
+
+let length v = v.size
+let is_empty v = v.size = 0
+
+let check v i =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds [0,%d)" i v.size)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  if cap = 0 then v.data <- Array.make 16 x
+  else begin
+    let data = Array.make (2 * cap) x in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end
+
+let push v x =
+  if v.size >= Array.length v.data then grow v x;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then None
+  else begin
+    v.size <- v.size - 1;
+    Some v.data.(v.size)
+  end
+
+let clear v = v.size <- 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.size - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.size
+
+let map f v =
+  if v.size = 0 then { data = [||]; size = 0 }
+  else begin
+    let data = Array.make v.size (f v.data.(0)) in
+    for i = 0 to v.size - 1 do
+      data.(i) <- f v.data.(i)
+    done;
+    { data; size = v.size }
+  end
+
+let filter p v =
+  let out = { data = [||]; size = 0 } in
+  iter (fun x -> if p x then push out x) v;
+  out
+
+let exists p v =
+  let rec go i = i < v.size && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let to_list v = Array.to_list (to_array v)
+let of_array a = { data = Array.copy a; size = Array.length a }
+let of_list l = of_array (Array.of_list l)
+
+let append dst src = iter (fun x -> push dst x) src
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.size

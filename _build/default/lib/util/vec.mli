@@ -1,0 +1,32 @@
+(** Growable arrays (the standard library of this compiler predates
+    [Dynarray]).  Amortized O(1) [push]; indices are checked. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val make : int -> 'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_array : 'a array -> 'a t
+val of_list : 'a list -> 'a t
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes all elements of [src] onto [dst]. *)
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit

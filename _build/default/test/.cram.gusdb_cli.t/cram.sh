@@ -1,0 +1,8 @@
+  $ gusdb experiments --list | head -4
+  $ gusdb plan -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (5 ROWS) WHERE l_orderkey = o_orderkey"
+  $ gusdb query -s 0.05 --seed 7 "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (50 PERCENT)"
+  $ gusdb gen -s 0.01 -o out >/dev/null && ls out
+  $ gusdb gen -s 0.01 --seed 20130630 -o out2 >/dev/null
+  $ gusdb query -s 0.01 --exact "SELECT SUM(l_quantity) AS q FROM lineitem" | tail -1
+  $ gusdb query -s 0.01 --data out2 --exact "SELECT SUM(l_quantity) AS q FROM lineitem" | tail -1
+  $ gusdb query "SELECT FROM"; echo "exit: $?"

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Alcotest Expr Float Gus_core Gus_estimator Gus_relational Gus_stats Gus_tpch Lazy List Printf Relation

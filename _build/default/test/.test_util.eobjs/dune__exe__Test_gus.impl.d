@@ -1,0 +1,1 @@
+test/test_gus.ml: Alcotest Array Float Gus_core Gus_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Database Expr Float Gus_core Gus_estimator Gus_experiments Gus_relational Gus_sampling Gus_sql Gus_stats Gus_tpch Gus_util Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_moments.ml: Alcotest Array Expr Float Gus_estimator Gus_relational Gus_util List QCheck2 QCheck_alcotest Relation Schema Value

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Expr Float Gus_core Gus_estimator Gus_online Gus_relational Gus_sampling Gus_stats Gus_tpch Lazy List Option Printf Relation

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Csv Database Expr Filename Fun Gus_relational Gus_util Lineage List Ops Relation Schema Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Database Expr Format Gus_core Gus_relational Gus_sampling Gus_tpch Gus_util Lineage List Relation Schema String Value

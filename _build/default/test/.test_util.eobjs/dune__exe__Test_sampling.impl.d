@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Float Gus_relational Gus_sampling Gus_util Hashtbl List Ops Option Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_sbox.ml: Alcotest Array Database Expr Float Gus_core Gus_estimator Gus_relational Gus_sampling Gus_stats Gus_util Lazy Printf Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Database Expr Float Format Gus_core Gus_relational Gus_sampling Gus_sql Gus_stats Gus_tpch Lazy List Ops QCheck2 QCheck_alcotest Relation String

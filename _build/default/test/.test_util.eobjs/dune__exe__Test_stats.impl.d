@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gus_stats List QCheck2 QCheck_alcotest

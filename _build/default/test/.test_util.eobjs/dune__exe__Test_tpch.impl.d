@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Database Float Gus_relational Gus_tpch Hashtbl List Option Relation Schema Tuple Value

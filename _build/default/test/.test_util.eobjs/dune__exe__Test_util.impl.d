@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gus_stats Gus_util Hashtbl Int64 List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float Gus_experiments Gus_sql Gus_stats Gus_tpch Lazy List Printf String

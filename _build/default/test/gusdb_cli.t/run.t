@@ -1,0 +1,68 @@
+The CLI lists its experiments:
+
+  $ gusdb experiments --list | head -4
+  T1   GUS parameters of known sampling methods           [Figure 1]
+  T2   Query 1 GUS derivation                             [Examples 1-3, Figure 2]
+  T3   4-relation plan transformation                     [Figure 4]
+  T4   Subsampling pipeline coefficients                  [Figure 5, Examples 5-6]
+
+Plan explanation shows the SOA rewrite and the top GUS (deterministic):
+
+  $ gusdb plan -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (5 ROWS) WHERE l_orderkey = o_orderkey"
+  sampling plan:
+  join l_orderkey = o_orderkey
+    Bernoulli(0.1)
+      lineitem
+    WOR(5)
+      orders
+  
+  SOA rewrite (5 steps):
+    translate Bernoulli(0.1)                 a = 0.1
+    compact Bernoulli(0.1) into input        a = 0.1
+    translate WOR(5)                         a = 0.0333333
+    compact WOR(5) into input                a = 0.0333333
+    join (Prop 6)                            a = 0.00333333
+  
+  top GUS quasi-operator:
+    G over [lineitem,orders]: a = 0.00333333, b{} = 8.94855e-06,
+    b{lineitem} = 8.94855e-05, b{orders} = 0.000333333,
+    b{lineitem,orders} = 0.00333333
+  
+  sample-free skeleton:
+  join l_orderkey = o_orderkey
+    lineitem
+    orders
+  
+
+Queries are deterministic under a fixed seed:
+
+  $ gusdb query -s 0.05 --seed 7 "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (50 PERCENT)"
+  sample tuples: 1528
+  n = 3056 (sd 55.28)
+    95% normal    [2947.65, 3164.35] (95% normal, est=3056, sd=55.2811)
+    95% chebyshev [2808.78, 3303.22] (95% chebyshev, est=3056, sd=55.2811)
+  
+
+Data generation writes one CSV per relation:
+
+  $ gusdb gen -s 0.01 -o out >/dev/null && ls out
+  customer.csv
+  lineitem.csv
+  orders.csv
+  part.csv
+  supplier.csv
+
+CSV roundtrip: exporting with the query commands' generation seed and
+querying the CSVs gives the same exact answer as the in-memory database:
+
+  $ gusdb gen -s 0.01 --seed 20130630 -o out2 >/dev/null
+  $ gusdb query -s 0.01 --exact "SELECT SUM(l_quantity) AS q FROM lineitem" | tail -1
+    q = 15464
+  $ gusdb query -s 0.01 --data out2 --exact "SELECT SUM(l_quantity) AS q FROM lineitem" | tail -1
+    q = 15464
+
+Bad SQL produces a parse error and non-zero exit:
+
+  $ gusdb query "SELECT FROM"; echo "exit: $?"
+  gusdb: expected an aggregate (SUM/COUNT/AVG/QUANTILE) but found FROM
+  exit: 1

@@ -1,0 +1,151 @@
+(* Tests for the sampling-driven join-order advisor. *)
+
+module Advisor = Gus_estimator.Advisor
+module Splan = Gus_core.Splan
+open Gus_relational
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+
+let db = lazy (Gus_tpch.Tpch.generate ~seed:77 ~scale:0.08 ())
+
+let graph3 =
+  { Advisor.relations = [ "lineitem"; "orders"; "customer" ];
+    predicates =
+      [ ("lineitem", "orders", Expr.col "l_orderkey", Expr.col "o_orderkey");
+        ("orders", "customer", Expr.col "o_custkey", Expr.col "c_custkey") ] }
+
+(* Exact sum of intermediate sizes for an order. *)
+let true_cost db graph order =
+  let rec go plan prefix cost = function
+    | [] -> cost
+    | rel :: rest ->
+        let plan, _ =
+          match
+            List.find_opt
+              (fun (a, b, _, _) ->
+                (List.mem a prefix && b = rel) || (List.mem b prefix && a = rel))
+              graph.Advisor.predicates
+          with
+          | Some (a, _, ka, kb) ->
+              let lk, rk = if List.mem a prefix then (ka, kb) else (kb, ka) in
+              ( Splan.Equi_join
+                  { left = plan; right = Splan.Scan rel; left_key = lk; right_key = rk },
+                false )
+          | None -> (Splan.Cross (plan, Splan.Scan rel), true)
+        in
+        let size = Relation.cardinality (Splan.exec_exact db plan) in
+        go plan (rel :: prefix) (cost +. float_of_int size) rest
+  in
+  match order with
+  | [] -> 0.0
+  | first :: rest -> go (Splan.Scan first) [ first ] 0.0 rest
+
+let test_enumerates_all_orders () =
+  let db = Lazy.force db in
+  let ranked = Advisor.advise ~rate:0.2 db graph3 in
+  check_int "3! orders" 6 (List.length ranked);
+  (* every order is a permutation of the three relations *)
+  List.iter
+    (fun r ->
+      check_int "3 relations" 3 (List.length r.Advisor.order);
+      check_int "2 prefixes" 2 (List.length r.Advisor.prefixes))
+    ranked
+
+let test_avoids_cross_products () =
+  let db = Lazy.force db in
+  let best = Advisor.best ~rate:0.2 db graph3 in
+  check_int "no cross product in winner" 0 best.Advisor.cross_products;
+  (* lineitem-customer first would force a cross product *)
+  check_bool "customer is not joined before orders" true
+    (match best.Advisor.order with
+    | "lineitem" :: "customer" :: _ | "customer" :: "lineitem" :: _ -> false
+    | _ -> true)
+
+let test_predicted_tracks_true_cost () =
+  let db = Lazy.force db in
+  let ranked = Advisor.advise ~rate:0.4 ~seed:5 db graph3 in
+  let best = List.hd ranked in
+  let true_best =
+    List.fold_left
+      (fun acc r -> Float.min acc (true_cost db graph3 r.Advisor.order))
+      infinity ranked
+  in
+  let chosen = true_cost db graph3 best.Advisor.order in
+  check_bool
+    (Printf.sprintf "chosen true cost %.0f within 1.5x of optimum %.0f" chosen
+       true_best)
+    true
+    (chosen <= 1.5 *. true_best)
+
+let test_prefix_intervals_cover_truth () =
+  let db = Lazy.force db in
+  let ranked = Advisor.advise ~rate:0.4 ~seed:7 db graph3 in
+  let connected = List.filter (fun r -> r.Advisor.cross_products = 0) ranked in
+  let covered = ref 0 and total = ref 0 in
+  List.iter
+    (fun r ->
+      let rec go plan prefix = function
+        | [] -> ()
+        | rel :: rest ->
+            let p =
+              match
+                List.find_opt
+                  (fun (a, b, _, _) ->
+                    (List.mem a prefix && b = rel) || (List.mem b prefix && a = rel))
+                  graph3.Advisor.predicates
+              with
+              | Some (a, _, ka, kb) ->
+                  let lk, rk = if List.mem a prefix then (ka, kb) else (kb, ka) in
+                  Splan.Equi_join
+                    { left = plan; right = Splan.Scan rel; left_key = lk; right_key = rk }
+              | None -> Splan.Cross (plan, Splan.Scan rel)
+            in
+            let truth = float_of_int (Relation.cardinality (Splan.exec_exact db p)) in
+            let est = List.nth r.Advisor.prefixes (List.length prefix - 1) in
+            incr total;
+            if Gus_stats.Interval.contains est.Advisor.interval truth then incr covered;
+            go p (rel :: prefix) rest
+      in
+      match r.Advisor.order with
+      | first :: rest -> go (Splan.Scan first) [ first ] rest
+      | [] -> ())
+    connected;
+  check_bool
+    (Printf.sprintf "intervals cover %d/%d" !covered !total)
+    true
+    (float_of_int !covered /. float_of_int !total >= 0.8)
+
+let test_validation () =
+  let db = Lazy.force db in
+  let fails g = try ignore (Advisor.advise db g); false with Invalid_argument _ -> true in
+  check_bool "unknown relation" true
+    (fails { Advisor.relations = [ "nope" ]; predicates = [] });
+  check_bool "duplicate relation" true
+    (fails { Advisor.relations = [ "orders"; "orders" ]; predicates = [] });
+  check_bool "too many relations" true
+    (fails
+       { Advisor.relations =
+           [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ];
+         predicates = [] });
+  check_bool "foreign predicate" true
+    (fails
+       { Advisor.relations = [ "orders" ];
+         predicates = [ ("orders", "nope", Expr.col "x", Expr.col "y") ] })
+
+let test_plan_of_order () =
+  let plan = Advisor.plan_of_order graph3 [ "customer"; "orders"; "lineitem" ] in
+  match plan with
+  | Splan.Equi_join { left = Splan.Equi_join _; right = Splan.Scan "lineitem"; _ } -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let () =
+  Alcotest.run "gus_estimator.advisor"
+    [ ( "advisor",
+        [ Alcotest.test_case "enumerates all orders" `Quick test_enumerates_all_orders;
+          Alcotest.test_case "avoids cross products" `Quick test_avoids_cross_products;
+          Alcotest.test_case "predicted tracks true cost" `Quick test_predicted_tracks_true_cost;
+          Alcotest.test_case "prefix intervals cover" `Quick test_prefix_intervals_cover_truth;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "plan_of_order" `Quick test_plan_of_order ] ) ]

@@ -1,0 +1,324 @@
+(* Tests for the SOA rewriter: sampler translation, commutation rules,
+   union of samples, unsupported cases, and the plan AST itself. *)
+
+module Gus = Gus_core.Gus
+module Splan = Gus_core.Splan
+module Rewrite = Gus_core.Rewrite
+module Sampler = Gus_sampling.Sampler
+open Gus_relational
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+let close ?(eps = 1e-9) what expected actual =
+  check (Alcotest.float eps) what expected actual
+
+let card = function
+  | "r" -> 100
+  | "s" -> 1000
+  | "t" -> 50
+  | "lineitem" -> 6000000
+  | "orders" -> 150000
+  | other -> invalid_arg other
+
+let b01 = Sampler.Bernoulli 0.1
+let b05 = Sampler.Bernoulli 0.5
+
+let join l r = Splan.Equi_join { left = l; right = r;
+                                 left_key = Expr.col "k"; right_key = Expr.col "k" }
+
+(* ---- Splan basics ---- *)
+
+let test_lineage_schema () =
+  let plan = join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Scan "s") in
+  check (Alcotest.list Alcotest.string) "schema" [ "r"; "s" ]
+    (Array.to_list (Splan.lineage_schema plan));
+  check (Alcotest.list Alcotest.string) "relations" [ "r"; "s" ]
+    (Splan.relations plan)
+
+let test_strip_samples () =
+  let plan =
+    Splan.Select
+      (Expr.bool true, join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Scan "s"))
+  in
+  let stripped = Splan.strip_samples plan in
+  check_bool "no samples left" true
+    (Splan.equal stripped
+       (Splan.Select (Expr.bool true, join (Splan.Scan "r") (Splan.Scan "s"))))
+
+let test_plan_equal () =
+  let p1 = Splan.Sample (b01, Splan.Scan "r") in
+  let p2 = Splan.Sample (b01, Splan.Scan "r") in
+  let p3 = Splan.Sample (b05, Splan.Scan "r") in
+  check_bool "equal" true (Splan.equal p1 p2);
+  check_bool "not equal" false (Splan.equal p1 p3)
+
+let test_self_join_lineage_overlap () =
+  let plan = join (Splan.Scan "r") (Splan.Scan "r") in
+  check_bool "self-join overlap" true
+    (try ignore (Splan.lineage_schema plan); false with Lineage.Overlap _ -> true)
+
+(* ---- sampler translation ---- *)
+
+let test_translate_bernoulli_base () =
+  let g = Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true b01 in
+  check_bool "bernoulli" true (Gus.equal_approx g (Gus.bernoulli ~rel:"r" 0.1))
+
+let test_translate_wor_base () =
+  let g = Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true (Sampler.Wor 10) in
+  check_bool "wor uses catalog card" true
+    (Gus.equal_approx g (Gus.wor ~rel:"r" ~n:10 ~out_of:100))
+
+let test_translate_block () =
+  let g =
+    Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true
+      (Sampler.Block { rows_per_block = 10; p = 0.3 })
+  in
+  check_bool "block = Bernoulli at block granularity" true
+    (Gus.equal_approx g (Gus.bernoulli ~rel:"r" 0.3))
+
+let test_translate_hash () =
+  let g =
+    Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true
+      (Sampler.Hash_bernoulli { seed = 1; p = 0.2 })
+  in
+  check_bool "hash bernoulli" true (Gus.equal_approx g (Gus.bernoulli ~rel:"r" 0.2))
+
+let test_translate_bernoulli_derived () =
+  let g = Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false b01 in
+  check_bool "derived bernoulli" true
+    (Gus.equal_approx g (Gus.bernoulli_over [| "r"; "s" |] 0.1))
+
+let unsupported f = try ignore (f ()); false with Rewrite.Unsupported _ -> true
+
+let test_translate_unsupported () =
+  check_bool "WR" true
+    (unsupported (fun () ->
+         Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true (Sampler.Wr 5)));
+  check_bool "WOR over derived" true
+    (unsupported (fun () ->
+         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false (Sampler.Wor 5)));
+  check_bool "WOR over sampled base" true
+    (unsupported (fun () ->
+         Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:false (Sampler.Wor 5)));
+  check_bool "block over derived" true
+    (unsupported (fun () ->
+         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false
+           (Sampler.Block { rows_per_block = 2; p = 0.5 })));
+  check_bool "hash over derived" true
+    (unsupported (fun () ->
+         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false
+           (Sampler.Hash_bernoulli { seed = 1; p = 0.5 })))
+
+(* ---- analyze ---- *)
+
+let test_analyze_scan_is_identity () =
+  let r = Rewrite.analyze ~card (Splan.Scan "r") in
+  check_bool "identity" true (Gus.equal_approx r.Rewrite.gus (Gus.identity [| "r" |]));
+  check_bool "skeleton unchanged" true (Splan.equal r.Rewrite.skeleton (Splan.Scan "r"))
+
+let test_analyze_selection_transparent () =
+  (* Prop 5: selection above or below the sample yields the same GUS. *)
+  let above =
+    Rewrite.analyze ~card
+      (Splan.Select (Expr.(col "x" > int 3), Splan.Sample (b01, Splan.Scan "r")))
+  in
+  let below =
+    Rewrite.analyze ~card
+      (Splan.Sample (b01, Splan.Select (Expr.(col "x" > int 3), Splan.Scan "r")))
+  in
+  check_bool "same GUS either side" true
+    (Gus.equal_approx above.Rewrite.gus below.Rewrite.gus)
+
+let test_analyze_join () =
+  let plan =
+    join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Sample (b05, Splan.Scan "s"))
+  in
+  let res = Rewrite.analyze ~card plan in
+  let expected = Gus.join (Gus.bernoulli ~rel:"r" 0.1) (Gus.bernoulli ~rel:"s" 0.5) in
+  check_bool "Prop 6" true (Gus.equal_approx res.Rewrite.gus expected);
+  check_bool "skeleton sample-free" true
+    (Splan.equal res.Rewrite.skeleton (join (Splan.Scan "r") (Splan.Scan "s")))
+
+let test_analyze_unsampled_side_identity () =
+  (* Prop 4: the unsampled side contributes an identity GUS. *)
+  let plan = join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Scan "s") in
+  let res = Rewrite.analyze ~card plan in
+  let expected = Gus.join (Gus.bernoulli ~rel:"r" 0.1) (Gus.identity [| "s" |]) in
+  check_bool "identity on s" true (Gus.equal_approx res.Rewrite.gus expected)
+
+let test_analyze_stacked_samples () =
+  (* Prop 8: B(0.5) over B(0.1) over r = B(0.05). *)
+  let plan = Splan.Sample (b05, Splan.Sample (b01, Splan.Scan "r")) in
+  let res = Rewrite.analyze ~card plan in
+  check_bool "stacked" true
+    (Gus.equal_approx res.Rewrite.gus (Gus.bernoulli ~rel:"r" 0.05))
+
+let test_analyze_sample_over_join () =
+  (* Bernoulli over the join output: b has p^2 off-diagonal, compacted with
+     the identity below. *)
+  let plan = Splan.Sample (b05, join (Splan.Scan "r") (Splan.Scan "s")) in
+  let res = Rewrite.analyze ~card plan in
+  check_bool "bernoulli_over" true
+    (Gus.equal_approx res.Rewrite.gus (Gus.bernoulli_over [| "r"; "s" |] 0.5))
+
+let test_analyze_query1_matches_paper () =
+  let plan =
+    join
+      (Splan.Sample (b01, Splan.Scan "lineitem"))
+      (Splan.Sample (Sampler.Wor 1000, Splan.Scan "orders"))
+  in
+  let res = Rewrite.analyze ~card plan in
+  close ~eps:1e-7 "a from Example 3" 6.667e-4 res.Rewrite.gus.Gus.a;
+  check_int "derivation steps recorded" 5 (List.length res.Rewrite.steps)
+
+let test_analyze_theta_and_cross () =
+  let theta =
+    Splan.Theta_join
+      (Expr.bool true, Splan.Sample (b01, Splan.Scan "r"), Splan.Scan "s")
+  in
+  let cross = Splan.Cross (Splan.Sample (b01, Splan.Scan "r"), Splan.Scan "s") in
+  let gt = (Rewrite.analyze ~card theta).Rewrite.gus in
+  let gc = (Rewrite.analyze ~card cross).Rewrite.gus in
+  check_bool "theta = cross GUS" true (Gus.equal_approx gt gc)
+
+let test_analyze_union_samples () =
+  let plan =
+    Splan.Union_samples
+      (Splan.Sample (b01, Splan.Scan "r"), Splan.Sample (b05, Splan.Scan "r"))
+  in
+  let res = Rewrite.analyze ~card plan in
+  let expected = Gus.union (Gus.bernoulli ~rel:"r" 0.1) (Gus.bernoulli ~rel:"r" 0.5) in
+  check_bool "Prop 7" true (Gus.equal_approx res.Rewrite.gus expected);
+  check_bool "skeleton collapses" true (Splan.equal res.Rewrite.skeleton (Splan.Scan "r"))
+
+let test_analyze_union_mismatch () =
+  let plan =
+    Splan.Union_samples
+      (Splan.Sample (b01, Splan.Scan "r"), Splan.Sample (b01, Splan.Scan "s"))
+  in
+  check_bool "different skeletons rejected" true
+    (unsupported (fun () -> Rewrite.analyze ~card plan))
+
+let test_analyze_self_join_rejected () =
+  let plan = join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Scan "r") in
+  check_bool "self-join" true (unsupported (fun () -> Rewrite.analyze ~card plan))
+
+let test_analyze_wr_rejected () =
+  let plan = Splan.Sample (Sampler.Wr 10, Splan.Scan "r") in
+  check_bool "WR rejected" true (unsupported (fun () -> Rewrite.analyze ~card plan))
+
+let test_analyze_wor_over_selection_rejected () =
+  (* WOR needs its input cardinality: a selection below makes it random. *)
+  let plan =
+    Splan.Sample
+      (Sampler.Wor 10, Splan.Select (Expr.(col "x" > int 0), Splan.Scan "r"))
+  in
+  check_bool "rejected" true (unsupported (fun () -> Rewrite.analyze ~card plan))
+
+let test_analyze_db_variant () =
+  let db = Database.create () in
+  let schema = Schema.make [ { Schema.name = "x"; ty = Value.TInt } ] in
+  let r = Relation.create_base ~name:"r" schema in
+  for i = 0 to 9 do
+    Relation.append_row r [| Value.Int i |]
+  done;
+  Database.add db r;
+  let res = Rewrite.analyze_db db (Splan.Sample (Sampler.Wor 5, Splan.Scan "r")) in
+  close "a = 5/10" 0.5 res.Rewrite.gus.Gus.a
+
+let test_distinct_sample_free_ok () =
+  let plan = Splan.Distinct (Splan.Select (Expr.(col "x" > int 1), Splan.Scan "r")) in
+  let res = Rewrite.analyze ~card plan in
+  check_bool "identity GUS" true
+    (Gus.equal_approx res.Rewrite.gus (Gus.identity [| "r" |]))
+
+let test_distinct_above_sampling_rejected () =
+  let plan = Splan.Distinct (Splan.Sample (b01, Splan.Scan "r")) in
+  check_bool "rejected per Section 9" true
+    (unsupported (fun () -> Rewrite.analyze ~card plan))
+
+let test_distinct_noncommutation_counterexample () =
+  (* The paper: "counter examples can be readily built".  Build one: a
+     column with many duplicates; DISTINCT before vs after sampling give
+     different expected counts, and no single scale factor fixes it. *)
+  let db = Database.create () in
+  let schema = Schema.make [ { Schema.name = "x"; ty = Value.TInt } ] in
+  let r = Relation.create_base ~name:"r" schema in
+  for i = 0 to 199 do
+    Relation.append_row r [| Value.Int (i mod 4) |]
+  done;
+  Database.add db r;
+  (* distinct(sample(r)) has ~4 rows for any non-trivial rate; the exact
+     distinct count is 4; the Bernoulli scale-up 4/p wildly overshoots,
+     and E[|distinct(sample)|] != p * 4 either. *)
+  let plan = Splan.Distinct (Splan.Sample (Sampler.Bernoulli 0.5, Splan.Scan "r")) in
+  let counts = ref 0.0 in
+  let trials = 300 in
+  for t = 1 to trials do
+    let s = Splan.exec db (Gus_util.Rng.create (42 + t)) plan in
+    counts := !counts +. float_of_int (Relation.cardinality s)
+  done;
+  let mean = !counts /. float_of_int trials in
+  (* ~4 distinct values survive essentially always. *)
+  check_bool "E[|distinct(sample)|] ~ 4, not p*4 = 2" true (mean > 3.5);
+  check_bool "naive scale-up 1/p would give ~8, not 4" true (mean /. 0.5 > 7.0)
+
+(* ---- executing plans with samples ---- *)
+
+let test_exec_deterministic_in_seed () =
+  let db = Gus_tpch.Tpch.generate ~seed:2 ~scale:0.05 () in
+  let plan = Splan.Sample (b01, Splan.Scan "lineitem") in
+  let s1 = Splan.exec db (Gus_util.Rng.create 7) plan in
+  let s2 = Splan.exec db (Gus_util.Rng.create 7) plan in
+  check_int "same seed same sample" (Relation.cardinality s1) (Relation.cardinality s2)
+
+let test_exec_exact_ignores_samples () =
+  let db = Gus_tpch.Tpch.generate ~seed:2 ~scale:0.05 () in
+  let li = Relation.cardinality (Database.find db "lineitem") in
+  let plan = Splan.Sample (b01, Splan.Scan "lineitem") in
+  check_int "all rows" li (Relation.cardinality (Splan.exec_exact db plan))
+
+let test_pp_smoke () =
+  let plan = join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Scan "s") in
+  let one_line = Format.asprintf "%a" Splan.pp plan in
+  let tree = Format.asprintf "%a" Splan.pp_tree plan in
+  check_bool "pp nonempty" true (String.length one_line > 10);
+  check_bool "tree multiline" true (String.contains tree '\n')
+
+let () =
+  Alcotest.run "gus_core.rewrite"
+    [ ( "splan",
+        [ Alcotest.test_case "lineage schema" `Quick test_lineage_schema;
+          Alcotest.test_case "strip_samples" `Quick test_strip_samples;
+          Alcotest.test_case "equality" `Quick test_plan_equal;
+          Alcotest.test_case "self-join overlap" `Quick test_self_join_lineage_overlap;
+          Alcotest.test_case "pp" `Quick test_pp_smoke ] );
+      ( "translate",
+        [ Alcotest.test_case "bernoulli base" `Quick test_translate_bernoulli_base;
+          Alcotest.test_case "wor base" `Quick test_translate_wor_base;
+          Alcotest.test_case "block base" `Quick test_translate_block;
+          Alcotest.test_case "hash base" `Quick test_translate_hash;
+          Alcotest.test_case "bernoulli derived" `Quick test_translate_bernoulli_derived;
+          Alcotest.test_case "unsupported cases" `Quick test_translate_unsupported ] );
+      ( "analyze",
+        [ Alcotest.test_case "scan = identity (Prop 4)" `Quick test_analyze_scan_is_identity;
+          Alcotest.test_case "selection transparent (Prop 5)" `Quick test_analyze_selection_transparent;
+          Alcotest.test_case "join (Prop 6)" `Quick test_analyze_join;
+          Alcotest.test_case "identity on unsampled side" `Quick test_analyze_unsampled_side_identity;
+          Alcotest.test_case "stacked samples (Prop 8)" `Quick test_analyze_stacked_samples;
+          Alcotest.test_case "sample over join" `Quick test_analyze_sample_over_join;
+          Alcotest.test_case "Query 1 coefficients" `Quick test_analyze_query1_matches_paper;
+          Alcotest.test_case "theta join / cross" `Quick test_analyze_theta_and_cross;
+          Alcotest.test_case "union of samples (Prop 7)" `Quick test_analyze_union_samples;
+          Alcotest.test_case "union mismatch" `Quick test_analyze_union_mismatch;
+          Alcotest.test_case "self-join rejected" `Quick test_analyze_self_join_rejected;
+          Alcotest.test_case "WR rejected" `Quick test_analyze_wr_rejected;
+          Alcotest.test_case "WOR over selection rejected" `Quick test_analyze_wor_over_selection_rejected;
+          Alcotest.test_case "DISTINCT sample-free ok" `Quick test_distinct_sample_free_ok;
+          Alcotest.test_case "DISTINCT above sampling rejected" `Quick test_distinct_above_sampling_rejected;
+          Alcotest.test_case "DISTINCT non-commutation counterexample" `Quick test_distinct_noncommutation_counterexample;
+          Alcotest.test_case "analyze_db cardinalities" `Quick test_analyze_db_variant ] );
+      ( "exec",
+        [ Alcotest.test_case "deterministic in seed" `Quick test_exec_deterministic_in_seed;
+          Alcotest.test_case "exact ignores samples" `Quick test_exec_exact_ignores_samples ] ) ]

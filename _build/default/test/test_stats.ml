@@ -1,0 +1,203 @@
+(* Tests for gus_stats: Normal, Summary, Interval. *)
+
+module Normal = Gus_stats.Normal
+module Summary = Gus_stats.Summary
+module Interval = Gus_stats.Interval
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let close ?(eps = 1e-6) what expected actual =
+  check (Alcotest.float eps) what expected actual
+
+(* ---- Normal ---- *)
+
+let test_erf_known () =
+  close "erf 0" 0.0 (Normal.erf 0.0);
+  close ~eps:1e-6 "erf 1" 0.8427007929 (Normal.erf 1.0);
+  close ~eps:1e-6 "erf -1" (-0.8427007929) (Normal.erf (-1.0));
+  close ~eps:1e-6 "erf 2" 0.9953222650 (Normal.erf 2.0);
+  close ~eps:1e-7 "erf inf-ish" 1.0 (Normal.erf 6.0)
+
+let test_cdf_known () =
+  close "cdf 0" 0.5 (Normal.cdf 0.0);
+  close ~eps:1e-6 "cdf 1.96" 0.9750021049 (Normal.cdf 1.96);
+  close ~eps:1e-6 "cdf -1.96" 0.0249978951 (Normal.cdf (-1.96));
+  close ~eps:1e-6 "cdf 1" 0.8413447461 (Normal.cdf 1.0)
+
+let test_quantile_known () =
+  close ~eps:1e-6 "median" 0.0 (Normal.quantile 0.5);
+  close ~eps:1e-5 "z_95" 1.959963985 (Normal.quantile 0.975);
+  close ~eps:1e-5 "q 0.05" (-1.644853627) (Normal.quantile 0.05);
+  close ~eps:1e-4 "extreme" (-3.090232306) (Normal.quantile 0.001)
+
+let test_quantile_cdf_roundtrip () =
+  List.iter
+    (fun p -> close ~eps:1e-6 "roundtrip" p (Normal.cdf (Normal.quantile p)))
+    [ 0.001; 0.01; 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 0.999 ]
+
+let test_quantile_domain () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Normal.quantile: p=0 not in (0,1)")
+    (fun () -> ignore (Normal.quantile 0.0));
+  Alcotest.check_raises "p=1" (Invalid_argument "Normal.quantile: p=1 not in (0,1)")
+    (fun () -> ignore (Normal.quantile 1.0))
+
+let test_chebyshev () =
+  close ~eps:1e-9 "95%" (1.0 /. sqrt 0.05) (Normal.chebyshev_factor 0.95);
+  close ~eps:1e-2 "paper's 4.47" 4.47 (Normal.chebyshev_factor 0.95);
+  close ~eps:1e-9 "75% -> 2" 2.0 (Normal.chebyshev_factor 0.75)
+
+let test_z95 () = close ~eps:1e-5 "z_95 constant" 1.959963985 Normal.z_95
+
+(* ---- Summary ---- *)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  check Alcotest.int "count" 0 (Summary.count s);
+  close "mean" 0.0 (Summary.mean s);
+  close "variance" 0.0 (Summary.variance s)
+
+let test_summary_vs_naive () =
+  let data = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  let s = Summary.of_array data in
+  close "mean" 5.0 (Summary.mean s);
+  close "population variance" 4.0 (Summary.variance_population s);
+  close ~eps:1e-9 "sample variance" (32.0 /. 7.0) (Summary.variance s);
+  close "min" 2.0 (Summary.min s);
+  close "max" 9.0 (Summary.max s);
+  close "total" 40.0 (Summary.total s)
+
+let test_summary_merge () =
+  let all = Array.init 1000 (fun i -> sin (float_of_int i)) in
+  let a = Summary.of_array (Array.sub all 0 400) in
+  let b = Summary.of_array (Array.sub all 400 600) in
+  let merged = Summary.merge a b in
+  let whole = Summary.of_array all in
+  close ~eps:1e-9 "merged mean" (Summary.mean whole) (Summary.mean merged);
+  close ~eps:1e-9 "merged variance" (Summary.variance whole) (Summary.variance merged);
+  check Alcotest.int "merged count" 1000 (Summary.count merged)
+
+let test_summary_merge_empty () =
+  let a = Summary.create () in
+  let b = Summary.of_array [| 1.0; 2.0 |] in
+  close "empty+b mean" 1.5 (Summary.mean (Summary.merge a b));
+  close "b+empty mean" 1.5 (Summary.mean (Summary.merge b a))
+
+let test_quantiles () =
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  close "q0" 1.0 (Summary.quantile a 0.0);
+  close "q1" 5.0 (Summary.quantile a 1.0);
+  close "median" 3.0 (Summary.quantile a 0.5);
+  close "q0.25" 2.0 (Summary.quantile a 0.25);
+  close "interpolated" 1.4 (Summary.quantile a 0.1);
+  close "unsorted" 3.0 (Summary.quantile [| 5.0; 1.0; 3.0; 2.0; 4.0 |] 0.5);
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.quantile_sorted: empty")
+    (fun () -> ignore (Summary.quantile [||] 0.5))
+
+let test_rmse_relerr () =
+  close "rmse" (sqrt (100.0 /. 6.0))
+    (Summary.rmse ~truth:0.0 [| 3.0; -4.0; 5.0; -5.0; 4.0; -3.0 |]);
+  close "rel err" 0.1 (Summary.relative_error ~truth:10.0 11.0);
+  close "rel err zero truth zero x" 0.0 (Summary.relative_error ~truth:0.0 0.0);
+  check_bool "rel err zero truth" true
+    (Summary.relative_error ~truth:0.0 1.0 = infinity)
+
+(* ---- Interval ---- *)
+
+let test_interval_normal () =
+  let ci = Interval.make ~method_:Interval.Normal ~coverage:0.95 ~estimate:100.0 ~stddev:10.0 in
+  close ~eps:1e-2 "lo" (100.0 -. 19.6) ci.Interval.lo;
+  close ~eps:1e-2 "hi" (100.0 +. 19.6) ci.Interval.hi;
+  check_bool "contains estimate" true (Interval.contains ci 100.0);
+  check_bool "contains edge" true (Interval.contains ci 119.0);
+  check_bool "excludes far" false (Interval.contains ci 130.0);
+  close ~eps:1e-2 "width" 39.2 (Interval.width ci)
+
+let test_interval_chebyshev_wider () =
+  let n = Interval.make ~method_:Interval.Normal ~coverage:0.95 ~estimate:0.0 ~stddev:1.0 in
+  let c = Interval.make ~method_:Interval.Chebyshev ~coverage:0.95 ~estimate:0.0 ~stddev:1.0 in
+  check_bool "chebyshev wider" true (Interval.width c > Interval.width n);
+  close ~eps:0.05 "factor ~2.28" 2.28 (Interval.width c /. Interval.width n)
+
+let test_interval_validation () =
+  Alcotest.check_raises "negative sd" (Invalid_argument "Interval.make: negative stddev")
+    (fun () ->
+      ignore
+        (Interval.make ~method_:Interval.Normal ~coverage:0.9 ~estimate:0.0
+           ~stddev:(-1.0)));
+  Alcotest.check_raises "bad coverage"
+    (Invalid_argument "Interval.make: coverage not in (0,1)") (fun () ->
+      ignore
+        (Interval.make ~method_:Interval.Normal ~coverage:1.0 ~estimate:0.0
+           ~stddev:1.0))
+
+let test_quantile_bound () =
+  close ~eps:1e-4 "median bound" 50.0
+    (Interval.quantile_bound ~estimate:50.0 ~stddev:5.0 0.5);
+  close ~eps:1e-2 "upper" (50.0 +. (1.6449 *. 5.0))
+    (Interval.quantile_bound ~estimate:50.0 ~stddev:5.0 0.95);
+  check_bool "monotone" true
+    (Interval.quantile_bound ~estimate:0.0 ~stddev:1.0 0.2
+    < Interval.quantile_bound ~estimate:0.0 ~stddev:1.0 0.8)
+
+let test_interval_zero_sd () =
+  let ci = Interval.make ~method_:Interval.Normal ~coverage:0.95 ~estimate:7.0 ~stddev:0.0 in
+  close "degenerate lo" 7.0 ci.Interval.lo;
+  close "degenerate hi" 7.0 ci.Interval.hi
+
+let prop_cdf_monotone =
+  QCheck2.Test.make ~name:"normal cdf monotone" ~count:300
+    QCheck2.Gen.(pair (float_range (-6.0) 6.0) (float_range (-6.0) 6.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Normal.cdf lo <= Normal.cdf hi +. 1e-12)
+
+let prop_quantile_monotone =
+  QCheck2.Test.make ~name:"normal quantile monotone" ~count:300
+    QCheck2.Gen.(pair (float_range 0.001 0.999) (float_range 0.001 0.999))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Normal.quantile lo <= Normal.quantile hi +. 1e-9)
+
+let prop_welford_matches_naive =
+  QCheck2.Test.make ~name:"Welford variance matches two-pass" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 50) (float_range (-1000.0) 1000.0))
+    (fun l ->
+      let a = Array.of_list l in
+      let s = Summary.of_array a in
+      let n = float_of_int (Array.length a) in
+      let mean = Array.fold_left ( +. ) 0.0 a /. n in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a
+        /. (n -. 1.0)
+      in
+      Float.abs (Summary.variance s -. var)
+      <= 1e-6 *. Float.max 1.0 (Float.abs var))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cdf_monotone; prop_quantile_monotone; prop_welford_matches_naive ]
+
+let () =
+  Alcotest.run "gus_stats"
+    [ ( "normal",
+        [ Alcotest.test_case "erf known values" `Quick test_erf_known;
+          Alcotest.test_case "cdf known values" `Quick test_cdf_known;
+          Alcotest.test_case "quantile known values" `Quick test_quantile_known;
+          Alcotest.test_case "quantile-cdf roundtrip" `Quick test_quantile_cdf_roundtrip;
+          Alcotest.test_case "quantile domain" `Quick test_quantile_domain;
+          Alcotest.test_case "chebyshev factor" `Quick test_chebyshev;
+          Alcotest.test_case "z_95" `Quick test_z95 ] );
+      ( "summary",
+        [ Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "vs naive" `Quick test_summary_vs_naive;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          Alcotest.test_case "merge empty" `Quick test_summary_merge_empty;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "rmse/rel.err" `Quick test_rmse_relerr ] );
+      ( "interval",
+        [ Alcotest.test_case "normal 95%" `Quick test_interval_normal;
+          Alcotest.test_case "chebyshev wider" `Quick test_interval_chebyshev_wider;
+          Alcotest.test_case "validation" `Quick test_interval_validation;
+          Alcotest.test_case "quantile bound" `Quick test_quantile_bound;
+          Alcotest.test_case "zero sd" `Quick test_interval_zero_sd ] );
+      ("properties", qcheck_tests) ]

@@ -1,0 +1,151 @@
+(* Tests for the synthetic TPC-H-style generator. *)
+
+module Tpch = Gus_tpch.Tpch
+open Gus_relational
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+
+let db () = Tpch.generate ~seed:42 ~scale:0.1 ()
+
+let test_relations_present () =
+  let db = db () in
+  List.iter
+    (fun name -> check_bool name true (Database.mem db name))
+    [ "customer"; "orders"; "lineitem"; "part"; "supplier" ]
+
+let test_cardinality_ratios () =
+  let db = db () in
+  let card n = Relation.cardinality (Database.find db n) in
+  check_int "customers at scale 0.1" 150 (card "customer");
+  check_int "orders = 10x customers" 1500 (card "orders");
+  check_int "parts" 200 (card "part");
+  check_int "suppliers" 10 (card "supplier");
+  (* lineitem expectation: 1..7 lines per order, mean 4 *)
+  let li = card "lineitem" in
+  check_bool "lineitem within expected band" true (li > 4500 && li < 7500)
+
+let test_determinism () =
+  let a = Tpch.generate ~seed:7 ~scale:0.05 () in
+  let b = Tpch.generate ~seed:7 ~scale:0.05 () in
+  let sum db = Relation.sum_column (Database.find db "lineitem") "l_extendedprice" in
+  check (Alcotest.float 1e-9) "same seed, same data" (sum a) (sum b);
+  let c = Tpch.generate ~seed:8 ~scale:0.05 () in
+  check_bool "different seed differs" true (sum a <> sum c)
+
+let test_fk_integrity () =
+  let db = db () in
+  let orders = Database.find db "orders" in
+  let lineitem = Database.find db "lineitem" in
+  let customers = Relation.cardinality (Database.find db "customer") in
+  let order_keys = Hashtbl.create 2048 in
+  Relation.iter
+    (fun t ->
+      (match Tuple.value t 0 with
+      | Value.Int k -> Hashtbl.replace order_keys k ()
+      | _ -> Alcotest.fail "orderkey type");
+      match Tuple.value t 1 with
+      | Value.Int ck -> check_bool "custkey in range" true (ck >= 1 && ck <= customers)
+      | _ -> Alcotest.fail "custkey type")
+    orders;
+  let parts = Relation.cardinality (Database.find db "part") in
+  Relation.iter
+    (fun t ->
+      (match Tuple.value t 0 with
+      | Value.Int ok -> check_bool "l_orderkey resolves" true (Hashtbl.mem order_keys ok)
+      | _ -> Alcotest.fail "l_orderkey type");
+      match Tuple.value t 2 with
+      | Value.Int pk -> check_bool "l_partkey in range" true (pk >= 1 && pk <= parts)
+      | _ -> Alcotest.fail "l_partkey type")
+    lineitem
+
+let test_value_ranges () =
+  let db = db () in
+  let lineitem = Database.find db "lineitem" in
+  let di = Schema.index_of lineitem.Relation.schema "l_discount" in
+  let ti = Schema.index_of lineitem.Relation.schema "l_tax" in
+  let qi = Schema.index_of lineitem.Relation.schema "l_quantity" in
+  Relation.iter
+    (fun t ->
+      let d = Value.to_float (Tuple.value t di) in
+      let tx = Value.to_float (Tuple.value t ti) in
+      let q = Value.to_float (Tuple.value t qi) in
+      check_bool "discount" true (d >= 0.0 && d <= 0.1);
+      check_bool "tax" true (tx >= 0.0 && tx <= 0.08);
+      check_bool "quantity" true (q >= 1.0 && q <= 50.0))
+    lineitem
+
+let test_totalprice_consistent () =
+  let db = db () in
+  let orders = Database.find db "orders" in
+  let lineitem = Database.find db "lineitem" in
+  let per_order = Hashtbl.create 2048 in
+  Relation.iter
+    (fun t ->
+      let ok = Value.to_int (Tuple.value t 0) in
+      let ep =
+        Value.to_float (Tuple.value t (Schema.index_of lineitem.Relation.schema "l_extendedprice"))
+      in
+      Hashtbl.replace per_order ok
+        (ep +. Option.value (Hashtbl.find_opt per_order ok) ~default:0.0))
+    lineitem;
+  Relation.iter
+    (fun t ->
+      let ok = Value.to_int (Tuple.value t 0) in
+      let tp = Value.to_float (Tuple.value t 2) in
+      let expected = Option.value (Hashtbl.find_opt per_order ok) ~default:0.0 in
+      check_bool "o_totalprice = sum of lines" true (Float.abs (tp -. expected) < 1e-6))
+    orders
+
+let test_skew_config () =
+  let uniform =
+    Tpch.generate ~seed:3 ~scale:0.1
+      ~config:{ Tpch.default_config with part_skew = 0.0 } ()
+  in
+  let skewed =
+    Tpch.generate ~seed:3 ~scale:0.1
+      ~config:{ Tpch.default_config with part_skew = 1.5 } ()
+  in
+  let top_part_share db =
+    let li = Database.find db "lineitem" in
+    let pi = Schema.index_of li.Relation.schema "l_partkey" in
+    let counts = Hashtbl.create 256 in
+    Relation.iter
+      (fun t ->
+        let pk = Value.to_int (Tuple.value t pi) in
+        Hashtbl.replace counts pk (1 + Option.value (Hashtbl.find_opt counts pk) ~default:0))
+      li;
+    let top = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+    float_of_int top /. float_of_int (Relation.cardinality li)
+  in
+  check_bool "skew concentrates part popularity" true
+    (top_part_share skewed > 3.0 *. top_part_share uniform)
+
+let test_scale_validation () =
+  check_bool "non-positive scale" true
+    (try ignore (Tpch.generate ~seed:1 ~scale:0.0 ()); false
+     with Invalid_argument _ -> true)
+
+let test_lineitem_lineage_row_ids () =
+  let db = db () in
+  let li = Database.find db "lineitem" in
+  let i = ref 0 in
+  Relation.iter
+    (fun t ->
+      check_int "consecutive row ids" !i t.Tuple.lineage.(0);
+      incr i)
+    li
+
+let () =
+  Alcotest.run "gus_tpch"
+    [ ( "generator",
+        [ Alcotest.test_case "relations present" `Quick test_relations_present;
+          Alcotest.test_case "cardinality ratios" `Quick test_cardinality_ratios;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "foreign keys" `Quick test_fk_integrity;
+          Alcotest.test_case "value ranges" `Quick test_value_ranges;
+          Alcotest.test_case "o_totalprice consistency" `Quick test_totalprice_consistent;
+          Alcotest.test_case "skew knob" `Quick test_skew_config;
+          Alcotest.test_case "scale validation" `Quick test_scale_validation;
+          Alcotest.test_case "lineage row ids" `Quick test_lineitem_lineage_row_ids ] ) ]
