@@ -11,7 +11,7 @@
 open Bechamel
 open Toolkit
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
 module Moments = Gus_estimator.Moments
 module Sbox = Gus_estimator.Sbox

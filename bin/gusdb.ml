@@ -10,7 +10,7 @@
 
 open Cmdliner
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
 open Gus_relational
 
@@ -151,6 +151,67 @@ let plan_cmd =
        ~doc:"Show the sampling plan, its SOA-equivalence rewrite and top GUS.")
     Term.(const run $ scale_arg $ sql_arg $ data_arg)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let module Lint = Gus_analysis.Lint in
+  let module D = Gus_analysis.Diagnostic in
+  let sql_opt_arg =
+    let doc = "The query text to lint (omit with $(b,--codes))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the diagnostics as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let small_a_arg =
+    let doc = "Warn (GUS010) when the plan's effective sampling fraction is \
+               positive but below $(docv)." in
+    Arg.(value & opt float Lint.default_config.Lint.small_a
+         & info [ "small-a" ] ~docv:"A" ~doc)
+  in
+  let codes_arg =
+    let doc = "List every diagnostic code with its severity, summary and \
+               paper citation, then exit." in
+    Arg.(value & flag & info [ "codes" ] ~doc)
+  in
+  let print_codes () =
+    List.iter
+      (fun code ->
+        Printf.printf "%s %-7s %-55s [%s]\n" (D.code_id code)
+          (D.severity_label (D.severity_of_code code))
+          (D.title code) (D.citation code))
+      D.all_codes
+  in
+  let run scale sql json small_a codes data =
+    if codes then print_codes ()
+    else
+      match sql with
+      | None ->
+          Printf.eprintf "gusdb lint: a query is required (or use --codes)\n";
+          exit 124
+      | Some sql ->
+          or_fail @@ fun () ->
+          let db = db_source ~scale ~seed:20130630 data in
+          let config = { Lint.small_a } in
+          let plan, report = Gus_sql.Runner.lint ~config db sql in
+          if json then print_endline (Lint.to_json report)
+          else begin
+            Format.printf "sampling plan:@.%a@." Lint.pp_annotated_plan
+              (plan, report);
+            Format.printf "%a" Lint.pp_report report
+          end;
+          if Lint.errors report <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically check a query's sampling plan against the GUS \
+             algebra's preconditions (Props 5-9, Section 9) without \
+             executing it, reporting every violation, warning and hint at \
+             once.")
+    Term.(const run $ scale_arg $ sql_opt_arg $ json_arg $ small_a_arg
+          $ codes_arg $ data_arg)
+
 (* ---- repl ---- *)
 
 let repl_cmd =
@@ -268,4 +329,7 @@ let experiments_cmd =
 let () =
   let doc = "aggregate estimation over sampled queries (GUS sampling algebra)" in
   let info = Cmd.info "gusdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; query_cmd; plan_cmd; repl_cmd; experiments_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; query_cmd; plan_cmd; lint_cmd; repl_cmd; experiments_cmd ]))

@@ -6,7 +6,7 @@
    Run with:  dune exec examples/strategy_choice.exe *)
 
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
 module Sbox = Gus_estimator.Sbox
 module Sampler = Gus_sampling.Sampler

@@ -1,0 +1,143 @@
+type severity = Error | Warning | Hint
+
+type code =
+  | Self_join
+  | Union_skeleton_mismatch
+  | Wor_over_derived
+  | Block_over_derived
+  | Hash_over_derived
+  | With_replacement
+  | Distinct_over_sample
+  | Probability_out_of_range
+  | Zero_inclusion_probability
+  | Small_inclusion_probability
+  | Redundant_sampler
+  | Sample_select_pushdown
+  | Analysis_limit
+
+let all_codes =
+  [ Self_join;
+    Union_skeleton_mismatch;
+    Wor_over_derived;
+    Block_over_derived;
+    Hash_over_derived;
+    With_replacement;
+    Distinct_over_sample;
+    Probability_out_of_range;
+    Zero_inclusion_probability;
+    Small_inclusion_probability;
+    Redundant_sampler;
+    Sample_select_pushdown;
+    Analysis_limit ]
+
+let code_id = function
+  | Self_join -> "GUS001"
+  | Union_skeleton_mismatch -> "GUS002"
+  | Wor_over_derived -> "GUS003"
+  | Block_over_derived -> "GUS004"
+  | Hash_over_derived -> "GUS005"
+  | With_replacement -> "GUS006"
+  | Distinct_over_sample -> "GUS007"
+  | Probability_out_of_range -> "GUS008"
+  | Zero_inclusion_probability -> "GUS009"
+  | Small_inclusion_probability -> "GUS010"
+  | Redundant_sampler -> "GUS011"
+  | Sample_select_pushdown -> "GUS012"
+  | Analysis_limit -> "GUS013"
+
+let severity_of_code = function
+  | Self_join | Union_skeleton_mismatch | Wor_over_derived
+  | Block_over_derived | Hash_over_derived | With_replacement
+  | Distinct_over_sample | Probability_out_of_range
+  | Zero_inclusion_probability | Analysis_limit ->
+      Error
+  | Small_inclusion_probability -> Warning
+  | Redundant_sampler | Sample_select_pushdown -> Hint
+
+let title = function
+  | Self_join -> "self-join: a relation appears on both sides of a join"
+  | Union_skeleton_mismatch -> "union of samples of two different expressions"
+  | Wor_over_derived -> "WOR sampling over a derived or already-sampled input"
+  | Block_over_derived -> "block sampling not directly over a base table"
+  | Hash_over_derived -> "hash-Bernoulli sampling over a derived input"
+  | With_replacement -> "with-replacement sampling is not a GUS method"
+  | Distinct_over_sample -> "DISTINCT above a non-identity GUS"
+  | Probability_out_of_range -> "inclusion probability outside its legal range"
+  | Zero_inclusion_probability -> "degenerate estimator: a = 0"
+  | Small_inclusion_probability -> "tiny sampling fraction: high-variance estimator"
+  | Redundant_sampler -> "redundant sampler: keeps every tuple (identity GUS)"
+  | Sample_select_pushdown -> "sample could be pushed below the selection"
+  | Analysis_limit -> "plan exceeds the analyzer's implementation limits"
+
+let citation = function
+  | Self_join -> "Prop. 6 (disjoint lineage); Section 9"
+  | Union_skeleton_mismatch -> "Prop. 7"
+  | Wor_over_derived -> "Figure 1 (WOR needs a fixed N); Section 9"
+  | Block_over_derived -> "Section 3 (block sampling at base granularity)"
+  | Hash_over_derived -> "Section 7 (lineage-keyed sampling)"
+  | With_replacement -> "Section 9 (WR is not a randomized filter)"
+  | Distinct_over_sample -> "Section 9 (DISTINCT)"
+  | Probability_out_of_range -> "Def. 1 (GUS probabilities)"
+  | Zero_inclusion_probability -> "Theorem 1 (scale-up 1/a)"
+  | Small_inclusion_probability -> "Theorem 1 (variance terms c_S/a\xc2\xb2)"
+  | Redundant_sampler -> "Prop. 4 (identity GUS)"
+  | Sample_select_pushdown -> "Prop. 5 (selection commutes with GUS)"
+  | Analysis_limit -> "Section 5 (2\xe2\x81\xbf coefficient arrays)"
+
+type path = int list
+
+let path_to_string = function
+  | [] -> "$"
+  | p -> "$." ^ String.concat "." (List.map string_of_int p)
+
+let rec compare_path a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' -> if x <> y then compare x y else compare_path a' b'
+
+type t = {
+  code : code;
+  path : path;
+  node : string;
+  message : string;
+}
+
+let severity d = severity_of_code d.code
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let pp ppf d =
+  Format.fprintf ppf "%s %-7s at %s (%s): %s [%s]" (code_id d.code)
+    (severity_label (severity d))
+    (path_to_string d.path) d.node d.message (citation d.code)
+
+let to_string d = Format.asprintf "%a" pp d
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\": \"%s\", \"severity\": \"%s\", \"path\": \"%s\", \"node\": \
+     \"%s\", \"message\": \"%s\", \"citation\": \"%s\"}"
+    (code_id d.code)
+    (severity_label (severity d))
+    (path_to_string d.path) (json_escape d.node) (json_escape d.message)
+    (json_escape (citation d.code))

@@ -1,0 +1,85 @@
+(** Structured diagnostics emitted by the static plan linter ({!Lint}).
+
+    Each diagnostic carries a stable code ([GUS001]…), a severity, a
+    plan-path locator resolvable with {!Gus_core.Splan.subtree}, a short
+    rendering of the offending operator, a human message and the paper
+    citation for the rule it enforces.  The same codes back the
+    {!Rewrite.Unsupported} messages, so every rewriter rejection maps to a
+    documented code. *)
+
+type severity = Error | Warning | Hint
+
+type code =
+  | Self_join  (** GUS001 — overlapping lineage at a join (Prop. 6) *)
+  | Union_skeleton_mismatch
+      (** GUS002 — union of samples of two different expressions (Prop. 7) *)
+  | Wor_over_derived
+      (** GUS003 — WOR over a derived or already-sampled input *)
+  | Block_over_derived
+      (** GUS004 — block sampling anywhere but directly over a base table *)
+  | Hash_over_derived
+      (** GUS005 — hash-Bernoulli over a multi-relation lineage *)
+  | With_replacement
+      (** GUS006 — with-replacement sampling is not a GUS method (§9) *)
+  | Distinct_over_sample
+      (** GUS007 — DISTINCT above a non-identity GUS (§9) *)
+  | Probability_out_of_range
+      (** GUS008 — a ∉ (0,1], n/N > 1, or b_T exceeding the marginal a *)
+  | Zero_inclusion_probability
+      (** GUS009 — a = 0: nothing is ever sampled, the 1/a scale-up is
+          undefined (Theorem 1) *)
+  | Small_inclusion_probability
+      (** GUS010 — a below the configured threshold: variance terms scale
+          with c_S/a² (Theorem 1) *)
+  | Redundant_sampler
+      (** GUS011 — a sampler that keeps every tuple (identity GUS, Prop. 4) *)
+  | Sample_select_pushdown
+      (** GUS012 — a per-tuple sampler sitting above a selection it could
+          commute below (Prop. 5) *)
+  | Analysis_limit
+      (** GUS013 — outside the analyzer's implementation envelope (more
+          than {!Gus_util.Subset.max_universe} relations: the coefficient
+          arrays are 2ⁿ) *)
+
+val all_codes : code list
+(** Every code, in [GUS001]… order. *)
+
+val code_id : code -> string
+(** The stable identifier, e.g. ["GUS003"]. *)
+
+val severity_of_code : code -> severity
+val title : code -> string
+(** One-line summary used by [gusdb lint --codes] and the docs. *)
+
+val citation : code -> string
+(** The paper proposition/section the check enforces, e.g. ["Prop. 6"]. *)
+
+type path = int list
+(** Child indices from the plan root; resolves with
+    {!Gus_core.Splan.subtree}. *)
+
+val path_to_string : path -> string
+(** ["$"] for the root, ["$.0.1"] for the second child of the first child —
+    matching the top-down order of {!Gus_core.Splan.pp_tree} lines. *)
+
+val compare_path : path -> path -> int
+(** Lexicographic: pre-order position in the plan tree. *)
+
+type t = {
+  code : code;
+  path : path;
+  node : string;  (** short head rendering of the offending operator *)
+  message : string;
+}
+
+val severity : t -> severity
+val severity_label : severity -> string
+(** ["error"] / ["warning"] / ["hint"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: code, severity, path, node, message, citation. *)
+
+val to_string : t -> string
+
+val to_json : t -> string
+(** A single JSON object (stable field order, escaped strings). *)

@@ -1,0 +1,489 @@
+module Subset = Gus_util.Subset
+module Sampler = Gus_sampling.Sampler
+module Gus = Gus_core.Gus
+module Splan = Gus_core.Splan
+module D = Diagnostic
+
+type config = { small_a : float }
+
+let default_config = { small_a = 1e-3 }
+
+type analysis = {
+  skeleton : Splan.t;
+  gus : Gus.t;
+  steps : (string * Gus.t) list;
+}
+
+type report = {
+  diagnostics : D.t list;
+  analysis : analysis option;
+}
+
+let with_severity sev r =
+  List.filter (fun d -> D.severity d = sev) r.diagnostics
+
+let errors = with_severity D.Error
+let warnings = with_severity D.Warning
+let hints = with_severity D.Hint
+
+(* ---- rendering plan operators ---- *)
+
+let node_label = function
+  | Splan.Scan name -> name
+  | Splan.Select (e, _) ->
+      Format.asprintf "select %a" Gus_relational.Expr.pp e
+  | Splan.Project (fields, _) ->
+      Printf.sprintf "project %s" (String.concat "," (List.map fst fields))
+  | Splan.Equi_join { left_key; right_key; _ } ->
+      Format.asprintf "join %a = %a" Gus_relational.Expr.pp left_key
+        Gus_relational.Expr.pp right_key
+  | Splan.Theta_join (e, _, _) ->
+      Format.asprintf "theta-join %a" Gus_relational.Expr.pp e
+  | Splan.Cross _ -> "cross"
+  | Splan.Distinct _ -> "distinct"
+  | Splan.Sample (s, _) -> Sampler.to_string s
+  | Splan.Union_samples _ -> "union-samples"
+
+(* ---- GUS coherence (usable on any hand-built GUS, not only plans) ---- *)
+
+let check_gus ?(path = []) ?(node = "GUS") g =
+  let out = ref [] in
+  let emit code message = out := { D.code; path; node; message } :: !out in
+  let a = g.Gus.a in
+  if a = 0.0 then
+    emit D.Zero_inclusion_probability
+      "nothing is ever sampled (a = 0): the 1/a scale-up of Theorem 1 is \
+       undefined"
+  else if not (a > 0.0 && a <= 1.0) then
+    emit D.Probability_out_of_range
+      (Printf.sprintf "first-order inclusion probability a = %g is outside \
+                       (0,1]" a);
+  Array.iteri
+    (fun s bs ->
+      if bs > a +. 1e-9 then
+        emit D.Probability_out_of_range
+          (Printf.sprintf
+             "b%s = %g exceeds its marginal a = %g: P[t,t' \xe2\x88\x88 S] \
+              can never exceed P[t \xe2\x88\x88 S]"
+             (Gus.subset_name g s) bs a))
+    g.Gus.b;
+  List.rev !out
+
+(* ---- sampler translation with diagnostics ---- *)
+
+(* Mirrors the paper's Figure-1 translations.  Emits every applicable
+   diagnostic instead of raising; returns the sampler's GUS when one exists
+   (it may exist even alongside hints, e.g. a redundant identity sampler). *)
+let translate_sampler ~card ~over ~base ~path ~node ~emit s =
+  let emitd code message = emit { D.code; path; node; message } in
+  let check_p what p =
+    if p = 0.0 then begin
+      emitd D.Zero_inclusion_probability
+        (Printf.sprintf
+           "%s never keeps a tuple (a = 0): estimates would need the \
+            undefined scale-up 1/a"
+           what);
+      false
+    end
+    else if not (p > 0.0 && p <= 1.0) then begin
+      emitd D.Probability_out_of_range
+        (Printf.sprintf "%s probability %g is outside (0,1]" what p);
+      false
+    end
+    else begin
+      if p = 1.0 then
+        emitd D.Redundant_sampler
+          (Printf.sprintf
+             "%s keeps every tuple: it is the identity GUS and can be \
+              removed"
+             what);
+      true
+    end
+  in
+  match s with
+  | Sampler.Bernoulli p ->
+      if not (check_p "Bernoulli" p) then None
+      else if Array.length over = 1 then Some (Gus.bernoulli ~rel:over.(0) p)
+      else Some (Gus.bernoulli_over over p)
+  | Sampler.Hash_bernoulli { p; _ } ->
+      let p_ok = check_p "hash-Bernoulli" p in
+      if Array.length over <> 1 then begin
+        emitd D.Hash_over_derived
+          (Printf.sprintf
+             "hash-Bernoulli over a derived input (lineage [%s]); use the \
+              multi-dimensional Subsample instead"
+             (String.concat "," (Array.to_list over)));
+        None
+      end
+      else if not p_ok then None
+      else Some (Gus.bernoulli ~rel:over.(0) p)
+  | Sampler.Wor n ->
+      if n < 0 then begin
+        emitd D.Probability_out_of_range
+          (Printf.sprintf "WOR sample size %d is negative" n);
+        None
+      end
+      else if not (base && Array.length over = 1) then begin
+        emitd D.Wor_over_derived
+          "WOR over a derived or already-sampled input: its inclusion \
+           probability n/N depends on a random cardinality";
+        None
+      end
+      else begin
+        let big_n = card over.(0) in
+        if n = 0 then begin
+          emitd D.Zero_inclusion_probability
+            "WOR(0) never keeps a tuple (a = 0): estimates would need the \
+             undefined scale-up 1/a";
+          None
+        end
+        else if big_n < 1 then begin
+          emitd D.Probability_out_of_range
+            (Printf.sprintf
+               "WOR over the empty relation %s: a = n/N is undefined"
+               over.(0));
+          None
+        end
+        else if n > big_n then begin
+          emitd D.Probability_out_of_range
+            (Printf.sprintf
+               "WOR(%d) over %s (N = %d): inclusion probability n/N = %g \
+                exceeds 1"
+               n over.(0) big_n
+               (float_of_int n /. float_of_int big_n));
+          None
+        end
+        else begin
+          if n = big_n then
+            emitd D.Redundant_sampler
+              (Printf.sprintf
+                 "WOR(%d) over %s keeps all N = %d tuples: it is the \
+                  identity GUS and can be removed"
+                 n over.(0) big_n);
+          Some (Gus.wor ~rel:over.(0) ~n ~out_of:big_n)
+        end
+      end
+  | Sampler.Block { rows_per_block; p } ->
+      let p_ok =
+        if rows_per_block <= 0 then begin
+          emitd D.Probability_out_of_range
+            (Printf.sprintf "block size %d must be positive" rows_per_block);
+          false
+        end
+        else check_p "block sampling" p
+      in
+      if not (base && Array.length over = 1) then begin
+        emitd D.Block_over_derived
+          "block sampling is only supported directly over a base table: a \
+           kept block is the Bernoulli unit, so the lineage must still be \
+           at base granularity";
+        None
+      end
+      else if not p_ok then None
+      else
+        (* Block-granular lineage: a kept *block* is one Bernoulli unit. *)
+        Some (Gus.bernoulli ~rel:over.(0) p)
+  | Sampler.Wr _ ->
+      emitd D.With_replacement
+        "with-replacement sampling is not a randomized filter, hence not a \
+         GUS method";
+      None
+
+(* ---- the plan walk ---- *)
+
+type info = {
+  skeleton : Splan.t;
+  lineage : string list;  (** base relations in plan order, duplicates kept *)
+  gus : Gus.t option;  (** [None] once an error invalidates the subtree *)
+  sampled : bool;
+}
+
+let dups lineage =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun r ->
+      let dup = Hashtbl.mem seen r in
+      Hashtbl.replace seen r ();
+      dup)
+    lineage
+  |> List.sort_uniq String.compare
+
+let run ?(config = default_config) ~card plan =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let steps = ref [] in
+  let note what g = steps := (what, g) :: !steps in
+  (* Interior combinator calls can only fail on inputs our own checks have
+     already rejected; the guard keeps the linter total regardless. *)
+  let guarded path node f =
+    match f () with
+    | g -> Some g
+    | exception (Gus.Incompatible msg | Invalid_argument msg) ->
+        emit { D.code = D.Analysis_limit; path; node; message = msg };
+        None
+  in
+  let join_like path node mk l_info r_info =
+    let overlap = List.filter (fun r -> List.mem r l_info.lineage) r_info.lineage in
+    let overlap = List.sort_uniq String.compare overlap in
+    if overlap <> [] then
+      emit
+        { D.code = D.Self_join;
+          path;
+          node;
+          message =
+            Printf.sprintf
+              "relation%s %s used on both sides of the join: overlapping \
+               lineage violates Prop. 6's disjointness precondition \
+               (self-joins are outside GUS)"
+              (if List.length overlap > 1 then "s" else "")
+              (String.concat ", " overlap) };
+    let n = List.length l_info.lineage + List.length r_info.lineage in
+    let gus =
+      match (overlap, l_info.gus, r_info.gus) with
+      | [], Some gl, Some gr ->
+          if n > Subset.max_universe then begin
+            emit
+              { D.code = D.Analysis_limit;
+                path;
+                node;
+                message =
+                  Printf.sprintf
+                    "%d relations exceed the %d-relation analysis limit \
+                     (the b\xcc\x84 arrays hold 2\xe2\x81\xbf entries)"
+                    n Subset.max_universe };
+            None
+          end
+          else
+            guarded path node (fun () ->
+                let g = Gus.join gl gr in
+                note "join (Prop 6)" g;
+                g)
+      | _ -> None
+    in
+    { skeleton = mk l_info.skeleton r_info.skeleton;
+      lineage = l_info.lineage @ r_info.lineage;
+      gus;
+      sampled = l_info.sampled || r_info.sampled }
+  in
+  let rec go path plan =
+    let node = node_label plan in
+    match plan with
+    | Splan.Scan name ->
+        { skeleton = Splan.Scan name;
+          lineage = [ name ];
+          gus = Some (Gus.identity [| name |]);
+          sampled = false }
+    | Splan.Select (p, q) ->
+        (* Prop 5: selection commutes with GUS. *)
+        let c = go (path @ [ 0 ]) q in
+        { c with skeleton = Splan.Select (p, c.skeleton) }
+    | Splan.Project (fields, q) ->
+        let c = go (path @ [ 0 ]) q in
+        { c with skeleton = Splan.Project (fields, c.skeleton) }
+    | Splan.Equi_join { left; right; left_key; right_key } ->
+        let l = go (path @ [ 0 ]) left and r = go (path @ [ 1 ]) right in
+        join_like path node
+          (fun ls rs ->
+            Splan.Equi_join { left = ls; right = rs; left_key; right_key })
+          l r
+    | Splan.Theta_join (p, left, right) ->
+        let l = go (path @ [ 0 ]) left and r = go (path @ [ 1 ]) right in
+        join_like path node (fun ls rs -> Splan.Theta_join (p, ls, rs)) l r
+    | Splan.Cross (left, right) ->
+        let l = go (path @ [ 0 ]) left and r = go (path @ [ 1 ]) right in
+        join_like path node (fun ls rs -> Splan.Cross (ls, rs)) l r
+    | Splan.Sample (s, q) ->
+        let c = go (path @ [ 0 ]) q in
+        (match (s, q) with
+        | (Sampler.Bernoulli _ | Sampler.Hash_bernoulli _), Splan.Select _ ->
+            emit
+              { D.code = D.Sample_select_pushdown;
+                path;
+                node;
+                message =
+                  "this per-tuple sampler commutes with the selection below \
+                   it: pushing the sample below the selection is \
+                   SOA-equivalent and evaluates the predicate only on \
+                   sampled tuples" }
+        | _ -> ());
+        let base = match q with Splan.Scan _ -> true | _ -> false in
+        let dup_rels = dups c.lineage in
+        let over =
+          (* Deduplicate so the sampler's own checks still run (and its
+             diagnostics still emit) even when the join below already broke
+             Prop 6's disjointness precondition — that failure is reported
+             as GUS001 at the join, not silenced here. *)
+          let seen = Hashtbl.create 8 in
+          Array.of_list
+            (List.filter
+               (fun r ->
+                 if Hashtbl.mem seen r then false
+                 else begin Hashtbl.add seen r (); true end)
+               c.lineage)
+        in
+        let gs =
+          Option.join
+            (guarded path node (fun () ->
+                 translate_sampler ~card ~over ~base ~path ~node ~emit s))
+        in
+        (* With overlapping lineage below, no single GUS describes the
+           subtree; keep the diagnostics but drop the value. *)
+        let gs = if dup_rels = [] then gs else None in
+        let gus =
+          match (gs, c.gus) with
+          | Some gs, Some g ->
+              note (Printf.sprintf "translate %s" node) gs;
+              (* Prop 8: stack the sampler's GUS on the input's GUS. *)
+              guarded path node (fun () ->
+                  let combined = Gus.compact gs g in
+                  note (Printf.sprintf "compact %s into input" node) combined;
+                  combined)
+          | _ -> None
+        in
+        { skeleton = c.skeleton; lineage = c.lineage; gus; sampled = true }
+    | Splan.Distinct q ->
+        let c = go (path @ [ 0 ]) q in
+        let rejected =
+          match c.gus with
+          | Some g -> not (Gus.equal_approx g (Gus.identity g.Gus.rels))
+          | None -> c.sampled
+        in
+        if rejected then
+          emit
+            { D.code = D.Distinct_over_sample;
+              path;
+              node;
+              message =
+                "DISTINCT above sampling is outside GUS: duplicate \
+                 elimination depends on more than pairwise inclusion \
+                 probabilities" };
+        let gus = if rejected then None else c.gus in
+        { c with skeleton = Splan.Distinct c.skeleton; gus }
+    | Splan.Union_samples (left, right) ->
+        let l = go (path @ [ 0 ]) left and r = go (path @ [ 1 ]) right in
+        let same = Splan.equal l.skeleton r.skeleton in
+        if not same then
+          emit
+            { D.code = D.Union_skeleton_mismatch;
+              path;
+              node;
+              message =
+                "union of samples of two different expressions: Prop. 7 \
+                 requires both samples to come from the same expression" };
+        let gus =
+          match (same, l.gus, r.gus) with
+          | true, Some gl, Some gr ->
+              guarded path node (fun () ->
+                  let g = Gus.union gl gr in
+                  note "GUS union (Prop 7)" g;
+                  g)
+          | _ -> None
+        in
+        { skeleton = l.skeleton;
+          lineage = l.lineage;
+          gus;
+          sampled = l.sampled || r.sampled }
+  in
+  let root = go [] plan in
+  (match root.gus with
+  | Some g ->
+      List.iter emit (check_gus ~path:[] ~node:(node_label plan) g);
+      if g.Gus.a > 0.0 && g.Gus.a < config.small_a then
+        emit
+          { D.code = D.Small_inclusion_probability;
+            path = [];
+            node = node_label plan;
+            message =
+              Printf.sprintf
+                "effective sampling fraction a = %g is below %g: Theorem-1 \
+                 variance terms scale with c_S/a\xc2\xb2 (blow-up factor \
+                 \xe2\x89\x88 %.3g)"
+                g.Gus.a config.small_a
+                (1.0 /. (g.Gus.a *. g.Gus.a)) }
+  | None -> ());
+  let diagnostics =
+    List.stable_sort
+      (fun d1 d2 ->
+        let c = D.compare_path d1.D.path d2.D.path in
+        if c <> 0 then c else compare (D.code_id d1.D.code) (D.code_id d2.D.code))
+      (List.rev !diags)
+  in
+  let has_error =
+    List.exists (fun d -> D.severity d = D.Error) diagnostics
+  in
+  let analysis =
+    match (has_error, root.gus) with
+    | false, Some gus ->
+        Some { skeleton = root.skeleton; gus; steps = List.rev !steps }
+    | _ -> None
+  in
+  { diagnostics; analysis }
+
+let run_db ?config db plan =
+  run ?config plan
+    ~card:(fun r ->
+      Gus_relational.Relation.cardinality (Gus_relational.Database.find db r))
+
+(* ---- rendering ---- *)
+
+let count_severity sev r = List.length (with_severity sev r)
+
+let summary r =
+  Printf.sprintf "%d error(s), %d warning(s), %d hint(s)"
+    (count_severity D.Error r)
+    (count_severity D.Warning r)
+    (count_severity D.Hint r)
+
+let pp_report ppf r =
+  List.iter (fun d -> Format.fprintf ppf "%a@." D.pp d) r.diagnostics;
+  (match r.analysis with
+  | Some a ->
+      Format.fprintf ppf "plan is GUS-analyzable: a = %.6g over [%s]@."
+        a.gus.Gus.a
+        (String.concat "," (Array.to_list a.gus.Gus.rels))
+  | None -> Format.fprintf ppf "plan is not GUS-analyzable@.");
+  Format.fprintf ppf "%s@." (summary r)
+
+let pp_annotated_plan ppf (plan, r) =
+  let markers_at path =
+    List.filter_map
+      (fun d ->
+        if D.compare_path d.D.path path = 0 then Some (D.code_id d.D.code)
+        else None)
+      r.diagnostics
+  in
+  let rec go indent path node =
+    let pad = String.make indent ' ' in
+    let marks =
+      match markers_at path with
+      | [] -> ""
+      | ms -> "  <-- " ^ String.concat ", " ms
+    in
+    Format.fprintf ppf "%s%s%s@\n" pad (node_label node) marks;
+    List.iteri
+      (fun i child -> go (indent + 2) (path @ [ i ]) child)
+      (Splan.children node)
+  in
+  go 0 [] plan
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"errors\": %d,\n  \"warnings\": %d,\n  \"hints\": %d,\n"
+       (count_severity D.Error r)
+       (count_severity D.Warning r)
+       (count_severity D.Hint r));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"analyzable\": %b,\n"
+       (match r.analysis with Some _ -> true | None -> false));
+  Buffer.add_string buf "  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (D.to_json d))
+    r.diagnostics;
+  if r.diagnostics <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}";
+  Buffer.contents buf

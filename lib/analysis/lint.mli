@@ -1,0 +1,95 @@
+(** Static SOA-soundness linter for sampling plans.
+
+    The paper's central promise is that a plan's statistical behaviour can
+    be analyzed {e without executing it}: the GUS parameters are pure
+    sampling-design quantities, independent of the data moments.  This pass
+    walks a {!Gus_core.Splan.t} bottom-up, mirrors the SOA rewrite of
+    Section 4 tolerantly, and emits the {e complete} list of
+    {!Diagnostic.t} findings instead of stopping at the first precondition
+    violation the way {!Rewrite.analyze} historically did.  [Error]
+    findings are exactly the plans outside the GUS theory (Props. 5–9,
+    Section 9); [Warning]/[Hint] findings flag statistically degenerate or
+    improvable but legal plans.
+
+    {!Rewrite.analyze} is a thin wrapper over this pass: it raises
+    {!Rewrite.Unsupported} iff the linter reports at least one [Error]. *)
+
+type config = {
+  small_a : float;
+      (** warn (GUS010) when the plan's effective first-order inclusion
+          probability is positive but below this threshold — Theorem 1's
+          variance terms scale with [c_S/a²] *)
+}
+
+val default_config : config
+(** [{ small_a = 1e-3 }]. *)
+
+type analysis = {
+  skeleton : Gus_core.Splan.t;
+      (** the input with every sampling operator removed *)
+  gus : Gus_core.Gus.t;
+      (** single equivalent GUS over the skeleton's lineage *)
+  steps : (string * Gus_core.Gus.t) list;
+      (** derivation trace, leaves first — the Figure-4 walk-through *)
+}
+
+type report = {
+  diagnostics : Diagnostic.t list;
+      (** every finding, in plan (pre-order path) order *)
+  analysis : analysis option;
+      (** the successful SOA rewrite; [Some] iff no [Error] diagnostics *)
+}
+
+val run :
+  ?config:config -> card:(string -> int) -> Gus_core.Splan.t -> report
+(** Lint a plan.  [card] resolves base-relation cardinalities (needed to
+    translate [WOR(n)] into [a = n/N]); it is only consulted for WOR
+    samplers sitting directly on a [Scan].  Never raises on any plan shape
+    (assuming [card] is total). *)
+
+val run_db :
+  ?config:config ->
+  Gus_relational.Database.t ->
+  Gus_core.Splan.t ->
+  report
+
+val errors : report -> Diagnostic.t list
+val warnings : report -> Diagnostic.t list
+val hints : report -> Diagnostic.t list
+
+val check_gus :
+  ?path:Diagnostic.path -> ?node:string -> Gus_core.Gus.t -> Diagnostic.t list
+(** Coherence checks on a single GUS value: [a ∈ (0,1]] and every
+    second-order probability bounded by its marginal ([b_T ≤ a]). *)
+
+val translate_sampler :
+  card:(string -> int) ->
+  over:Gus_relational.Lineage.schema ->
+  base:bool ->
+  path:Diagnostic.path ->
+  node:string ->
+  emit:(Diagnostic.t -> unit) ->
+  Gus_sampling.Sampler.t ->
+  Gus_core.Gus.t option
+(** Figure-1 translation of one sampling operator applied to an input with
+    the given lineage schema; [base] says whether the input is a bare
+    [Scan].  Emits every applicable diagnostic through [emit] and returns
+    the GUS when the sampler has one (possibly alongside hints). *)
+
+val node_label : Gus_core.Splan.t -> string
+(** The one-line operator head used in diagnostics and tree rendering;
+    matches the corresponding {!Gus_core.Splan.pp_tree} line. *)
+
+val summary : report -> string
+(** ["2 error(s), 1 warning(s), 0 hint(s)"]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** All diagnostics, one per line, then the analyzability verdict and the
+    summary counts. *)
+
+val pp_annotated_plan : Format.formatter -> Gus_core.Splan.t * report -> unit
+(** {!Gus_core.Splan.pp_tree} with [<-- GUSxxx] markers appended to the
+    lines carrying diagnostics. *)
+
+val to_json : report -> string
+(** Stable machine-readable rendering for [gusdb lint --json]. *)

@@ -1,7 +1,7 @@
 module Subset = Gus_util.Subset
 module Gus = Gus_core.Gus
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Interval = Gus_stats.Interval
 open Gus_relational
 

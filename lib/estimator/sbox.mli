@@ -52,7 +52,7 @@ val run :
   Gus_relational.Database.t ->
   Gus_core.Splan.t ->
   f:Gus_relational.Expr.t ->
-  report * Gus_core.Rewrite.result
+  report * Gus_analysis.Rewrite.result
 (** Convenience: execute the plan with a seeded RNG, rewrite it, analyze
     the result. *)
 

@@ -1,6 +1,6 @@
 module Gus = Gus_core.Gus
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Sampler = Gus_sampling.Sampler
 module Subset = Gus_util.Subset
 module Tablefmt = Gus_util.Tablefmt

@@ -8,4 +8,4 @@ val run : unit -> unit
 val paper_g123 : (string list * float) list
 (** Subsets (as relation-name lists) and the printed b₁₂₃ values. *)
 
-val derived : unit -> Gus_core.Rewrite.result
+val derived : unit -> Gus_analysis.Rewrite.result

@@ -1,5 +1,5 @@
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
 module Sbox = Gus_estimator.Sbox
 module Summary = Gus_stats.Summary

@@ -1,5 +1,5 @@
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
 module Moments = Gus_estimator.Moments
 module Tablefmt = Gus_util.Tablefmt

@@ -1,5 +1,5 @@
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Sbox = Gus_estimator.Sbox
 module Sampler = Gus_sampling.Sampler
 module Interval = Gus_stats.Interval

@@ -12,6 +12,8 @@ type t =
   | Sample of Sampler.t * t
   | Union_samples of t * t
 
+exception Union_lineage_mismatch of { left : string list; right : string list }
+
 let scan name = Scan name
 let select pred q = Select (pred, q)
 
@@ -28,7 +30,13 @@ let rec lineage_schema = function
       Lineage.schema_concat (lineage_schema left) (lineage_schema right)
   | Theta_join (_, l, r) | Cross (l, r) ->
       Lineage.schema_concat (lineage_schema l) (lineage_schema r)
-  | Union_samples (l, _) -> lineage_schema l
+  | Union_samples (l, r) ->
+      let sl = lineage_schema l and sr = lineage_schema r in
+      if not (Lineage.schema_equal sl sr) then
+        raise
+          (Union_lineage_mismatch
+             { left = Array.to_list sl; right = Array.to_list sr });
+      sl
 
 let rec strip_samples = function
   | Scan name -> Scan name
@@ -137,3 +145,16 @@ let pp_tree ppf plan =
 
 let relations plan =
   Array.to_list (lineage_schema plan)
+
+let children = function
+  | Scan _ -> []
+  | Select (_, q) | Project (_, q) | Distinct q | Sample (_, q) -> [ q ]
+  | Equi_join { left; right; _ } -> [ left; right ]
+  | Theta_join (_, l, r) | Cross (l, r) | Union_samples (l, r) -> [ l; r ]
+
+let rec subtree plan = function
+  | [] -> Some plan
+  | i :: rest -> (
+      match List.nth_opt (children plan) i with
+      | Some child -> subtree child rest
+      | None -> None)

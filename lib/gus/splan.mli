@@ -26,6 +26,12 @@ type t =
           rewriter checks that both sides strip to the same relational
           skeleton. *)
 
+exception Union_lineage_mismatch of { left : string list; right : string list }
+(** Raised by {!lineage_schema} when the two branches of a [Union_samples]
+    disagree on their base relations — Prop. 7 requires both samples to be
+    drawn from the same expression, so there is no single lineage schema to
+    report.  The payload carries both schemas for diagnostics. *)
+
 val scan : string -> t
 val select : Expr.t -> t -> t
 val equi_join : t -> t -> on:string * string -> t
@@ -35,7 +41,8 @@ val sample : Gus_sampling.Sampler.t -> t -> t
 
 val lineage_schema : t -> Lineage.schema
 (** Base relations in scope, in plan order.  Raises [Lineage.Overlap] on a
-    self-join. *)
+    self-join and {!Union_lineage_mismatch} when the branches of a
+    [Union_samples] scan different relations. *)
 
 val strip_samples : t -> t
 (** The relational skeleton: every [Sample] removed, [Union_samples]
@@ -58,3 +65,11 @@ val pp_tree : Format.formatter -> t -> unit
 
 val relations : t -> string list
 (** Distinct base relations scanned, in first-use order. *)
+
+val children : t -> t list
+(** Direct sub-plans, left to right (empty for [Scan]). *)
+
+val subtree : t -> int list -> t option
+(** [subtree plan path] follows child indices from the root ([[]] is the
+    plan itself).  This is how {!Gus_analysis.Diagnostic.t} locators resolve
+    back to the offending operator. *)

@@ -32,13 +32,13 @@ let rec conjoin = function
   | e :: rest -> (
       match conjoin rest with None -> Some e | Some r -> Some (Expr.And (e, r)))
 
-let compile db query =
+let compile ?(self_join_check = true) db query =
   (match query.Ast.from with [] -> error "empty FROM clause" | _ -> ());
   let seen = Hashtbl.create 8 in
   List.iter
     (fun fi ->
       let r = fi.Ast.relation in
-      if Hashtbl.mem seen r then
+      if self_join_check && Hashtbl.mem seen r then
         error "relation %s appears twice in FROM (self-joins are not supported \
                by the GUS theory)" r;
       Hashtbl.add seen r ();

@@ -15,9 +15,14 @@ type compiled = {
   query : Ast.query;
 }
 
-val compile : Gus_relational.Database.t -> Ast.query -> compiled
+val compile :
+  ?self_join_check:bool -> Gus_relational.Database.t -> Ast.query -> compiled
 (** Raises {!Error} on unknown relations/columns, duplicate FROM relations
-    (self-joins are outside the theory), or an empty FROM list. *)
+    (self-joins are outside the theory), or an empty FROM list.
+    [~self_join_check:false] lets a duplicated FROM relation through so the
+    resulting plan can be handed to {!Gus_analysis.Lint} — the linter then
+    reports it as GUS001 together with every other problem, instead of this
+    planner failing fast. *)
 
 val sampler_of_spec : Ast.sample_spec -> Gus_sampling.Sampler.t option
 (** [None] for a 100-PERCENT sample (no-op). [System_percent] maps to

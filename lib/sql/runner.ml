@@ -1,6 +1,6 @@
 open Gus_relational
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Sbox = Gus_estimator.Sbox
 module Interval = Gus_stats.Interval
 
@@ -93,13 +93,20 @@ let partition_groups keys rel =
     rel;
   List.rev_map (fun k -> (k, Hashtbl.find groups k)) !order
 
+let lint ?config db sql =
+  let query = Parser.parse sql in
+  let { Planner.plan; _ } = Planner.compile ~self_join_check:false db query in
+  (plan, Gus_analysis.Lint.run_db ?config db plan)
+
 let run ?(seed = 42) db sql =
   let query = Parser.parse sql in
   let { Planner.plan; _ } = Planner.compile db query in
-  let rng = Gus_util.Rng.create seed in
-  let sample = Splan.exec db rng plan in
+  (* Analyze before executing: a plan outside the GUS theory is rejected
+     with every diagnostic code at once, before any sampling work runs. *)
   let analysis = Rewrite.analyze_db db plan in
   let gus = analysis.Rewrite.gus in
+  let rng = Gus_util.Rng.create seed in
+  let sample = Splan.exec db rng plan in
   let cells, groups =
     match query.Ast.group_by with
     | [] -> (List.map (eval_item ~gus sample) query.Ast.items, [])

@@ -26,9 +26,21 @@ type result = {
   plan : Gus_core.Splan.t;
 }
 
+val lint :
+  ?config:Gus_analysis.Lint.config ->
+  Gus_relational.Database.t ->
+  string ->
+  Gus_core.Splan.t * Gus_analysis.Lint.report
+(** Parse and plan the query (allowing self-joins through so they can be
+    reported), then run the static SOA-soundness linter over the plan —
+    without executing it.  Raises [Parser.Error] / [Planner.Error] on
+    malformed input; never executes the plan or touches tuple data. *)
+
 val run : ?seed:int -> Gus_relational.Database.t -> string -> result
 (** Raises [Parser.Error] / [Planner.Error] / [Rewrite.Unsupported] on bad
-    input. *)
+    input.  The SOA analysis runs {e before} execution, so an unsupported
+    plan is rejected with every [GUSxxx] diagnostic at once and no sampling
+    work is wasted. *)
 
 val run_exact : Gus_relational.Database.t -> string -> (string * float) list
 (** Ground truth for each SELECT item, ignoring all TABLESAMPLE clauses

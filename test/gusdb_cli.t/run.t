@@ -66,3 +66,72 @@ Bad SQL produces a parse error and non-zero exit:
   $ gusdb query "SELECT FROM"; echo "exit: $?"
   gusdb: expected an aggregate (SUM/COUNT/AVG/QUANTILE) but found FROM
   exit: 1
+
+The linter lists its diagnostic registry:
+
+  $ gusdb lint --codes | head -3
+  GUS001 error   self-join: a relation appears on both sides of a join   [Prop. 6 (disjoint lineage); Section 9]
+  GUS002 error   union of samples of two different expressions           [Prop. 7]
+  GUS003 error   WOR sampling over a derived or already-sampled input    [Figure 1 (WOR needs a fixed N); Section 9]
+
+A clean plan lints silently and exits 0:
+
+  $ gusdb lint -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT)"; echo "exit: $?"
+  sampling plan:
+  Bernoulli(0.1)
+    lineitem
+  
+  plan is GUS-analyzable: a = 0.1 over [lineitem]
+  0 error(s), 0 warning(s), 0 hint(s)
+  exit: 0
+
+A plan with several problems reports every code at once and exits 1
+(the self-join is let through the planner so the linter can see it):
+
+  $ gusdb lint -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (2000000000 ROWS), lineitem"; echo "exit: $?"
+  sampling plan:
+  cross  <-- GUS001
+    WOR(2000000000)  <-- GUS008
+      lineitem
+    lineitem
+  
+  GUS001 error   at $ (cross): relation lineitem used on both sides of the join: overlapping lineage violates Prop. 6's disjointness precondition (self-joins are outside GUS) [Prop. 6 (disjoint lineage); Section 9]
+  GUS008 error   at $.0 (WOR(2000000000)): WOR(2000000000) over lineitem (N = 584): inclusion probability n/N = 3.42466e+06 exceeds 1 [Def. 1 (GUS probabilities)]
+  plan is not GUS-analyzable
+  2 error(s), 0 warning(s), 0 hint(s)
+  exit: 1
+
+A legal but statistically degenerate sampling rate is a warning
+(exit stays 0):
+
+  $ gusdb lint -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (0.005 PERCENT)"; echo "exit: $?"
+  sampling plan:
+  Bernoulli(5e-05)  <-- GUS010
+    lineitem
+  
+  GUS010 warning at $ (Bernoulli(5e-05)): effective sampling fraction a = 5e-05 is below 0.001: Theorem-1 variance terms scale with c_S/a² (blow-up factor ≈ 4e+08) [Theorem 1 (variance terms c_S/a²)]
+  plan is GUS-analyzable: a = 5e-05 over [lineitem]
+  0 error(s), 1 warning(s), 0 hint(s)
+  exit: 0
+
+Machine-readable output:
+
+  $ gusdb lint --json -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (2000000000 ROWS), lineitem"; echo "exit: $?"
+  {
+    "errors": 2,
+    "warnings": 0,
+    "hints": 0,
+    "analyzable": false,
+    "diagnostics": [
+      {"code": "GUS001", "severity": "error", "path": "$", "node": "cross", "message": "relation lineitem used on both sides of the join: overlapping lineage violates Prop. 6's disjointness precondition (self-joins are outside GUS)", "citation": "Prop. 6 (disjoint lineage); Section 9"},
+      {"code": "GUS008", "severity": "error", "path": "$.0", "node": "WOR(2000000000)", "message": "WOR(2000000000) over lineitem (N = 584): inclusion probability n/N = 3.42466e+06 exceeds 1", "citation": "Def. 1 (GUS probabilities)"}
+    ]
+  }
+  exit: 1
+
+Unsupported plans are rejected by query before any sampling runs,
+with the same stable codes:
+
+  $ gusdb query -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (2000000000 ROWS)"; echo "exit: $?"
+  gusdb: unsupported plan: GUS008: WOR(2000000000) over lineitem (N = 584): inclusion probability n/N = 3.42466e+06 exceeds 1 [Def. 1 (GUS probabilities)]
+  exit: 1

@@ -11,7 +11,7 @@
 
 module Gus = Gus_core.Gus
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Sbox = Gus_estimator.Sbox
 module Moments = Gus_estimator.Moments
 module Subset = Gus_util.Subset

@@ -3,7 +3,7 @@
 
 module Gus = Gus_core.Gus
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Sampler = Gus_sampling.Sampler
 open Gus_relational
 

@@ -4,7 +4,7 @@
 
 module Gus = Gus_core.Gus
 module Splan = Gus_core.Splan
-module Rewrite = Gus_core.Rewrite
+module Rewrite = Gus_analysis.Rewrite
 module Sbox = Gus_estimator.Sbox
 module Moments = Gus_estimator.Moments
 module Interval = Gus_stats.Interval
