@@ -6,7 +6,9 @@
      dune exec bench/main.exe            # quick experiments + micro-benches
      dune exec bench/main.exe -- --full  # full-size experiments
      dune exec bench/main.exe -- -e T3   # one experiment
-     dune exec bench/main.exe -- --micro # micro-benchmarks only *)
+     dune exec bench/main.exe -- --micro # micro-benchmarks only
+     dune exec bench/main.exe -- --micro --json          # + BENCH_moments.json
+     dune exec bench/main.exe -- --micro --quota 0.1     # shorter per-bench quota *)
 
 open Bechamel
 open Toolkit
@@ -15,7 +17,17 @@ module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
 module Moments = Gus_estimator.Moments
 module Sbox = Gus_estimator.Sbox
+module Pool = Gus_util.Pool
 module Exp = Gus_experiments
+
+(* The moments numbers recorded on main at the commit this optimization PR
+   branched from (seed kernel = today's Moments.*_naive), same machine,
+   default 0.5 s quota.  Written into BENCH_moments.json so every later run
+   carries the perf trajectory with it. *)
+let baseline_main_ns =
+  [ ("sbox/moments-2rel-10k", 4.95e6); ("sbox/moments-4rel-10k", 38.16e6) ]
+
+let micro_pool = lazy (Pool.create ~size:(max 2 (Pool.recommended_size ())))
 
 let micro_tests () =
   (* Shared fixtures, built once. *)
@@ -30,6 +42,7 @@ let micro_tests () =
   in
   let pairs2_10k = pairs 2 10_000 in
   let pairs4_10k = pairs 4 10_000 in
+  let pool = Lazy.force micro_pool in
   let db = Exp.Harness.db_cached ~scale:0.3 in
   let q1 = Exp.Harness.query1_plan () in
   let q1_gus = (Rewrite.analyze_db db q1).Rewrite.gus in
@@ -45,6 +58,24 @@ let micro_tests () =
         (Staged.stage (fun () -> ignore (Moments.of_pairs ~n_rels:2 pairs2_10k)));
       Test.make ~name:"moments-4rel-10k"
         (Staged.stage (fun () -> ignore (Moments.of_pairs ~n_rels:4 pairs4_10k)));
+      (* The retained seed implementation: the "before" of the kernel. *)
+      Test.make ~name:"moments-2rel-10k-naive"
+        (Staged.stage (fun () ->
+             ignore (Moments.of_pairs_naive ~n_rels:2 pairs2_10k)));
+      Test.make ~name:"moments-4rel-10k-naive"
+        (Staged.stage (fun () ->
+             ignore (Moments.of_pairs_naive ~n_rels:4 pairs4_10k)));
+      (* Multicore fan-out of the subset passes (threshold forced off so the
+         pool is exercised even at 10k tuples). *)
+      Test.make ~name:"moments-4rel-10k-par"
+        (Staged.stage (fun () ->
+             ignore
+               (Moments.of_pairs ~pool ~par_threshold:0 ~n_rels:4 pairs4_10k)));
+      Test.make ~name:"bilinear-4rel-10k"
+        (Staged.stage (fun () ->
+             ignore
+               (Moments.bilinear_of_pairs ~n_rels:4
+                  (Array.map (fun (l, f) -> (l, f, f)) pairs4_10k))));
       Test.make ~name:"sbox-query1-e2e"
         (Staged.stage (fun () ->
              ignore
@@ -53,26 +84,77 @@ let micro_tests () =
         (Staged.stage (fun () ->
              ignore (Splan.exec db (Gus_util.Rng.create 6) q1))) ]
 
-let run_micro () =
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_nan x || x = infinity || x = neg_infinity then "null"
+  else Printf.sprintf "%.6g" x
+
+let write_json ~path ~quota rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"gus-bench-moments/v1\",\n";
+  out "  \"generated_by\": \"dune exec bench/main.exe -- --micro --json\",\n";
+  out "  \"unit\": \"ns/run\",\n";
+  out "  \"quota_s\": %s,\n" (json_float quota);
+  out "  \"pool_lanes\": %d,\n" (Pool.size (Lazy.force micro_pool));
+  out "  \"recommended_domains\": %d,\n" (Pool.recommended_size ());
+  out "  \"baseline_main_ns\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    \"%s\": %s%s\n" (json_escape name) (json_float ns)
+        (if i = List.length baseline_main_ns - 1 then "" else ","))
+    baseline_main_ns;
+  out "  },\n";
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i (name, est, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float est) (json_float r2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+let run_micro ~quota ~json () =
   print_endline "\n=== Bechamel micro-benchmarks (monotonic clock) ===\n";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances (micro_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows =
+    List.map
+      (fun (name, r) ->
+        let est =
+          match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan
+        in
+        let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
+        (name, est, r2))
+      rows
+  in
   let t = Gus_util.Tablefmt.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
   List.iter
-    (fun (name, r) ->
-      let est =
-        match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan
-      in
-      let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
+    (fun (name, est, r2) ->
       let r2_cell = if Float.is_nan r2 then "-" else Printf.sprintf "%.3f" r2 in
       let human =
         if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
@@ -82,20 +164,33 @@ let run_micro () =
       in
       Gus_util.Tablefmt.add_row t [ name; human; r2_cell ])
     rows;
-  Gus_util.Tablefmt.print t
+  Gus_util.Tablefmt.print t;
+  if json then write_json ~path:"BENCH_moments.json" ~quota rows
 
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
   let micro_only = List.mem "--micro" args in
-  let single =
+  let json = List.mem "--json" args in
+  let find_opt_arg flag =
     let rec find = function
-      | "-e" :: id :: _ -> Some id
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let quota =
+    match find_opt_arg "--quota" with
+    | None -> 0.5
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some q when q > 0.0 -> q
+        | _ ->
+            Printf.eprintf "invalid --quota %s\n" s;
+            exit 1)
+  in
+  let single = find_opt_arg "-e" in
   Printf.printf
     "GUS sampling algebra - benchmark harness (paper tables T1-T4, \
      experiments E1-E7)\n";
@@ -111,4 +206,4 @@ let () =
           exit 1
     end
   | false, None -> Exp.Registry.run_all ~quick:(not full) ());
-  if single = None then run_micro ()
+  if single = None then run_micro ~quota ~json ()

@@ -1,10 +1,21 @@
 module Subset = Gus_util.Subset
+module Inttbl = Gus_util.Inttbl
+module Pool = Gus_util.Pool
 open Gus_relational
 
 module Key = struct
   type t = int array
 
-  let equal = ( = )
+  (* Monomorphic: polymorphic compare on int arrays walks the generic
+     structural-equality interpreter per element. *)
+  let equal (a : int array) (b : int array) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i =
+      i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+    in
+    go 0
 
   let hash (l : t) =
     let h = ref (Gus_util.Hashing.mix64 23L) in
@@ -14,23 +25,28 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-let of_pairs ~n_rels pairs =
+let check_lengths ~what ~n_rels ~lineage_of pairs =
   if n_rels > Subset.max_universe then
-    invalid_arg "Moments.of_pairs: too many relations";
+    invalid_arg (Printf.sprintf "Moments.%s: too many relations" what);
   Array.iter
-    (fun (l, _) ->
-      if Array.length l <> n_rels then
-        invalid_arg "Moments.of_pairs: lineage length mismatch")
-    pairs;
+    (fun p ->
+      if Array.length (lineage_of p) <> n_rels then
+        invalid_arg (Printf.sprintf "Moments.%s: lineage length mismatch" what))
+    pairs
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference implementation (the original seed code): one fresh
+   restricted-lineage key array per tuple per subset, one polymorphic-ish
+   hashtable per subset.  Retained as the oracle the optimized kernel is
+   property-tested against, and as the "before" side of the
+   BENCH_moments.json trajectory. *)
+
+let of_pairs_naive ~n_rels pairs =
+  check_lengths ~what:"of_pairs" ~n_rels ~lineage_of:fst pairs;
   let nmasks = Subset.count n_rels in
   let y = Array.make nmasks 0.0 in
-  (* S = ∅: a single group containing everything. *)
   let grand = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 pairs in
   y.(Subset.empty) <- grand *. grand;
-  (* Every other subset is a genuine group-by on the restricted lineage.
-     Note S = full is NOT the plain sum of f²: block-granular lineage (block
-     sampling) makes several tuples share a full lineage, and they must be
-     summed within their group. *)
   for s = 1 to nmasks - 1 do
     let positions = Subset.elements s in
     let groups = Tbl.create (max 64 (Array.length pairs / 4)) in
@@ -47,13 +63,9 @@ let of_pairs ~n_rels pairs =
   done;
   y
 
-let bilinear_of_pairs ~n_rels pairs =
-  if n_rels > Subset.max_universe then
-    invalid_arg "Moments.bilinear_of_pairs: too many relations";
-  Array.iter
-    (fun (l, _, _) ->
-      if Array.length l <> n_rels then
-        invalid_arg "Moments.bilinear_of_pairs: lineage length mismatch")
+let bilinear_of_pairs_naive ~n_rels pairs =
+  check_lengths ~what:"bilinear_of_pairs" ~n_rels
+    ~lineage_of:(fun (l, _, _) -> l)
     pairs;
   let nmasks = Subset.count n_rels in
   let y = Array.make nmasks 0.0 in
@@ -76,7 +88,165 @@ let bilinear_of_pairs ~n_rels pairs =
   done;
   y
 
-let bilinear_of_relation ~f ~g rel =
+(* ------------------------------------------------------------------ *)
+(* Optimized kernel.
+
+   Each subset pass is a group-by on the lineage positions in the mask.
+   Instead of materializing a restricted key array per tuple, we hash the
+   masked positions of the original lineage in place and resolve collisions
+   by comparing lineages under the mask, using the open-addressing
+   {!Gus_util.Inttbl} keyed by tuple index.  All scratch (table, payload
+   sums, position buffer) is allocated once per pass and reused across
+   subsets; the per-tuple inner loop allocates nothing.
+
+   Subset passes are independent — they only write the disjoint y.(s)
+   cells — so above {!default_par_threshold} tuples they fan out across a
+   domain pool, each lane carrying its own scratch. *)
+
+let default_par_threshold = 4096
+
+(* SplitMix64-flavoured finalizer on native ints; constants truncated to
+   62 bits.  Only collision *rate* depends on this — correctness rests on
+   the masked equality check. *)
+let[@inline] mix h k =
+  let h = (h lxor k) * 0x3F58476D1CE4E5B9 in
+  let h = (h lxor (h lsr 29)) * 0x14D049BB133111EB in
+  h lxor (h lsr 32)
+
+let[@inline] masked_hash (l : int array) (pos : int array) npos =
+  let h = ref 0x9E3779B97F4A7C1 in
+  for k = 0 to npos - 1 do
+    h := mix !h (Array.unsafe_get l (Array.unsafe_get pos k))
+  done;
+  !h land max_int
+
+let[@inline] masked_equal (la : int array) (lb : int array) (pos : int array)
+    npos =
+  let rec go k =
+    k >= npos
+    ||
+    let p = Array.unsafe_get pos k in
+    Array.unsafe_get la p = Array.unsafe_get lb p && go (k + 1)
+  in
+  go 0
+
+(* Write the element indices of mask [s] into [pos]; returns how many. *)
+let fill_positions (pos : int array) s =
+  let n = ref 0 in
+  let m = ref s and p = ref 0 in
+  while !m <> 0 do
+    if !m land 1 = 1 then begin
+      pos.(!n) <- !p;
+      incr n
+    end;
+    incr p;
+    m := !m lsr 1
+  done;
+  !n
+
+(* Run [body] over subset masks [1, nmasks): sequentially, or fanned out
+   over [pool] when the input is large enough to amortize the domains.
+   [body lo hi] must allocate its own scratch (one set per lane). *)
+let run_passes ?pool ~par_threshold ~n_pairs ~nmasks body =
+  let lanes =
+    match pool with Some p -> Pool.size p | None -> Pool.recommended_size ()
+  in
+  if n_pairs < par_threshold || lanes <= 1 || nmasks - 1 <= 1 then
+    body 1 nmasks
+  else
+    let p = match pool with Some p -> p | None -> Pool.default () in
+    Pool.run_chunks p ~lo:1 ~hi:nmasks body
+
+let of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels pairs =
+  check_lengths ~what:"of_pairs" ~n_rels ~lineage_of:fst pairs;
+  let nmasks = Subset.count n_rels in
+  let y = Array.make nmasks 0.0 in
+  let m = Array.length pairs in
+  let grand = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 pairs in
+  y.(Subset.empty) <- grand *. grand;
+  if nmasks > 1 && m > 0 then
+    run_passes ?pool ~par_threshold ~n_pairs:m ~nmasks (fun lo hi ->
+        let tbl = Inttbl.create ~hint:m in
+        let sums = Array.make (Inttbl.capacity tbl) 0.0 in
+        let pos = Array.make n_rels 0 in
+        let npos = ref 0 in
+        let equal i j =
+          let li, _ = Array.unsafe_get pairs i in
+          let lj, _ = Array.unsafe_get pairs j in
+          masked_equal li lj pos !npos
+        in
+        for s = lo to hi - 1 do
+          npos := fill_positions pos s;
+          Inttbl.reset tbl ~hint:m;
+          for i = 0 to m - 1 do
+            let l, f = Array.unsafe_get pairs i in
+            let slot =
+              Inttbl.find_or_add tbl ~hash:(masked_hash l pos !npos) ~equal
+                ~repr:i
+            in
+            if Inttbl.added tbl then Array.unsafe_set sums slot f
+            else
+              Array.unsafe_set sums slot (Array.unsafe_get sums slot +. f)
+          done;
+          let acc = ref 0.0 in
+          Inttbl.iter tbl (fun slot _ ->
+              let v = Array.unsafe_get sums slot in
+              acc := !acc +. (v *. v));
+          y.(s) <- !acc
+        done);
+  y
+
+let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
+    pairs =
+  check_lengths ~what:"bilinear_of_pairs" ~n_rels
+    ~lineage_of:(fun (l, _, _) -> l)
+    pairs;
+  let nmasks = Subset.count n_rels in
+  let y = Array.make nmasks 0.0 in
+  let m = Array.length pairs in
+  let grand_f = Array.fold_left (fun acc (_, f, _) -> acc +. f) 0.0 pairs in
+  let grand_g = Array.fold_left (fun acc (_, _, g) -> acc +. g) 0.0 pairs in
+  y.(Subset.empty) <- grand_f *. grand_g;
+  if nmasks > 1 && m > 0 then
+    run_passes ?pool ~par_threshold ~n_pairs:m ~nmasks (fun lo hi ->
+        let tbl = Inttbl.create ~hint:m in
+        let sums_f = Array.make (Inttbl.capacity tbl) 0.0 in
+        let sums_g = Array.make (Inttbl.capacity tbl) 0.0 in
+        let pos = Array.make n_rels 0 in
+        let npos = ref 0 in
+        let equal i j =
+          let li, _, _ = Array.unsafe_get pairs i in
+          let lj, _, _ = Array.unsafe_get pairs j in
+          masked_equal li lj pos !npos
+        in
+        for s = lo to hi - 1 do
+          npos := fill_positions pos s;
+          Inttbl.reset tbl ~hint:m;
+          for i = 0 to m - 1 do
+            let l, f, g = Array.unsafe_get pairs i in
+            let slot =
+              Inttbl.find_or_add tbl ~hash:(masked_hash l pos !npos) ~equal
+                ~repr:i
+            in
+            if Inttbl.added tbl then begin
+              Array.unsafe_set sums_f slot f;
+              Array.unsafe_set sums_g slot g
+            end
+            else begin
+              Array.unsafe_set sums_f slot (Array.unsafe_get sums_f slot +. f);
+              Array.unsafe_set sums_g slot (Array.unsafe_get sums_g slot +. g)
+            end
+          done;
+          let acc = ref 0.0 in
+          Inttbl.iter tbl (fun slot _ ->
+              acc :=
+                !acc
+                +. (Array.unsafe_get sums_f slot *. Array.unsafe_get sums_g slot));
+          y.(s) <- !acc
+        done);
+  y
+
+let bilinear_of_relation ?pool ~f ~g rel =
   let open Gus_relational in
   let ef = Expr.bind_float rel.Relation.schema f in
   let eg = Expr.bind_float rel.Relation.schema g in
@@ -87,7 +257,9 @@ let bilinear_of_relation ~f ~g rel =
       out.(!i) <- (tup.Tuple.lineage, ef tup, eg tup);
       incr i)
     rel;
-  bilinear_of_pairs ~n_rels:(Array.length rel.Relation.lineage_schema) out
+  bilinear_of_pairs ?pool
+    ~n_rels:(Array.length rel.Relation.lineage_schema)
+    out
 
 let pairs_of_relation ~f rel =
   let eval = Expr.bind_float rel.Relation.schema f in
@@ -100,8 +272,8 @@ let pairs_of_relation ~f rel =
     rel;
   out
 
-let of_relation ~f rel =
-  of_pairs
+let of_relation ?pool ~f rel =
+  of_pairs ?pool
     ~n_rels:(Array.length rel.Relation.lineage_schema)
     (pairs_of_relation ~f rel)
 

@@ -4,13 +4,37 @@
     [y_S = Σ_{lineage-groups on S} (Σ_{tuples in group} f)²] — a group-by
     on the lineage ids of the relations in [S].  Computed over the full
     query result these are the exact [y_S]; computed over a sample they are
-    the raw [Y_S] that the SBox corrects into unbiased [Ŷ_S]. *)
+    the raw [Y_S] that the SBox corrects into unbiased [Ŷ_S].
 
-val of_pairs : n_rels:int -> (int array * float) array -> float array
+    The group-by passes run on an allocation-free kernel: lineages are
+    hashed directly under each subset mask (no restricted key arrays) into
+    a reused open-addressing table, and the [2^n_rels − 1] independent
+    passes fan out across a {!Gus_util.Pool} domain pool for large inputs.
+    [?pool] selects the pool (default: the shared {!Gus_util.Pool.default},
+    whose size is the machine's recommended domain count — on single-core
+    hosts everything stays sequential).  [?par_threshold] is the tuple
+    count below which the passes always run sequentially on the calling
+    domain (default 4096). *)
+
+val of_pairs :
+  ?pool:Gus_util.Pool.t ->
+  ?par_threshold:int ->
+  n_rels:int ->
+  (int array * float) array ->
+  float array
 (** [(lineage, f)] pairs → the [2^n_rels] moments, indexed by subset mask.
     Every lineage must have length [n_rels]. *)
 
-val of_relation : f:Gus_relational.Expr.t -> Gus_relational.Relation.t -> float array
+val of_pairs_naive : n_rels:int -> (int array * float) array -> float array
+(** Reference implementation of {!of_pairs} (fresh key array per tuple per
+    subset, one hashtable per subset).  Kept as the oracle for property
+    tests and benchmarks; do not use on hot paths. *)
+
+val of_relation :
+  ?pool:Gus_util.Pool.t ->
+  f:Gus_relational.Expr.t ->
+  Gus_relational.Relation.t ->
+  float array
 (** Evaluate [f] on every tuple (Null ↦ 0) and delegate to {!of_pairs}
     using the relation's lineage schema. *)
 
@@ -22,14 +46,29 @@ val pairs_of_relation :
 val total : (int array * float) array -> float
 (** Σ f — the quantity the estimate scales up. *)
 
-val bilinear_of_pairs : n_rels:int -> (int array * float * float) array -> float array
+val bilinear_of_pairs :
+  ?pool:Gus_util.Pool.t ->
+  ?par_threshold:int ->
+  n_rels:int ->
+  (int array * float * float) array ->
+  float array
 (** Cross moments [y^{fg}_S = Σ_{groups on S} (Σ f)(Σ g)] — the bilinear
     generalization used for covariance between two SUM aggregates over the
     same sample (and hence for AVG via the delta method).
     [bilinear_of_pairs] with [f = g] coincides with {!of_pairs}. *)
 
+val bilinear_of_pairs_naive :
+  n_rels:int -> (int array * float * float) array -> float array
+(** Reference implementation of {!bilinear_of_pairs}; see
+    {!of_pairs_naive}. *)
+
 val bilinear_of_relation :
+  ?pool:Gus_util.Pool.t ->
   f:Gus_relational.Expr.t ->
   g:Gus_relational.Expr.t ->
   Gus_relational.Relation.t ->
   float array
+
+val default_par_threshold : int
+(** Tuple count below which {!of_pairs}/{!bilinear_of_pairs} never
+    parallelize (4096). *)

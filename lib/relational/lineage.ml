@@ -45,7 +45,18 @@ let hash l =
   Array.iter (fun id -> h := Gus_util.Hashing.combine !h (Int64.of_int id)) l;
   Int64.to_int !h
 
-let equal a b = a = b
+(* Monomorphic loop: polymorphic compare would interpret the generic
+   structural-equality protocol per element. *)
+let equal (a : t) (b : t) =
+  a == b
+  ||
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i =
+    i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+  in
+  go 0
 
 let pp ~schema ppf l =
   let parts =

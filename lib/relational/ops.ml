@@ -1,5 +1,47 @@
 module Vec = Gus_util.Vec
 
+(* Hash tables keyed directly on the data we already hold — a Value, a
+   lineage array, a Value array — with the library's semantic equality and
+   mixing hashes.  The seed code keyed several operators on freshly built
+   [string list] / [int list] images of each tuple, which dominated the
+   hot paths with allocations and polymorphic compares. *)
+
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash v = Value.hash v land max_int
+end)
+
+module LTbl = Hashtbl.Make (struct
+  type t = Lineage.t
+
+  let equal = Lineage.equal
+  let hash l = Lineage.hash l land max_int
+end)
+
+module VsTbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal (a : Value.t array) (b : Value.t array) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (a : Value.t array) =
+    let h = ref 0x9E3779B97F4A7C1 in
+    Array.iter
+      (fun v ->
+        h :=
+          Int64.to_int
+            (Gus_util.Hashing.combine (Int64.of_int !h)
+               (Int64.of_int (Value.hash v))))
+      a;
+    !h land max_int
+end)
+
 let select pred rel =
   let keep = Expr.bind_predicate rel.Relation.schema pred in
   let out =
@@ -67,38 +109,39 @@ let equi_join ~left_key ~right_key a b =
     if Relation.cardinality a <= Relation.cardinality b then (a, b, lkey, rkey, true)
     else (b, a, rkey, lkey, false)
   in
-  let table : (Value.t, Tuple.t Vec.t) Hashtbl.t =
-    Hashtbl.create (max 16 (Relation.cardinality build))
-  in
-  Relation.iter
-    (fun tup ->
-      let k = build_key tup in
-      if not (Value.is_null k) then begin
-        let bucket =
-          match Hashtbl.find_opt table k with
-          | Some v -> v
-          | None ->
-              let v = Vec.create () in
-              Hashtbl.add table k v;
-              v
-        in
-        Vec.push bucket tup
-      end)
-    build;
+  (* Buckets as index chains into the build side: [table] holds the chain
+     head per key, [next] the per-row link (-1 ends a chain).  Presized
+     once; no per-bucket vectors, no resizing during the build. *)
+  let nbuild = Relation.cardinality build in
+  let table : int VTbl.t = VTbl.create (max 16 nbuild) in
+  let next = Array.make (max 1 nbuild) (-1) in
+  (* Backwards, so the prepend-built chains emit matches in build order
+     (same output order as the seed's per-bucket vectors). *)
+  for i = nbuild - 1 downto 0 do
+    let k = build_key (Relation.tuple build i) in
+    if not (Value.is_null k) then begin
+      (match VTbl.find_opt table k with
+      | Some head -> next.(i) <- head
+      | None -> ());
+      VTbl.replace table k i
+    end
+  done;
   Relation.iter
     (fun tup ->
       let k = probe_key tup in
       if not (Value.is_null k) then
-        match Hashtbl.find_opt table k with
+        match VTbl.find_opt table k with
         | None -> ()
-        | Some bucket ->
-            Vec.iter
-              (fun btup ->
-                let joined =
-                  if build_left then Tuple.concat btup tup else Tuple.concat tup btup
-                in
-                Relation.append_tuple out joined)
-              bucket)
+        | Some head ->
+            let i = ref head in
+            while !i >= 0 do
+              let btup = Relation.tuple build !i in
+              let joined =
+                if build_left then Tuple.concat btup tup else Tuple.concat tup btup
+              in
+              Relation.append_tuple out joined;
+              i := next.(!i)
+            done)
     probe;
   out
 
@@ -139,11 +182,14 @@ let union_lineage a b =
       ~name:(Printf.sprintf "(%s|%s)" a.Relation.name b.Relation.name)
       a.Relation.schema a.Relation.lineage_schema
   in
-  let seen = Hashtbl.create (Relation.cardinality a + Relation.cardinality b) in
+  let seen =
+    LTbl.create (max 16 (Relation.cardinality a + Relation.cardinality b))
+  in
   let push tup =
-    let key = Array.to_list tup.Tuple.lineage in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
+    (* Key on the lineage array itself — tuples never mutate it. *)
+    let key = tup.Tuple.lineage in
+    if not (LTbl.mem seen key) then begin
+      LTbl.add seen key ();
       Relation.append_tuple out tup
     end
   in
@@ -157,12 +203,11 @@ let distinct rel =
       ~name:(Printf.sprintf "distinct(%s)" rel.Relation.name)
       rel.Relation.schema rel.Relation.lineage_schema
   in
-  let seen = Hashtbl.create (max 16 (Relation.cardinality rel)) in
+  let seen = VsTbl.create (max 16 (Relation.cardinality rel)) in
   Relation.iter
     (fun tup ->
-      let key = Array.to_list (Array.map Value.to_display tup.Tuple.values) in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.add seen key ();
+      if not (VsTbl.mem seen tup.Tuple.values) then begin
+        VsTbl.add seen tup.Tuple.values ();
         Relation.append_tuple out tup
       end)
     rel;
@@ -222,39 +267,40 @@ let aggregate agg rel =
 
 let group_by ~keys ~aggs rel =
   let schema = rel.Relation.schema in
-  let key_fns = List.map (Expr.bind schema) keys in
+  let key_fns = Array.of_list (List.map (Expr.bind schema) keys) in
   let agg_fns =
-    List.map
-      (fun (_, a) -> (a, Option.map (Expr.bind schema) (agg_expr a)))
-      aggs
+    Array.of_list
+      (List.map
+         (fun (_, a) -> (a, Option.map (Expr.bind schema) (agg_expr a)))
+         aggs)
   in
-  let groups : (string list, Value.t list * agg_state list) Hashtbl.t =
-    Hashtbl.create 64
-  in
+  (* Group on the key values themselves (one small array per tuple) rather
+     than on per-tuple display-string lists; rendering happens once per
+     group at emission. *)
+  let groups : agg_state array VsTbl.t = VsTbl.create 64 in
   let order = Vec.create () in
   Relation.iter
     (fun tup ->
-      let key_vals = List.map (fun f -> f tup) key_fns in
-      let key = List.map Value.to_display key_vals in
-      let _, states =
-        match Hashtbl.find_opt groups key with
-        | Some entry -> entry
+      let key = Array.map (fun f -> f tup) key_fns in
+      let states =
+        match VsTbl.find_opt groups key with
+        | Some states -> states
         | None ->
-            let entry = (key_vals, List.map (fun _ -> state_create ()) agg_fns) in
-            Hashtbl.add groups key entry;
+            let states = Array.map (fun _ -> state_create ()) agg_fns in
+            VsTbl.add groups key states;
             Vec.push order key;
-            entry
+            states
       in
-      List.iter2
-        (fun st (_, f) ->
-          match f with
+      Array.iteri
+        (fun i st ->
+          match snd agg_fns.(i) with
           | None -> state_add st 1.0
           | Some f -> begin
               match f tup with
               | Value.Null -> ()
               | v -> state_add st (Value.to_float v)
             end)
-        states agg_fns)
+        states)
     rel;
   let key_cols =
     List.mapi (fun i _ -> { Schema.name = Printf.sprintf "k%d" i; ty = Value.TStr }) keys
@@ -266,12 +312,15 @@ let group_by ~keys ~aggs rel =
   let out = Relation.derived ~name:"group_by" out_schema Lineage.schema_empty in
   Vec.iter
     (fun key ->
-      let key_vals, states = Hashtbl.find groups key in
-      let key_strs = List.map (fun v -> Value.Str (Value.to_display v)) key_vals in
-      let agg_vals =
-        List.map2 (fun st (a, _) -> Value.Float (finish a st)) states agg_fns
+      let states = VsTbl.find groups key in
+      let nk = Array.length key in
+      let row =
+        Array.init
+          (nk + Array.length states)
+          (fun i ->
+            if i < nk then Value.Str (Value.to_display key.(i))
+            else Value.Float (finish (fst agg_fns.(i - nk)) states.(i - nk)))
       in
-      Relation.append_tuple out
-        (Tuple.make (Array.of_list (key_strs @ agg_vals)) [||]))
+      Relation.append_tuple out (Tuple.make row [||]))
     order;
   out

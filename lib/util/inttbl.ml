@@ -1,0 +1,66 @@
+type t = {
+  mutable hash : int array;
+  mutable repr : int array;
+  mutable mask : int;
+  mutable size : int;
+  mutable added : bool;
+}
+
+let capacity_for hint =
+  let target = max 16 (2 * max 0 hint) in
+  let c = ref 16 in
+  while !c < target do
+    c := !c * 2
+  done;
+  !c
+
+let create ~hint =
+  let cap = capacity_for hint in
+  { hash = Array.make cap 0;
+    repr = Array.make cap (-1);
+    mask = cap - 1;
+    size = 0;
+    added = false }
+
+let capacity t = Array.length t.repr
+let size t = t.size
+let added t = t.added
+
+let reset t ~hint =
+  let cap = capacity_for hint in
+  if cap > Array.length t.repr then begin
+    t.hash <- Array.make cap 0;
+    t.repr <- Array.make cap (-1);
+    t.mask <- cap - 1
+  end
+  else Array.fill t.repr 0 (Array.length t.repr) (-1);
+  t.size <- 0
+
+let find_or_add t ~hash:h ~equal ~repr:i =
+  let mask = t.mask in
+  let hashes = t.hash and reprs = t.repr in
+  let j = ref (h land mask) in
+  let result = ref (-1) in
+  while !result < 0 do
+    let r = Array.unsafe_get reprs !j in
+    if r < 0 then begin
+      Array.unsafe_set reprs !j i;
+      Array.unsafe_set hashes !j h;
+      t.size <- t.size + 1;
+      t.added <- true;
+      result := !j
+    end
+    else if Array.unsafe_get hashes !j = h && equal r i then begin
+      t.added <- false;
+      result := !j
+    end
+    else j := (!j + 1) land mask
+  done;
+  !result
+
+let iter t f =
+  let reprs = t.repr in
+  for j = 0 to Array.length reprs - 1 do
+    let r = Array.unsafe_get reprs j in
+    if r >= 0 then f j r
+  done

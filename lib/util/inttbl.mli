@@ -1,0 +1,40 @@
+(** Open-addressing scratch table for allocation-free group-by passes.
+
+    The table does not store keys: a slot holds the caller-supplied hash and
+    an int {e representative} (typically an index into the caller's data).
+    Collisions are resolved by the caller's [equal] on representatives, so
+    arbitrary key semantics (e.g. "lineage arrays compared under a subset
+    mask") cost no intermediate key allocations.  Payloads live in
+    caller-owned arrays indexed by slot ({!capacity} gives their size).
+
+    Capacity is a power of two, at least twice [hint]; as long as [hint] is
+    an upper bound on the number of distinct keys the load factor stays
+    ≤ 0.5 and linear probing terminates.  [create]/[reset] are the only
+    allocating operations — a table created once per pass is reused across
+    sub-passes with O(capacity) clears. *)
+
+type t
+
+val create : hint:int -> t
+(** [create ~hint] sizes the table for up to [hint] distinct keys. *)
+
+val reset : t -> hint:int -> unit
+(** Empty the table, growing it first if [hint] outgrew the capacity. *)
+
+val find_or_add : t -> hash:int -> equal:(int -> int -> bool) -> repr:int -> int
+(** [find_or_add t ~hash ~equal ~repr] returns the slot for the key
+    represented by [repr], inserting it if absent.  [equal r r'] must decide
+    whether two representatives carry the same key; it is only consulted on
+    stored-hash equality.  Check {!added} to see whether the call inserted. *)
+
+val added : t -> bool
+(** Whether the most recent {!find_or_add} inserted a new key. *)
+
+val size : t -> int
+(** Number of distinct keys currently stored. *)
+
+val capacity : t -> int
+(** Current slot count — the size payload arrays must have. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] calls [f slot repr] for every occupied slot. *)

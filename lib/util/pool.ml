@@ -1,0 +1,119 @@
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+  mutable failure : exn option;
+}
+
+type t = {
+  size : int;
+  workers : worker array;
+  domains : unit Domain.t array;
+  mutable live : bool;
+}
+
+let size t = t.size
+
+let worker_loop w =
+  let running = ref true in
+  while !running do
+    Mutex.lock w.mutex;
+    while w.job = None && not w.stop do
+      Condition.wait w.cond w.mutex
+    done;
+    match w.job with
+    | Some f ->
+        Mutex.unlock w.mutex;
+        (try f () with e -> w.failure <- Some e);
+        Mutex.lock w.mutex;
+        w.job <- None;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex
+    | None ->
+        Mutex.unlock w.mutex;
+        running := false
+  done
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.stop <- true;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex)
+      t.workers;
+    Array.iter Domain.join t.domains
+  end
+
+let create ~size =
+  let size = max 1 size in
+  let workers =
+    Array.init (size - 1) (fun _ ->
+        { mutex = Mutex.create ();
+          cond = Condition.create ();
+          job = None;
+          stop = false;
+          failure = None })
+  in
+  let domains = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
+  let t = { size; workers; domains; live = true } in
+  (* Blocked workers would keep the process from shutting down cleanly. *)
+  if size > 1 then at_exit (fun () -> shutdown t);
+  t
+
+let submit w f =
+  Mutex.lock w.mutex;
+  w.failure <- None;
+  w.job <- Some f;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.mutex
+
+let await w =
+  Mutex.lock w.mutex;
+  while w.job <> None do
+    Condition.wait w.cond w.mutex
+  done;
+  Mutex.unlock w.mutex
+
+let run_chunks t ~lo ~hi f =
+  let total = hi - lo in
+  if total > 0 then begin
+    if not t.live then invalid_arg "Pool.run_chunks: pool is shut down";
+    let lanes = min t.size total in
+    if lanes <= 1 then f lo hi
+    else begin
+      let per = total / lanes and rem = total mod lanes in
+      (* Chunk k covers [start k, start (k+1)): the first [rem] chunks get
+         one extra index. *)
+      let start k = lo + (k * per) + min k rem in
+      for k = 1 to lanes - 1 do
+        let clo = start k and chi = start (k + 1) in
+        submit t.workers.(k - 1) (fun () -> f clo chi)
+      done;
+      let caller_failure = (try f (start 0) (start 1); None with e -> Some e) in
+      for k = 1 to lanes - 1 do
+        await t.workers.(k - 1)
+      done;
+      (match caller_failure with Some e -> raise e | None -> ());
+      for k = 1 to lanes - 1 do
+        match t.workers.(k - 1).failure with
+        | Some e -> raise e
+        | None -> ()
+      done
+    end
+  end
+
+let recommended_size () = max 1 (Domain.recommended_domain_count ())
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some t when t.live -> t
+  | _ ->
+      let t = create ~size:(recommended_size ()) in
+      default_pool := Some t;
+      t

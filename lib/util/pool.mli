@@ -1,0 +1,39 @@
+(** A small, reusable domain pool (OCaml 5 [Domain], no dependencies).
+
+    [create ~size] keeps [size - 1] worker domains parked on condition
+    variables; {!run_chunks} fans a half-open index range out across them
+    (the calling domain works too, as lane 0) and returns when every lane
+    has finished.  A pool of size 1 spawns no domains and runs everything
+    inline, so callers can thread one pool through unconditionally and
+    degrade gracefully on single-core hosts, where
+    [Domain.recommended_domain_count () = 1]. *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] spawns [max 1 size - 1] worker domains.  Pools are
+    cheap to keep around and meant to be reused; workers idle on a
+    condition variable between jobs.  An [at_exit] hook shuts the pool
+    down so forgotten pools never block process exit. *)
+
+val size : t -> int
+(** Number of lanes (workers + the calling domain). *)
+
+val run_chunks : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [run_chunks t ~lo ~hi f] partitions [\[lo, hi)] into at most
+    [size t] contiguous chunks and evaluates [f clo chi] on each, in
+    parallel.  Blocks until all chunks are done.  If any chunk raises, one
+    of the exceptions is re-raised after every lane has finished.  The
+    caller must ensure chunk bodies touch disjoint mutable state.
+    A pool must not be shared by concurrent [run_chunks] calls. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool cannot be
+    used afterwards. *)
+
+val recommended_size : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())]. *)
+
+val default : unit -> t
+(** A process-wide shared pool of {!recommended_size}, created lazily on
+    first use. *)

@@ -50,18 +50,24 @@ let iter_all n f =
     f s
   done
 
-(* Enumerating subsets of a mask via the standard (sub - 1) land s trick,
-   emitted in increasing order by collecting then reversing the usual
-   decreasing enumeration. *)
+(* Subsets of a mask in increasing order, allocation-free: (sub - s) land s
+   steps through them ascending (the dual of the classic decreasing
+   (sub - 1) land s walk), wrapping back to 0 after s itself. *)
 let iter_subsets s f =
-  let acc = ref [] in
+  f 0;
+  let sub = ref ((0 - s) land s) in
+  while !sub <> 0 do
+    f !sub;
+    sub := (!sub - s) land s
+  done
+
+let iter_subsets_down s f =
   let sub = ref s in
   let continue = ref true in
   while !continue do
-    acc := !sub :: !acc;
+    f !sub;
     if !sub = 0 then continue := false else sub := (!sub - 1) land s
-  done;
-  List.iter f !acc
+  done
 
 let iter_supersets n s f =
   let comp = complement n s in

@@ -38,7 +38,10 @@ val iter_all : int -> (t -> unit) -> unit
 
 val iter_subsets : t -> (t -> unit) -> unit
 (** [iter_subsets s f] calls [f] on every subset of [s] (including [empty]
-    and [s] itself), in increasing mask order. *)
+    and [s] itself), in increasing mask order.  Allocation-free. *)
+
+val iter_subsets_down : t -> (t -> unit) -> unit
+(** Same subsets as {!iter_subsets}, in decreasing mask order. *)
 
 val iter_supersets : int -> t -> (t -> unit) -> unit
 (** [iter_supersets n s f] calls [f] on every [t] with [s ⊆ t ⊆ full n]. *)

@@ -159,9 +159,84 @@ let prop_mobius_z_nonneg_sum =
       let total = z 0 +. z 1 +. z 2 +. z 3 in
       Float.abs (total -. y.(0)) <= 1e-6 *. Float.max 1.0 (Float.abs y.(0)))
 
+(* ---- optimized kernel vs the retained naive reference ----------------- *)
+
+(* Pools of size 1 (inline), 2 (always at least one worker domain), and the
+   machine's recommended count.  par_threshold:0 forces the parallel path
+   even on tiny inputs so the fan-out itself is exercised. *)
+let pools =
+  lazy
+    (let module Pool = Gus_util.Pool in
+     [ Pool.create ~size:1;
+       Pool.create ~size:2;
+       Pool.create ~size:(Pool.recommended_size ()) ])
+
+(* Random (lineage, f, g) triples over 0..6 relations with ids drawn from a
+   tiny range (to force genuine groups) and a duplicated prefix (to cover
+   block-granular inputs where several tuples share a full lineage). *)
+let kernel_gen =
+  QCheck2.Gen.(
+    int_range 0 6 >>= fun n_rels ->
+    list_size (int_range 0 40)
+      (pair
+         (list_repeat n_rels (int_range 0 3))
+         (pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0)))
+    >>= fun base ->
+    int_range 0 (List.length base) >|= fun dup ->
+    let tri =
+      List.map (fun (l, (f, g)) -> (Array.of_list l, f, g)) base
+    in
+    let blocks = List.filteri (fun i _ -> i < dup) tri in
+    (n_rels, Array.of_list (tri @ blocks)))
+
+let close_rel ?(tol = 1e-9) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.abs b)
+
+let prop_kernel_matches_naive =
+  QCheck2.Test.make ~name:"of_pairs kernel = naive (pool sizes 1/2/N)"
+    ~count:200 kernel_gen (fun (n_rels, tri) ->
+      let pairs = Array.map (fun (l, f, _) -> (l, f)) tri in
+      let reference = Moments.of_pairs_naive ~n_rels pairs in
+      List.for_all
+        (fun pool ->
+          let y = Moments.of_pairs ~pool ~par_threshold:0 ~n_rels pairs in
+          Array.for_all2 close_rel y reference)
+        (Lazy.force pools))
+
+let prop_bilinear_kernel_matches_naive =
+  QCheck2.Test.make
+    ~name:"bilinear_of_pairs kernel = naive (pool sizes 1/2/N)" ~count:200
+    kernel_gen (fun (n_rels, tri) ->
+      let reference = Moments.bilinear_of_pairs_naive ~n_rels tri in
+      List.for_all
+        (fun pool ->
+          let y = Moments.bilinear_of_pairs ~pool ~par_threshold:0 ~n_rels tri in
+          Array.for_all2 close_rel y reference)
+        (Lazy.force pools))
+
+let test_kernel_large_parallel () =
+  (* One deterministic above-threshold input per pool, so the default
+     threshold path and chunked fan-out both run on real volume. *)
+  let rng = Gus_util.Rng.create 4242 in
+  let pairs =
+    Array.init 6000 (fun _ ->
+        (Array.init 3 (fun _ -> Gus_util.Rng.int rng 50), Gus_util.Rng.float rng))
+  in
+  let reference = Moments.of_pairs_naive ~n_rels:3 pairs in
+  List.iter
+    (fun pool ->
+      let y = Moments.of_pairs ~pool ~n_rels:3 pairs in
+      Array.iteri
+        (fun s v ->
+          close ~eps:(1e-9 *. Float.max 1.0 (Float.abs reference.(s)))
+            (Printf.sprintf "y.(%d)" s) reference.(s) v)
+        y)
+    (Lazy.force pools)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_matches_brute_force; prop_mobius_z_nonneg_sum ]
+    [ prop_matches_brute_force; prop_mobius_z_nonneg_sum;
+      prop_kernel_matches_naive; prop_bilinear_kernel_matches_naive ]
 
 let () =
   Alcotest.run "gus_estimator.moments"
@@ -179,4 +254,7 @@ let () =
           Alcotest.test_case "symmetric" `Quick test_bilinear_symmetric ] );
       ( "relation",
         [ Alcotest.test_case "of_relation with nulls" `Quick test_of_relation ] );
+      ( "kernel",
+        [ Alcotest.test_case "large input across pools" `Quick
+            test_kernel_large_parallel ] );
       ("properties", qcheck_tests) ]

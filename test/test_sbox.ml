@@ -274,6 +274,35 @@ let test_run_end_to_end () =
     (Gus.equal_approx analysis.Rewrite.gus (Gus.bernoulli ~rel:"pop" 0.5));
   check_bool "estimate positive" true (report.Sbox.estimate > 0.0)
 
+let test_query1_fixture_pinned () =
+  (* End-to-end regression pin: the full Query-1 pipeline (TPC-H generator →
+     sampled plan execution → SBox) must keep producing the values the seed
+     implementation produced (captured at scale 0.1, exec seed 5, before the
+     moments kernel rewrite).  Catches any semantic drift in the hot-path
+     optimizations; tolerances only absorb float summation-order noise. *)
+  let db = Gus_experiments.Harness.db_cached ~scale:0.1 in
+  let plan = Gus_experiments.Harness.query1_plan () in
+  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let sample = Splan.exec db (Rng.create 5) plan in
+  let r = Sbox.of_relation ~gus ~f:Gus_experiments.Harness.revenue_f sample in
+  let close_rel what expected actual =
+    close ~eps:(1e-9 *. Float.max 1.0 (Float.abs expected)) what expected actual
+  in
+  check Alcotest.int "n_tuples" 399 r.Sbox.n_tuples;
+  close_rel "total_f" 2011402.2008122066 r.Sbox.total_f;
+  close_rel "estimate" 30171033.0121831 r.Sbox.estimate;
+  close_rel "variance" 3525763563611.75 r.Sbox.variance;
+  close_rel "stddev" 1877701.6705567874 r.Sbox.stddev;
+  let y_exp =
+    [| 906765469458630.62; 255103066015.23785; 768145494887.45654;
+       255103066015.23795 |]
+  in
+  check Alcotest.int "y_hat length" 4 (Array.length r.Sbox.y_hat);
+  Array.iteri
+    (fun i expected ->
+      close_rel (Printf.sprintf "y_hat.(%d)" i) expected r.Sbox.y_hat.(i))
+    y_exp
+
 let test_wr_baseline_unbiased () =
   let pop = population 300 in
   let truth = Relation.sum_column pop "v" in
@@ -300,7 +329,9 @@ let () =
           Alcotest.test_case "scale-up" `Quick test_estimate_scale_up;
           Alcotest.test_case "schema mismatch" `Quick test_schema_mismatch_rejected;
           Alcotest.test_case "unbiased (MC)" `Slow test_unbiased_estimate_mc;
-          Alcotest.test_case "run end-to-end" `Quick test_run_end_to_end ] );
+          Alcotest.test_case "run end-to-end" `Quick test_run_end_to_end;
+          Alcotest.test_case "Query-1 fixture pinned to seed values" `Quick
+            test_query1_fixture_pinned ] );
       ( "variance",
         [ Alcotest.test_case "sigma-hat quality (MC)" `Slow test_variance_estimate_mc;
           Alcotest.test_case "Y-hat unbiased per subset (MC)" `Slow test_y_hat_unbiased_mc;

@@ -95,6 +95,10 @@ let test_subset_iteration () =
   let subs = ref [] in
   Subset.iter_subsets (Subset.of_elements [ 0; 2 ]) (fun s -> subs := s :: !subs);
   check (Alcotest.list Alcotest.int) "subsets of {0,2}" [ 5; 4; 1; 0 ] !subs;
+  let downs = ref [] in
+  Subset.iter_subsets_down (Subset.of_elements [ 0; 2 ]) (fun s ->
+      downs := s :: !downs);
+  check (Alcotest.list Alcotest.int) "subsets of {0,2} down" [ 0; 1; 4; 5 ] !downs;
   let sups = ref 0 in
   Subset.iter_supersets 4 (Subset.of_elements [ 1 ]) (fun _ -> incr sups);
   check_int "supersets of {1} in univ 4" 8 !sups
@@ -361,10 +365,70 @@ let prop_vec_roundtrip =
     QCheck2.Gen.(list int)
     (fun l -> Vec.to_list (Vec.of_list l) = l)
 
+let prop_subsets_down_is_reverse =
+  QCheck2.Test.make ~name:"iter_subsets_down = reverse of iter_subsets"
+    ~count:200 subset_arb (fun s ->
+      let up = ref [] and down = ref [] in
+      Subset.iter_subsets s (fun t -> up := t :: !up);
+      Subset.iter_subsets_down s (fun t -> down := t :: !down);
+      !up = List.rev !down)
+
+(* ---- Pool ------------------------------------------------------------- *)
+
+module Pool = Gus_util.Pool
+
+let test_pool_covers_range () =
+  let pool = Pool.create ~size:3 in
+  check_int "lanes" 3 (Pool.size pool);
+  let hits = Array.make 100 0 in
+  Pool.run_chunks pool ~lo:0 ~hi:100 (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Array.iteri (fun i n -> check_int (Printf.sprintf "index %d once" i) 1 n) hits;
+  (* Reuse: a second job on the same pool. *)
+  let total = Atomic.make 0 in
+  Pool.run_chunks pool ~lo:5 ~hi:25 (fun lo hi ->
+      ignore (Atomic.fetch_and_add total (hi - lo)));
+  check_int "reused pool sums range" 20 (Atomic.get total);
+  Pool.shutdown pool
+
+let test_pool_size_one_inline () =
+  let pool = Pool.create ~size:1 in
+  check_int "single lane" 1 (Pool.size pool);
+  let calls = ref [] in
+  Pool.run_chunks pool ~lo:2 ~hi:7 (fun lo hi -> calls := (lo, hi) :: !calls);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "one inline chunk" [ (2, 7) ] !calls;
+  Pool.run_chunks pool ~lo:3 ~hi:3 (fun _ _ -> Alcotest.fail "empty range ran");
+  Pool.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~size:2 in
+  check_bool "worker exception reraised" true
+    (try
+       Pool.run_chunks pool ~lo:0 ~hi:10 (fun lo _ ->
+           if lo > 0 then failwith "boom");
+       false
+     with Failure _ -> true);
+  (* The pool survives a failed job. *)
+  let total = Atomic.make 0 in
+  Pool.run_chunks pool ~lo:0 ~hi:10 (fun lo hi ->
+      ignore (Atomic.fetch_and_add total (hi - lo)));
+  check_int "usable after failure" 10 (Atomic.get total);
+  Pool.shutdown pool;
+  check_bool "rejected after shutdown" true
+    (try
+       Pool.run_chunks pool ~lo:0 ~hi:10 (fun _ _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_inter_subset; prop_union_superset; prop_complement_involution;
-      prop_cardinal_additive; prop_subsets_count; prop_vec_roundtrip ]
+      prop_cardinal_additive; prop_subsets_count; prop_subsets_down_is_reverse;
+      prop_vec_roundtrip ]
 
 let () =
   Alcotest.run "gus_util"
@@ -383,6 +447,10 @@ let () =
           Alcotest.test_case "limits" `Quick test_subset_limits;
           Alcotest.test_case "sign" `Quick test_subset_sign;
           Alcotest.test_case "pp" `Quick test_subset_pp ] );
+      ( "pool",
+        [ Alcotest.test_case "covers range" `Quick test_pool_covers_range;
+          Alcotest.test_case "size-1 inline" `Quick test_pool_size_one_inline;
+          Alcotest.test_case "exceptions" `Quick test_pool_exception_propagates ] );
       ( "rng",
         [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "distinct seeds" `Quick test_rng_distinct_seeds;
