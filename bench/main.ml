@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- -e T3   # one experiment
      dune exec bench/main.exe -- --micro # micro-benchmarks only
      dune exec bench/main.exe -- --micro --json          # + BENCH_moments.json
-     dune exec bench/main.exe -- --micro --quota 0.1     # shorter per-bench quota *)
+     dune exec bench/main.exe -- --micro --quota 0.1     # shorter per-bench quota
+     dune exec bench/main.exe -- --micro --pool-size 4   # fix the lane count *)
 
 open Bechamel
 open Toolkit
@@ -20,16 +21,32 @@ module Sbox = Gus_estimator.Sbox
 module Pool = Gus_util.Pool
 module Exp = Gus_experiments
 
-(* The moments numbers recorded on main at the commit this optimization PR
-   branched from (seed kernel = today's Moments.*_naive), same machine,
-   default 0.5 s quota.  Written into BENCH_moments.json so every later run
-   carries the perf trajectory with it. *)
+(* Numbers recorded on main before each optimization landed, same machine,
+   measured inside a full --micro pass so the GC context matches fresh runs
+   (trials-q1: the 5-trial materializing trial loop at scale 0.1, measured
+   immediately before the streaming rewrite; in a cold process it reads
+   ~7.2e6, the shared-heap context costs both implementations alike).
+   Written into BENCH_moments.json so every later run carries the perf
+   trajectory with it, and compared against fresh runs by the CI soft
+   regression gate. *)
 let baseline_main_ns =
-  [ ("sbox/moments-2rel-10k", 4.95e6); ("sbox/moments-4rel-10k", 38.16e6) ]
+  [ ("sbox/moments-2rel-10k", 4.95e6);
+    ("sbox/moments-4rel-10k", 38.16e6);
+    ("sbox/exec-query1-sampled", 2.13308e6);
+    ("harness/trials-q1", 10.83e6) ]
 
-let micro_pool = lazy (Pool.create ~size:(max 2 (Pool.recommended_size ())))
+let micro_pool = lazy (Pool.create ~size:(max 2 (Pool.default_size ())))
 
-let micro_tests () =
+(* One micro-benchmark: full display name, the staged body, and whether it
+   is allocation-heavy — heavy benches churn the major heap enough that the
+   OLS fit needs a longer quota to stabilize (the committed
+   exec-query1-sampled once recorded r² < 0), so they run with the quota
+   floored at [heavy_quota_floor] seconds. *)
+type spec = { name : string; heavy : bool; body : unit -> unit }
+
+let heavy_quota_floor = 1.0
+
+let micro_specs () =
   (* Shared fixtures, built once. *)
   let plan6 = Exp.Exp_runtime.chain_plan ~n:6 in
   let plan10 = Exp.Exp_runtime.chain_plan ~n:10 in
@@ -47,42 +64,78 @@ let micro_tests () =
   let q1 = Exp.Harness.query1_plan () in
   let q1_gus = (Rewrite.analyze_db db q1).Rewrite.gus in
   let q1_sample = Splan.exec db (Gus_util.Rng.create 5) q1 in
-  Test.make_grouped ~name:"sbox" ~fmt:"%s/%s"
-    [ Test.make ~name:"rewrite-n6"
-        (Staged.stage (fun () -> ignore (Rewrite.analyze ~card plan6)));
-      Test.make ~name:"rewrite-n10"
-        (Staged.stage (fun () -> ignore (Rewrite.analyze ~card plan10)));
-      Test.make ~name:"c-coeffs-n10"
-        (Staged.stage (fun () -> ignore (Gus.c_coefficients gus10)));
-      Test.make ~name:"moments-2rel-10k"
-        (Staged.stage (fun () -> ignore (Moments.of_pairs ~n_rels:2 pairs2_10k)));
-      Test.make ~name:"moments-4rel-10k"
-        (Staged.stage (fun () -> ignore (Moments.of_pairs ~n_rels:4 pairs4_10k)));
-      (* The retained seed implementation: the "before" of the kernel. *)
-      Test.make ~name:"moments-2rel-10k-naive"
-        (Staged.stage (fun () ->
-             ignore (Moments.of_pairs_naive ~n_rels:2 pairs2_10k)));
-      Test.make ~name:"moments-4rel-10k-naive"
-        (Staged.stage (fun () ->
-             ignore (Moments.of_pairs_naive ~n_rels:4 pairs4_10k)));
-      (* Multicore fan-out of the subset passes (threshold forced off so the
-         pool is exercised even at 10k tuples). *)
-      Test.make ~name:"moments-4rel-10k-par"
-        (Staged.stage (fun () ->
-             ignore
-               (Moments.of_pairs ~pool ~par_threshold:0 ~n_rels:4 pairs4_10k)));
-      Test.make ~name:"bilinear-4rel-10k"
-        (Staged.stage (fun () ->
-             ignore
-               (Moments.bilinear_of_pairs ~n_rels:4
-                  (Array.map (fun (l, f) -> (l, f, f)) pairs4_10k))));
-      Test.make ~name:"sbox-query1-e2e"
-        (Staged.stage (fun () ->
-             ignore
-               (Sbox.of_relation ~gus:q1_gus ~f:Exp.Harness.revenue_f q1_sample)));
-      Test.make ~name:"exec-query1-sampled"
-        (Staged.stage (fun () ->
-             ignore (Splan.exec db (Gus_util.Rng.create 6) q1))) ]
+  let db01 = Exp.Harness.db_cached ~scale:0.1 in
+  [ { name = "sbox/rewrite-n6";
+      heavy = false;
+      body = (fun () -> ignore (Rewrite.analyze ~card plan6)) };
+    { name = "sbox/rewrite-n10";
+      heavy = false;
+      body = (fun () -> ignore (Rewrite.analyze ~card plan10)) };
+    { name = "sbox/c-coeffs-n10";
+      heavy = false;
+      body = (fun () -> ignore (Gus.c_coefficients gus10)) };
+    { name = "sbox/moments-2rel-10k";
+      heavy = false;
+      body = (fun () -> ignore (Moments.of_pairs ~n_rels:2 pairs2_10k)) };
+    { name = "sbox/moments-4rel-10k";
+      heavy = false;
+      body = (fun () -> ignore (Moments.of_pairs ~n_rels:4 pairs4_10k)) };
+    (* The retained seed implementation: the "before" of the kernel. *)
+    { name = "sbox/moments-2rel-10k-naive";
+      heavy = true;
+      body = (fun () -> ignore (Moments.of_pairs_naive ~n_rels:2 pairs2_10k)) };
+    { name = "sbox/moments-4rel-10k-naive";
+      heavy = true;
+      body = (fun () -> ignore (Moments.of_pairs_naive ~n_rels:4 pairs4_10k)) };
+    (* Multicore fan-out of the subset passes (threshold forced off so the
+       pool is exercised even at 10k tuples). *)
+    { name = "sbox/moments-4rel-10k-par";
+      heavy = false;
+      body =
+        (fun () ->
+          ignore (Moments.of_pairs ~pool ~par_threshold:0 ~n_rels:4 pairs4_10k)) };
+    { name = "sbox/bilinear-4rel-10k";
+      heavy = false;
+      body =
+        (fun () ->
+          ignore
+            (Moments.bilinear_of_pairs ~n_rels:4
+               (Array.map (fun (l, f) -> (l, f, f)) pairs4_10k))) };
+    { name = "sbox/sbox-query1-e2e";
+      heavy = true;
+      body =
+        (fun () ->
+          ignore
+            (Sbox.of_relation ~gus:q1_gus ~f:Exp.Harness.revenue_f q1_sample)) };
+    { name = "sbox/exec-query1-sampled";
+      heavy = true;
+      body = (fun () -> ignore (Splan.exec db (Gus_util.Rng.create 6) q1)) };
+    (* Streaming pipeline: same plan, same seed, but the result tuples fold
+       straight into the moments accumulator — the row to read against
+       exec-query1-sampled + sbox-query1-e2e, whose sum it replaces. *)
+    { name = "sbox/stream-query1";
+      heavy = true;
+      body =
+        (fun () ->
+          ignore
+            (Sbox.of_plan ~gus:q1_gus ~f:Exp.Harness.revenue_f db
+               (Gus_util.Rng.create 6) q1)) };
+    (* Monte-Carlo harness: 5 streaming trials (incl. the exact pass), at
+       scale 0.1 to match the recorded pre-streaming baseline. *)
+    { name = "harness/trials-q1";
+      heavy = true;
+      body =
+        (fun () ->
+          ignore
+            (Exp.Harness.trials ~trials:5 ~seed:1 db01 q1
+               ~f:Exp.Harness.revenue_f)) };
+    { name = "harness/trials-q1-par";
+      heavy = true;
+      body =
+        (fun () ->
+          ignore
+            (Exp.Harness.trials_par ~pool ~trials:5 ~seed:1 db01 q1
+               ~f:Exp.Harness.revenue_f)) } ]
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -120,8 +173,10 @@ let write_json ~path ~quota rows =
   out "  \"results\": [\n";
   List.iteri
     (fun i (name, est, r2) ->
-      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+      let low_fit = Float.is_nan r2 || r2 < 0.5 in
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s%s}%s\n"
         (json_escape name) (json_float est) (json_float r2)
+        (if low_fit then ", \"low_fit\": true" else "")
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ]\n";
@@ -129,18 +184,42 @@ let write_json ~path ~quota rows =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+let bench_group ~quota specs =
+  if specs = [] then []
+  else begin
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
+    in
+    (* Per-bench warmup: one untimed call apiece, so first-touch effects
+       (lazy fixtures, page faults, branch-predictor cold start) land
+       outside the measured window.  The compaction then resets the major
+       heap so earlier allocation-heavy benches don't tax this group's
+       GC pacing. *)
+    List.iter (fun s -> s.body ()) specs;
+    Gc.compact ();
+    let tests =
+      Test.make_grouped ~name:"" ~fmt:"%s%s"
+        (List.map (fun s -> Test.make ~name:s.name (Staged.stage s.body)) specs)
+    in
+    let raw = Benchmark.all cfg instances tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+  end
+
 let run_micro ~quota ~json () =
   print_endline "\n=== Bechamel micro-benchmarks (monotonic clock) ===\n";
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  let specs = micro_specs () in
+  let light, heavy = List.partition (fun s -> not s.heavy) specs in
+  (* Allocation-heavy benches get the quota floored so the fit stabilizes;
+     everything else keeps the requested (possibly very short) quota. *)
+  let rows =
+    bench_group ~quota light
+    @ bench_group ~quota:(Float.max quota heavy_quota_floor) heavy
   in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
-  in
-  let raw = Benchmark.all cfg instances (micro_tests ()) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   let rows =
     List.map
@@ -190,6 +269,14 @@ let () =
             Printf.eprintf "invalid --quota %s\n" s;
             exit 1)
   in
+  (match find_opt_arg "--pool-size" with
+  | None -> ()
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Pool.set_default_size n
+      | _ ->
+          Printf.eprintf "invalid --pool-size %s\n" s;
+          exit 1));
   let single = find_opt_arg "-e" in
   Printf.printf
     "GUS sampling algebra - benchmark harness (paper tables T1-T4, \

@@ -53,6 +53,18 @@ let data_arg =
              instead of generating data in memory." in
   Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"DIR" ~doc)
 
+let pool_size_arg =
+  let doc = "Number of worker domains for pool-parallel execution \
+             (overrides $(b,GUSDB_DOMAINS); 1 disables parallelism)." in
+  Arg.(value & opt (some int) None & info [ "pool-size" ] ~docv:"N" ~doc)
+
+let apply_pool_size = function
+  | None -> ()
+  | Some n when n >= 1 -> Gus_util.Pool.set_default_size n
+  | Some n ->
+      Printf.eprintf "gusdb: invalid --pool-size %d\n" n;
+      exit 1
+
 (* Report user-facing failures as diagnostics + exit 1 instead of
    uncaught-exception backtraces. *)
 let or_fail f =
@@ -110,8 +122,9 @@ let query_cmd =
     let doc = "Also evaluate the query exactly (no sampling) for comparison." in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run scale seed sql exact data =
+  let run scale seed sql exact data pool_size =
    or_fail @@ fun () ->
+    apply_pool_size pool_size;
     let db = db_source ~scale ~seed:20130630 data in
     let result = Gus_sql.Runner.run ~seed db sql in
     Format.printf "%a@." Gus_sql.Runner.pp_result result;
@@ -124,7 +137,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Estimate an aggregate query over samples.")
-    Term.(const run $ scale_arg $ seed_arg $ sql_arg $ exact_arg $ data_arg)
+    Term.(const run $ scale_arg $ seed_arg $ sql_arg $ exact_arg $ data_arg
+          $ pool_size_arg)
 
 (* ---- plan ---- *)
 
@@ -304,8 +318,9 @@ let experiments_cmd =
     let doc = "List the available experiments." in
     Arg.(value & flag & info [ "list" ] ~doc)
   in
-  let run id full list =
+  let run id full list pool_size =
     let module R = Gus_experiments.Registry in
+    apply_pool_size pool_size;
     if list then
       List.iter
         (fun e ->
@@ -324,7 +339,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.")
-    Term.(const run $ id_arg $ full_arg $ list_arg)
+    Term.(const run $ id_arg $ full_arg $ list_arg $ pool_size_arg)
 
 let () =
   let doc = "aggregate estimation over sampled queries (GUS sampling algebra)" in

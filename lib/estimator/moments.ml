@@ -246,6 +246,218 @@ let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
         done);
   y
 
+(* ------------------------------------------------------------------ *)
+(* Streaming accumulator.
+
+   [Acc.t] is the mergeable partial state of {!of_pairs}: one group table
+   per non-empty subset mask, keyed on the lineage restricted to the mask,
+   holding each group's running Σf.  Tuples are folded in one at a time
+   ({!Acc.add}), so estimation-only pipelines never materialize a
+   [(lineage, f)] pairs array; independent partial accumulators (per
+   stream chunk, per pool lane) combine with {!Acc.merge} because the
+   group tables are disjoint-key mergeable: groups with equal restricted
+   lineage add their sums, all others union.
+
+   Each mask's table is the same Inttbl-backed open-addressing scratch as
+   the batch kernel, except the representative is a dense *group index*
+   into a flat restricted-key store (the batch kernel can point at the
+   pairs array; a stream has nothing to point back into).  Probing hashes
+   the incoming lineage under the mask in place — a restricted key array
+   is copied out only when a new group is born, so memory is bounded by
+   the number of distinct groups, not the number of tuples, and the
+   steady-state [add] allocates nothing. *)
+
+module Acc = struct
+  type group = {
+    pos : int array;  (* element positions of this mask *)
+    npos : int;
+    tbl : Inttbl.t;
+    mutable keys : int array;  (* flat store: [npos] ints per group *)
+    mutable sums : float array;  (* per-group running Σf *)
+    mutable ngroups : int;
+    (* Probe cursors: [equal_lineage]/[equal_key] are allocated once per
+       group table and read whichever cursor the caller set, so the hot
+       path passes no fresh closures to [find_or_add]. *)
+    mutable cur_lineage : int array;
+    mutable cur_key : int array;
+    mutable cur_base : int;
+    equal_lineage : int -> int -> bool;
+    equal_key : int -> int -> bool;
+  }
+
+  type t = {
+    n_rels : int;
+    nmasks : int;
+    groups : group array;  (* groups.(s - 1) handles mask s *)
+    mutable count : int;
+    mutable total : float;
+  }
+
+  let never_equal _ _ = false
+
+  let make_group ~hint s =
+    let npos = Subset.cardinal s in
+    let pos = Array.make npos 0 in
+    ignore (fill_positions pos s);
+    let cap = max 16 hint in
+    let rec g =
+      { pos;
+        npos;
+        tbl = Inttbl.create ~hint;
+        keys = Array.make (cap * npos) 0;
+        sums = Array.make cap 0.0;
+        ngroups = 0;
+        cur_lineage = [||];
+        cur_key = [||];
+        cur_base = 0;
+        equal_lineage =
+          (fun stored _ ->
+            let base = stored * g.npos in
+            let rec go k =
+              k >= g.npos
+              || Array.unsafe_get g.keys (base + k)
+                 = Array.unsafe_get g.cur_lineage (Array.unsafe_get g.pos k)
+                 && go (k + 1)
+            in
+            go 0);
+        equal_key =
+          (fun stored _ ->
+            let base = stored * g.npos in
+            let rec go k =
+              k >= g.npos
+              || Array.unsafe_get g.keys (base + k)
+                 = Array.unsafe_get g.cur_key (g.cur_base + k)
+                 && go (k + 1)
+            in
+            go 0) }
+    in
+    g
+
+  let create ?(hint = 64) ~n_rels () =
+    if n_rels > Subset.max_universe then
+      invalid_arg "Moments.Acc.create: too many relations";
+    let nmasks = Subset.count n_rels in
+    { n_rels;
+      nmasks;
+      groups = Array.init (nmasks - 1) (fun i -> make_group ~hint (i + 1));
+      count = 0;
+      total = 0.0 }
+
+  let count t = t.count
+  let total t = t.total
+  let n_rels t = t.n_rels
+
+  (* Hash of stored group [r] — the same fold as {!masked_hash} over the
+     same values in the same order, so rehashing preserves probe homes. *)
+  let key_hash g r =
+    let base = r * g.npos in
+    let h = ref 0x9E3779B97F4A7C1 in
+    for k = 0 to g.npos - 1 do
+      h := mix !h (Array.unsafe_get g.keys (base + k))
+    done;
+    !h land max_int
+
+  let rehash g =
+    Inttbl.reset g.tbl ~hint:(max 16 (2 * g.ngroups));
+    for r = 0 to g.ngroups - 1 do
+      ignore (Inttbl.find_or_add g.tbl ~hash:(key_hash g r) ~equal:never_equal ~repr:r)
+    done
+
+  let[@inline] maybe_grow g =
+    if 2 * (Inttbl.size g.tbl + 1) > Inttbl.capacity g.tbl then rehash g
+
+  let ensure_group_room g =
+    if g.ngroups = Array.length g.sums then begin
+      let cap = 2 * g.ngroups in
+      let keys = Array.make (cap * g.npos) 0 in
+      Array.blit g.keys 0 keys 0 (g.ngroups * g.npos);
+      g.keys <- keys;
+      let sums = Array.make cap 0.0 in
+      Array.blit g.sums 0 sums 0 g.ngroups;
+      g.sums <- sums
+    end
+
+  let insert_group g f copy_key =
+    ensure_group_room g;
+    copy_key (g.ngroups * g.npos);
+    g.sums.(g.ngroups) <- f;
+    g.ngroups <- g.ngroups + 1
+
+  let add t lineage f =
+    if Array.length lineage <> t.n_rels then
+      invalid_arg "Moments.Acc.add: lineage length mismatch";
+    t.count <- t.count + 1;
+    t.total <- t.total +. f;
+    for s = 1 to t.nmasks - 1 do
+      let g = t.groups.(s - 1) in
+      maybe_grow g;
+      g.cur_lineage <- lineage;
+      let h = masked_hash lineage g.pos g.npos in
+      let slot =
+        Inttbl.find_or_add g.tbl ~hash:h ~equal:g.equal_lineage ~repr:g.ngroups
+      in
+      if Inttbl.added g.tbl then
+        insert_group g f (fun base ->
+            for k = 0 to g.npos - 1 do
+              g.keys.(base + k) <- lineage.(g.pos.(k))
+            done)
+      else begin
+        let r = Inttbl.repr_at g.tbl slot in
+        g.sums.(r) <- g.sums.(r) +. f
+      end
+    done
+
+  let add_pairs t pairs = Array.iter (fun (l, f) -> add t l f) pairs
+
+  let merge a b =
+    if a.n_rels <> b.n_rels then
+      invalid_arg "Moments.Acc.merge: relation count mismatch";
+    a.count <- a.count + b.count;
+    a.total <- a.total +. b.total;
+    for s = 1 to a.nmasks - 1 do
+      let ga = a.groups.(s - 1) and gb = b.groups.(s - 1) in
+      for r = 0 to gb.ngroups - 1 do
+        let base = r * gb.npos in
+        maybe_grow ga;
+        ga.cur_key <- gb.keys;
+        ga.cur_base <- base;
+        let h = key_hash gb r in
+        let slot =
+          Inttbl.find_or_add ga.tbl ~hash:h ~equal:ga.equal_key ~repr:ga.ngroups
+        in
+        if Inttbl.added ga.tbl then
+          insert_group ga gb.sums.(r) (fun dst ->
+              Array.blit gb.keys base ga.keys dst ga.npos)
+        else begin
+          let ra = Inttbl.repr_at ga.tbl slot in
+          ga.sums.(ra) <- ga.sums.(ra) +. gb.sums.(r)
+        end
+      done
+    done
+
+  let finalize ?pool t =
+    let y = Array.make t.nmasks 0.0 in
+    y.(Subset.empty) <- t.total *. t.total;
+    if t.nmasks > 1 then begin
+      let body lo hi =
+        for s = lo to hi - 1 do
+          let g = t.groups.(s - 1) in
+          let acc = ref 0.0 in
+          for r = 0 to g.ngroups - 1 do
+            let v = Array.unsafe_get g.sums r in
+            acc := !acc +. (v *. v)
+          done;
+          y.(s) <- !acc
+        done
+      in
+      match pool with
+      | Some p when Pool.size p > 1 && t.nmasks > 2 ->
+          Pool.run_chunks p ~lo:1 ~hi:t.nmasks body
+      | _ -> body 1 t.nmasks
+    end;
+    y
+end
+
 let bilinear_of_relation ?pool ~f ~g rel =
   let open Gus_relational in
   let ef = Expr.bind_float rel.Relation.schema f in

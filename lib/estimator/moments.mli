@@ -72,3 +72,56 @@ val bilinear_of_relation :
 val default_par_threshold : int
 (** Tuple count below which {!of_pairs}/{!bilinear_of_pairs} never
     parallelize (4096). *)
+
+(** Streaming, mergeable moments.
+
+    [Acc.t] folds [(lineage, f)] tuples in one at a time and yields the
+    same [2^n_rels] moment vector as {!of_pairs}, without ever holding a
+    pairs array: per subset mask it keeps one open-addressing group table
+    (restricted lineage key → running Σf), so memory is proportional to
+    the number of distinct lineage groups, not tuples.  Two accumulators
+    fed disjoint tuple streams {!Acc.merge} into the accumulator for the
+    concatenated stream — the basis for chunked / pool-parallel feeding.
+
+    Float caveat: group sums are added in feed order, so a merged
+    accumulator agrees with a sequentially fed one only up to float
+    reassociation (relative error ~1e-12 on realistic inputs, never
+    bit-exact).  Sequential feeding of the same stream is exactly
+    deterministic. *)
+module Acc : sig
+  type t
+
+  val create : ?hint:int -> n_rels:int -> unit -> t
+  (** [create ~n_rels ()] starts an empty accumulator over [n_rels]
+      lineage columns.  [hint] pre-sizes each mask's group table (number
+      of expected distinct groups, default 64); tables grow by rehashing
+      as needed, so the hint only avoids early rehashes. *)
+
+  val add : t -> int array -> float -> unit
+  (** [add t lineage f] folds in one tuple.  The lineage array is read,
+      not retained.  Steady-state (no table growth) this allocates
+      nothing.  Raises if [Array.length lineage <> n_rels]. *)
+
+  val add_pairs : t -> (int array * float) array -> unit
+  (** [Array.iter]-style convenience over {!add}. *)
+
+  val merge : t -> t -> unit
+  (** [merge a b] folds [b]'s groups into [a] ([b] is unchanged);
+      equivalent to having fed [b]'s stream into [a] after [a]'s own, up
+      to float reassociation.  Raises on [n_rels] mismatch. *)
+
+  val finalize : ?pool:Gus_util.Pool.t -> t -> float array
+  (** The moment vector, indexed by subset mask like {!of_pairs}.  Does
+      not consume the accumulator — it can keep absorbing tuples, making
+      repeated [finalize] the natural checkpoint primitive for online /
+      shedding estimation.  [?pool] fans the per-mask Σ(Σf)² reductions
+      across a domain pool (worth it only for many masks). *)
+
+  val count : t -> int
+  (** Tuples folded in so far. *)
+
+  val total : t -> float
+  (** Σ f so far. *)
+
+  val n_rels : t -> int
+end

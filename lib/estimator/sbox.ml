@@ -68,9 +68,8 @@ let of_pairs ~gus pairs =
     variance_raw;
     stddev = sqrt variance }
 
-let check_schema gus rel =
+let check_lineage gus lschema =
   let rels = gus.Gus.rels in
-  let lschema = rel.Relation.lineage_schema in
   if
     Array.length rels <> Array.length lschema
     || not (Array.for_all2 String.equal rels lschema)
@@ -80,9 +79,51 @@ let check_schema gus rel =
          (String.concat "," (Array.to_list rels))
          (String.concat "," (Array.to_list lschema)))
 
+let check_schema gus rel = check_lineage gus rel.Relation.lineage_schema
+
 let of_relation ~gus ~f rel =
   check_schema gus rel;
   of_pairs ~gus (Moments.pairs_of_relation ~f rel)
+
+let report_of_acc ?pool ~gus acc =
+  if Moments.Acc.n_rels acc <> Gus.n_rels gus then
+    invalid_arg "Sbox.report_of_acc: accumulator arity does not match GUS";
+  let y_raw = Moments.Acc.finalize ?pool acc in
+  let y_hat = y_hat_of_moments ~gus y_raw in
+  let total_f = Moments.Acc.total acc in
+  let estimate = Gus.scale_up gus total_f in
+  let variance_raw = Gus.variance gus ~y:y_hat in
+  let variance = Float.max 0.0 variance_raw in
+  { gus;
+    n_tuples = Moments.Acc.count acc;
+    total_f;
+    estimate;
+    y_hat;
+    variance;
+    variance_raw;
+    stddev = sqrt variance }
+
+let of_plan ?pool ~gus ~f db rng plan =
+  check_lineage gus (Splan.lineage_schema plan);
+  let n = Gus.n_rels gus in
+  let init schema =
+    let eval = Expr.bind_float schema f in
+    (Moments.Acc.create ~n_rels:n (), eval)
+  in
+  let feed (acc, eval) tup =
+    Moments.Acc.add acc tup.Tuple.lineage (eval tup);
+    (acc, eval)
+  in
+  let acc, _ =
+    match pool with
+    | Some _ ->
+        Splan.fold_stream_par ?pool db rng plan ~init ~f:feed
+          ~merge:(fun (a, e) (b, _) ->
+            Moments.Acc.merge a b;
+            (a, e))
+    | None -> Splan.fold_stream db rng plan ~init ~f:feed
+  in
+  report_of_acc ?pool ~gus acc
 
 let interval ?(coverage = 0.95) method_ report =
   Interval.make ~method_ ~coverage ~estimate:report.estimate ~stddev:report.stddev
@@ -134,12 +175,20 @@ let subsampled ~gus ~f ~target ~seed rel =
     variance_raw;
     stddev = sqrt variance }
 
-let run ?(seed = 42) db plan ~f =
+let stream ?(seed = 42) ?pool db plan ~f =
   let rng = Gus_util.Rng.create seed in
-  let sample = Splan.exec db rng plan in
   let analysis = Rewrite.analyze_db db plan in
-  let report = of_relation ~gus:analysis.Rewrite.gus ~f sample in
+  let report = of_plan ?pool ~gus:analysis.Rewrite.gus ~f db rng plan in
   (report, analysis)
+
+(* [run] used to materialize the result relation, turn it into a pairs
+   array and hand that to the batch kernel; for an estimation-only query
+   all of that is scaffolding, so it now folds the same tuples (same seed,
+   same draws — [fold_stream] is RNG-faithful) straight into an
+   accumulator.  [estimate]/[total_f]/[n_tuples] are bit-identical to the
+   materializing path; the moment sums may differ in final bits because
+   group-reduction order changed. *)
+let run ?seed db plan ~f = stream ?seed db plan ~f
 
 let covariance ~gus ~f ~g rel =
   check_schema gus rel;

@@ -22,6 +22,29 @@ val of_pairs : gus:Gus_core.Gus.t -> (int array * float) array -> report
 val of_relation : gus:Gus_core.Gus.t -> f:Gus_relational.Expr.t -> Gus_relational.Relation.t -> report
 (** Checks that the relation's lineage schema equals [gus.rels]. *)
 
+val report_of_acc :
+  ?pool:Gus_util.Pool.t -> gus:Gus_core.Gus.t -> Moments.Acc.t -> report
+(** Finalize a streaming accumulator into a full report.  Non-destructive:
+    the accumulator can keep absorbing tuples and be reported again — the
+    checkpoint primitive the online estimators build on.  [?pool] is
+    forwarded to {!Moments.Acc.finalize}. *)
+
+val of_plan :
+  ?pool:Gus_util.Pool.t ->
+  gus:Gus_core.Gus.t ->
+  f:Gus_relational.Expr.t ->
+  Gus_relational.Database.t ->
+  Gus_util.Rng.t ->
+  Gus_core.Splan.t ->
+  report
+(** Streaming twin of [exec] + {!of_relation}: the plan's result tuples
+    are folded straight into a {!Moments.Acc} via
+    {!Gus_core.Splan.fold_stream} — no result relation, no pairs array.
+    Same seed ⇒ same tuples and bit-identical [estimate]/[total_f]/
+    [n_tuples] as the materializing path (moment sums can differ in final
+    bits from reduction order).  With [?pool], chunk-parallel feeding
+    (when the streamable suffix is RNG-free) and pooled moment passes. *)
+
 val y_hat_of_moments : gus:Gus_core.Gus.t -> float array -> float array
 (** The Section-6.3 unbiased correction: raw sample moments [Y] →
     unbiased [Ŷ], solved top-down from the full subset.  When some
@@ -47,6 +70,16 @@ val subsampled :
     subsample of ≈[target] tuples, analyzed by compacting the subsampler's
     composed GUS onto [gus]. *)
 
+val stream :
+  ?seed:int ->
+  ?pool:Gus_util.Pool.t ->
+  Gus_relational.Database.t ->
+  Gus_core.Splan.t ->
+  f:Gus_relational.Expr.t ->
+  report * Gus_analysis.Rewrite.result
+(** Analyze the plan, then estimate it end to end via {!of_plan} — the
+    whole pipeline without ever materializing the sampled result. *)
+
 val run :
   ?seed:int ->
   Gus_relational.Database.t ->
@@ -54,7 +87,9 @@ val run :
   f:Gus_relational.Expr.t ->
   report * Gus_analysis.Rewrite.result
 (** Convenience: execute the plan with a seeded RNG, rewrite it, analyze
-    the result. *)
+    the result.  Since the streaming rewrite this is {!stream} without a
+    pool: same seed ⇒ same sample tuples as the old materializing
+    implementation, bit-identical estimate. *)
 
 val exact : Gus_relational.Database.t -> Gus_core.Splan.t -> f:Gus_relational.Expr.t -> float
 (** Ground truth: run the sample-free skeleton and sum [f]. *)

@@ -18,7 +18,10 @@ let run ?(scale = 1.0) ?(trials = 200) () =
     (fun p ->
       let wor = max 10 (int_of_float (float_of_int orders_card *. p *. 4.0)) in
       let plan = Harness.query1_plan ~bernoulli:p ~wor () in
-      let s = Harness.trials ~trials db plan ~f:Harness.revenue_f in
+      let s =
+        Harness.trials_par ~pool:(Gus_util.Pool.default ()) ~trials db plan
+          ~f:Harness.revenue_f
+      in
       Tablefmt.add_row t
         [ Printf.sprintf "%.1f" (100.0 *. p);
           string_of_int wor;

@@ -21,15 +21,15 @@ let naive_join_coverage db ~trials ~seed =
     Gus_core.Gus.bernoulli_over correct_gus.Gus_core.Gus.rels
       correct_gus.Gus_core.Gus.a
   in
-  let hits = ref 0 in
-  for t = 1 to trials do
-    let rng = Gus_util.Rng.create (seed + t) in
-    let sample = Splan.exec db rng plan in
-    let r = Sbox.of_relation ~gus:naive_gus ~f:Harness.revenue_f sample in
-    let ci = Sbox.interval Interval.Normal r in
-    if Interval.contains ci truth then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  let hits =
+    Harness.map_trials_par ~pool:(Gus_util.Pool.default ()) ~trials ~seed
+      (fun rng _t ->
+        let r = Sbox.of_plan ~gus:naive_gus ~f:Harness.revenue_f db rng plan in
+        let ci = Sbox.interval Interval.Normal r in
+        Interval.contains ci truth)
+  in
+  let n_hit = Array.fold_left (fun n h -> if h then n + 1 else n) 0 hits in
+  float_of_int n_hit /. float_of_int trials
 
 let run ?(scale = 1.0) ?(trials = 300) () =
   Harness.section "E2" "95% confidence-interval coverage across plan shapes";
@@ -39,7 +39,10 @@ let run ?(scale = 1.0) ?(trials = 300) () =
       ~headers:[ "plan"; "sampling"; "normal"; "chebyshev"; "nominal" ]
   in
   let run_case label sampling plan =
-    let s = Harness.trials ~trials db plan ~f:Harness.revenue_f in
+    let s =
+      Harness.trials_par ~pool:(Gus_util.Pool.default ()) ~trials db plan
+        ~f:Harness.revenue_f
+    in
     Tablefmt.add_row t
       [ label; sampling;
         Printf.sprintf "%.3f" s.Harness.coverage_normal;

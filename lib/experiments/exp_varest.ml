@@ -21,7 +21,10 @@ let run ?(scale = 1.0) ?(trials = 200) () =
       let full = Splan.exec_exact db plan in
       let y_exact = Moments.of_relation ~f:Harness.revenue_f full in
       let exact_var = Gus.variance analysis.Rewrite.gus ~y:y_exact in
-      let s = Harness.trials ~trials db plan ~f:Harness.revenue_f in
+      let s =
+        Harness.trials_par ~pool:(Gus_util.Pool.default ()) ~trials db plan
+          ~f:Harness.revenue_f
+      in
       Tablefmt.add_row t
         [ Printf.sprintf "%.1f" (100.0 *. p);
           Harness.fcell exact_var;

@@ -14,19 +14,25 @@ let run ?(scale = 1.0) ?(trials = 60) () =
   List.iter
     (fun q ->
       let truths = Runner.run_exact db q.Workload.exact in
-      (* Per-aggregate accumulators. *)
+      (* Fan the trials out, then fold the per-trial results into the
+         per-aggregate accumulators in trial order. *)
+      let results =
+        Harness.map_trials_par ~pool:(Gus_util.Pool.default ()) ~trials ~seed:131
+          (fun _rng tr -> Runner.run ~seed:((tr + 1) * 131) db q.Workload.sampled)
+      in
       let errs = List.map (fun _ -> Summary.create ()) truths in
       let hits = Array.make (List.length truths) 0 in
-      for tr = 1 to trials do
-        let result = Runner.run ~seed:(tr * 131) db q.Workload.sampled in
-        List.iteri
-          (fun i cell ->
-            let _, truth = List.nth truths i in
-            Summary.add (List.nth errs i) (Summary.relative_error ~truth cell.Runner.value);
-            if Interval.contains cell.Runner.ci95_normal truth then
-              hits.(i) <- hits.(i) + 1)
-          result.Runner.cells
-      done;
+      Array.iter
+        (fun result ->
+          List.iteri
+            (fun i cell ->
+              let _, truth = List.nth truths i in
+              Summary.add (List.nth errs i)
+                (Summary.relative_error ~truth cell.Runner.value);
+              if Interval.contains cell.Runner.ci95_normal truth then
+                hits.(i) <- hits.(i) + 1)
+            result.Runner.cells)
+        results;
       List.iteri
         (fun i (label, truth) ->
           Tablefmt.add_row t

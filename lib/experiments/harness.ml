@@ -56,45 +56,134 @@ type trial_stats = {
   mean_ci_width_rel : float;
 }
 
+(* Per-trial accuracy accumulator.  Both the sequential and the pooled
+   trial loops run the same per-trial body into one of these; a parallel
+   run keeps one per fixed trial block and reduces them with
+   {!Summary.merge} in block order. *)
+type trial_acc = {
+  estimates : Summary.t;
+  est_var : Summary.t;
+  rel_err : Summary.t;
+  ci_width : Summary.t;
+  mutable hits_normal : int;
+  mutable hits_cheby : int;
+}
+
+let trial_acc_create () =
+  { estimates = Summary.create ();
+    est_var = Summary.create ();
+    rel_err = Summary.create ();
+    ci_width = Summary.create ();
+    hits_normal = 0;
+    hits_cheby = 0 }
+
+let trial_acc_merge a b =
+  { estimates = Summary.merge a.estimates b.estimates;
+    est_var = Summary.merge a.est_var b.est_var;
+    rel_err = Summary.merge a.rel_err b.rel_err;
+    ci_width = Summary.merge a.ci_width b.ci_width;
+    hits_normal = a.hits_normal + b.hits_normal;
+    hits_cheby = a.hits_cheby + b.hits_cheby }
+
+(* One Monte-Carlo trial: stream the plan into an estimate (no result
+   relation materialized) and score it against the truth. *)
+let one_trial ~gus ~truth db plan ~f acc rng =
+  let r = Sbox.of_plan ~gus ~f db rng plan in
+  Summary.add acc.estimates r.Sbox.estimate;
+  Summary.add acc.est_var r.Sbox.variance;
+  Summary.add acc.rel_err (Summary.relative_error ~truth r.Sbox.estimate);
+  let ci_n = Sbox.interval Interval.Normal r in
+  let ci_c = Sbox.interval Interval.Chebyshev r in
+  Summary.add acc.ci_width (Interval.width ci_n /. Float.abs truth);
+  if Interval.contains ci_n truth then acc.hits_normal <- acc.hits_normal + 1;
+  if Interval.contains ci_c truth then acc.hits_cheby <- acc.hits_cheby + 1
+
+let stats_of_acc ~trials ~truth acc =
+  let tf = float_of_int trials in
+  { trials;
+    truth;
+    mean_estimate = Summary.mean acc.estimates;
+    bias_pct = 100.0 *. (Summary.mean acc.estimates -. truth) /. truth;
+    mean_rel_err_pct = 100.0 *. Summary.mean acc.rel_err;
+    rmse_over_truth_pct =
+      (let mc = Summary.variance_population acc.estimates in
+       (* RMSE via MC variance + bias. *)
+       let bias = Summary.mean acc.estimates -. truth in
+       100.0 *. sqrt (mc +. (bias *. bias)) /. Float.abs truth);
+    mc_variance = Summary.variance acc.estimates;
+    mean_est_variance = Summary.mean acc.est_var;
+    coverage_normal = float_of_int acc.hits_normal /. tf;
+    coverage_chebyshev = float_of_int acc.hits_cheby /. tf;
+    mean_ci_width_rel = Summary.mean acc.ci_width }
+
 let trials ?(trials = 200) ?(seed = 1) db plan ~f =
   let truth = Sbox.exact db plan ~f in
   let analysis = Rewrite.analyze_db db plan in
   let gus = analysis.Rewrite.gus in
-  let estimates = Summary.create () in
-  let est_var = Summary.create () in
-  let rel_err = Summary.create () in
-  let ci_width = Summary.create () in
-  let hits_normal = ref 0 and hits_cheby = ref 0 in
+  let acc = trial_acc_create () in
   for t = 1 to trials do
     let rng = Gus_util.Rng.create (seed + (7919 * t)) in
-    let sample = Splan.exec db rng plan in
-    let r = Sbox.of_relation ~gus ~f sample in
-    Summary.add estimates r.Sbox.estimate;
-    Summary.add est_var r.Sbox.variance;
-    Summary.add rel_err (Summary.relative_error ~truth r.Sbox.estimate);
-    let ci_n = Sbox.interval Interval.Normal r in
-    let ci_c = Sbox.interval Interval.Chebyshev r in
-    Summary.add ci_width (Interval.width ci_n /. Float.abs truth);
-    if Interval.contains ci_n truth then incr hits_normal;
-    if Interval.contains ci_c truth then incr hits_cheby
+    one_trial ~gus ~truth db plan ~f acc rng
   done;
-  let tf = float_of_int trials in
-  { trials;
-    truth;
-    mean_estimate = Summary.mean estimates;
-    bias_pct = 100.0 *. (Summary.mean estimates -. truth) /. truth;
-    mean_rel_err_pct = 100.0 *. Summary.mean rel_err;
-    rmse_over_truth_pct =
-      (let acc = ref 0.0 in
-       (* RMSE via MC variance + bias. *)
-       acc := Summary.variance_population estimates;
-       let bias = Summary.mean estimates -. truth in
-       100.0 *. sqrt (!acc +. (bias *. bias)) /. Float.abs truth);
-    mc_variance = Summary.variance estimates;
-    mean_est_variance = Summary.mean est_var;
-    coverage_normal = float_of_int !hits_normal /. tf;
-    coverage_chebyshev = float_of_int !hits_cheby /. tf;
-    mean_ci_width_rel = Summary.mean ci_width }
+  stats_of_acc ~trials ~truth acc
+
+(* Trials per reduction block of {!trials_par}.  The grid is fixed —
+   block [b] always owns trials [8b, 8b+8) and blocks always reduce in
+   index order — so the result is bit-identical for every pool size. *)
+let trials_per_block = 8
+
+let trials_par ?pool ?(trials = 200) ?(seed = 1) db plan ~f =
+  let truth = Sbox.exact db plan ~f in
+  let analysis = Rewrite.analyze_db db plan in
+  let gus = analysis.Rewrite.gus in
+  let ntr = Stdlib.max 0 trials in
+  let master = Gus_util.Rng.create seed in
+  let nblocks = Stdlib.max 1 ((ntr + trials_per_block - 1) / trials_per_block) in
+  let blocks = Array.init nblocks (fun _ -> trial_acc_create ()) in
+  let run_block b =
+    let acc = blocks.(b) in
+    let lo = b * trials_per_block and hi = min ntr ((b + 1) * trials_per_block) in
+    for t = lo to hi - 1 do
+      (* The t-th child stream of the master seed: a pure function of
+         (seed, t), so a trial draws the same sample whichever lane runs
+         it. *)
+      one_trial ~gus ~truth db plan ~f acc (Gus_util.Rng.derive master t)
+    done
+  in
+  let module Pool = Gus_util.Pool in
+  (match pool with
+  | Some p when Pool.is_live p && Pool.size p > 1 && nblocks > 1 ->
+      Pool.run_chunks p ~lo:0 ~hi:nblocks (fun blo bhi ->
+          for b = blo to bhi - 1 do
+            run_block b
+          done)
+  | _ ->
+      for b = 0 to nblocks - 1 do
+        run_block b
+      done);
+  let acc = ref blocks.(0) in
+  for b = 1 to nblocks - 1 do
+    acc := trial_acc_merge !acc blocks.(b)
+  done;
+  stats_of_acc ~trials:ntr ~truth !acc
+
+let map_trials_par ?pool ~trials ~seed body =
+  if trials < 0 then invalid_arg "Harness.map_trials_par: negative trials";
+  let master = Gus_util.Rng.create seed in
+  let out = Array.make trials None in
+  let run_range lo hi =
+    for t = lo to hi - 1 do
+      out.(t) <- Some (body (Gus_util.Rng.derive master t) t)
+    done
+  in
+  let module Pool = Gus_util.Pool in
+  (match pool with
+  | Some p when Pool.is_live p && Pool.size p > 1 && trials > 1 ->
+      Pool.run_chunks p ~lo:0 ~hi:trials run_range
+  | _ -> run_range 0 trials);
+  Array.map
+    (function Some x -> x | None -> assert false)
+    out
 
 let time f =
   let t0 = Unix.gettimeofday () in

@@ -50,8 +50,37 @@ val trials :
   Splan.t ->
   f:Gus_relational.Expr.t ->
   trial_stats
-(** Repeatedly execute the plan with fresh RNGs, run the SBox, and
-    aggregate accuracy statistics against the exact answer. *)
+(** Repeatedly execute the plan with fresh RNGs (trial [t] seeds
+    [seed + 7919·t]), stream each run through the SBox, and aggregate
+    accuracy statistics against the exact answer. *)
+
+val trials_par :
+  ?pool:Gus_util.Pool.t ->
+  ?trials:int ->
+  ?seed:int ->
+  Gus_relational.Database.t ->
+  Splan.t ->
+  f:Gus_relational.Expr.t ->
+  trial_stats
+(** {!trials} with the trials fanned across a domain pool.  Trial [t]
+    always draws from the [t]-th {!Gus_util.Rng.derive}d child of the
+    master seed, trials reduce in fixed blocks of 8 merged in block order
+    ({!Gus_stats.Summary.merge}), so the result is {e bit-identical} for
+    every pool size — including no pool at all.  (It differs in float
+    reduction order, not in any sample, from {!trials}, which keeps its
+    historical additive seeding.) *)
+
+val map_trials_par :
+  ?pool:Gus_util.Pool.t ->
+  trials:int ->
+  seed:int ->
+  (Gus_util.Rng.t -> int -> 'a) ->
+  'a array
+(** Generic parallel trial loop for drivers with bespoke per-trial
+    bodies: [body rng t] runs trial [t] with the [t]-th child stream of
+    the master seed, and the results land in trial order.  Each slot is
+    written independently, so the output is bit-identical for every pool
+    size. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** Wall-clock seconds. *)

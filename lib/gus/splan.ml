@@ -73,21 +73,155 @@ let rec equal p q =
       _ ) ->
       false
 
-let rec exec db rng = function
+let rec exec ?pool db rng = function
   | Scan name -> Database.find db name
-  | Select (pred, q) -> Ops.select pred (exec db rng q)
-  | Project (fields, q) -> Ops.project fields (exec db rng q)
+  | Select (pred, q) -> Ops.select ?pool pred (exec ?pool db rng q)
+  | Project (fields, q) -> Ops.project ?pool fields (exec ?pool db rng q)
   | Equi_join { left; right; left_key; right_key } ->
-      Ops.equi_join ~left_key ~right_key (exec db rng left) (exec db rng right)
-  | Theta_join (pred, l, r) -> Ops.theta_join pred (exec db rng l) (exec db rng r)
-  | Cross (l, r) -> Ops.cross (exec db rng l) (exec db rng r)
-  | Distinct q -> Ops.distinct (exec db rng q)
-  | Sample (s, q) -> Sampler.apply s rng (exec db rng q)
-  | Union_samples (l, r) -> Ops.union_lineage (exec db rng l) (exec db rng r)
+      Ops.equi_join ~left_key ~right_key
+        (exec ?pool db rng left)
+        (exec ?pool db rng right)
+  | Theta_join (pred, l, r) ->
+      Ops.theta_join pred (exec ?pool db rng l) (exec ?pool db rng r)
+  | Cross (l, r) -> Ops.cross (exec ?pool db rng l) (exec ?pool db rng r)
+  | Distinct q -> Ops.distinct (exec ?pool db rng q)
+  | Sample (s, q) -> Sampler.apply ?pool s rng (exec ?pool db rng q)
+  | Union_samples (l, r) ->
+      Ops.union_lineage (exec ?pool db rng l) (exec ?pool db rng r)
 
 let exec_exact db q =
   (* No sampling remains, so the RNG is never consulted. *)
   exec db (Gus_util.Rng.create 0) (strip_samples q)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming execution.
+
+   A plan splits into a blocking [core] (joins, Distinct, the
+   cardinality-dependent samplers) that must materialize, and a
+   {e streamable suffix} of per-tuple stages above it — Select, Project,
+   Bernoulli, Hash_bernoulli — through which the core's tuples can be
+   pushed one at a time without ever materializing the result relation.
+
+   The split is RNG-faithful: it keeps at most ONE RNG-consuming sampler
+   in the suffix.  [exec] runs each operator as a full-relation pass
+   (bottom-up), so a single suffix Bernoulli draws once per tuple
+   {e reaching it}, in input order; the streaming interleaving performs
+   exactly the same draws in the same order (the other suffix stages
+   consume no randomness), hence [fold_stream] visits precisely the
+   tuples [exec] would output.  A second RNG-consuming sampler would
+   interleave two draw sequences that [exec] performs pass-by-pass, so
+   the split stops there and leaves it to the core. *)
+
+type stream_stage =
+  | St_select of Expr.t
+  | St_project of (string * Expr.t) list
+  | St_bernoulli of float
+  | St_hash of { seed : int; p : float }
+
+(* Returns the blocking core and the suffix stages bottom-up (head is
+   the stage nearest the core). *)
+let split_stream plan =
+  let rec go acc nrng = function
+    | Select (e, q) -> go (St_select e :: acc) nrng q
+    | Project (fs, q) -> go (St_project fs :: acc) nrng q
+    | Sample (Sampler.Bernoulli p, q) when nrng = 0 ->
+        Sampler.validate (Sampler.Bernoulli p);
+        go (St_bernoulli p :: acc) 1 q
+    | Sample (Sampler.Hash_bernoulli { seed; p }, q)
+      when Array.length (lineage_schema q) = 1 ->
+        Sampler.validate (Sampler.Hash_bernoulli { seed; p });
+        go (St_hash { seed; p } :: acc) nrng q
+    | core -> (core, acc)
+  in
+  go [] 0 plan
+
+(* Compile the bottom-up stages against the core's output schema into
+   per-lane push chains.  [make ()] returns [(push_into sink, out_schema)]
+   where [push_into sink] is a [Tuple.t -> unit] feeding survivors to
+   [sink]; each call builds fresh closures so every pool lane can carry
+   its own chain. *)
+let compile_stages rng stages core_schema =
+  let out_schema =
+    List.fold_left
+      (fun sc -> function
+        | St_project fs -> Ops.project_schema fs sc
+        | St_select _ | St_bernoulli _ | St_hash _ -> sc)
+      core_schema stages
+  in
+  let make sink =
+    (* Fold bottom-up, composing outward: the innermost closure is the
+       sink, each stage wraps what is above it. *)
+    let rec build sc = function
+      | [] -> sink
+      | St_select e :: rest ->
+          let keep = Expr.bind_predicate sc e in
+          let next = build sc rest in
+          fun tup -> if keep tup then next tup
+      | St_project fields :: rest ->
+          let evals = List.map (fun (_, e) -> Expr.bind sc e) fields in
+          let next = build (Ops.project_schema fields sc) rest in
+          fun tup ->
+            let values = Array.of_list (List.map (fun f -> f tup) evals) in
+            next (Tuple.with_values tup values)
+      | St_bernoulli p :: rest ->
+          let next = build sc rest in
+          fun tup -> if Gus_util.Rng.bernoulli rng p then next tup
+      | St_hash { seed; p } :: rest ->
+          let next = build sc rest in
+          fun tup ->
+            if Gus_util.Hashing.prf_float ~seed tup.Tuple.lineage.(0) < p then
+              next tup
+    in
+    build core_schema stages
+  in
+  (make, out_schema)
+
+let fold_stream db rng plan ~init ~f =
+  let core, stages = split_stream plan in
+  let rel = exec db rng core in
+  let make, out_schema = compile_stages rng stages rel.Relation.schema in
+  let acc = ref (init out_schema) in
+  let push = make (fun tup -> acc := f !acc tup) in
+  Relation.iter push rel;
+  !acc
+
+let stages_use_rng stages =
+  List.exists (function St_bernoulli _ -> true | _ -> false) stages
+
+let fold_stream_par ?pool db rng plan ~init ~f ~merge =
+  let core, stages = split_stream plan in
+  let rel = exec ?pool db rng core in
+  let make, out_schema = compile_stages rng stages rel.Relation.schema in
+  let n = Relation.cardinality rel in
+  let module Pool = Gus_util.Pool in
+  match pool with
+  | Some p
+    when Pool.is_live p && Pool.size p > 1
+         && n >= Pool.default_par_threshold
+         && not (stages_use_rng stages) ->
+      (* RNG-free suffix: each lane streams one contiguous chunk of the
+         core into its own accumulator; partials merge in chunk order. *)
+      let chs = Pool.chunks p ~lo:0 ~hi:n in
+      let accs = Array.map (fun _ -> init out_schema) chs in
+      Pool.run_chunks p ~lo:0 ~hi:(Array.length chs) (fun klo khi ->
+          for k = klo to khi - 1 do
+            let clo, chi = chs.(k) in
+            let lane_acc = ref accs.(k) in
+            let push = make (fun tup -> lane_acc := f !lane_acc tup) in
+            for i = clo to chi - 1 do
+              push (Relation.tuple rel i)
+            done;
+            accs.(k) <- !lane_acc
+          done);
+      Array.fold_left
+        (fun acc part -> merge acc part)
+        accs.(0)
+        (Array.sub accs 1 (Array.length accs - 1))
+  | _ ->
+      let acc = ref (init out_schema) in
+      let push = make (fun tup -> acc := f !acc tup) in
+      Relation.iter push rel;
+      !acc
 
 let rec pp ppf = function
   | Scan name -> Format.pp_print_string ppf name

@@ -51,11 +51,55 @@ val strip_samples : t -> t
 val equal : t -> t -> bool
 (** Structural equality (expressions compared structurally). *)
 
-val exec : Database.t -> Gus_util.Rng.t -> t -> Relation.t
-(** Run the plan, sampling with the given RNG. *)
+val exec : ?pool:Gus_util.Pool.t -> Database.t -> Gus_util.Rng.t -> t -> Relation.t
+(** Run the plan, sampling with the given RNG.
+
+    [?pool] fans the per-tuple operators (Select, Project, Bernoulli /
+    hash-Bernoulli sampling) across a domain pool for inputs of at least
+    {!Gus_util.Pool.default_par_threshold} rows.  Select / Project /
+    hash-Bernoulli are output-identical to the sequential run; a pooled
+    [Bernoulli] switches to block-wise derived RNG streams (see
+    {!Gus_sampling.Sampler.apply}), so a seeded run with a pool draws a
+    {e different} — still valid, still deterministic, lane-count
+    independent — sample than the same seed without one. *)
 
 val exec_exact : Database.t -> t -> Relation.t
 (** Run {!strip_samples} — the full, non-approximate answer. *)
+
+val fold_stream :
+  Database.t ->
+  Gus_util.Rng.t ->
+  t ->
+  init:(Schema.t -> 'acc) ->
+  f:('acc -> Tuple.t -> 'acc) ->
+  'acc
+(** Stream the plan's result tuples through [f] without materializing the
+    result relation.  The plan is split into a blocking core (executed
+    with {!exec}) and a streamable suffix of per-tuple stages — Select,
+    Project, at most one [Bernoulli], any hash-Bernoulli — through which
+    core tuples are pushed one at a time.  [init] receives the result
+    schema (bind aggregate expressions there) before the first tuple.
+
+    RNG-faithful: the same seed visits exactly the tuples, in exactly the
+    order, that [exec] would have produced — the one permitted suffix
+    Bernoulli performs the same draws in the same sequence. *)
+
+val fold_stream_par :
+  ?pool:Gus_util.Pool.t ->
+  Database.t ->
+  Gus_util.Rng.t ->
+  t ->
+  init:(Schema.t -> 'acc) ->
+  f:('acc -> Tuple.t -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  'acc
+(** {!fold_stream} with chunk-parallel feeding: when the suffix consumes
+    no RNG (pure Select/Project/hash-Bernoulli) and the core output is
+    large enough, each pool lane streams one contiguous chunk into its
+    own [init]-fresh accumulator and the partials are [merge]d left to
+    right in chunk order.  Falls back to the sequential fold otherwise.
+    Note [?pool] also reaches the core {!exec}, with the pooled-Bernoulli
+    caveat documented there. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering. *)

@@ -59,8 +59,6 @@ let prefix_relation s =
 let estimate t =
   let db' = Database.create () in
   List.iter (fun (_, s) -> Database.add db' (prefix_relation s)) t.streams;
-  (* No sampling operators remain; the RNG goes unused. *)
-  let sample = Splan.exec db' (Rng.create 0) t.skeleton in
   let gus =
     List.fold_left
       (fun acc (name, s) ->
@@ -73,7 +71,10 @@ let estimate t =
       None t.streams
     |> Option.get
   in
-  let report = Sbox.of_relation ~gus ~f:t.f sample in
+  (* No sampling operators remain in the skeleton; the RNG goes unused.
+     The checkpoint streams the prefix join's tuples into an accumulator
+     instead of materializing the result. *)
+  let report = Sbox.of_plan ~gus ~f:t.f db' (Rng.create 0) t.skeleton in
   let interval = Sbox.interval Interval.Normal report in
   { fractions =
       List.map

@@ -51,9 +51,11 @@ let run ?(seed = 1) ?(initial_rate = 0.01) ?(growth = 2.0) ?(max_rounds = 12) db
       if rate >= 1.0 then skeleton else sampled_plan ~seed ~rate skeleton
     in
     let rng = Gus_util.Rng.create seed in
-    let sample = Splan.exec db rng plan_k in
     let gus = (Rewrite.analyze_db db plan_k).Rewrite.gus in
-    let report = Sbox.of_relation ~gus ~f sample in
+    (* Stream the round's tuples straight into the moments accumulator:
+       each round touches only its own (growing) sample, never a
+       materialized result relation. *)
+    let report = Sbox.of_plan ~gus ~f db rng plan_k in
     let interval = Sbox.interval Interval.Normal report in
     let rel_width =
       if report.Sbox.estimate = 0.0 then

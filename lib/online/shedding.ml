@@ -153,9 +153,11 @@ let simulate ?(seed = 1) db ~plan ~f ~windows ~capacity =
     let kept =
       List.map (fun r -> (r, Relation.cardinality (Database.find shed r))) rels
     in
-    let sample = Splan.exec shed (Gus_util.Rng.create 0) skeleton in
     let gus = gus_of_rates rels rates in
-    let report = Sbox.of_relation ~gus ~f sample in
+    (* The shed window is estimated by streaming the skeleton's output
+       tuples into an accumulator — the per-window checkpoint never
+       materializes its result relation. *)
+    let report = Sbox.of_plan ~gus ~f shed (Gus_util.Rng.create 0) skeleton in
     let interval = Sbox.interval Interval.Normal report in
     out := { window = w; arrivals; kept; rates; report; interval } :: !out;
     (* Re-optimize for the next window from this window's moments. *)

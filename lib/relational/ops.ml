@@ -1,4 +1,5 @@
 module Vec = Gus_util.Vec
+module Pool = Gus_util.Pool
 
 (* Hash tables keyed directly on the data we already hold — a Value, a
    lineage array, a Value array — with the library's semantic equality and
@@ -42,45 +43,73 @@ module VsTbl = Hashtbl.Make (struct
     !h land max_int
 end)
 
-let select pred rel =
+(* Chunk-parallel per-tuple scan.  [body push tup] decides what [tup]
+   contributes to the output (nothing, itself, a rewritten tuple) by
+   calling [push] zero or more times.  With a multi-lane pool and at least
+   [par_threshold] input rows, the input index range is cut into
+   {!Pool.chunks}; every lane fills a private per-chunk vector (tuples are
+   immutable, [body]'s closures must be pure), and the chunks are stitched
+   back in chunk order — bit-identical output to the sequential scan, in
+   the same tuple order, whatever the lane count. *)
+let chunked_scan ?pool ?(par_threshold = Pool.default_par_threshold) rel out body
+    =
+  let n = Relation.cardinality rel in
+  match pool with
+  | Some p when Pool.is_live p && Pool.size p > 1 && n >= par_threshold ->
+      let chs = Pool.chunks p ~lo:0 ~hi:n in
+      let outs =
+        Array.map (fun (clo, chi) -> Vec.create ~capacity:(max 16 (chi - clo)) ()) chs
+      in
+      Pool.run_chunks p ~lo:0 ~hi:(Array.length chs) (fun klo khi ->
+          for k = klo to khi - 1 do
+            let clo, chi = chs.(k) in
+            let dst = outs.(k) in
+            let push tup = Vec.push dst tup in
+            for i = clo to chi - 1 do
+              body push (Relation.tuple rel i)
+            done
+          done);
+      Array.iter (fun v -> Vec.iter (Relation.append_tuple out) v) outs
+  | _ -> Relation.iter (body (Relation.append_tuple out)) rel
+
+let select ?pool ?par_threshold pred rel =
   let keep = Expr.bind_predicate rel.Relation.schema pred in
   let out =
     Relation.derived
       ~name:(Printf.sprintf "select(%s)" rel.Relation.name)
       rel.Relation.schema rel.Relation.lineage_schema
   in
-  Relation.iter (fun tup -> if keep tup then Relation.append_tuple out tup) rel;
+  chunked_scan ?pool ?par_threshold rel out (fun push tup ->
+      if keep tup then push tup);
   out
 
-let project fields rel =
+let project_schema fields schema =
+  Schema.make
+    (List.map
+       (fun (name, e) ->
+         let ty =
+           (* Infer a column type from the expression shape when obvious;
+              fall back to float, the common case for aggregated inputs. *)
+           match e with
+           | Expr.Col c -> Schema.column_ty schema (Schema.index_of schema c)
+           | Expr.Lit v -> Option.value (Value.type_of v) ~default:Value.TFloat
+           | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ -> Value.TBool
+           | _ -> Value.TFloat
+         in
+         { Schema.name; ty })
+       fields)
+
+let project ?pool ?par_threshold fields rel =
   let schema = rel.Relation.schema in
   let evals = List.map (fun (_, e) -> Expr.bind schema e) fields in
-  let out_schema =
-    Schema.make
-      (List.map
-         (fun (name, e) ->
-           let ty =
-             (* Infer a column type from the expression shape when obvious;
-                fall back to float, the common case for aggregated inputs. *)
-             match e with
-             | Expr.Col c -> Schema.column_ty schema (Schema.index_of schema c)
-             | Expr.Lit v -> Option.value (Value.type_of v) ~default:Value.TFloat
-             | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ -> Value.TBool
-             | _ -> Value.TFloat
-           in
-           { Schema.name; ty })
-         fields)
-  in
   let out =
     Relation.derived
       ~name:(Printf.sprintf "project(%s)" rel.Relation.name)
-      out_schema rel.Relation.lineage_schema
+      (project_schema fields schema) rel.Relation.lineage_schema
   in
-  Relation.iter
-    (fun tup ->
+  chunked_scan ?pool ?par_threshold rel out (fun push tup ->
       let values = Array.of_list (List.map (fun f -> f tup) evals) in
-      Relation.append_tuple out (Tuple.with_values tup values))
-    rel;
+      push (Tuple.with_values tup values));
   out
 
 let joined_name a b =

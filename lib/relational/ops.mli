@@ -4,10 +4,41 @@
     selection/projection keep it, joins concatenate it.  Inputs are never
     mutated. *)
 
-val select : Expr.t -> Relation.t -> Relation.t
+val select : ?pool:Gus_util.Pool.t -> ?par_threshold:int -> Expr.t -> Relation.t -> Relation.t
 
-val project : (string * Expr.t) list -> Relation.t -> Relation.t
-(** [(output name, expression)] pairs; lineage preserved. *)
+val project :
+  ?pool:Gus_util.Pool.t ->
+  ?par_threshold:int ->
+  (string * Expr.t) list ->
+  Relation.t ->
+  Relation.t
+(** [(output name, expression)] pairs; lineage preserved.
+
+    For both operators [?pool] fans the per-tuple work across a domain
+    pool once the input has at least [?par_threshold] rows (default
+    {!Gus_util.Pool.default_par_threshold}); the per-chunk outputs are
+    stitched back in chunk order, so the result is identical — same
+    tuples, same order — to the sequential scan for any lane count.
+    Without [?pool] the scan is sequential. *)
+
+val project_schema : (string * Expr.t) list -> Schema.t -> Schema.t
+(** The output schema {!project} derives for [fields] over an input
+    [schema] (column types inferred from expression shape).  Exposed for
+    streaming executors that must know the post-projection schema without
+    materializing anything. *)
+
+val chunked_scan :
+  ?pool:Gus_util.Pool.t ->
+  ?par_threshold:int ->
+  Relation.t ->
+  Relation.t ->
+  ((Tuple.t -> unit) -> Tuple.t -> unit) ->
+  unit
+(** [chunked_scan ?pool rel out body] appends to [out] whatever
+    [body push tup] pushes, for every tuple of [rel] in order — the
+    fan-out/stitch engine behind {!select}/{!project}, exposed for other
+    per-tuple operators (e.g. samplers).  [body] is called from pool
+    lanes: its closures must be pure. *)
 
 val cross : Relation.t -> Relation.t -> Relation.t
 

@@ -1,5 +1,7 @@
 module Rng = Gus_util.Rng
 module Hashing = Gus_util.Hashing
+module Pool = Gus_util.Pool
+module Vec = Gus_util.Vec
 open Gus_relational
 
 type t =
@@ -43,19 +45,59 @@ let require_base which rel =
          which
          (String.concat "," (Array.to_list rel.Relation.lineage_schema)))
 
-let apply t rng rel =
+let uses_rng = function
+  | Bernoulli _ | Wor _ | Wr _ | Block _ -> true
+  | Hash_bernoulli _ -> false
+
+let per_tuple = function
+  | Bernoulli _ | Hash_bernoulli _ -> true
+  | Wor _ | Wr _ | Block _ -> false
+
+(* Row-block grid for the pooled Bernoulli path.  The grid is a property
+   of the *input*, not of the pool: block [b] always covers rows
+   [b*4096, (b+1)*4096) and always draws from the [b]-th derived child
+   stream, so the sample is identical for every pool size. *)
+let bernoulli_rows_per_stream = 4096
+
+let apply ?pool ?(par_threshold = Pool.default_par_threshold) t rng rel =
   validate t;
   (match t with
   | Block _ -> require_base "block sampling" rel
   | Hash_bernoulli _ -> require_base "hash-Bernoulli sampling" rel
   | Bernoulli _ | Wor _ | Wr _ -> ());
   match t with
-  | Bernoulli p ->
+  | Bernoulli p -> (
       let out = copy_shape rel in
-      Relation.iter
-        (fun tup -> if Rng.bernoulli rng p then Relation.append_tuple out tup)
-        rel;
-      out
+      let n = Relation.cardinality rel in
+      match pool with
+      | Some pl when Pool.is_live pl && n >= par_threshold ->
+          (* Block-wise draws: one [Rng.derive]d child stream per fixed
+             4096-row block, blocks fanned across lanes and stitched in
+             block order.  Deterministic in (seed, input) and independent
+             of the lane count — but a *different* sample than the
+             sequential single-stream path, which is why the pooled path
+             is opt-in per call rather than a drop-in default. *)
+          let master = Rng.split rng in
+          let nblocks = (n + bernoulli_rows_per_stream - 1) / bernoulli_rows_per_stream in
+          let outs = Array.init nblocks (fun _ -> Vec.create ()) in
+          Pool.run_chunks pl ~lo:0 ~hi:nblocks (fun blo bhi ->
+              for b = blo to bhi - 1 do
+                let brng = Rng.derive master b in
+                let dst = outs.(b) in
+                let lo = b * bernoulli_rows_per_stream in
+                let hi = min n (lo + bernoulli_rows_per_stream) in
+                for i = lo to hi - 1 do
+                  let tup = Relation.tuple rel i in
+                  if Rng.bernoulli brng p then Vec.push dst tup
+                done
+              done);
+          Array.iter (fun v -> Vec.iter (Relation.append_tuple out) v) outs;
+          out
+      | _ ->
+          Relation.iter
+            (fun tup -> if Rng.bernoulli rng p then Relation.append_tuple out tup)
+            rel;
+          out)
   | Wor n ->
       let out = copy_shape rel in
       let card = Relation.cardinality rel in
@@ -92,12 +134,12 @@ let apply t rng rel =
         rel;
       out
   | Hash_bernoulli { seed; p } ->
+      (* Decisions are a pure function of (seed, lineage id), so the
+         chunk-parallel scan is output-identical to the sequential one. *)
       let out = copy_shape ~suffix:"hashsample" rel in
-      Relation.iter
-        (fun tup ->
+      Ops.chunked_scan ?pool ~par_threshold rel out (fun push tup ->
           let id = tup.Tuple.lineage.(0) in
-          if Hashing.prf_float ~seed id < p then Relation.append_tuple out tup)
-        rel;
+          if Hashing.prf_float ~seed id < p then push tup);
       out
 
 let sampling_fraction t ~n =

@@ -36,11 +36,36 @@ val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical parameters (p outside [0,1],
     negative sizes…). *)
 
-val apply : t -> Gus_util.Rng.t -> Gus_relational.Relation.t -> Gus_relational.Relation.t
+val apply :
+  ?pool:Gus_util.Pool.t ->
+  ?par_threshold:int ->
+  t ->
+  Gus_util.Rng.t ->
+  Gus_relational.Relation.t ->
+  Gus_relational.Relation.t
 (** Draw a sample.  [Wor]/[Wr] of size ≥ cardinality return all rows
     (respectively, exactly [n] draws).  For [Hash_bernoulli] the RNG is
     unused: decisions come from the pseudo-random function, keyed on the
-    first lineage slot. *)
+    first lineage slot.
+
+    [?pool] (with at least [?par_threshold] input rows, default
+    {!Gus_util.Pool.default_par_threshold}) parallelizes the per-tuple
+    samplers.  [Hash_bernoulli] is a pure per-tuple function, so the
+    pooled scan returns exactly the sequential sample.  [Bernoulli]
+    switches to block-wise draws — one {!Gus_util.Rng.derive}d child
+    stream per fixed 4096-row input block — which is deterministic in
+    (seed, input) and independent of the pool's lane count, but a
+    different (equally valid) sample than the sequential single-stream
+    path; callers with pinned sequential fixtures must not pass [?pool].
+    [Wor]/[Wr]/[Block] always run sequentially. *)
+
+val uses_rng : t -> bool
+(** Whether {!apply} consumes RNG state ([Hash_bernoulli] does not). *)
+
+val per_tuple : t -> bool
+(** Whether the sampler decides each row independently, without needing
+    the input's cardinality ([Bernoulli], [Hash_bernoulli]) — the
+    property that makes it streamable. *)
 
 val sampling_fraction : t -> n:int -> float
 (** Expected fraction of rows kept when applied to a relation of [n]

@@ -58,6 +58,8 @@ let find_or_add t ~hash:h ~equal ~repr:i =
   done;
   !result
 
+let repr_at t slot = t.repr.(slot)
+
 let iter t f =
   let reprs = t.repr in
   for j = 0 to Array.length reprs - 1 do

@@ -30,6 +30,11 @@ val find_or_add : t -> hash:int -> equal:(int -> int -> bool) -> repr:int -> int
 val added : t -> bool
 (** Whether the most recent {!find_or_add} inserted a new key. *)
 
+val repr_at : t -> int -> int
+(** [repr_at t slot] is the representative stored in [slot] — the value a
+    {!find_or_add} returning [slot] inserted.  Only meaningful for slots
+    returned by {!find_or_add} since the last {!reset}. *)
+
 val size : t -> int
 (** Number of distinct keys currently stored. *)
 

@@ -14,6 +14,9 @@ type t = {
 }
 
 let size t = t.size
+let is_live t = t.live
+
+let default_par_threshold = 4096
 
 let worker_loop w =
   let running = ref true in
@@ -48,6 +51,19 @@ let shutdown t =
     Array.iter Domain.join t.domains
   end
 
+(* One process-wide registry instead of one at_exit closure per pool:
+   forgotten pools never block process exit, and creating many short-lived
+   pools does not grow the exit hook list. *)
+let registry : t list ref = ref []
+let registry_hooked = ref false
+
+let register t =
+  if not !registry_hooked then begin
+    registry_hooked := true;
+    at_exit (fun () -> List.iter shutdown !registry)
+  end;
+  registry := t :: !registry
+
 let create ~size =
   let size = max 1 size in
   let workers =
@@ -61,7 +77,7 @@ let create ~size =
   let domains = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
   let t = { size; workers; domains; live = true } in
   (* Blocked workers would keep the process from shutting down cleanly. *)
-  if size > 1 then at_exit (fun () -> shutdown t);
+  if size > 1 then register t;
   t
 
 let submit w f =
@@ -78,22 +94,34 @@ let await w =
   done;
   Mutex.unlock w.mutex
 
+let chunks t ~lo ~hi =
+  let total = hi - lo in
+  if total <= 0 then [||]
+  else begin
+    let lanes = min t.size total in
+    let per = total / lanes and rem = total mod lanes in
+    (* Chunk k covers [start k, start (k+1)): the first [rem] chunks get
+       one extra index. *)
+    let start k = lo + (k * per) + min k rem in
+    Array.init lanes (fun k -> (start k, start (k + 1)))
+  end
+
 let run_chunks t ~lo ~hi f =
   let total = hi - lo in
   if total > 0 then begin
     if not t.live then invalid_arg "Pool.run_chunks: pool is shut down";
-    let lanes = min t.size total in
+    let parts = chunks t ~lo ~hi in
+    let lanes = Array.length parts in
     if lanes <= 1 then f lo hi
     else begin
-      let per = total / lanes and rem = total mod lanes in
-      (* Chunk k covers [start k, start (k+1)): the first [rem] chunks get
-         one extra index. *)
-      let start k = lo + (k * per) + min k rem in
       for k = 1 to lanes - 1 do
-        let clo = start k and chi = start (k + 1) in
+        let clo, chi = parts.(k) in
         submit t.workers.(k - 1) (fun () -> f clo chi)
       done;
-      let caller_failure = (try f (start 0) (start 1); None with e -> Some e) in
+      let caller_failure =
+        let clo, chi = parts.(0) in
+        try f clo chi; None with e -> Some e
+      in
       for k = 1 to lanes - 1 do
         await t.workers.(k - 1)
       done;
@@ -108,12 +136,33 @@ let run_chunks t ~lo ~hi f =
 
 let recommended_size () = max 1 (Domain.recommended_domain_count ())
 
+let env_size () =
+  match Sys.getenv_opt "GUSDB_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let size_override = ref None
+
+let default_size () =
+  match !size_override with
+  | Some n -> n
+  | None -> (
+      match env_size () with Some n -> n | None -> recommended_size ())
+
 let default_pool = ref None
 
 let default () =
   match !default_pool with
-  | Some t when t.live -> t
-  | _ ->
-      let t = create ~size:(recommended_size ()) in
+  | Some t when t.live && t.size = default_size () -> t
+  | prev ->
+      (match prev with Some t -> shutdown t | None -> ());
+      let t = create ~size:(default_size ()) in
       default_pool := Some t;
       t
+
+let set_default_size n =
+  if n < 1 then invalid_arg "Pool.set_default_size: size must be >= 1";
+  size_override := Some n

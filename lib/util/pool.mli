@@ -13,27 +13,56 @@ type t
 val create : size:int -> t
 (** [create ~size] spawns [max 1 size - 1] worker domains.  Pools are
     cheap to keep around and meant to be reused; workers idle on a
-    condition variable between jobs.  An [at_exit] hook shuts the pool
-    down so forgotten pools never block process exit. *)
+    condition variable between jobs.  Every multi-lane pool is entered
+    into a process-wide registry whose single [at_exit] hook shuts it
+    down, so forgotten pools never block process exit. *)
 
 val size : t -> int
 (** Number of lanes (workers + the calling domain). *)
 
+val is_live : t -> bool
+(** [false] once {!shutdown} has run. *)
+
+val default_par_threshold : int
+(** Element count below which the chunk-parallel operators (moments
+    passes, [Ops.select]/[Ops.project], the per-tuple samplers) stay
+    sequential: 4096.  Shared across layers so "big enough to fan out"
+    means one thing everywhere. *)
+
+val chunks : t -> lo:int -> hi:int -> (int * int) array
+(** The exact contiguous partition of [\[lo, hi)] that {!run_chunks}
+    uses: at most [size t] chunks in index order, earlier chunks one
+    element longer when the range does not divide evenly.  Exposed so
+    callers can allocate per-chunk output slots and stitch them back in
+    deterministic chunk order. *)
+
 val run_chunks : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
-(** [run_chunks t ~lo ~hi f] partitions [\[lo, hi)] into at most
-    [size t] contiguous chunks and evaluates [f clo chi] on each, in
-    parallel.  Blocks until all chunks are done.  If any chunk raises, one
-    of the exceptions is re-raised after every lane has finished.  The
-    caller must ensure chunk bodies touch disjoint mutable state.
-    A pool must not be shared by concurrent [run_chunks] calls. *)
+(** [run_chunks t ~lo ~hi f] partitions [\[lo, hi)] into {!chunks} and
+    evaluates [f clo chi] on each, in parallel.  Blocks until all chunks
+    are done.  If any chunk raises, one of the exceptions is re-raised
+    after every lane has finished.  The caller must ensure chunk bodies
+    touch disjoint mutable state.  A pool must not be shared by
+    concurrent [run_chunks] calls.  Raises [Invalid_argument] on a pool
+    that has been {!shutdown} (when the range is non-empty). *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent; the pool cannot be
-    used afterwards. *)
+(** Stop and join the worker domains.  Idempotent; {!run_chunks} on the
+    pool raises afterwards. *)
 
 val recommended_size : unit -> int
 (** [max 1 (Domain.recommended_domain_count ())]. *)
 
+val default_size : unit -> int
+(** The size {!default} uses: {!set_default_size}'s override if set,
+    else the [GUSDB_DOMAINS] environment variable (positive integer),
+    else {!recommended_size}. *)
+
 val default : unit -> t
-(** A process-wide shared pool of {!recommended_size}, created lazily on
-    first use. *)
+(** A process-wide shared pool of {!default_size}, created lazily on
+    first use and recreated if the size configuration changed or the
+    previous default was shut down. *)
+
+val set_default_size : int -> unit
+(** Override the default-pool size (CLI [--pool-size]); takes precedence
+    over [GUSDB_DOMAINS].  The next {!default} call picks it up.  Raises
+    [Invalid_argument] on sizes < 1. *)

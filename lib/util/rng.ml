@@ -16,6 +16,10 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+let derive t i =
+  if i < 0 then invalid_arg "Rng.derive: negative stream index";
+  { state = mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)

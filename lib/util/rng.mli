@@ -16,6 +16,15 @@ val split : t -> t
 (** A new generator statistically independent of the parent's future
     output; advances the parent. *)
 
+val derive : t -> int -> t
+(** [derive t i] is the [i]-th child stream of [t]'s current state — a
+    pure function of [(state, i)] that does {e not} advance [t], so any
+    number of lanes can derive their streams concurrently from one master
+    and the result never depends on evaluation order.  [derive t 0]
+    coincides with what {!split} would return.  This is the SplitMix64
+    stream-splitting discipline the parallel Monte-Carlo harness and the
+    pooled Bernoulli sampler build on.  Raises on negative [i]. *)
+
 val bits64 : t -> int64
 val int : t -> int -> int
 (** [int t bound] is uniform on [0, bound); [bound > 0] required. *)

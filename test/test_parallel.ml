@@ -1,0 +1,194 @@
+(* Streaming / pool-parallel determinism tests:
+
+   1. A Moments.Acc fed in arbitrary chunks and merged agrees with the
+      one-shot of_pairs kernel to 1e-9 relative, for pool sizes 1, 2, 4.
+   2. The streaming Sbox.of_plan path is bit-identical on
+      estimate/total_f/n_tuples to the materializing exec + of_relation
+      path for any seed, and within 1e-9 on the moment-derived fields.
+   3. Under a pool, Sbox.of_plan is pool-size invariant: the sample is
+      identical for every lane count and the report values agree to 1e-9
+      (chunked feeding reassociates the float sums, nothing else).
+   4. Harness.trials_par and map_trials_par return bit-identical results
+      for every lane count, including no pool at all. *)
+
+module Splan = Gus_core.Splan
+module Rewrite = Gus_analysis.Rewrite
+module Moments = Gus_estimator.Moments
+module Sbox = Gus_estimator.Sbox
+module Harness = Gus_experiments.Harness
+module Pool = Gus_util.Pool
+module Rng = Gus_util.Rng
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let rel_close ?(tol = 1e-9) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+(* One pool per size for the whole binary; the at_exit registry reaps
+   them, and reuse keeps the QCheck loops from respawning domains. *)
+let pool_of =
+  let tbl = Hashtbl.create 4 in
+  fun size ->
+    match Hashtbl.find_opt tbl size with
+    | Some p -> p
+    | None ->
+        let p = Pool.create ~size in
+        Hashtbl.add tbl size p;
+        p
+
+(* ---- 1. Acc chunked feed + merge = of_pairs ---- *)
+
+let acc_case_gen =
+  QCheck2.Gen.(
+    int_range 1 3 >>= fun n_rels ->
+    array_size (int_range 0 160)
+      (pair (array_size (pure n_rels) (int_range 0 5)) (float_range (-8.0) 8.0))
+    >>= fun pairs ->
+    list_size (int_range 0 4) (int_range 0 (Array.length pairs)) >>= fun cuts ->
+    oneofl [ 1; 2; 4 ] >|= fun psize -> (n_rels, pairs, cuts, psize))
+
+let prop_acc_chunked_matches_of_pairs =
+  QCheck2.Test.make ~name:"Acc chunked+merged = of_pairs (1e-9)" ~count:120
+    ~print:(fun (n_rels, pairs, cuts, psize) ->
+      Printf.sprintf "n_rels=%d n=%d cuts=[%s] pool=%d" n_rels
+        (Array.length pairs)
+        (String.concat ";" (List.map string_of_int cuts))
+        psize)
+    acc_case_gen
+    (fun (n_rels, pairs, cuts, psize) ->
+      let n = Array.length pairs in
+      (* Random cut points -> a partition of [0, n) into feed chunks. *)
+      let bounds = List.sort_uniq compare (0 :: n :: cuts) in
+      let rec segs = function
+        | a :: (b :: _ as rest) -> (a, b) :: segs rest
+        | _ -> []
+      in
+      let accs =
+        List.map
+          (fun (lo, hi) ->
+            let acc = Moments.Acc.create ~hint:4 ~n_rels () in
+            for i = lo to hi - 1 do
+              let l, f = pairs.(i) in
+              Moments.Acc.add acc l f
+            done;
+            acc)
+          (segs bounds)
+      in
+      let acc =
+        match accs with
+        | [] -> Moments.Acc.create ~n_rels ()
+        | a :: rest ->
+            List.iter (fun b -> Moments.Acc.merge a b) rest;
+            a
+      in
+      let y = Moments.Acc.finalize ~pool:(pool_of psize) acc in
+      let expect = Moments.of_pairs ~n_rels pairs in
+      Moments.Acc.count acc = n
+      && Array.length y = Array.length expect
+      && Array.for_all2 (fun a b -> rel_close a b) y expect)
+
+(* ---- 2/3. streaming Sbox vs materializing, and pool-size invariance ---- *)
+
+let db () = Harness.db_cached ~scale:0.1
+
+let analyze db plan = (Rewrite.analyze_db db plan).Rewrite.gus
+
+let prop_stream_matches_materializing =
+  QCheck2.Test.make ~name:"of_plan streaming = exec+of_relation" ~count:12
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let db = db () in
+      let plan = Harness.query1_plan () in
+      let gus = analyze db plan in
+      let s = Sbox.of_plan ~gus ~f:Harness.revenue_f db (Rng.create seed) plan in
+      let rel = Splan.exec db (Rng.create seed) plan in
+      let m = Sbox.of_relation ~gus ~f:Harness.revenue_f rel in
+      s.Sbox.n_tuples = m.Sbox.n_tuples
+      && s.Sbox.total_f = m.Sbox.total_f
+      && s.Sbox.estimate = m.Sbox.estimate
+      && rel_close s.Sbox.variance m.Sbox.variance
+      && Array.for_all2 (fun a b -> rel_close a b) s.Sbox.y_hat m.Sbox.y_hat)
+
+let test_of_plan_pool_size_invariant () =
+  let db = db () in
+  let plan = Harness.query1_plan () in
+  let gus = analyze db plan in
+  List.iter
+    (fun seed ->
+      let report size =
+        Sbox.of_plan ~pool:(pool_of size) ~gus ~f:Harness.revenue_f db
+          (Rng.create seed) plan
+      in
+      let r1 = report 1 in
+      List.iter
+        (fun size ->
+          let r = report size in
+          check_int
+            (Printf.sprintf "seed %d pool %d: n_tuples" seed size)
+            r1.Sbox.n_tuples r.Sbox.n_tuples;
+          check_bool
+            (Printf.sprintf "seed %d pool %d: estimate 1e-9" seed size)
+            true
+            (rel_close r1.Sbox.estimate r.Sbox.estimate);
+          check_bool
+            (Printf.sprintf "seed %d pool %d: variance 1e-9" seed size)
+            true
+            (rel_close r1.Sbox.variance r.Sbox.variance);
+          check_bool
+            (Printf.sprintf "seed %d pool %d: y_hat 1e-9" seed size)
+            true
+            (Array.for_all2 (fun a b -> rel_close a b) r1.Sbox.y_hat r.Sbox.y_hat))
+        [ 2; 4 ])
+    [ 3; 17 ]
+
+(* ---- 4. trials_par bit-identical across lane counts ---- *)
+
+let test_trials_par_lane_invariant () =
+  let db = db () in
+  let plan = Harness.query1_plan () in
+  let base =
+    Harness.trials_par ~trials:12 ~seed:5 db plan ~f:Harness.revenue_f
+  in
+  List.iter
+    (fun size ->
+      let s =
+        Harness.trials_par ~pool:(pool_of size) ~trials:12 ~seed:5 db plan
+          ~f:Harness.revenue_f
+      in
+      (* Every field, bit for bit: same per-trial samples (derived child
+         streams), same block-order reduction regardless of lanes. *)
+      check_bool (Printf.sprintf "pool %d bit-identical" size) true (s = base))
+    [ 1; 2; 3 ]
+
+let test_map_trials_par_lane_invariant () =
+  let run pool =
+    Harness.map_trials_par ?pool ~trials:25 ~seed:9 (fun rng t ->
+        (t, Rng.bits64 rng, Rng.float rng))
+  in
+  let base = run None in
+  check_int "trial count" 25 (Array.length base);
+  Array.iteri (fun i (t, _, _) -> check_int "slot order" i t) base;
+  List.iter
+    (fun size ->
+      check_bool
+        (Printf.sprintf "pool %d bit-identical" size)
+        true
+        (run (Some (pool_of size)) = base))
+    [ 1; 2; 3 ]
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_acc_chunked_matches_of_pairs; prop_stream_matches_materializing ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ("properties", qcheck_tests);
+      ( "pool-invariance",
+        [ Alcotest.test_case "of_plan pool sizes 1/2/4" `Quick
+            test_of_plan_pool_size_invariant;
+          Alcotest.test_case "trials_par lanes 0/1/2/3" `Quick
+            test_trials_par_lane_invariant;
+          Alcotest.test_case "map_trials_par lanes 0/1/2/3" `Quick
+            test_map_trials_par_lane_invariant ] ) ]

@@ -203,6 +203,24 @@ let test_rng_split () =
   let child = Rng.split parent in
   check_bool "child differs from parent" false (Rng.bits64 parent = Rng.bits64 child)
 
+let test_rng_derive () =
+  (* Same parent state + same index -> same child stream. *)
+  let draws rng = List.init 8 (fun _ -> Rng.bits64 rng) in
+  let a = Rng.derive (Rng.create 7) 3 and b = Rng.derive (Rng.create 7) 3 in
+  check (Alcotest.list Alcotest.int64) "deterministic" (draws a) (draws b);
+  (* Deriving is a pure read: it must not advance the parent. *)
+  let parent = Rng.create 7 in
+  let before = Rng.copy parent in
+  ignore (Rng.derive parent 0);
+  ignore (Rng.derive parent 100);
+  check (Alcotest.list Alcotest.int64) "parent unperturbed" (draws before)
+    (draws parent);
+  (* Distinct indices -> distinct streams (first draws all differ). *)
+  let parent = Rng.create 7 in
+  let firsts = List.init 64 (fun i -> Rng.bits64 (Rng.derive parent i)) in
+  check_int "64 distinct child streams" 64
+    (List.length (List.sort_uniq compare firsts))
+
 let test_rng_shuffle () =
   let rng = Rng.create 12 in
   let a = Array.init 50 Fun.id in
@@ -404,6 +422,24 @@ let test_pool_size_one_inline () =
   Pool.run_chunks pool ~lo:3 ~hi:3 (fun _ _ -> Alcotest.fail "empty range ran");
   Pool.shutdown pool
 
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~size:3 in
+  check_bool "live after create" true (Pool.is_live pool);
+  Pool.shutdown pool;
+  check_bool "dead after shutdown" false (Pool.is_live pool);
+  (* A second shutdown must be a no-op, not a hang or double-join. *)
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  check_bool "still dead" false (Pool.is_live pool);
+  check_bool "use after shutdown rejected" true
+    (try
+       Pool.run_chunks pool ~lo:0 ~hi:4 (fun _ _ -> ());
+       false
+     with Invalid_argument _ -> true);
+  (* The empty range short-circuits before the liveness check, matching
+     run_chunks on a live pool doing no work for it. *)
+  Pool.run_chunks pool ~lo:7 ~hi:7 (fun _ _ -> Alcotest.fail "empty range ran")
+
 let test_pool_exception_propagates () =
   let pool = Pool.create ~size:2 in
   check_bool "worker exception reraised" true
@@ -450,6 +486,8 @@ let () =
       ( "pool",
         [ Alcotest.test_case "covers range" `Quick test_pool_covers_range;
           Alcotest.test_case "size-1 inline" `Quick test_pool_size_one_inline;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
           Alcotest.test_case "exceptions" `Quick test_pool_exception_propagates ] );
       ( "rng",
         [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
@@ -460,6 +498,7 @@ let () =
           Alcotest.test_case "wor" `Quick test_rng_wor;
           Alcotest.test_case "wor uniform" `Slow test_rng_wor_uniform;
           Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "derive" `Quick test_rng_derive;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle ] );
       ( "hashing",
         [ Alcotest.test_case "prf deterministic" `Quick test_prf_deterministic;
