@@ -33,7 +33,31 @@ let baseline_main_ns =
   [ ("sbox/moments-2rel-10k", 4.95e6);
     ("sbox/moments-4rel-10k", 38.16e6);
     ("sbox/exec-query1-sampled", 2.13308e6);
+    (* Measured immediately before the Gus_obs instrumentation landed:
+       the reference for the "<2% overhead when disabled" claim, and what
+       CI's hard overhead gate compares fresh runs against. *)
+    ("sbox/stream-query1", 2.26286e6);
     ("harness/trials-q1", 10.83e6) ]
+
+(* Where [baseline_main_ns] was measured.  ns-per-run is meaningless
+   across machines, so both CI gates compare a fresh run against the
+   baselines only when the fresh run's environment matches this record
+   ([git_rev] aside); otherwise they skip with a notice. *)
+let baseline_environment =
+  [ ("ocaml_version", `S "5.1.1");
+    ("recommended_domains", `I 1);
+    ("pool_lanes", `I 2) ]
+
+let git_rev () =
+  try
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
 
 let micro_pool = lazy (Pool.create ~size:(max 2 (Pool.default_size ())))
 
@@ -120,6 +144,26 @@ let micro_specs () =
           ignore
             (Sbox.of_plan ~gus:q1_gus ~f:Exp.Harness.revenue_f db
                (Gus_util.Rng.create 6) q1)) };
+    (* Same body as stream-query1 but with tracing and metrics live for
+       every iteration: read against sbox/stream-query1 (instrumentation
+       compiled in but disabled) for the cost of turning observability on,
+       and against the recorded pre-instrumentation baseline for the cost
+       of having it compiled in at all. *)
+    { name = "obs/stream-query1-traced";
+      heavy = true;
+      body =
+        (fun () ->
+          Gus_obs.Trace.set_enabled true;
+          Gus_obs.Metrics.set_enabled true;
+          Fun.protect
+            ~finally:(fun () ->
+              Gus_obs.Trace.set_enabled false;
+              Gus_obs.Metrics.set_enabled false;
+              Gus_obs.Trace.clear ())
+            (fun () ->
+              ignore
+                (Sbox.of_plan ~gus:q1_gus ~f:Exp.Harness.revenue_f db
+                   (Gus_util.Rng.create 6) q1))) };
     (* Monte-Carlo harness: 5 streaming trials (incl. the exact pass), at
        scale 0.1 to match the recorded pre-streaming baseline. *)
     { name = "harness/trials-q1";
@@ -153,16 +197,36 @@ let json_float x =
   if Float.is_nan x || x = infinity || x = neg_infinity then "null"
   else Printf.sprintf "%.6g" x
 
+let json_env_fields fields =
+  String.concat ", "
+    (List.map
+       (fun (k, v) ->
+         match v with
+         | `S s -> Printf.sprintf "\"%s\": \"%s\"" k (json_escape s)
+         | `I n -> Printf.sprintf "\"%s\": %d" k n)
+       fields)
+
 let write_json ~path ~quota rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"gus-bench-moments/v1\",\n";
+  out "  \"schema\": \"gus-bench-moments/v2\",\n";
   out "  \"generated_by\": \"dune exec bench/main.exe -- --micro --json\",\n";
   out "  \"unit\": \"ns/run\",\n";
   out "  \"quota_s\": %s,\n" (json_float quota);
   out "  \"pool_lanes\": %d,\n" (Pool.size (Lazy.force micro_pool));
   out "  \"recommended_domains\": %d,\n" (Pool.recommended_size ());
+  (* Provenance: ns-per-run rows are only comparable within one
+     environment, so the file records where it was generated and where
+     the baselines came from; CI matches the two before gating. *)
+  out "  \"environment\": { %s },\n"
+    (json_env_fields
+       [ ("ocaml_version", `S Sys.ocaml_version);
+         ("recommended_domains", `I (Pool.recommended_size ()));
+         ("pool_lanes", `I (Pool.size (Lazy.force micro_pool)));
+         ("git_rev", `S (git_rev ())) ]);
+  out "  \"baseline_environment\": { %s },\n"
+    (json_env_fields baseline_environment);
   out "  \"baseline_main_ns\": {\n";
   List.iteri
     (fun i (name, ns) ->

@@ -65,6 +65,55 @@ let apply_pool_size = function
       Printf.eprintf "gusdb: invalid --pool-size %d\n" n;
       exit 1
 
+(* ---- observability flags (query and experiments) ---- *)
+
+let trace_out_arg =
+  let doc = "Record an execution trace and write it to $(docv) as Chrome \
+             trace_event JSON (load in chrome://tracing or Perfetto)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc = "Collect runtime metrics (per-operator row counts, sampler \
+             draws, pool lane utilization, probe lengths, ...) and write a \
+             JSON snapshot to $(docv) ($(b,-) for stdout)." in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let write_file path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  end
+
+(* Enable collection before [f], export after.  Collection stays off when
+   neither output is requested, so the instrumented hot paths keep their
+   single-flag-check disabled cost. *)
+let with_obs ~trace_out ~metrics_out f =
+  if trace_out <> None then Gus_obs.Trace.set_enabled true;
+  if metrics_out <> None then Gus_obs.Metrics.set_enabled true;
+  let finish () =
+    (match trace_out with
+    | Some path ->
+        Gus_obs.Trace.set_enabled false;
+        write_file path (Gus_obs.Trace.export_json ());
+        Gus_obs.Trace.clear ()
+    | None -> ());
+    match metrics_out with
+    | Some path ->
+        Gus_obs.Metrics.set_enabled false;
+        write_file path (Gus_obs.Metrics.snapshot ())
+    | None -> ()
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
 (* Report user-facing failures as diagnostics + exit 1 instead of
    uncaught-exception backtraces. *)
 let or_fail f =
@@ -122,12 +171,25 @@ let query_cmd =
     let doc = "Also evaluate the query exactly (no sampling) for comparison." in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run scale seed sql exact data pool_size =
+  let explain_arg =
+    let doc = "EXPLAIN ANALYZE: execute the plan with per-node profiling \
+               and print the tree annotated with wall time, row counts, \
+               sampling rates (a, b0) and variance contributions." in
+    Arg.(value & flag & info [ "explain-analyze" ] ~doc)
+  in
+  let run scale seed sql exact explain data pool_size trace_out metrics_out =
    or_fail @@ fun () ->
     apply_pool_size pool_size;
     let db = db_source ~scale ~seed:20130630 data in
-    let result = Gus_sql.Runner.run ~seed db sql in
-    Format.printf "%a@." Gus_sql.Runner.pp_result result;
+    with_obs ~trace_out ~metrics_out @@ fun () ->
+    if explain then
+      Format.printf "%a@."
+        Gus_sql.Runner.pp_explain
+        (Gus_sql.Runner.run_explained ~seed db sql)
+    else begin
+      let result = Gus_sql.Runner.run ~seed db sql in
+      Format.printf "%a@." Gus_sql.Runner.pp_result result
+    end;
     if exact then begin
       Format.printf "@.ground truth (sampling ignored):@.";
       List.iter
@@ -137,8 +199,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Estimate an aggregate query over samples.")
-    Term.(const run $ scale_arg $ seed_arg $ sql_arg $ exact_arg $ data_arg
-          $ pool_size_arg)
+    Term.(const run $ scale_arg $ seed_arg $ sql_arg $ exact_arg $ explain_arg
+          $ data_arg $ pool_size_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- plan ---- *)
 
@@ -318,15 +380,22 @@ let experiments_cmd =
     let doc = "List the available experiments." in
     Arg.(value & flag & info [ "list" ] ~doc)
   in
-  let run id full list pool_size =
+  let progress_arg =
+    let doc = "Print live trial progress (completed/total, elapsed, ETA) \
+               to stderr during Monte-Carlo loops." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let run id full list pool_size progress trace_out metrics_out =
     let module R = Gus_experiments.Registry in
     apply_pool_size pool_size;
+    Gus_experiments.Harness.set_progress progress;
     if list then
       List.iter
         (fun e ->
           Printf.printf "%-4s %-50s [%s]\n" e.R.id e.R.title e.R.paper_artifact)
         R.all
     else
+      with_obs ~trace_out ~metrics_out @@ fun () ->
       match id with
       | None -> R.run_all ~quick:(not full) ()
       | Some id -> begin
@@ -339,7 +408,8 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.")
-    Term.(const run $ id_arg $ full_arg $ list_arg $ pool_size_arg)
+    Term.(const run $ id_arg $ full_arg $ list_arg $ pool_size_arg
+          $ progress_arg $ trace_out_arg $ metrics_out_arg)
 
 let () =
   let doc = "aggregate estimation over sampled queries (GUS sampling algebra)" in

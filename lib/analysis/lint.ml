@@ -28,21 +28,7 @@ let hints = with_severity D.Hint
 
 (* ---- rendering plan operators ---- *)
 
-let node_label = function
-  | Splan.Scan name -> name
-  | Splan.Select (e, _) ->
-      Format.asprintf "select %a" Gus_relational.Expr.pp e
-  | Splan.Project (fields, _) ->
-      Printf.sprintf "project %s" (String.concat "," (List.map fst fields))
-  | Splan.Equi_join { left_key; right_key; _ } ->
-      Format.asprintf "join %a = %a" Gus_relational.Expr.pp left_key
-        Gus_relational.Expr.pp right_key
-  | Splan.Theta_join (e, _, _) ->
-      Format.asprintf "theta-join %a" Gus_relational.Expr.pp e
-  | Splan.Cross _ -> "cross"
-  | Splan.Distinct _ -> "distinct"
-  | Splan.Sample (s, _) -> Sampler.to_string s
-  | Splan.Union_samples _ -> "union-samples"
+let node_label = Splan.node_label
 
 (* ---- GUS coherence (usable on any hand-built GUS, not only plans) ---- *)
 
@@ -452,19 +438,12 @@ let pp_annotated_plan ppf (plan, r) =
         else None)
       r.diagnostics
   in
-  let rec go indent path node =
-    let pad = String.make indent ' ' in
-    let marks =
+  Gus_obs.Planfmt.pp ~label:node_label ~children:Splan.children
+    ~annot:(fun path _ ->
       match markers_at path with
       | [] -> ""
-      | ms -> "  <-- " ^ String.concat ", " ms
-    in
-    Format.fprintf ppf "%s%s%s@\n" pad (node_label node) marks;
-    List.iteri
-      (fun i child -> go (indent + 2) (path @ [ i ]) child)
-      (Splan.children node)
-  in
-  go 0 [] plan
+      | ms -> "  <-- " ^ String.concat ", " ms)
+    ppf plan
 
 let to_json r =
   let buf = Buffer.create 512 in

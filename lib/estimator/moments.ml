@@ -1,7 +1,16 @@
 module Subset = Gus_util.Subset
 module Inttbl = Gus_util.Inttbl
 module Pool = Gus_util.Pool
+module Metrics = Gus_obs.Metrics
 open Gus_relational
+
+(* Observability instruments.  Pass timings are per-mask (at most 2^n per
+   kernel run), tuple counts are O(1) arithmetic or one flag-checked call
+   per [Acc.add] — nothing inside the per-tuple probe loops. *)
+let m_pass_us = Metrics.histogram "moments.pass_us"
+let m_batch_pairs = Metrics.counter "moments.batch.pairs"
+let m_acc_tuples = Metrics.counter "moments.acc.tuples"
+let m_materialized = Metrics.counter "moments.pairs.materialized"
 
 module Key = struct
   type t = int array
@@ -164,8 +173,10 @@ let of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels pairs =
   let m = Array.length pairs in
   let grand = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 pairs in
   y.(Subset.empty) <- grand *. grand;
+  if Metrics.enabled () then Metrics.add m_batch_pairs m;
   if nmasks > 1 && m > 0 then
     run_passes ?pool ~par_threshold ~n_pairs:m ~nmasks (fun lo hi ->
+        let obs = Metrics.enabled () in
         let tbl = Inttbl.create ~hint:m in
         let sums = Array.make (Inttbl.capacity tbl) 0.0 in
         let pos = Array.make n_rels 0 in
@@ -176,6 +187,7 @@ let of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels pairs =
           masked_equal li lj pos !npos
         in
         for s = lo to hi - 1 do
+          let t0 = if obs then Gus_obs.Trace.now_ns () else 0 in
           npos := fill_positions pos s;
           Inttbl.reset tbl ~hint:m;
           for i = 0 to m - 1 do
@@ -192,7 +204,10 @@ let of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels pairs =
           Inttbl.iter tbl (fun slot _ ->
               let v = Array.unsafe_get sums slot in
               acc := !acc +. (v *. v));
-          y.(s) <- !acc
+          y.(s) <- !acc;
+          if obs then
+            Metrics.observe m_pass_us
+              (float_of_int (Gus_obs.Trace.now_ns () - t0) /. 1e3)
         done);
   y
 
@@ -207,8 +222,10 @@ let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
   let grand_f = Array.fold_left (fun acc (_, f, _) -> acc +. f) 0.0 pairs in
   let grand_g = Array.fold_left (fun acc (_, _, g) -> acc +. g) 0.0 pairs in
   y.(Subset.empty) <- grand_f *. grand_g;
+  if Metrics.enabled () then Metrics.add m_batch_pairs m;
   if nmasks > 1 && m > 0 then
     run_passes ?pool ~par_threshold ~n_pairs:m ~nmasks (fun lo hi ->
+        let obs = Metrics.enabled () in
         let tbl = Inttbl.create ~hint:m in
         let sums_f = Array.make (Inttbl.capacity tbl) 0.0 in
         let sums_g = Array.make (Inttbl.capacity tbl) 0.0 in
@@ -220,6 +237,7 @@ let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
           masked_equal li lj pos !npos
         in
         for s = lo to hi - 1 do
+          let t0 = if obs then Gus_obs.Trace.now_ns () else 0 in
           npos := fill_positions pos s;
           Inttbl.reset tbl ~hint:m;
           for i = 0 to m - 1 do
@@ -242,7 +260,10 @@ let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
               acc :=
                 !acc
                 +. (Array.unsafe_get sums_f slot *. Array.unsafe_get sums_g slot));
-          y.(s) <- !acc
+          y.(s) <- !acc;
+          if obs then
+            Metrics.observe m_pass_us
+              (float_of_int (Gus_obs.Trace.now_ns () - t0) /. 1e3)
         done);
   y
 
@@ -386,6 +407,7 @@ module Acc = struct
   let add t lineage f =
     if Array.length lineage <> t.n_rels then
       invalid_arg "Moments.Acc.add: lineage length mismatch";
+    Metrics.incr m_acc_tuples;
     t.count <- t.count + 1;
     t.total <- t.total +. f;
     for s = 1 to t.nmasks - 1 do
@@ -469,6 +491,8 @@ let bilinear_of_relation ?pool ~f ~g rel =
       out.(!i) <- (tup.Tuple.lineage, ef tup, eg tup);
       incr i)
     rel;
+  if Metrics.enabled () then
+    Metrics.add m_materialized (Relation.cardinality rel);
   bilinear_of_pairs ?pool
     ~n_rels:(Array.length rel.Relation.lineage_schema)
     out
@@ -482,6 +506,8 @@ let pairs_of_relation ~f rel =
       out.(!i) <- (tup.Tuple.lineage, eval tup);
       incr i)
     rel;
+  if Metrics.enabled () then
+    Metrics.add m_materialized (Relation.cardinality rel);
   out
 
 let of_relation ?pool ~f rel =

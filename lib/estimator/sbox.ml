@@ -104,6 +104,7 @@ let report_of_acc ?pool ~gus acc =
     stddev = sqrt variance }
 
 let of_plan ?pool ~gus ~f db rng plan =
+  Gus_obs.Trace.span "sbox.of_plan" @@ fun () ->
   check_lineage gus (Splan.lineage_schema plan);
   let n = Gus.n_rels gus in
   let init schema =
@@ -123,7 +124,10 @@ let of_plan ?pool ~gus ~f db rng plan =
             (a, e))
     | None -> Splan.fold_stream db rng plan ~init ~f:feed
   in
-  report_of_acc ?pool ~gus acc
+  Gus_obs.Trace.span "sbox.report_of_acc"
+    ~args:(fun () ->
+      [ ("tuples", string_of_int (Moments.Acc.count acc)) ])
+    (fun () -> report_of_acc ?pool ~gus acc)
 
 let interval ?(coverage = 0.95) method_ report =
   Interval.make ~method_ ~coverage ~estimate:report.estimate ~stddev:report.stddev
@@ -177,7 +181,9 @@ let subsampled ~gus ~f ~target ~seed rel =
 
 let stream ?(seed = 42) ?pool db plan ~f =
   let rng = Gus_util.Rng.create seed in
-  let analysis = Rewrite.analyze_db db plan in
+  let analysis =
+    Gus_obs.Trace.span "sbox.analyze" (fun () -> Rewrite.analyze_db db plan)
+  in
   let report = of_plan ?pool ~gus:analysis.Rewrite.gus ~f db rng plan in
   (report, analysis)
 

@@ -9,6 +9,61 @@ open Gus_relational
 let section id title =
   Printf.printf "\n=== %s: %s ===\n\n" id title
 
+(* ---- progress reporting -------------------------------------------- *)
+
+let m_trials_completed = Gus_obs.Metrics.counter "harness.trials_completed"
+
+let progress_enabled = ref false
+let set_progress b = progress_enabled := b
+
+type progress = {
+  p_total : int;
+  p_start_ns : int;
+  p_done : int Atomic.t;
+  p_mu : Mutex.t;
+  mutable p_last_ns : int;  (* last stderr update; guarded by [p_mu] *)
+}
+
+let progress_start total =
+  if !progress_enabled && total > 0 then
+    Some
+      { p_total = total;
+        p_start_ns = Gus_obs.Trace.now_ns ();
+        p_done = Atomic.make 0;
+        p_mu = Mutex.create ();
+        p_last_ns = 0 }
+  else None
+
+(* Called once per completed trial, possibly from a pool lane.  The
+   metric always counts (subject to the Metrics flag); the stderr line is
+   rate-limited to ~5 updates/s so heavy parallel runs don't serialize on
+   terminal writes. *)
+let progress_tick prog =
+  Gus_obs.Metrics.incr m_trials_completed;
+  match prog with
+  | None -> ()
+  | Some p ->
+      let done_ = 1 + Atomic.fetch_and_add p.p_done 1 in
+      let now = Gus_obs.Trace.now_ns () in
+      Mutex.lock p.p_mu;
+      let due = now - p.p_last_ns >= 200_000_000 || done_ = p.p_total in
+      if due then p.p_last_ns <- now;
+      Mutex.unlock p.p_mu;
+      if due then begin
+        let elapsed = float_of_int (now - p.p_start_ns) /. 1e9 in
+        let eta =
+          elapsed *. float_of_int (p.p_total - done_) /. float_of_int done_
+        in
+        Printf.eprintf "\r  trials %d/%d (%d%%) elapsed %.1fs eta %.1fs%!"
+          done_ p.p_total
+          (100 * done_ / p.p_total)
+          elapsed eta
+      end
+
+let progress_finish = function
+  | None -> ()
+  | Some _ -> prerr_newline ()
+
 let fcell = Gus_util.Tablefmt.float_cell ~digits:3
 
 let query1_f = Expr.(col "l_discount" * (float 1.0 - col "l_tax"))
@@ -121,10 +176,13 @@ let trials ?(trials = 200) ?(seed = 1) db plan ~f =
   let analysis = Rewrite.analyze_db db plan in
   let gus = analysis.Rewrite.gus in
   let acc = trial_acc_create () in
+  let prog = progress_start trials in
   for t = 1 to trials do
     let rng = Gus_util.Rng.create (seed + (7919 * t)) in
-    one_trial ~gus ~truth db plan ~f acc rng
+    one_trial ~gus ~truth db plan ~f acc rng;
+    progress_tick prog
   done;
+  progress_finish prog;
   stats_of_acc ~trials ~truth acc
 
 (* Trials per reduction block of {!trials_par}.  The grid is fixed —
@@ -140,6 +198,7 @@ let trials_par ?pool ?(trials = 200) ?(seed = 1) db plan ~f =
   let master = Gus_util.Rng.create seed in
   let nblocks = Stdlib.max 1 ((ntr + trials_per_block - 1) / trials_per_block) in
   let blocks = Array.init nblocks (fun _ -> trial_acc_create ()) in
+  let prog = progress_start ntr in
   let run_block b =
     let acc = blocks.(b) in
     let lo = b * trials_per_block and hi = min ntr ((b + 1) * trials_per_block) in
@@ -147,7 +206,8 @@ let trials_par ?pool ?(trials = 200) ?(seed = 1) db plan ~f =
       (* The t-th child stream of the master seed: a pure function of
          (seed, t), so a trial draws the same sample whichever lane runs
          it. *)
-      one_trial ~gus ~truth db plan ~f acc (Gus_util.Rng.derive master t)
+      one_trial ~gus ~truth db plan ~f acc (Gus_util.Rng.derive master t);
+      progress_tick prog
     done
   in
   let module Pool = Gus_util.Pool in
@@ -161,6 +221,7 @@ let trials_par ?pool ?(trials = 200) ?(seed = 1) db plan ~f =
       for b = 0 to nblocks - 1 do
         run_block b
       done);
+  progress_finish prog;
   let acc = ref blocks.(0) in
   for b = 1 to nblocks - 1 do
     acc := trial_acc_merge !acc blocks.(b)
@@ -171,9 +232,11 @@ let map_trials_par ?pool ~trials ~seed body =
   if trials < 0 then invalid_arg "Harness.map_trials_par: negative trials";
   let master = Gus_util.Rng.create seed in
   let out = Array.make trials None in
+  let prog = progress_start trials in
   let run_range lo hi =
     for t = lo to hi - 1 do
-      out.(t) <- Some (body (Gus_util.Rng.derive master t) t)
+      out.(t) <- Some (body (Gus_util.Rng.derive master t) t);
+      progress_tick prog
     done
   in
   let module Pool = Gus_util.Pool in
@@ -181,6 +244,7 @@ let map_trials_par ?pool ~trials ~seed body =
   | Some p when Pool.is_live p && Pool.size p > 1 && trials > 1 ->
       Pool.run_chunks p ~lo:0 ~hi:trials run_range
   | _ -> run_range 0 trials);
+  progress_finish prog;
   Array.map
     (function Some x -> x | None -> assert false)
     out

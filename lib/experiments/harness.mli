@@ -9,6 +9,13 @@ val section : string -> string -> unit
 val fcell : float -> string
 (** Number formatting used across all tables. *)
 
+val set_progress : bool -> unit
+(** Opt into live progress lines on stderr ([trials d/total (p%%) elapsed
+    eta], rate-limited, pool-safe) from {!trials}, {!trials_par} and
+    {!map_trials_par}.  Completed trials also count into the
+    [harness.trials_completed] metric whenever {!Gus_obs.Metrics} is
+    collecting, progress display or not.  Off by default. *)
+
 val query1_f : Gus_relational.Expr.t
 (** The paper's running aggregate: [l_discount * (1.0 - l_tax)]. *)
 

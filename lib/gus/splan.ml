@@ -73,7 +73,26 @@ let rec equal p q =
       _ ) ->
       false
 
-let rec exec ?pool db rng = function
+let node_label = function
+  | Scan name -> name
+  | Select (e, _) -> Format.asprintf "select %a" Expr.pp e
+  | Project (fields, _) ->
+      Printf.sprintf "project %s" (String.concat "," (List.map fst fields))
+  | Equi_join { left_key; right_key; _ } ->
+      Format.asprintf "join %a = %a" Expr.pp left_key Expr.pp right_key
+  | Theta_join (e, _, _) -> Format.asprintf "theta-join %a" Expr.pp e
+  | Cross _ -> "cross"
+  | Distinct _ -> "distinct"
+  | Sample (s, _) -> Sampler.to_string s
+  | Union_samples _ -> "union-samples"
+
+let children = function
+  | Scan _ -> []
+  | Select (_, q) | Project (_, q) | Distinct q | Sample (_, q) -> [ q ]
+  | Equi_join { left; right; _ } -> [ left; right ]
+  | Theta_join (_, l, r) | Cross (l, r) | Union_samples (l, r) -> [ l; r ]
+
+let rec exec_node ?pool db rng = function
   | Scan name -> Database.find db name
   | Select (pred, q) -> Ops.select ?pool pred (exec ?pool db rng q)
   | Project (fields, q) -> Ops.project ?pool fields (exec ?pool db rng q)
@@ -88,6 +107,92 @@ let rec exec ?pool db rng = function
   | Sample (s, q) -> Sampler.apply ?pool s rng (exec ?pool db rng q)
   | Union_samples (l, r) ->
       Ops.union_lineage (exec ?pool db rng l) (exec ?pool db rng r)
+
+and exec ?pool db rng plan =
+  (* One span per plan node when tracing; the traced branch evaluates the
+     identical expression, so the RNG sees the same draw order and a
+     traced run is bit-identical to an untraced one. *)
+  if Gus_obs.Trace.enabled () then begin
+    let label = node_label plan in
+    Gus_obs.Trace.enter label;
+    match exec_node ?pool db rng plan with
+    | rel ->
+        Gus_obs.Trace.leave label
+          ~args:
+            [ ("rows_out", string_of_int (Relation.cardinality rel)) ];
+        rel
+    | exception e ->
+        Gus_obs.Trace.leave label;
+        raise e
+  end
+  else exec_node ?pool db rng plan
+
+(* Per-node execution profile for EXPLAIN ANALYZE.  Unlike trace spans
+   this is an explicit mode, not flag-guarded: callers ask for profiles
+   and pay for the clock reads.  The recursion mirrors [exec_node]'s
+   {e runtime} evaluation order — OCaml applications evaluate arguments
+   right to left, so binary operators here run the right child before the
+   left — which keeps the RNG draw sequence, and therefore the sample,
+   identical to a plain [exec] with the same seed (test-enforced). *)
+
+type node_profile = {
+  np_path : int list;
+  np_label : string;
+  np_wall_ns : int;  (** inclusive of children *)
+  np_rows_in : int;
+  np_rows_out : int;
+}
+
+let exec_profiled ?pool db rng plan =
+  let profiles = ref [] in
+  let card = Relation.cardinality in
+  let rec go path plan =
+    let t0 = Gus_obs.Trace.now_ns () in
+    let rel, rows_in =
+      match plan with
+      | Scan name ->
+          let r = Database.find db name in
+          (r, card r)
+      | Select (pred, q) ->
+          let c = go (0 :: path) q in
+          (Ops.select ?pool pred c, card c)
+      | Project (fields, q) ->
+          let c = go (0 :: path) q in
+          (Ops.project ?pool fields c, card c)
+      | Equi_join { left; right; left_key; right_key } ->
+          let r = go (1 :: path) right in
+          let l = go (0 :: path) left in
+          (Ops.equi_join ~left_key ~right_key l r, card l + card r)
+      | Theta_join (pred, lq, rq) ->
+          let r = go (1 :: path) rq in
+          let l = go (0 :: path) lq in
+          (Ops.theta_join pred l r, card l + card r)
+      | Cross (lq, rq) ->
+          let r = go (1 :: path) rq in
+          let l = go (0 :: path) lq in
+          (Ops.cross l r, card l + card r)
+      | Distinct q ->
+          let c = go (0 :: path) q in
+          (Ops.distinct c, card c)
+      | Sample (s, q) ->
+          let c = go (0 :: path) q in
+          (Sampler.apply ?pool s rng c, card c)
+      | Union_samples (lq, rq) ->
+          let r = go (1 :: path) rq in
+          let l = go (0 :: path) lq in
+          (Ops.union_lineage l r, card l + card r)
+    in
+    profiles :=
+      { np_path = List.rev path;
+        np_label = node_label plan;
+        np_wall_ns = Gus_obs.Trace.now_ns () - t0;
+        np_rows_in = rows_in;
+        np_rows_out = card rel }
+      :: !profiles;
+    rel
+  in
+  let rel = go [] plan in
+  (rel, List.rev !profiles)
 
 let exec_exact db q =
   (* No sampling remains, so the RNG is never consulted. *)
@@ -176,13 +281,25 @@ let compile_stages rng stages core_schema =
   in
   (make, out_schema)
 
+let m_stream_rows = Gus_obs.Metrics.counter "splan.stream.rows"
+let m_stream_folds = Gus_obs.Metrics.counter "splan.stream.folds"
+
+let account_stream rel =
+  (* O(1): the streamed-tuple count is the core's cardinality, not a
+     per-push increment — nothing rides the per-tuple path. *)
+  if Gus_obs.Metrics.enabled () then begin
+    Gus_obs.Metrics.incr m_stream_folds;
+    Gus_obs.Metrics.add m_stream_rows (Relation.cardinality rel)
+  end
+
 let fold_stream db rng plan ~init ~f =
   let core, stages = split_stream plan in
   let rel = exec db rng core in
+  account_stream rel;
   let make, out_schema = compile_stages rng stages rel.Relation.schema in
   let acc = ref (init out_schema) in
   let push = make (fun tup -> acc := f !acc tup) in
-  Relation.iter push rel;
+  Gus_obs.Trace.span "splan.stream" (fun () -> Relation.iter push rel);
   !acc
 
 let stages_use_rng stages =
@@ -191,6 +308,7 @@ let stages_use_rng stages =
 let fold_stream_par ?pool db rng plan ~init ~f ~merge =
   let core, stages = split_stream plan in
   let rel = exec ?pool db rng core in
+  account_stream rel;
   let make, out_schema = compile_stages rng stages rel.Relation.schema in
   let n = Relation.cardinality rel in
   let module Pool = Gus_util.Pool in
@@ -241,50 +359,10 @@ let rec pp ppf = function
   | Union_samples (l, r) -> Format.fprintf ppf "union(%a, %a)" pp l pp r
 
 let pp_tree ppf plan =
-  let rec go indent node =
-    let pad = String.make indent ' ' in
-    let line fmt = Format.fprintf ppf ("%s" ^^ fmt ^^ "@\n") pad in
-    match node with
-    | Scan name -> line "%s" name
-    | Select (e, q) ->
-        line "select %a" Expr.pp e;
-        go (indent + 2) q
-    | Project (fields, q) ->
-        line "project %s" (String.concat "," (List.map fst fields));
-        go (indent + 2) q
-    | Equi_join { left; right; left_key; right_key } ->
-        line "join %a = %a" Expr.pp left_key Expr.pp right_key;
-        go (indent + 2) left;
-        go (indent + 2) right
-    | Theta_join (e, l, r) ->
-        line "theta-join %a" Expr.pp e;
-        go (indent + 2) l;
-        go (indent + 2) r
-    | Cross (l, r) ->
-        line "cross";
-        go (indent + 2) l;
-        go (indent + 2) r
-    | Distinct q ->
-        line "distinct";
-        go (indent + 2) q
-    | Sample (s, q) ->
-        line "%s" (Sampler.to_string s);
-        go (indent + 2) q
-    | Union_samples (l, r) ->
-        line "union-samples";
-        go (indent + 2) l;
-        go (indent + 2) r
-  in
-  go 0 plan
+  Gus_obs.Planfmt.pp ~label:node_label ~children ppf plan
 
 let relations plan =
   Array.to_list (lineage_schema plan)
-
-let children = function
-  | Scan _ -> []
-  | Select (_, q) | Project (_, q) | Distinct q | Sample (_, q) -> [ q ]
-  | Equi_join { left; right; _ } -> [ left; right ]
-  | Theta_join (_, l, r) | Cross (l, r) | Union_samples (l, r) -> [ l; r ]
 
 let rec subtree plan = function
   | [] -> Some plan

@@ -51,6 +51,11 @@ val strip_samples : t -> t
 val equal : t -> t -> bool
 (** Structural equality (expressions compared structurally). *)
 
+val node_label : t -> string
+(** The one-line operator head shared by {!pp_tree}, lint's annotated
+    plan, and [--explain-analyze] (e.g. ["join l_okey = o_okey"],
+    ["Bernoulli(0.1)"]). *)
+
 val exec : ?pool:Gus_util.Pool.t -> Database.t -> Gus_util.Rng.t -> t -> Relation.t
 (** Run the plan, sampling with the given RNG.
 
@@ -65,6 +70,24 @@ val exec : ?pool:Gus_util.Pool.t -> Database.t -> Gus_util.Rng.t -> t -> Relatio
 
 val exec_exact : Database.t -> t -> Relation.t
 (** Run {!strip_samples} — the full, non-approximate answer. *)
+
+type node_profile = {
+  np_path : int list;  (** root-to-node child indices, [[]] at the root *)
+  np_label : string;  (** {!node_label} of the node *)
+  np_wall_ns : int;  (** wall time, inclusive of children *)
+  np_rows_in : int;  (** sum of input cardinalities (base size for Scan) *)
+  np_rows_out : int;
+}
+
+val exec_profiled :
+  ?pool:Gus_util.Pool.t ->
+  Database.t ->
+  Gus_util.Rng.t ->
+  t ->
+  Relation.t * node_profile list
+(** {!exec} recording one {!node_profile} per plan node, for
+    [--explain-analyze].  Draw order matches {!exec} exactly, so the same
+    seed yields the same sample; profiles are returned in post-order. *)
 
 val fold_stream :
   Database.t ->

@@ -1,0 +1,17 @@
+/* Monotonic nanosecond clock for Gus_obs.Trace.
+
+   Returned as an unboxed OCaml int: 63 bits of nanoseconds cover ~146
+   years of uptime, so span arithmetic never allocates.  CLOCK_MONOTONIC
+   is immune to wall-clock adjustments (NTP slews, manual resets), which
+   matters because spans from different domains are compared against each
+   other when the per-domain buffers are merged. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value gus_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,11 @@
+let pp ?annot ~label ~children ppf root =
+  let rec go depth path node =
+    let pad = String.make (2 * depth) ' ' in
+    let extra =
+      match annot with None -> "" | Some f -> f (List.rev path) node
+    in
+    Format.fprintf ppf "%s%s%s@\n" pad (label node) extra;
+    List.iteri (fun i child -> go (depth + 1) (i :: path) child)
+      (children node)
+  in
+  go 0 [] root

@@ -1,0 +1,23 @@
+(** Generic indented plan-tree rendering.
+
+    Both [gusdb lint]'s annotated plan and [--explain-analyze] print the
+    same shape — one node per line, two-space indents, optional trailing
+    annotation — so they share this renderer instead of maintaining two
+    diverging printers.  The tree type stays abstract ([label] /
+    [children] callbacks) because this library sits below the plan AST
+    in the dependency order. *)
+
+val pp :
+  ?annot:(int list -> 'a -> string) ->
+  label:('a -> string) ->
+  children:('a -> 'a list) ->
+  Format.formatter ->
+  'a ->
+  unit
+(** [pp ?annot ~label ~children ppf root] prints [root]'s subtree, one
+    node per line, indented two spaces per depth.  [annot path node]
+    (with [path] the root-to-node child-index list, [[]] at the root) is
+    appended verbatim to the node's line when non-empty — callers
+    include their own leading separator (e.g. ["  <-- GUS001"] or
+    [" (time=1.2ms ...)"]).  With no [annot], output is byte-identical
+    to the historical [Splan.pp_tree] format. *)

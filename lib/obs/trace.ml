@@ -1,0 +1,263 @@
+(* Per-domain trace buffers.
+
+   Each domain owns a growable event buffer reached through domain-local
+   storage, so recording never takes a lock: the only synchronized
+   operation is registering a fresh buffer in the global list the first
+   time a domain records (a once-per-domain mutex acquisition).  Export
+   functions walk the registry under the same mutex; they are meant to be
+   called from quiescent points (no pool jobs in flight), which the CLI
+   and harness guarantee by exporting only after runs complete. *)
+
+external now_ns : unit -> int = "gus_obs_monotonic_ns" [@@noalloc]
+
+type args = (string * string) list
+
+(* A plain [bool ref] (not Atomic) keeps the disabled check to a single
+   load.  OCaml mutable bool reads/writes are atomic at the hardware
+   level; the flag only flips at quiescent points so lanes need no
+   fence-ordering guarantees beyond eventually observing the store. *)
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type phase = Begin | End | Instant
+
+type event = {
+  phase : phase;
+  name : string;
+  ts_ns : int;
+  eargs : args;
+}
+
+type buffer = {
+  dom : int;
+  mutable events : event array;
+  mutable len : int;
+}
+
+let dummy_event = { phase = Instant; name = ""; ts_ns = 0; eargs = [] }
+
+let registry_mu = Mutex.create ()
+let registry : buffer list ref = ref []
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { dom = (Domain.self () :> int);
+          events = Array.make 256 dummy_event;
+          len = 0 }
+      in
+      Mutex.lock registry_mu;
+      registry := b :: !registry;
+      Mutex.unlock registry_mu;
+      b)
+
+let record phase name eargs =
+  let b = Domain.DLS.get buffer_key in
+  if b.len = Array.length b.events then begin
+    let bigger = Array.make (2 * b.len) dummy_event in
+    Array.blit b.events 0 bigger 0 b.len;
+    b.events <- bigger
+  end;
+  b.events.(b.len) <- { phase; name; ts_ns = now_ns (); eargs };
+  b.len <- b.len + 1
+
+let enter ?(args = []) name = if !enabled_flag then record Begin name args
+let leave ?(args = []) name = if !enabled_flag then record End name args
+let instant ?(args = []) name = if !enabled_flag then record Instant name args
+
+let span ?args name f =
+  if !enabled_flag then begin
+    record Begin name [];
+    match f () with
+    | v ->
+        let a = match args with None -> [] | Some g -> g () in
+        record End name a;
+        v
+    | exception e ->
+        record End name [ ("exn", Printexc.to_string e) ];
+        raise e
+  end
+  else f ()
+
+let buffers_snapshot () =
+  Mutex.lock registry_mu;
+  let bs = !registry in
+  Mutex.unlock registry_mu;
+  List.sort (fun a b -> compare a.dom b.dom) bs
+
+let clear () =
+  List.iter
+    (fun b ->
+      (* Shrink back so long-lived processes don't pin peak capacity. *)
+      b.events <- Array.make 256 dummy_event;
+      b.len <- 0)
+    (buffers_snapshot ())
+
+let event_count () =
+  List.fold_left (fun acc b -> acc + b.len) 0 (buffers_snapshot ())
+
+(* ------------------------------------------------------------------ *)
+(* Tree reconstruction                                                 *)
+
+type span_tree = {
+  sname : string;
+  start_ns : int;
+  dur_ns : int;
+  sargs : args;
+  children : span_tree list;
+}
+
+type open_span = {
+  oname : string;
+  ostart : int;
+  mutable oargs : args;
+  mutable rev_children : span_tree list;
+}
+
+let tree_of_buffer b =
+  (* Replay the event stream against an explicit stack.  Unbalanced
+     [enter]s (e.g. tracing flipped off mid-span) close at the last
+     event seen; stray [leave]s are ignored. *)
+  let last_ts = ref 0 in
+  let stack : open_span list ref = ref [] in
+  let roots : span_tree list ref = ref [] in
+  let close o end_ns =
+    let node =
+      { sname = o.oname;
+        start_ns = o.ostart;
+        dur_ns = end_ns - o.ostart;
+        sargs = o.oargs;
+        children = List.rev o.rev_children }
+    in
+    match !stack with
+    | parent :: _ -> parent.rev_children <- node :: parent.rev_children
+    | [] -> roots := node :: !roots
+  in
+  for i = 0 to b.len - 1 do
+    let e = b.events.(i) in
+    last_ts := e.ts_ns;
+    match e.phase with
+    | Begin ->
+        stack :=
+          { oname = e.name; ostart = e.ts_ns; oargs = e.eargs;
+            rev_children = [] }
+          :: !stack
+    | End -> (
+        match !stack with
+        | o :: rest ->
+            stack := rest;
+            o.oargs <- o.oargs @ e.eargs;
+            close o e.ts_ns
+        | [] -> ())
+    | Instant ->
+        let node =
+          { sname = e.name; start_ns = e.ts_ns; dur_ns = 0;
+            sargs = e.eargs; children = [] }
+        in
+        (match !stack with
+        | parent :: _ -> parent.rev_children <- node :: parent.rev_children
+        | [] -> roots := node :: !roots)
+  done;
+  let rec drain () =
+    match !stack with
+    | o :: rest ->
+        stack := rest;
+        close o !last_ts;
+        drain ()
+    | [] -> ()
+  in
+  drain ();
+  List.rev !roots
+
+let trees () =
+  buffers_snapshot ()
+  |> List.filter_map (fun b ->
+         if b.len = 0 then None else Some (b.dom, tree_of_buffer b))
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let export_json () =
+  let bs = buffers_snapshot () in
+  let t0 =
+    List.fold_left
+      (fun acc b -> if b.len > 0 then min acc b.events.(0).ts_ns else acc)
+      max_int bs
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun b ->
+      for i = 0 to b.len - 1 do
+        let e = b.events.(i) in
+        if !first then first := false else Buffer.add_char buf ',';
+        let ph =
+          match e.phase with Begin -> "B" | End -> "E" | Instant -> "i"
+        in
+        (* Microsecond float timestamps relative to the first event keep
+           the numbers small enough for viewers that parse ts as double. *)
+        let ts_us = float_of_int (e.ts_ns - t0) /. 1e3 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+             (json_escape e.name) ph ts_us b.dom);
+        if e.phase = Instant then Buffer.add_string buf ",\"s\":\"t\"";
+        (match e.eargs with
+        | [] -> ()
+        | args ->
+            Buffer.add_string buf ",\"args\":{";
+            List.iteri
+              (fun i (k, v) ->
+                if i > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf
+                  (Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                     (json_escape v)))
+              args;
+            Buffer.add_char buf '}');
+        Buffer.add_char buf '}'
+      done)
+    bs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let pp_dur ppf ns =
+  if ns >= 1_000_000_000 then
+    Format.fprintf ppf "%.2fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then
+    Format.fprintf ppf "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then
+    Format.fprintf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else Format.fprintf ppf "%dns" ns
+
+let pp_tree ppf () =
+  let rec pp_node depth node =
+    Format.fprintf ppf "%s%s  [%a]" (String.make (2 * depth) ' ') node.sname
+      pp_dur node.dur_ns;
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf " %s=%s" k v)
+      node.sargs;
+    Format.fprintf ppf "@\n";
+    List.iter (pp_node (depth + 1)) node.children
+  in
+  List.iter
+    (fun (dom, forest) ->
+      Format.fprintf ppf "domain %d:@\n" dom;
+      List.iter (pp_node 1) forest)
+    (trees ())

@@ -1,0 +1,80 @@
+(** Hierarchical execution tracing with per-domain, lock-free buffers.
+
+    Every domain records begin/end/instant events into its own buffer
+    (created on first use through domain-local storage), so pool lanes
+    trace concurrently without synchronization on the hot path.  Buffers
+    are merged — in ascending domain-id order, events in record order —
+    only at export time, either as a Chrome/Perfetto [trace_event] JSON
+    stream ({!export_json}) or as an indented text tree ({!pp_tree}).
+
+    {b Disabled path.}  Tracing is off by default; every recording entry
+    point first reads a single mutable flag and returns immediately when
+    it is false.  Instrumented code guards name/argument construction
+    behind {!enabled} so a disabled program performs one load-and-branch
+    per span site and allocates nothing.
+
+    {b Determinism.}  Tracing only reads the monotonic clock and appends
+    to buffers: it never consults an RNG or changes control flow, so a
+    traced run computes bit-identical results to an untraced one. *)
+
+val set_enabled : bool -> unit
+(** Toggle recording.  Call from a quiescent point (no pool jobs in
+    flight); lanes observe the flag at their next span site. *)
+
+val enabled : unit -> bool
+(** The one check instrumentation sites perform before doing any work. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds from an arbitrary origin.  Allocation
+    free (C stub returning an immediate int). *)
+
+type args = (string * string) list
+(** Span annotations, rendered into the [args] object of the Chrome
+    event (values are emitted as JSON strings). *)
+
+val enter : ?args:args -> string -> unit
+(** Open a span on the calling domain.  No-op when disabled. *)
+
+val leave : ?args:args -> string -> unit
+(** Close the innermost open span on the calling domain.  The name is
+    recorded for the text tree; Chrome pairs by nesting.  Extra [args]
+    are merged into the span's annotations at tree-building time. *)
+
+val span : ?args:(unit -> args) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside an [enter]/[leave] pair (the pair is
+    balanced on exceptions).  [args] is only evaluated when tracing is
+    enabled, after [f] returns — so annotations can be computed lazily
+    and cost nothing when disabled. *)
+
+val instant : ?args:args -> string -> unit
+(** A zero-duration marker event. *)
+
+val clear : unit -> unit
+(** Drop every recorded event (all domains).  Call from a quiescent
+    point. *)
+
+val event_count : unit -> int
+(** Total recorded events across all domain buffers. *)
+
+type span_tree = {
+  sname : string;
+  start_ns : int;  (** monotonic, comparable across domains *)
+  dur_ns : int;
+  sargs : args;
+  children : span_tree list;
+}
+
+val trees : unit -> (int * span_tree list) list
+(** The recorded spans reconstructed into forests, one per domain, in
+    ascending domain-id order — the canonical merge order.  Spans left
+    open (unbalanced [enter]) extend to their last recorded descendant;
+    stray [leave]s are dropped. *)
+
+val export_json : unit -> string
+(** Chrome [trace_event] JSON ([{"traceEvents": [...]}]): one [B]/[E]
+    pair per span, [i] for instants, [tid] = domain id, timestamps in
+    microseconds relative to the earliest recorded event.  Loadable by
+    [chrome://tracing] and Perfetto. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Indented per-domain text rendering of {!trees} with durations. *)

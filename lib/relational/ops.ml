@@ -1,5 +1,30 @@
 module Vec = Gus_util.Vec
 module Pool = Gus_util.Pool
+module Metrics = Gus_obs.Metrics
+
+(* Per-operator row accounting.  Counts are taken from relation
+   cardinalities after the operator runs — O(1) per call, nothing on the
+   per-tuple path — and only when collection is on. *)
+let op_rows name =
+  (Metrics.counter (Printf.sprintf "ops.%s.rows_in" name),
+   Metrics.counter (Printf.sprintf "ops.%s.rows_out" name))
+
+let account (rows_in, rows_out) ~inputs out =
+  if Metrics.enabled () then begin
+    List.iter (fun r -> Metrics.add rows_in (Relation.cardinality r)) inputs;
+    Metrics.add rows_out (Relation.cardinality out)
+  end;
+  out
+
+let c_select = op_rows "select"
+let c_project = op_rows "project"
+let c_cross = op_rows "cross"
+let c_equi_join = op_rows "equi_join"
+let c_theta_join = op_rows "theta_join"
+let c_union_all = op_rows "union_all"
+let c_union_lineage = op_rows "union_lineage"
+let c_distinct = op_rows "distinct"
+let c_group_by = op_rows "group_by"
 
 (* Hash tables keyed directly on the data we already hold — a Value, a
    lineage array, a Value array — with the library's semantic equality and
@@ -81,7 +106,7 @@ let select ?pool ?par_threshold pred rel =
   in
   chunked_scan ?pool ?par_threshold rel out (fun push tup ->
       if keep tup then push tup);
-  out
+  account c_select ~inputs:[ rel ] out
 
 let project_schema fields schema =
   Schema.make
@@ -110,7 +135,7 @@ let project ?pool ?par_threshold fields rel =
   chunked_scan ?pool ?par_threshold rel out (fun push tup ->
       let values = Array.of_list (List.map (fun f -> f tup) evals) in
       push (Tuple.with_values tup values));
-  out
+  account c_project ~inputs:[ rel ] out
 
 let joined_name a b =
   Printf.sprintf "(%s*%s)" a.Relation.name b.Relation.name
@@ -127,7 +152,7 @@ let cross a b =
   Relation.iter
     (fun ta -> Relation.iter (fun tb -> Relation.append_tuple out (Tuple.concat ta tb)) b)
     a;
-  out
+  account c_cross ~inputs:[ a; b ] out
 
 let equi_join ~left_key ~right_key a b =
   let out = join_output a b in
@@ -172,7 +197,7 @@ let equi_join ~left_key ~right_key a b =
               i := next.(!i)
             done)
     probe;
-  out
+  account c_equi_join ~inputs:[ a; b ] out
 
 let theta_join pred a b =
   let out = join_output a b in
@@ -185,7 +210,7 @@ let theta_join pred a b =
           if keep joined then Relation.append_tuple out joined)
         b)
     a;
-  out
+  account c_theta_join ~inputs:[ a; b ] out
 
 let require_same_shape a b =
   if Schema.arity a.Relation.schema <> Schema.arity b.Relation.schema then
@@ -202,7 +227,7 @@ let union_all a b =
   in
   Relation.iter (Relation.append_tuple out) a;
   Relation.iter (Relation.append_tuple out) b;
-  out
+  account c_union_all ~inputs:[ a; b ] out
 
 let union_lineage a b =
   require_same_shape a b;
@@ -224,7 +249,7 @@ let union_lineage a b =
   in
   Relation.iter push a;
   Relation.iter push b;
-  out
+  account c_union_lineage ~inputs:[ a; b ] out
 
 let distinct rel =
   let out =
@@ -240,7 +265,7 @@ let distinct rel =
         Relation.append_tuple out tup
       end)
     rel;
-  out
+  account c_distinct ~inputs:[ rel ] out
 
 type agg = Sum of Expr.t | Count | Avg of Expr.t | Min of Expr.t | Max of Expr.t
 
@@ -352,4 +377,4 @@ let group_by ~keys ~aggs rel =
       in
       Relation.append_tuple out (Tuple.make row [||]))
     order;
-  out
+  account c_group_by ~inputs:[ rel ] out

@@ -59,7 +59,7 @@ let per_tuple = function
    stream, so the sample is identical for every pool size. *)
 let bernoulli_rows_per_stream = 4096
 
-let apply ?pool ?(par_threshold = Pool.default_par_threshold) t rng rel =
+let apply_inner ?pool ?(par_threshold = Pool.default_par_threshold) t rng rel =
   validate t;
   (match t with
   | Block _ -> require_base "block sampling" rel
@@ -141,6 +141,27 @@ let apply ?pool ?(par_threshold = Pool.default_par_threshold) t rng rel =
           let id = tup.Tuple.lineage.(0) in
           if Hashing.prf_float ~seed id < p then push tup);
       out
+
+let m_rows_in = Gus_obs.Metrics.counter "sampler.rows_in"
+let m_rows_out = Gus_obs.Metrics.counter "sampler.rows_out"
+let m_draws = Gus_obs.Metrics.counter "sampler.bernoulli.draws"
+
+let apply ?pool ?par_threshold t rng rel =
+  let out = apply_inner ?pool ?par_threshold t rng rel in
+  (* Draw counts are derived arithmetically (never by counting inside the
+     sampling loops), so instrumentation cannot perturb the RNG stream. *)
+  if Gus_obs.Metrics.enabled () then begin
+    Gus_obs.Metrics.add m_rows_in (Relation.cardinality rel);
+    Gus_obs.Metrics.add m_rows_out (Relation.cardinality out);
+    match t with
+    | Bernoulli _ -> Gus_obs.Metrics.add m_draws (Relation.cardinality rel)
+    | Block { rows_per_block; p = _ } ->
+        let card = Relation.cardinality rel in
+        Gus_obs.Metrics.add m_draws
+          ((card + rows_per_block - 1) / rows_per_block)
+    | Wor _ | Wr _ | Hash_bernoulli _ -> ()
+  end;
+  out
 
 let sampling_fraction t ~n =
   match t with

@@ -98,6 +98,157 @@ let lint ?config db sql =
   let { Planner.plan; _ } = Planner.compile ~self_join_check:false db query in
   (plan, Gus_analysis.Lint.run_db ?config db plan)
 
+(* ---- EXPLAIN ANALYZE ----------------------------------------------- *)
+
+type node_annot = {
+  an_path : int list;
+  an_wall_ns : int;
+  an_rows_in : int;
+  an_rows_out : int;
+  an_sample : (float * float) option;
+      (* (a, b_pair) of the sampler's own GUS, Sample nodes only *)
+  an_var_contrib : float option;
+      (* (c_S/a^2)*y_S for the subtree's relation subset S *)
+}
+
+type explain = {
+  ex_result : result;
+  ex_nodes : node_annot list;
+  ex_variance_raw : float option;
+  ex_total_ns : int;
+}
+
+let rec agg_expr = function
+  | Ast.Sum e -> e
+  | Ast.Count_star -> one
+  | Ast.Count e -> Expr.(Bin (Add, Bin (Mul, e, Expr.float 0.0), Expr.float 1.0))
+  | Ast.Avg e -> e
+  | Ast.Quantile (inner, _) -> agg_expr inner
+
+(* The sampler's own (a, b_pair): the Figure-1 translation used by the
+   linter, with diagnostics discarded — lint is where they are reported. *)
+let sampler_gus db plan path =
+  match Splan.subtree plan path with
+  | Some (Splan.Sample (s, q)) ->
+      let over =
+        let seen = Hashtbl.create 8 in
+        Array.of_list
+          (List.filter
+             (fun r ->
+               if Hashtbl.mem seen r then false
+               else begin
+                 Hashtbl.add seen r ();
+                 true
+               end)
+             (Array.to_list (Splan.lineage_schema q)))
+      in
+      let base = match q with Splan.Scan _ -> true | _ -> false in
+      (try
+         Gus_analysis.Lint.translate_sampler
+           ~card:(fun r -> Relation.cardinality (Database.find db r))
+           ~over ~base ~path ~node:(Splan.node_label (Splan.Sample (s, q)))
+           ~emit:(fun _ -> ())
+           s
+       with _ -> None)
+  | _ -> None
+
+(* Map a subtree's relation set into a subset mask over [gus.rels]. *)
+let subtree_mask ~gus plan path =
+  match Splan.subtree plan path with
+  | None -> None
+  | Some sub -> (
+      try
+        let rels = gus.Gus_core.Gus.rels in
+        let mask = ref 0 in
+        Array.iter
+          (fun r ->
+            let rec idx i =
+              if i >= Array.length rels then raise Exit
+              else if String.equal rels.(i) r then i
+              else idx (i + 1)
+            in
+            mask := !mask lor (1 lsl idx 0))
+          (Splan.lineage_schema sub);
+        Some !mask
+      with Exit | Gus_relational.Lineage.Overlap _ -> None)
+
+let run_explained ?(seed = 42) db sql =
+  let query = Parser.parse sql in
+  let { Planner.plan; _ } = Planner.compile db query in
+  let analysis = Rewrite.analyze_db db plan in
+  let gus = analysis.Rewrite.gus in
+  let rng = Gus_util.Rng.create seed in
+  let sample, profiles = Splan.exec_profiled db rng plan in
+  let cells, groups =
+    match query.Ast.group_by with
+    | [] -> (List.map (eval_item ~gus sample) query.Ast.items, [])
+    | keys ->
+        let per_group =
+          List.map
+            (fun (k, sub) ->
+              { keys = k;
+                group_cells = List.map (eval_item ~gus sub) query.Ast.items })
+            (partition_groups keys sample)
+        in
+        ([], per_group)
+  in
+  let result =
+    { cells; groups; n_sample_tuples = Relation.cardinality sample; gus; plan }
+  in
+  (* Variance decomposition of the first aggregate: Theorem 1 says
+     Var = sum_S (c_S/a^2) y_S - y_0; each sampling node is annotated with
+     the term of its subtree's relation subset (the -y_0 belongs to the
+     empty subset, which no Sample node owns). *)
+  let report =
+    match query.Ast.items with
+    | [] -> None
+    | item :: _ -> (
+        try Some (Sbox.of_relation ~gus ~f:(agg_expr item.Ast.agg) sample)
+        with _ -> None)
+  in
+  let contrib_of =
+    match report with
+    | None -> fun _ -> None
+    | Some r ->
+        let c = Gus_core.Gus.c_coefficients gus in
+        let a2 = gus.Gus_core.Gus.a *. gus.Gus_core.Gus.a in
+        fun path ->
+          Option.map
+            (fun mask -> c.(mask) /. a2 *. r.Sbox.y_hat.(mask))
+            (subtree_mask ~gus plan path)
+  in
+  let nodes =
+    List.map
+      (fun np ->
+        let is_sample =
+          match Splan.subtree plan np.Splan.np_path with
+          | Some (Splan.Sample _) -> true
+          | _ -> false
+        in
+        { an_path = np.Splan.np_path;
+          an_wall_ns = np.Splan.np_wall_ns;
+          an_rows_in = np.Splan.np_rows_in;
+          an_rows_out = np.Splan.np_rows_out;
+          an_sample =
+            (if is_sample then
+               Option.map
+                 (fun g -> (g.Gus_core.Gus.a, g.Gus_core.Gus.b.(0)))
+                 (sampler_gus db plan np.Splan.np_path)
+             else None);
+          an_var_contrib =
+            (if is_sample then contrib_of np.Splan.np_path else None) })
+      profiles
+  in
+  let total_ns =
+    match List.find_opt (fun np -> np.Splan.np_path = []) profiles with
+    | Some np -> np.Splan.np_wall_ns
+    | None -> 0
+  in
+  { ex_result = result;
+    ex_nodes = nodes;
+    ex_variance_raw = Option.map (fun r -> r.Sbox.variance_raw) report;
+    ex_total_ns = total_ns }
+
 let run ?(seed = 42) db sql =
   let query = Parser.parse sql in
   let { Planner.plan; _ } = Planner.compile db query in
@@ -167,4 +318,39 @@ let pp_result ppf r =
       Format.fprintf ppf "group [%s]:@," (String.concat ", " g.keys);
       List.iter (pp_cell ppf) g.group_cells)
     r.groups;
+  Format.fprintf ppf "@]"
+
+let dur_string ns =
+  if ns >= 100_000_000 then Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
+  else if ns >= 100_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+
+let pp_explain ppf ex =
+  let annot path _ =
+    match List.find_opt (fun n -> n.an_path = path) ex.ex_nodes with
+    | None -> ""
+    | Some n ->
+        let buf = Buffer.create 64 in
+        Buffer.add_string buf
+          (Printf.sprintf "  [wall %s, in %d, out %d" (dur_string n.an_wall_ns)
+             n.an_rows_in n.an_rows_out);
+        (match n.an_sample with
+        | Some (a, b0) ->
+            Buffer.add_string buf (Printf.sprintf ", a=%.6g, b0=%.6g" a b0)
+        | None -> ());
+        (match n.an_var_contrib with
+        | Some v -> Buffer.add_string buf (Printf.sprintf ", var_share=%.4g" v)
+        | None -> ());
+        Buffer.add_char buf ']';
+        Buffer.contents buf
+  in
+  Format.fprintf ppf "@[<v>";
+  Gus_obs.Planfmt.pp ~label:Splan.node_label ~children:Splan.children ~annot
+    ppf ex.ex_result.plan;
+  Format.fprintf ppf "total wall: %s@," (dur_string ex.ex_total_ns);
+  (match ex.ex_variance_raw with
+  | Some v ->
+      Format.fprintf ppf "estimator variance (first aggregate): %.6g@," v
+  | None -> ());
+  pp_result ppf ex.ex_result;
   Format.fprintf ppf "@]"

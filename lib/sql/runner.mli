@@ -52,3 +52,37 @@ val run_exact_groups : Gus_relational.Database.t -> string -> (string list * (st
     {!group_row.keys}. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 EXPLAIN ANALYZE} *)
+
+type node_annot = {
+  an_path : int list;  (** root-to-node child indices *)
+  an_wall_ns : int;  (** wall time, inclusive of children *)
+  an_rows_in : int;
+  an_rows_out : int;
+  an_sample : (float * float) option;
+      (** Sample nodes: the sampler's own [(a, b_∅)] — its first-order
+          inclusion probability and distinct-pair probability *)
+  an_var_contrib : float option;
+      (** Sample nodes: Theorem-1 variance term [(c_S/a²)·ŷ_S] of the
+          subtree's relation subset [S], for the first aggregate *)
+}
+
+type explain = {
+  ex_result : result;
+  ex_nodes : node_annot list;  (** one per plan node, post-order *)
+  ex_variance_raw : float option;
+      (** first aggregate's estimator variance (unclamped) *)
+  ex_total_ns : int;
+}
+
+val run_explained : ?seed:int -> Gus_relational.Database.t -> string -> explain
+(** {!run} under {!Gus_core.Splan.exec_profiled}: same parse → analyze →
+    execute → estimate pipeline, same sample for the same seed, plus
+    per-node wall times, row counts, sampling rates and variance
+    contributions for [--explain-analyze]. *)
+
+val pp_explain : Format.formatter -> explain -> unit
+(** The plan tree annotated per node ([wall, in, out], plus [a], [b0] and
+    [var_share] on sampling nodes), total wall time, the first aggregate's
+    variance, then the ordinary {!pp_result} block. *)

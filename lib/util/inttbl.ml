@@ -26,9 +26,17 @@ let capacity t = Array.length t.repr
 let size t = t.size
 let added t = t.added
 
+let m_rehashes = Gus_obs.Metrics.counter "inttbl.rehashes"
+
+let m_probe_len =
+  Gus_obs.Metrics.histogram
+    ~buckets:[| 1.; 2.; 3.; 4.; 6.; 8.; 16.; 32.; 64. |]
+    "inttbl.probe_len"
+
 let reset t ~hint =
   let cap = capacity_for hint in
   if cap > Array.length t.repr then begin
+    Gus_obs.Metrics.incr m_rehashes;
     t.hash <- Array.make cap 0;
     t.repr <- Array.make cap (-1);
     t.mask <- cap - 1
@@ -36,7 +44,11 @@ let reset t ~hint =
   else Array.fill t.repr 0 (Array.length t.repr) (-1);
   t.size <- 0
 
-let find_or_add t ~hash:h ~equal ~repr:i =
+(* The probe loop is the hottest few instructions in the moments kernel,
+   so the counted variant is a separate copy selected by one flag check
+   at entry: when metrics are off the historical loop runs untouched. *)
+
+let find_or_add_plain t ~hash:h ~equal ~repr:i =
   let mask = t.mask in
   let hashes = t.hash and reprs = t.repr in
   let j = ref (h land mask) in
@@ -57,6 +69,40 @@ let find_or_add t ~hash:h ~equal ~repr:i =
     else j := (!j + 1) land mask
   done;
   !result
+
+let find_or_add_counted t ~hash:h ~equal ~repr:i =
+  let mask = t.mask in
+  let hashes = t.hash and reprs = t.repr in
+  let j = ref (h land mask) in
+  let probes = ref 1 in
+  let result = ref (-1) in
+  while !result < 0 do
+    let r = Array.unsafe_get reprs !j in
+    if r < 0 then begin
+      Array.unsafe_set reprs !j i;
+      Array.unsafe_set hashes !j h;
+      t.size <- t.size + 1;
+      t.added <- true;
+      result := !j
+    end
+    else if Array.unsafe_get hashes !j = h && equal r i then begin
+      t.added <- false;
+      result := !j
+    end
+    else begin
+      incr probes;
+      j := (!j + 1) land mask
+    end
+  done;
+  Gus_obs.Metrics.observe m_probe_len (float_of_int !probes);
+  !result
+
+(* Inlined so callers pay one flag load and then the same direct call
+   the pre-instrumentation code made, not an extra dispatch frame per
+   probe. *)
+let[@inline] find_or_add t ~hash ~equal ~repr =
+  if Gus_obs.Metrics.enabled () then find_or_add_counted t ~hash ~equal ~repr
+  else find_or_add_plain t ~hash ~equal ~repr
 
 let repr_at t slot = t.repr.(slot)
 

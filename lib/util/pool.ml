@@ -94,6 +94,17 @@ let await w =
   done;
   Mutex.unlock w.mutex
 
+let m_jobs = Gus_obs.Metrics.counter "pool.jobs"
+let m_lanes_used = Gus_obs.Metrics.counter "pool.lanes_used"
+let m_lane_ns = Gus_obs.Metrics.histogram "pool.lane_us"
+
+let m_imbalance =
+  (* Slowest-lane / mean-lane wall time per fan-out, in tenths: 10 means
+     perfectly balanced, 20 means the critical lane took twice the mean. *)
+  Gus_obs.Metrics.histogram
+    ~buckets:[| 10.; 11.; 12.; 15.; 20.; 30.; 50.; 100. |]
+    "pool.imbalance_x10"
+
 let chunks t ~lo ~hi =
   let total = hi - lo in
   if total <= 0 then [||]
@@ -114,17 +125,52 @@ let run_chunks t ~lo ~hi f =
     let lanes = Array.length parts in
     if lanes <= 1 then f lo hi
     else begin
+      (* Observability wrapper.  [observe] is decided once per fan-out so
+         the common disabled path pays two flag loads and then runs the
+         exact historical code; lane timing never touches the RNG or the
+         chunk layout, so results are identical either way. *)
+      let observe =
+        Gus_obs.Metrics.enabled () || Gus_obs.Trace.enabled ()
+      in
+      let lane_ns = if observe then Array.make lanes 0 else [||] in
+      let run k clo chi =
+        if observe then begin
+          let t0 = Gus_obs.Trace.now_ns () in
+          Gus_obs.Trace.span "pool.lane"
+            ~args:(fun () ->
+              [ ("lane", string_of_int k);
+                ("span_items", string_of_int (chi - clo)) ])
+            (fun () -> f clo chi);
+          lane_ns.(k) <- Gus_obs.Trace.now_ns () - t0
+        end
+        else f clo chi
+      in
       for k = 1 to lanes - 1 do
         let clo, chi = parts.(k) in
-        submit t.workers.(k - 1) (fun () -> f clo chi)
+        submit t.workers.(k - 1) (fun () -> run k clo chi)
       done;
       let caller_failure =
         let clo, chi = parts.(0) in
-        try f clo chi; None with e -> Some e
+        try run 0 clo chi; None with e -> Some e
       in
       for k = 1 to lanes - 1 do
         await t.workers.(k - 1)
       done;
+      if observe && Gus_obs.Metrics.enabled () then begin
+        Gus_obs.Metrics.incr m_jobs;
+        Gus_obs.Metrics.add m_lanes_used lanes;
+        let sum = ref 0 and slowest = ref 0 in
+        Array.iter
+          (fun ns ->
+            sum := !sum + ns;
+            if ns > !slowest then slowest := ns;
+            Gus_obs.Metrics.observe m_lane_ns (float_of_int ns /. 1e3))
+          lane_ns;
+        let mean = float_of_int !sum /. float_of_int lanes in
+        if mean > 0. then
+          Gus_obs.Metrics.observe m_imbalance
+            (10. *. float_of_int !slowest /. mean)
+      end;
       (match caller_failure with Some e -> raise e | None -> ());
       for k = 1 to lanes - 1 do
         match t.workers.(k - 1).failure with

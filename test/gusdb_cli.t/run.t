@@ -135,3 +135,43 @@ with the same stable codes:
   $ gusdb query -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (2000000000 ROWS)"; echo "exit: $?"
   gusdb: unsupported plan: GUS008: WOR(2000000000) over lineitem (N = 584): inclusion probability n/N = 3.42466e+06 exceeds 1 [Def. 1 (GUS probabilities)]
   exit: 1
+
+EXPLAIN ANALYZE annotates every node with wall time and row counts, and
+sampling nodes with their rates (a, b0) and Theorem-1 variance share.
+Wall times vary run to run, so they are normalized to T here; the row
+counts, rates and variance are seed-deterministic:
+
+  $ gusdb query -s 0.05 --seed 7 --explain-analyze "SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (50 PERCENT), orders WHERE l_orderkey = o_orderkey" | sed -E -e 's/wall [0-9.]+(us|ms|s)/wall T/g' -e 's/^(total wall:) .*/\1 T/'
+  join l_orderkey = o_orderkey  [wall T, in 2278, out 1528]
+    Bernoulli(0.5)  [wall T, in 2983, out 1528, a=0.5, b0=0.25, var_share=2.695e+06]
+      lineitem  [wall T, in 2983, out 2983]
+    orders  [wall T, in 750, out 750]
+  total wall: T
+  estimator variance (first aggregate): 2.69455e+06
+  sample tuples: 1528
+  q = 79382 (sd 1642)
+    95% normal    [76164.7, 82599.3] (95% normal, est=79382, sd=1641.51)
+    95% chebyshev [72041, 86723] (95% chebyshev, est=79382, sd=1641.51)
+  
+
+
+--metrics-out dumps the process-global instruments; the sampler counters
+are seed-deterministic (draws are derived from input cardinalities, so
+recording them never perturbs the RNG stream):
+
+  $ gusdb query -s 0.05 --seed 7 --metrics-out metrics.json "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (50 PERCENT)" >/dev/null
+  $ grep -o '"sampler[^,}]*' metrics.json
+  "sampler.bernoulli.draws": 2983
+  "sampler.rows_in": 2983
+  "sampler.rows_out": 1528
+
+--trace-out writes Chrome trace_event JSON: balanced B/E span pairs
+(here the Bernoulli node and its scan):
+
+  $ gusdb query -s 0.05 --seed 7 --trace-out trace.json "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (50 PERCENT)" >/dev/null
+  $ grep -c '"ph":"B"' trace.json
+  2
+  $ grep -c '"ph":"E"' trace.json
+  2
+  $ grep -c '"traceEvents"' trace.json
+  1

@@ -1,0 +1,269 @@
+(* Observability tests:
+
+   1. Span nesting: enter/leave/span/instant reconstruct into the
+      expected tree, including unbalanced enters closing at the last
+      recorded descendant.
+   2. Per-domain buffers: pool lanes trace concurrently and merge in
+      ascending domain-id order at export time.
+   3. Histogram buckets are upper-inclusive ([v <= le]) with an implicit
+      +inf overflow bucket.
+   4. QCheck: a traced+metered Sbox.of_plan run is bit-identical to an
+      untraced one (estimate/total_f/n_tuples and the moment vector),
+      for pool sizes 1, 2, 4 — instrumentation must never perturb the
+      RNG stream or the reduction order.
+   5. exec_profiled draws in the same order as exec: same seed, same
+      sample, plus well-formed per-node profiles. *)
+
+module Splan = Gus_core.Splan
+module Rewrite = Gus_analysis.Rewrite
+module Relation = Gus_relational.Relation
+module Sbox = Gus_estimator.Sbox
+module Harness = Gus_experiments.Harness
+module Pool = Gus_util.Pool
+module Rng = Gus_util.Rng
+module Trace = Gus_obs.Trace
+module Metrics = Gus_obs.Metrics
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_string = Alcotest.check Alcotest.string
+
+(* Tracing state is process-global; every test leaves it disabled and
+   empty so suites cannot leak events into each other. *)
+let with_tracing f =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled false)
+    f
+
+let pool_of =
+  let tbl = Hashtbl.create 4 in
+  fun size ->
+    match Hashtbl.find_opt tbl size with
+    | Some p -> p
+    | None ->
+        let p = Pool.create ~size in
+        Hashtbl.add tbl size p;
+        p
+
+(* ---- 1. span nesting ---- *)
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      Trace.span "outer" (fun () ->
+          Trace.span "first" (fun () -> ());
+          Trace.instant "mark";
+          Trace.span ~args:(fun () -> [ ("k", "v") ]) "second" (fun () -> ())));
+  (match Trace.trees () with
+  | [ (_, [ outer ]) ] -> (
+      check_string "root name" "outer" outer.Trace.sname;
+      check_bool "root duration >= 0" true (outer.Trace.dur_ns >= 0);
+      match outer.Trace.children with
+      | [ a; b; c ] ->
+          check_string "child 1" "first" a.Trace.sname;
+          check_string "child 2" "mark" b.Trace.sname;
+          check_int "instant has zero duration" 0 b.Trace.dur_ns;
+          check_string "child 3" "second" c.Trace.sname;
+          check_bool "lazy args recorded" true
+            (List.mem_assoc "k" c.Trace.sargs);
+          check_bool "children start in record order" true
+            (a.Trace.start_ns <= b.Trace.start_ns
+            && b.Trace.start_ns <= c.Trace.start_ns);
+          check_bool "children nest inside parent" true
+            (outer.Trace.start_ns <= a.Trace.start_ns
+            && c.Trace.start_ns + c.Trace.dur_ns
+               <= outer.Trace.start_ns + outer.Trace.dur_ns)
+      | cs -> Alcotest.failf "expected 3 children, got %d" (List.length cs))
+  | forests ->
+      Alcotest.failf "expected one domain with one root, got %d forests"
+        (List.length forests));
+  Trace.clear ();
+  check_int "clear drops everything" 0 (Trace.event_count ())
+
+let test_unbalanced_enter_closes_at_last_event () =
+  with_tracing (fun () ->
+      Trace.enter "open-forever";
+      (* Never left: the tree builder must close it at [inner]'s end. *)
+      Trace.span "inner" (fun () -> ()));
+  (match Trace.trees () with
+  | [ (_, [ root ]) ] ->
+      check_string "unclosed span survives" "open-forever" root.Trace.sname;
+      let inner = List.hd root.Trace.children in
+      check_int "extends to last descendant"
+        (inner.Trace.start_ns + inner.Trace.dur_ns - root.Trace.start_ns)
+        root.Trace.dur_ns
+  | _ -> Alcotest.fail "expected a single root");
+  Trace.clear ();
+  (* A leave with no open span must be dropped, not crash or invent
+     nodes. *)
+  with_tracing (fun () ->
+      Trace.span "solo" (fun () -> ());
+      Trace.leave "stray");
+  (match Trace.trees () with
+  | [ (_, [ solo ]) ] -> check_string "stray leave dropped" "solo" solo.Trace.sname
+  | _ -> Alcotest.fail "stray leave corrupted the forest");
+  Trace.clear ()
+
+(* ---- 2. per-domain buffers merge in ascending domain order ---- *)
+
+let test_per_domain_merge_order () =
+  let pool = pool_of 3 in
+  with_tracing (fun () ->
+      (* Three lanes: caller domain plus two workers, each recording its
+         own pool.lane span into its own buffer. *)
+      Pool.run_chunks pool ~lo:0 ~hi:30 (fun _ _ -> ()));
+  let forests = Trace.trees () in
+  let ids = List.map fst forests in
+  check_bool "domain ids strictly ascending" true
+    (List.sort_uniq compare ids = ids);
+  let lanes =
+    List.concat_map
+      (fun (_, roots) ->
+        List.filter (fun t -> t.Trace.sname = "pool.lane") roots)
+      forests
+  in
+  check_int "one lane span per lane" 3 (List.length lanes);
+  let lane_ids =
+    List.sort compare
+      (List.map (fun t -> List.assoc "lane" t.Trace.sargs) lanes)
+  in
+  Alcotest.(check (list string)) "lanes 0..2 all present"
+    [ "0"; "1"; "2" ] lane_ids;
+  Trace.clear ()
+
+(* ---- 3. histogram bucket boundaries ---- *)
+
+let test_histogram_buckets () =
+  let h = Metrics.histogram ~buckets:[| 1.; 2.; 4. |] "test.bounds" in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.0; 4.5 ];
+  Metrics.set_enabled false;
+  check_int "count" 6 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 13.5 (Metrics.histogram_sum h);
+  (* Upper-inclusive: 1.0 lands in le=1, 2.0 in le=2, 4.0 in le=4, and
+     only 4.5 overflows.  Counts are cumulative. *)
+  Alcotest.(check (list (pair (float 0.) int)))
+    "cumulative (le, count)"
+    [ (1., 2); (2., 4); (4., 5); (infinity, 6) ]
+    (Metrics.bucket_counts h);
+  Metrics.reset ();
+  check_int "reset zeroes count" 0 (Metrics.histogram_count h)
+
+let test_disabled_updates_are_dropped () =
+  let c = Metrics.counter "test.disabled" in
+  Metrics.reset ();
+  Metrics.incr c;
+  Metrics.add c 41;
+  check_int "updates while disabled don't count" 0 (Metrics.counter_value c);
+  Metrics.set_enabled true;
+  Metrics.incr c;
+  Metrics.set_enabled false;
+  check_int "enabled update counts" 1 (Metrics.counter_value c);
+  Metrics.reset ()
+
+(* ---- 4. traced run is bit-identical to untraced ---- *)
+
+let db () = Harness.db_cached ~scale:0.1
+let analyze db plan = (Rewrite.analyze_db db plan).Rewrite.gus
+
+let prop_traced_equals_untraced =
+  QCheck2.Test.make ~name:"traced Sbox.of_plan = untraced (bit-identical)"
+    ~count:10
+    ~print:(fun (seed, psize) -> Printf.sprintf "seed=%d pool=%d" seed psize)
+    QCheck2.Gen.(pair (int_range 0 10_000) (oneofl [ 1; 2; 4 ]))
+    (fun (seed, psize) ->
+      let db = db () in
+      let plan = Harness.query1_plan () in
+      let gus = analyze db plan in
+      let pool = pool_of psize in
+      let run () =
+        Sbox.of_plan ~pool ~gus ~f:Harness.revenue_f db (Rng.create seed) plan
+      in
+      let off = run () in
+      Trace.set_enabled true;
+      Metrics.set_enabled true;
+      let on =
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.set_enabled false;
+            Metrics.set_enabled false;
+            Trace.clear ();
+            Metrics.reset ())
+          run
+      in
+      let traced_something = Trace.event_count () in
+      ignore traced_something;
+      off.Sbox.n_tuples = on.Sbox.n_tuples
+      && off.Sbox.total_f = on.Sbox.total_f
+      && off.Sbox.estimate = on.Sbox.estimate
+      && off.Sbox.variance = on.Sbox.variance
+      && off.Sbox.y_hat = on.Sbox.y_hat)
+
+(* ---- 5. exec_profiled draws like exec ---- *)
+
+let test_exec_profiled_matches_exec () =
+  let db = db () in
+  let plan = Harness.query1_plan () in
+  List.iter
+    (fun seed ->
+      let plain = Splan.exec db (Rng.create seed) plan in
+      let profiled, profs = Splan.exec_profiled db (Rng.create seed) plan in
+      (* Bit-identical sample: exec_profiled must consume the RNG in the
+         same order as exec (right child before left, like OCaml's
+         right-to-left argument evaluation in exec's recursive calls). *)
+      check_int
+        (Printf.sprintf "seed %d: same cardinality" seed)
+        (Relation.cardinality plain)
+        (Relation.cardinality profiled);
+      let gus = analyze db plan in
+      let a = Sbox.of_relation ~gus ~f:Harness.revenue_f plain in
+      let b = Sbox.of_relation ~gus ~f:Harness.revenue_f profiled in
+      check_bool
+        (Printf.sprintf "seed %d: bit-identical estimate" seed)
+        true
+        (a.Sbox.estimate = b.Sbox.estimate && a.Sbox.y_hat = b.Sbox.y_hat);
+      (* Profile shape: one entry per node, root last (post-order), root
+         counts the final cardinality and dominates every wall time. *)
+      let root =
+        match List.rev profs with
+        | r :: _ -> r
+        | [] -> Alcotest.fail "no profiles"
+      in
+      check_bool
+        (Printf.sprintf "seed %d: root path empty" seed)
+        true (root.Splan.np_path = []);
+      check_int
+        (Printf.sprintf "seed %d: root rows_out" seed)
+        (Relation.cardinality profiled)
+        root.Splan.np_rows_out;
+      List.iter
+        (fun p ->
+          check_bool "wall times non-negative" true (p.Splan.np_wall_ns >= 0);
+          check_bool "inclusive root wall dominates" true
+            (p.Splan.np_wall_ns <= root.Splan.np_wall_ns
+            || p.Splan.np_path = []))
+        profs)
+    [ 3; 11; 42 ]
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_traced_equals_untraced ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "trace",
+        [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "unbalanced enter" `Quick
+            test_unbalanced_enter_closes_at_last_event;
+          Alcotest.test_case "per-domain merge order" `Quick
+            test_per_domain_merge_order ] );
+      ( "metrics",
+        [ Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "disabled updates dropped" `Quick
+            test_disabled_updates_are_dropped ] );
+      ("identity", qcheck_tests);
+      ( "profiling",
+        [ Alcotest.test_case "exec_profiled = exec" `Quick
+            test_exec_profiled_matches_exec ] ) ]
