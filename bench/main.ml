@@ -20,6 +20,7 @@ module Moments = Gus_estimator.Moments
 module Sbox = Gus_estimator.Sbox
 module Pool = Gus_util.Pool
 module Exp = Gus_experiments
+module Service = Gus_service
 
 (* Numbers recorded on main before each optimization landed, same machine,
    measured inside a full --micro pass so the GC context matches fresh runs
@@ -89,6 +90,25 @@ let micro_specs () =
   let q1_gus = (Rewrite.analyze_db db q1).Rewrite.gus in
   let q1_sample = Splan.exec db (Gus_util.Rng.create 5) q1 in
   let db01 = Exp.Harness.db_cached ~scale:0.1 in
+  (* Serving-layer fixtures: one engine, one dataset, one SQL text.  The
+     cold row re-runs parse → plan → lint → execute every iteration; the
+     prepared row amortizes the front half into a reusable handle (what
+     [gusdb serve] does per [prepare]); the cache-hit row answers the
+     same (handle, params, seed) from the engine's LRU without executing
+     at all.  Scale 0.01 keeps execution small enough that the prepare
+     overhead is visible in the cold/prepared gap. *)
+  let serve_sql =
+    "SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)"
+  in
+  let db001 = Exp.Harness.db_cached ~scale:0.01 in
+  let engine = Service.Engine.create ~cache_capacity:8 () in
+  ignore
+    (Service.Engine.register_db engine ~name:"bench"
+       ~source:(Service.Catalog.In_memory "tpch-0.01") db001);
+  let serve_cat = Service.Engine.catalog engine in
+  let _ = Service.Engine.prepare engine ~name:"q" ~dataset:"bench" serve_sql in
+  let warm_handle = Service.Prepared.prepare serve_cat ~dataset:"bench" serve_sql in
+  let ov = Service.Prepared.default_overrides in
   [ { name = "sbox/rewrite-n6";
       heavy = false;
       body = (fun () -> ignore (Rewrite.analyze ~card plan6)) };
@@ -179,7 +199,22 @@ let micro_specs () =
         (fun () ->
           ignore
             (Exp.Harness.trials_par ~pool ~trials:5 ~seed:1 db01 q1
-               ~f:Exp.Harness.revenue_f)) } ]
+               ~f:Exp.Harness.revenue_f)) };
+    (* Prepare-vs-cold: the serving layer's reason to exist, read as a
+       triple — cold > prepared > cache-hit.  CI's within-run check
+       asserts the ordering from these three rows. *)
+    { name = "service/cold-q1";
+      heavy = true;
+      body =
+        (fun () ->
+          let h = Service.Prepared.prepare serve_cat ~dataset:"bench" serve_sql in
+          ignore (Service.Prepared.execute serve_cat h ov)) };
+    { name = "service/prepared-q1";
+      heavy = true;
+      body = (fun () -> ignore (Service.Prepared.execute serve_cat warm_handle ov)) };
+    { name = "service/cache-hit-q1";
+      heavy = true;
+      body = (fun () -> ignore (Service.Engine.execute engine ~handle:"q" ov)) } ]
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

@@ -6,136 +6,21 @@
                   estimate with confidence intervals, next to ground truth
      plan         show a query's sampling plan, its SOA rewrite trace and
                   the resulting top GUS operator
-     experiments  run the paper-reproduction experiments *)
+     serve        long-lived NDJSON serving loop over stdin/stdout
+                  (register / prepare / execute / batch / stats)
+     experiments  run the paper-reproduction experiments
+
+   Flags shared across subcommands live in Cli_common. *)
 
 open Cmdliner
 module Splan = Gus_core.Splan
 module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
+module Json = Gus_service.Json
+module C = Cli_common
 open Gus_relational
 
-let scale_arg =
-  let doc = "Scale factor of the generated database (1.0 = 15k orders)." in
-  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
-
-let seed_arg =
-  let doc = "Random seed (data generation and sampling are deterministic)." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-
 let db_of ~scale ~seed = Gus_tpch.Tpch.generate ~seed ~scale ()
-
-let schemas =
-  [ ("customer", Gus_tpch.Tpch.customer_schema);
-    ("orders", Gus_tpch.Tpch.orders_schema);
-    ("lineitem", Gus_tpch.Tpch.lineitem_schema);
-    ("part", Gus_tpch.Tpch.part_schema);
-    ("supplier", Gus_tpch.Tpch.supplier_schema) ]
-
-(* Either load CSVs previously written by `gen`, or generate in memory. *)
-let db_source ~scale ~seed = function
-  | None -> db_of ~scale ~seed
-  | Some dir ->
-      let db = Database.create () in
-      List.iter
-        (fun (name, schema) ->
-          let path = Filename.concat dir (name ^ ".csv") in
-          if Sys.file_exists path then
-            Database.add db (Csv.load ~path ~name schema))
-        schemas;
-      if Database.names db = [] then begin
-        Printf.eprintf "gusdb: no known CSVs found in %s\n" dir;
-        exit 1
-      end;
-      db
-
-let data_arg =
-  let doc = "Load relations from CSVs in $(docv) (written by `gusdb gen`) \
-             instead of generating data in memory." in
-  Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"DIR" ~doc)
-
-let pool_size_arg =
-  let doc = "Number of worker domains for pool-parallel execution \
-             (overrides $(b,GUSDB_DOMAINS); 1 disables parallelism)." in
-  Arg.(value & opt (some int) None & info [ "pool-size" ] ~docv:"N" ~doc)
-
-let apply_pool_size = function
-  | None -> ()
-  | Some n when n >= 1 -> Gus_util.Pool.set_default_size n
-  | Some n ->
-      Printf.eprintf "gusdb: invalid --pool-size %d\n" n;
-      exit 1
-
-(* ---- observability flags (query and experiments) ---- *)
-
-let trace_out_arg =
-  let doc = "Record an execution trace and write it to $(docv) as Chrome \
-             trace_event JSON (load in chrome://tracing or Perfetto)." in
-  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
-
-let metrics_out_arg =
-  let doc = "Collect runtime metrics (per-operator row counts, sampler \
-             draws, pool lane utilization, probe lengths, ...) and write a \
-             JSON snapshot to $(docv) ($(b,-) for stdout)." in
-  Arg.(value & opt (some string) None
-       & info [ "metrics-out" ] ~docv:"FILE" ~doc)
-
-let write_file path contents =
-  if path = "-" then print_string contents
-  else begin
-    let oc = open_out path in
-    output_string oc contents;
-    close_out oc
-  end
-
-(* Enable collection before [f], export after.  Collection stays off when
-   neither output is requested, so the instrumented hot paths keep their
-   single-flag-check disabled cost. *)
-let with_obs ~trace_out ~metrics_out f =
-  if trace_out <> None then Gus_obs.Trace.set_enabled true;
-  if metrics_out <> None then Gus_obs.Metrics.set_enabled true;
-  let finish () =
-    (match trace_out with
-    | Some path ->
-        Gus_obs.Trace.set_enabled false;
-        write_file path (Gus_obs.Trace.export_json ());
-        Gus_obs.Trace.clear ()
-    | None -> ());
-    match metrics_out with
-    | Some path ->
-        Gus_obs.Metrics.set_enabled false;
-        write_file path (Gus_obs.Metrics.snapshot ())
-    | None -> ()
-  in
-  match f () with
-  | v ->
-      finish ();
-      v
-  | exception e ->
-      finish ();
-      raise e
-
-(* Report user-facing failures as diagnostics + exit 1 instead of
-   uncaught-exception backtraces. *)
-let or_fail f =
-  try f () with
-  | Gus_sql.Parser.Error msg | Gus_sql.Planner.Error msg ->
-      Printf.eprintf "gusdb: %s\n" msg;
-      exit 1
-  | Gus_sql.Lexer.Error { message; _ } ->
-      Printf.eprintf "gusdb: lexical error: %s\n" message;
-      exit 1
-  | Rewrite.Unsupported msg ->
-      Printf.eprintf "gusdb: unsupported plan: %s\n" msg;
-      exit 1
-  | Value.Type_error msg ->
-      Printf.eprintf "gusdb: type error: %s\n" msg;
-      exit 1
-  | Schema.Unknown_column c ->
-      Printf.eprintf "gusdb: unknown column %s\n" c;
-      exit 1
-  | Database.Unknown_relation r ->
-      Printf.eprintf "gusdb: unknown relation %s\n" r;
-      exit 1
 
 (* ---- gen ---- *)
 
@@ -157,7 +42,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic TPC-H-style database.")
-    Term.(const run $ scale_arg $ seed_arg $ out_arg)
+    Term.(const run $ C.scale_arg $ C.seed_arg $ out_arg)
 
 (* ---- query ---- *)
 
@@ -177,37 +62,59 @@ let query_cmd =
                sampling rates (a, b0) and variance contributions." in
     Arg.(value & flag & info [ "explain-analyze" ] ~doc)
   in
-  let run scale seed sql exact explain data pool_size trace_out metrics_out =
-   or_fail @@ fun () ->
-    apply_pool_size pool_size;
-    let db = db_source ~scale ~seed:20130630 data in
-    with_obs ~trace_out ~metrics_out @@ fun () ->
-    if explain then
-      Format.printf "%a@."
-        Gus_sql.Runner.pp_explain
-        (Gus_sql.Runner.run_explained ~seed db sql)
+  let run scale seed sql exact explain json data pool_size trace_out
+      metrics_out =
+   C.or_fail ~json @@ fun () ->
+    C.apply_pool_size pool_size;
+    let db = C.db_source ~scale data in
+    C.with_obs ~trace_out ~metrics_out @@ fun () ->
+    let rs =
+      Gus_sql.Runner.run_request db
+        (Gus_sql.Runner.request ~seed ~exact ~explain sql)
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.obj
+              [ ("ok", Some (Json.Bool true));
+                ( "result",
+                  Some (Gus_service.Protocol.result_json rs.Gus_sql.Runner.rs_result)
+                );
+                ("exact", Gus_service.Protocol.exact_json rs) ]))
     else begin
-      let result = Gus_sql.Runner.run ~seed db sql in
-      Format.printf "%a@." Gus_sql.Runner.pp_result result
-    end;
-    if exact then begin
-      Format.printf "@.ground truth (sampling ignored):@.";
-      List.iter
-        (fun (label, v) -> Format.printf "  %s = %.6g@." label v)
-        (Gus_sql.Runner.run_exact db sql)
+      (match rs.Gus_sql.Runner.rs_explain with
+      | Some ex -> Format.printf "%a@." Gus_sql.Runner.pp_explain ex
+      | None ->
+          Format.printf "%a@." Gus_sql.Runner.pp_result
+            rs.Gus_sql.Runner.rs_result);
+      if exact then begin
+        Format.printf "@.ground truth (sampling ignored):@.";
+        List.iter
+          (fun (label, v) -> Format.printf "  %s = %.6g@." label v)
+          rs.Gus_sql.Runner.rs_exact;
+        List.iter
+          (fun (keys, cells) ->
+            List.iter
+              (fun (label, v) ->
+                Format.printf "  [%s] %s = %.6g@." (String.concat ", " keys)
+                  label v)
+              cells)
+          rs.Gus_sql.Runner.rs_exact_groups
+      end
     end
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Estimate an aggregate query over samples.")
-    Term.(const run $ scale_arg $ seed_arg $ sql_arg $ exact_arg $ explain_arg
-          $ data_arg $ pool_size_arg $ trace_out_arg $ metrics_out_arg)
+    Term.(const run $ C.scale_arg $ C.seed_arg $ sql_arg $ exact_arg
+          $ explain_arg $ C.json_arg $ C.data_arg $ C.pool_size_arg
+          $ C.trace_out_arg $ C.metrics_out_arg)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
   let run scale sql data =
-   or_fail @@ fun () ->
-    let db = db_source ~scale ~seed:20130630 data in
+   C.or_fail @@ fun () ->
+    let db = C.db_source ~scale data in
     let query = Gus_sql.Parser.parse sql in
     let { Gus_sql.Planner.plan; _ } = Gus_sql.Planner.compile db query in
     Format.printf "sampling plan:@.%a@." Splan.pp_tree plan;
@@ -225,7 +132,7 @@ let plan_cmd =
   Cmd.v
     (Cmd.info "plan"
        ~doc:"Show the sampling plan, its SOA-equivalence rewrite and top GUS.")
-    Term.(const run $ scale_arg $ sql_arg $ data_arg)
+    Term.(const run $ C.scale_arg $ sql_arg $ C.data_arg)
 
 (* ---- lint ---- *)
 
@@ -235,10 +142,6 @@ let lint_cmd =
   let sql_opt_arg =
     let doc = "The query text to lint (omit with $(b,--codes))." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
-  in
-  let json_arg =
-    let doc = "Emit the diagnostics as JSON." in
-    Arg.(value & flag & info [ "json" ] ~doc)
   in
   let small_a_arg =
     let doc = "Warn (GUS010) when the plan's effective sampling fraction is \
@@ -267,8 +170,8 @@ let lint_cmd =
           Printf.eprintf "gusdb lint: a query is required (or use --codes)\n";
           exit 124
       | Some sql ->
-          or_fail @@ fun () ->
-          let db = db_source ~scale ~seed:20130630 data in
+          C.or_fail ~json @@ fun () ->
+          let db = C.db_source ~scale data in
           let config = { Lint.small_a } in
           let plan, report = Gus_sql.Runner.lint ~config db sql in
           if json then print_endline (Lint.to_json report)
@@ -285,14 +188,44 @@ let lint_cmd =
              algebra's preconditions (Props 5-9, Section 9) without \
              executing it, reporting every violation, warning and hint at \
              once.")
-    Term.(const run $ scale_arg $ sql_opt_arg $ json_arg $ small_a_arg
-          $ codes_arg $ data_arg)
+    Term.(const run $ C.scale_arg $ sql_opt_arg $ C.json_arg $ small_a_arg
+          $ codes_arg $ C.data_arg)
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let cache_capacity_arg =
+    let doc = "Capacity of the response LRU cache (entries)." in
+    Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let run cache_capacity pool_size trace_out metrics_out =
+    C.or_fail @@ fun () ->
+    C.apply_pool_size pool_size;
+    C.with_obs ~trace_out ~metrics_out @@ fun () ->
+    (* The stats op reports the metrics snapshot (cache.hits & friends),
+       so collection is always on in serve mode — --metrics-out merely
+       adds the file dump at EOF. *)
+    Gus_obs.Metrics.set_enabled true;
+    let engine =
+      Gus_service.Engine.create ~cache_capacity
+        ~pool:(Gus_util.Pool.default ()) ()
+    in
+    Gus_service.Protocol.serve engine stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve prepared queries over a line-oriented NDJSON protocol on \
+             stdin/stdout: register datasets, prepare once, execute many \
+             times with per-call seeds and sampling rates, batch across \
+             the domain pool, inspect cache/catalog stats.")
+    Term.(const run $ cache_capacity_arg $ C.pool_size_arg $ C.trace_out_arg
+          $ C.metrics_out_arg)
 
 (* ---- repl ---- *)
 
 let repl_cmd =
   let run scale seed =
-    let db = db_of ~scale ~seed:20130630 in
+    let db = db_of ~scale ~seed:C.generation_seed in
     Printf.printf
       "gusdb repl - %d relations, %d rows (scale %g).\n\
        Terminate queries with ';'.  Commands: \\q quit, \\plan <sql>;, \
@@ -363,7 +296,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive query loop over a generated database.")
-    Term.(const run $ scale_arg $ seed_arg)
+    Term.(const run $ C.scale_arg $ C.seed_arg)
 
 (* ---- experiments ---- *)
 
@@ -387,7 +320,7 @@ let experiments_cmd =
   in
   let run id full list pool_size progress trace_out metrics_out =
     let module R = Gus_experiments.Registry in
-    apply_pool_size pool_size;
+    C.apply_pool_size pool_size;
     Gus_experiments.Harness.set_progress progress;
     if list then
       List.iter
@@ -395,7 +328,7 @@ let experiments_cmd =
           Printf.printf "%-4s %-50s [%s]\n" e.R.id e.R.title e.R.paper_artifact)
         R.all
     else
-      with_obs ~trace_out ~metrics_out @@ fun () ->
+      C.with_obs ~trace_out ~metrics_out @@ fun () ->
       match id with
       | None -> R.run_all ~quick:(not full) ()
       | Some id -> begin
@@ -408,8 +341,8 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.")
-    Term.(const run $ id_arg $ full_arg $ list_arg $ pool_size_arg
-          $ progress_arg $ trace_out_arg $ metrics_out_arg)
+    Term.(const run $ id_arg $ full_arg $ list_arg $ C.pool_size_arg
+          $ progress_arg $ C.trace_out_arg $ C.metrics_out_arg)
 
 let () =
   let doc = "aggregate estimation over sampled queries (GUS sampling algebra)" in
@@ -417,4 +350,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; query_cmd; plan_cmd; lint_cmd; repl_cmd; experiments_cmd ]))
+          [ gen_cmd; query_cmd; plan_cmd; lint_cmd; serve_cmd; repl_cmd;
+            experiments_cmd ]))

@@ -1,0 +1,96 @@
+let m_hits = Gus_obs.Metrics.counter "cache.hits"
+let m_misses = Gus_obs.Metrics.counter "cache.misses"
+let m_evictions = Gus_obs.Metrics.counter "cache.evictions"
+
+(* Intrusive doubly-linked recency list threaded through the table's
+   nodes, with a sentinel: [sentinel.next] is LRU, [sentinel.prev] MRU. *)
+type 'a node = {
+  key : string;
+  mutable value : 'a option;  (* None only on the sentinel *)
+  mutable prev : 'a node;
+  mutable next : 'a node;
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  sentinel : 'a node;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Cache.create: capacity %d" capacity);
+  let rec sentinel =
+    { key = ""; value = None; prev = sentinel; next = sentinel }
+  in
+  { cap = capacity; table = Hashtbl.create (2 * capacity); sentinel }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_mru t n =
+  n.prev <- t.sentinel.prev;
+  n.next <- t.sentinel;
+  t.sentinel.prev.next <- n;
+  t.sentinel.prev <- n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      Gus_obs.Metrics.incr m_hits;
+      unlink n;
+      push_mru t n;
+      n.value
+  | None ->
+      Gus_obs.Metrics.incr m_misses;
+      None
+
+let mem t key = Hashtbl.mem t.table key
+
+let drop t n =
+  unlink n;
+  Hashtbl.remove t.table n.key
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.value <- Some value;
+      unlink n;
+      push_mru t n
+  | None ->
+      let rec n = { key; value = Some value; prev = n; next = n } in
+      Hashtbl.replace t.table key n;
+      push_mru t n);
+  while Hashtbl.length t.table > t.cap do
+    drop t t.sentinel.next;
+    Gus_obs.Metrics.incr m_evictions
+  done
+
+let remove_prefix t ~prefix =
+  let plen = String.length prefix in
+  let doomed =
+    Hashtbl.fold
+      (fun key n acc ->
+        if
+          String.length key >= plen && String.sub key 0 plen = prefix
+        then n :: acc
+        else acc)
+      t.table []
+  in
+  List.iter (drop t) doomed;
+  List.length doomed
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel.prev <- t.sentinel;
+  t.sentinel.next <- t.sentinel
+
+let keys_lru_order t =
+  let rec go acc n =
+    if n == t.sentinel then List.rev acc else go (n.key :: acc) n.next
+  in
+  go [] t.sentinel.next

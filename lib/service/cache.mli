@@ -1,0 +1,42 @@
+(** Bounded LRU cache for estimate artifacts.
+
+    Keys are canonical strings built by {!Engine} from
+    [(dataset, catalog version, sql, execution params)] — see DESIGN.md
+    §8 for the exact key grammar.  Values are whatever the caller stores
+    (the engine caches full {!Gus_sql.Runner.response}s: SBox estimates,
+    stddevs, intervals, subsample variance artifacts).
+
+    Every {!find} bumps either [cache.hits] or [cache.misses], every
+    capacity eviction bumps [cache.evictions] (all via
+    {!Gus_obs.Metrics}, so they only count while metrics collection is
+    enabled; serve mode enables it at startup).  The structure is {e not}
+    thread-safe: the engine probes and fills it from the driving thread
+    only, never from pool lanes. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit moves the entry to most-recently-used. *)
+
+val mem : 'a t -> string -> bool
+(** Non-instrumenting, recency-preserving probe (for stats endpoints). *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace as most-recently-used; evicts the least recently
+    used entry when over capacity. *)
+
+val remove_prefix : 'a t -> prefix:string -> int
+(** Drop every entry whose key starts with [prefix] (catalog
+    invalidation); returns how many were dropped.  Not counted as
+    evictions — [cache.evictions] means capacity pressure. *)
+
+val clear : 'a t -> unit
+
+val keys_lru_order : 'a t -> string list
+(** Least recently used first — exposed for the eviction-order tests. *)

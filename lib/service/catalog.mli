@@ -1,0 +1,62 @@
+(** Named, versioned datasets for the serving engine.
+
+    A catalog entry binds a name to an in-memory {!Gus_relational.Database.t}
+    snapshot plus a monotonically increasing version.  Registering under an
+    existing name replaces the snapshot and bumps the version; nothing ever
+    mutates a registered database in place, so a {!entry} handed out earlier
+    stays valid (it just becomes stale).  Estimates are deterministic in
+    [(dataset version, sql, params, seed)] — the version is therefore part
+    of the engine's cache key, and every mutation fires the {!on_mutate}
+    hooks so caches can drop the name's entries eagerly. *)
+
+type source =
+  | Tpch of { scale : float; seed : int }
+      (** synthetic TPC-H-style generator, default skew *)
+  | Skewed of { scale : float; seed : int; part_skew : float; price_skew : float }
+      (** the generator with heavy-tail knobs — the "synthetic" source *)
+  | Csv_dir of string  (** CSVs written by [gusdb gen] *)
+  | In_memory of string  (** caller-built database; payload describes it *)
+
+val source_to_string : source -> string
+(** One-line rendering for [stats] listings, e.g. ["tpch(scale=0.1,seed=1)"]. *)
+
+type entry = {
+  dataset : string;
+  version : int;  (** 1 on first registration, +1 per replacement *)
+  source : source;
+  db : Gus_relational.Database.t;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> source:source -> Gus_relational.Database.t -> entry
+(** Bind (or rebind) [name]; returns the new entry.  Fires {!on_mutate}
+    hooks after the binding is in place. *)
+
+val build : source -> Gus_relational.Database.t
+(** Build a database from its source description: [Tpch]/[Skewed]
+    generate, [Csv_dir] loads every known TPC-H CSV present in the
+    directory.  Raises [Failure] on an unreadable or empty CSV directory
+    and [Invalid_argument] on [In_memory] (which has no recipe — use
+    {!register}).  Also what the CLI's [--data] loading goes through. *)
+
+val load : t -> name:string -> source:source -> entry
+(** [register] of {!build}[ source] under [name]. *)
+
+exception Unknown_dataset of string
+
+val find : t -> string -> entry option
+val find_exn : t -> string -> entry
+(** Raises {!Unknown_dataset}. *)
+
+val remove : t -> string -> bool
+(** [true] if the name was bound.  Fires {!on_mutate} hooks. *)
+
+val names : t -> entry list
+(** Current entries, sorted by dataset name. *)
+
+val on_mutate : t -> (string -> unit) -> unit
+(** Register a hook called with the dataset name after every
+    {!register}/{!load}/{!remove}, in registration order. *)

@@ -1,0 +1,146 @@
+module Runner = Gus_sql.Runner
+
+type t = {
+  catalog : Catalog.t;
+  cache : Runner.response Cache.t;
+  prepared : (string, Prepared.t) Hashtbl.t;
+  pool : Gus_util.Pool.t option;
+  mutable next_handle : int;
+}
+
+exception Unknown_handle of string
+
+let create ?(cache_capacity = 128) ?pool () =
+  let t =
+    { catalog = Catalog.create ();
+      cache = Cache.create ~capacity:cache_capacity;
+      prepared = Hashtbl.create 16;
+      pool;
+      next_handle = 1 }
+  in
+  (* Eager invalidation: any (re)registration or removal drops the
+     dataset's cached responses.  The version baked into every key
+     already makes stale entries unreachable; this frees their slots. *)
+  Catalog.on_mutate t.catalog (fun name ->
+      ignore (Cache.remove_prefix t.cache ~prefix:(name ^ "\x00")));
+  t
+
+let catalog t = t.catalog
+let register t ~name ~source = Catalog.load t.catalog ~name ~source
+let register_db t ~name ~source db = Catalog.register t.catalog ~name ~source db
+
+let prepare t ?name ~dataset sql =
+  let p = Prepared.prepare t.catalog ~dataset sql in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        let n = Printf.sprintf "q%d" t.next_handle in
+        t.next_handle <- t.next_handle + 1;
+        n
+  in
+  Hashtbl.replace t.prepared name p;
+  (name, p)
+
+let find_prepared t name = Hashtbl.find_opt t.prepared name
+
+let prepared_names t =
+  Hashtbl.fold (fun name p acc -> (name, p) :: acc) t.prepared []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let cache_key t p (ov : Prepared.overrides) =
+  let entry = Catalog.find_exn t.catalog (Prepared.dataset p) in
+  let rates =
+    List.sort (fun (a, _) (b, _) -> compare a b) ov.Prepared.rates
+    |> List.map (fun (rel, rate) ->
+           Printf.sprintf "%s:%s" rel (Json.number_to_string rate))
+    |> String.concat ","
+  in
+  Printf.sprintf "%s\x00%d\x00%s\x00seed=%d;exact=%b;rates=%s"
+    entry.Catalog.dataset entry.Catalog.version (Prepared.sql p)
+    ov.Prepared.seed ov.Prepared.exact rates
+
+type outcome = {
+  response : Runner.response;
+  cached : bool;
+  wall_ns : int;
+}
+
+let now = Gus_obs.Trace.now_ns
+let cacheable (ov : Prepared.overrides) = not ov.Prepared.explain
+
+let execute t ~handle ov =
+  let t0 = now () in
+  let p =
+    match find_prepared t handle with
+    | Some p -> p
+    | None -> raise (Unknown_handle handle)
+  in
+  ignore (Prepared.refresh t.catalog p);
+  let key = if cacheable ov then Some (cache_key t p ov) else None in
+  match Option.map (Cache.find t.cache) key with
+  | Some (Some response) -> { response; cached = true; wall_ns = now () - t0 }
+  | _ ->
+      let response = Prepared.execute t.catalog p ov in
+      Option.iter (fun k -> Cache.add t.cache k response) key;
+      { response; cached = false; wall_ns = now () - t0 }
+
+let batch t items =
+  (* Phase 1, driving thread: resolve, refresh, probe the cache — every
+     handle mutation and cache touch happens here, in submission order. *)
+  let staged =
+    Array.map
+      (fun (handle, ov) ->
+        match find_prepared t handle with
+        | None -> Error (Unknown_handle handle)
+        | Some p -> (
+            try
+              ignore (Prepared.refresh t.catalog p);
+              match
+                if cacheable ov then
+                  let key = cache_key t p ov in
+                  match Cache.find t.cache key with
+                  | Some response -> `Hit response
+                  | None -> `Run (Some key)
+                else `Run None
+              with
+              | `Hit response -> Ok (`Hit response)
+              | `Run key -> Ok (`Run (p, ov, key))
+            with e -> Error e))
+      items
+  in
+  (* Phase 2: fan the misses out; lanes only read engine state. *)
+  let misses =
+    Array.of_list
+      (List.filter_map
+         (function Ok (`Run job) -> Some job | _ -> None)
+         (Array.to_list staged))
+  in
+  let results =
+    Scheduler.map ?pool:t.pool
+      (fun (p, ov, key) ->
+        let t0 = now () in
+        let response = Prepared.execute t.catalog p ov in
+        (key, response, now () - t0))
+      misses
+  in
+  (* Phase 3, driving thread again: fill the cache and assemble outcomes
+     in submission order. *)
+  let cursor = ref 0 in
+  Array.map
+    (fun stage ->
+      match stage with
+      | Error e -> Error e
+      | Ok (`Hit response) -> Ok { response; cached = true; wall_ns = 0 }
+      | Ok (`Run _) -> (
+          let r = results.(!cursor) in
+          incr cursor;
+          match r with
+          | Error e -> Error e
+          | Ok (key, response, wall_ns) ->
+              Option.iter (fun k -> Cache.add t.cache k response) key;
+              Ok { response; cached = false; wall_ns }))
+    staged
+
+let cache_length t = Cache.length t.cache
+let cache_capacity t = Cache.capacity t.cache

@@ -1,0 +1,69 @@
+(** The serving engine: catalog + prepared handles + estimate cache +
+    batch scheduler behind one session object.
+
+    One engine instance is long-lived server state (the [gusdb serve]
+    loop owns exactly one).  All driving-thread state — the handle
+    table, the LRU {!Cache} — is touched only between fan-outs; batch
+    execution runs on pool lanes against immutable snapshots.
+
+    {b Cache key.}  [dataset NUL version NUL sql NUL canonical-params],
+    where canonical-params is ["seed=<n>;exact=<b>;rates=<rel>:<rate>,…"]
+    with rates sorted by relation name and printed in shortest
+    round-trip form — equal keys imply bit-identical responses (see
+    {!Gus_sql.Runner.execute}).  Registering or removing a dataset drops
+    the name's entries via a {!Catalog.on_mutate} hook (the version in
+    the key already makes stale entries unreachable; eager dropping
+    frees capacity).  Explained executions bypass the cache entirely —
+    their per-node timings are measurements, not query semantics. *)
+
+type t
+
+exception Unknown_handle of string
+
+val create : ?cache_capacity:int -> ?pool:Gus_util.Pool.t -> unit -> t
+(** [cache_capacity] defaults to 128 responses.  [pool] (shared, not
+    owned: the engine never shuts it down) parallelizes {!batch} only —
+    single executions and everything inside one query run sequentially,
+    so estimates never depend on lane count. *)
+
+val catalog : t -> Catalog.t
+
+val register : t -> name:string -> source:Catalog.source -> Catalog.entry
+(** Build the dataset from its source description and (re)bind it —
+    see {!Catalog.load}. *)
+
+val register_db :
+  t -> name:string -> source:Catalog.source -> Gus_relational.Database.t ->
+  Catalog.entry
+
+val prepare : t -> ?name:string -> dataset:string -> string -> string * Prepared.t
+(** Prepare once and install the handle under [name] (default
+    ["q<n>"], n counting up).  Re-using a name replaces the handle. *)
+
+val find_prepared : t -> string -> Prepared.t option
+val prepared_names : t -> (string * Prepared.t) list
+(** Sorted by handle name. *)
+
+type outcome = {
+  response : Gus_sql.Runner.response;
+  cached : bool;  (** answered from the LRU without executing *)
+  wall_ns : int;  (** this call, including cache probes *)
+}
+
+val execute : t -> handle:string -> Prepared.overrides -> outcome
+(** Raises {!Unknown_handle}, {!Catalog.Unknown_dataset}, or the
+    execution-time errors of {!Prepared.execute}. *)
+
+val batch : t -> (string * Prepared.overrides) array -> (outcome, exn) result array
+(** Resolve and cache-probe every item serially in submission order,
+    fan the misses across the pool via {!Scheduler.map}, then fill the
+    cache back in submission order.  Results line up with the input
+    array for any pool size; per-item failures are [Error], the batch
+    itself never raises. *)
+
+val cache_key : t -> Prepared.t -> Prepared.overrides -> string
+(** The canonical key {!execute} uses (at the dataset's {e current}
+    version); exposed for invalidation tests. *)
+
+val cache_length : t -> int
+val cache_capacity : t -> int

@@ -1,0 +1,298 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---- printing ---- *)
+
+let number_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    (* shortest representation that parses back to the same bits *)
+    let s15 = Printf.sprintf "%.15g" v in
+    if float_of_string s15 = v then s15
+    else
+      let s16 = Printf.sprintf "%.16g" v in
+      if float_of_string s16 = v then s16 else Printf.sprintf "%.17g" v
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num v ->
+        Buffer.add_string buf
+          (if Float.is_finite v then number_to_string v else "null")
+    | Str s -> escape_to buf s
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            go item)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* ---- parsing: recursive descent over the string ---- *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "byte %d: %s" st.pos msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "bad \\u escape"
+
+(* UTF-8-encode a code point (surrogate pairs already combined). *)
+let add_uchar buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+  let v =
+    (hex_digit st st.src.[st.pos] lsl 12)
+    lor (hex_digit st st.src.[st.pos + 1] lsl 8)
+    lor (hex_digit st st.src.[st.pos + 2] lsl 4)
+    lor hex_digit st st.src.[st.pos + 3]
+  in
+  st.pos <- st.pos + 4;
+  v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+        st.pos <- st.pos + 1;
+        (match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            st.pos <- st.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let hi = parse_hex4 st in
+                if hi >= 0xD800 && hi <= 0xDBFF then begin
+                  (* high surrogate: a \uDC00..\uDFFF low half must follow *)
+                  expect st '\\';
+                  expect st 'u';
+                  let lo = parse_hex4 st in
+                  if lo < 0xDC00 || lo > 0xDFFF then
+                    fail st "unpaired surrogate";
+                  add_uchar buf
+                    (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else if hi >= 0xDC00 && hi <= 0xDFFF then
+                  fail st "unpaired surrogate"
+                else add_uchar buf hi
+            | _ -> fail st "bad escape"));
+        go ()
+    | Some c when Char.code c < 0x20 -> fail st "raw control char in string"
+    | Some c ->
+        st.pos <- st.pos + 1;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let digits () =
+    let n0 = st.pos in
+    while
+      st.pos < String.length st.src
+      && match st.src.[st.pos] with '0' .. '9' -> true | _ -> false
+    do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = n0 then fail st "expected digit"
+  in
+  if peek st = Some '-' then st.pos <- st.pos + 1;
+  digits ();
+  if peek st = Some '.' then begin
+    st.pos <- st.pos + 1;
+    digits ()
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | Some ('+' | '-') -> st.pos <- st.pos + 1
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  float_of_string (String.sub st.src start (st.pos - start))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (k, v) :: !fields;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ()
+          | Some '}' -> st.pos <- st.pos + 1
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              elements ()
+          | Some ']' -> st.pos <- st.pos + 1
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number st)
+  | Some c -> fail st (Printf.sprintf "unexpected '%c'" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* ---- accessors ---- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_num = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v && Float.abs v <= 2. ** 52. ->
+      Some (int_of_float v)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List items -> Some items | _ -> None
+let to_obj = function Obj fields -> Some fields | _ -> None
+
+let obj fields =
+  Obj (List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) fields)

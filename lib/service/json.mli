@@ -1,0 +1,52 @@
+(** Minimal JSON values for the NDJSON serving protocol.
+
+    The repository deliberately has no JSON dependency: everything that
+    {e emits} JSON hand-rolls it ([Lint.to_json], [Metrics.snapshot], the
+    bench writer).  The serving protocol also has to {e read} JSON, so
+    this module provides the small value type, a strict RFC-8259 parser
+    and a compact printer the service layer shares.  Floats print in
+    shortest round-trip form, so a value that survives a parse → print →
+    parse cycle is bit-identical — the cache-parity cram tests compare
+    estimates through this printer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order preserved *)
+
+exception Parse_error of string
+(** Position-annotated message ("byte 17: expected ':'"). *)
+
+val of_string : string -> t
+(** Parse exactly one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  Raises {!Parse_error}. *)
+
+val to_string : t -> string
+(** Compact one-line rendering (no added whitespace) — one NDJSON line.
+    Non-finite numbers render as [null] (JSON has no literal for them). *)
+
+val number_to_string : float -> string
+(** Integral floats as ["42"]; everything else via the shortest of
+    [%.15g]/[%.16g]/[%.17g] that round-trips bit-identically. *)
+
+(** {1 Accessors} — total, option-returning *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] (first occurrence); [None] on anything else. *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+
+val to_int : t -> int option
+(** [Num] with an integral value. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option
+
+val obj : (string * t option) list -> t
+(** Build an object, dropping [None] fields — keeps optional protocol
+    fields out of responses instead of emitting [null]s. *)

@@ -1,0 +1,350 @@
+module Runner = Gus_sql.Runner
+module D = Gus_analysis.Diagnostic
+module Lint = Gus_analysis.Lint
+open Gus_relational
+open Json
+
+exception Bad_request of string
+
+let error_of_exn = function
+  | Gus_sql.Parser.Error msg -> Some ("parse_error", msg)
+  | Gus_sql.Lexer.Error { message; _ } ->
+      Some ("parse_error", "lexical error: " ^ message)
+  | Gus_sql.Planner.Error msg -> Some ("plan_error", msg)
+  | Gus_analysis.Rewrite.Unsupported msg -> Some ("unsupported_plan", msg)
+  | Value.Type_error msg -> Some ("type_error", msg)
+  | Schema.Unknown_column c -> Some ("unknown_column", "unknown column " ^ c)
+  | Database.Unknown_relation r ->
+      Some ("unknown_relation", "unknown relation " ^ r)
+  | Catalog.Unknown_dataset d -> Some ("unknown_dataset", "unknown dataset " ^ d)
+  | Engine.Unknown_handle h -> Some ("unknown_handle", "unknown handle " ^ h)
+  | Bad_request msg -> Some ("bad_request", msg)
+  | Json.Parse_error msg -> Some ("bad_json", msg)
+  | Invalid_argument msg -> Some ("bad_request", msg)
+  | Sys_error msg | Failure msg -> Some ("io_error", msg)
+  | _ -> None
+
+let error_json ?op code message =
+  obj
+    [ ("ok", Some (Bool false));
+      ("op", Option.map (fun o -> Str o) op);
+      ( "error",
+        Some (Obj [ ("code", Str code); ("message", Str message) ]) ) ]
+
+(* ---- request-field accessors ---- *)
+
+let req_str j field =
+  match Option.bind (member field j) to_str with
+  | Some s -> s
+  | None -> raise (Bad_request (Printf.sprintf "missing string field %S" field))
+
+let opt_str j field = Option.bind (member field j) to_str
+
+let opt_num j field ~default =
+  match member field j with
+  | None -> default
+  | Some v -> (
+      match to_num v with
+      | Some n -> n
+      | None -> raise (Bad_request (Printf.sprintf "field %S: expected number" field)))
+
+let opt_int j field ~default =
+  match member field j with
+  | None -> default
+  | Some v -> (
+      match to_int v with
+      | Some n -> n
+      | None ->
+          raise (Bad_request (Printf.sprintf "field %S: expected integer" field)))
+
+let opt_bool j field ~default =
+  match member field j with
+  | None -> default
+  | Some v -> (
+      match to_bool v with
+      | Some b -> b
+      | None -> raise (Bad_request (Printf.sprintf "field %S: expected bool" field)))
+
+(* ---- response pieces ---- *)
+
+let interval_json (iv : Gus_stats.Interval.t) =
+  Obj [ ("lo", Num iv.lo); ("hi", Num iv.hi) ]
+
+let cell_json (c : Runner.cell) =
+  Obj
+    [ ("label", Str c.label);
+      ("estimate", Num c.value);
+      ("stddev", Num c.stddev);
+      ("ci95_normal", interval_json c.ci95_normal);
+      ("ci95_chebyshev", interval_json c.ci95_chebyshev) ]
+
+let result_json (r : Runner.result) =
+  obj
+    [ ("cells", Some (List (List.map cell_json r.cells)));
+      ( "groups",
+        if r.groups = [] then None
+        else
+          Some
+            (List
+               (List.map
+                  (fun (g : Runner.group_row) ->
+                    Obj
+                      [ ("keys", List (List.map (fun k -> Str k) g.keys));
+                        ("cells", List (List.map cell_json g.group_cells)) ])
+                  r.groups)) );
+      ("n_sample_tuples", Some (Num (float_of_int r.n_sample_tuples))) ]
+
+let exact_json rs =
+  let pair (label, v) = Obj [ ("label", Str label); ("value", Num v) ] in
+  match
+    (rs.Runner.rs_exact, rs.Runner.rs_exact_groups)
+  with
+  | [], [] -> None
+  | cells, [] -> Some (List (List.map pair cells))
+  | _, groups ->
+      Some
+        (List
+           (List.map
+              (fun (keys, cells) ->
+                Obj
+                  [ ("keys", List (List.map (fun k -> Str k) keys));
+                    ("cells", List (List.map pair cells)) ])
+              groups))
+
+let diagnostic_json (d : D.t) =
+  Obj
+    [ ("code", Str (D.code_id d.code));
+      ("severity", Str (D.severity_label (D.severity d)));
+      ("path", Str (D.path_to_string d.path));
+      ("node", Str d.node);
+      ("message", Str d.message);
+      ("citation", Str (D.citation d.code)) ]
+
+let response_json ~handle (o : Engine.outcome) =
+  let rs = o.Engine.response in
+  obj
+    [ ("ok", Some (Bool true));
+      ("op", Some (Str "execute"));
+      ("handle", Some (Str handle));
+      ("cached", Some (Bool o.Engine.cached));
+      ("streamed", Some (Bool rs.Runner.rs_streamed));
+      ("wall_us", Some (Num (float_of_int (o.Engine.wall_ns / 1000))));
+      ("result", Some (result_json rs.Runner.rs_result));
+      ("exact", exact_json rs);
+      ( "explain",
+        Option.map
+          (fun (ex : Runner.explain) ->
+            obj
+              [ ("total_ns", Some (Num (float_of_int ex.ex_total_ns)));
+                ( "variance_raw",
+                  Option.map (fun v -> Num v) ex.ex_variance_raw ) ])
+          rs.Runner.rs_explain ) ]
+
+(* ---- operations ---- *)
+
+let source_of_request j =
+  match opt_str j "source" with
+  | None | Some "tpch" ->
+      Catalog.Tpch
+        { scale = opt_num j "scale" ~default:1.0;
+          (* the CLI's fixed data-generation seed, so `register` defaults
+             to exactly the database `gusdb query -s SCALE` uses *)
+          seed = opt_int j "seed" ~default:20130630 }
+  | Some "synthetic" ->
+      Catalog.Skewed
+        { scale = opt_num j "scale" ~default:1.0;
+          seed = opt_int j "seed" ~default:20130630;
+          part_skew =
+            opt_num j "part_skew"
+              ~default:Gus_tpch.Tpch.default_config.part_skew;
+          price_skew =
+            opt_num j "price_skew"
+              ~default:Gus_tpch.Tpch.default_config.price_skew }
+  | Some "csv" -> Catalog.Csv_dir (req_str j "dir")
+  | Some other -> raise (Bad_request (Printf.sprintf "unknown source %S" other))
+
+let op_register engine j =
+  let name = req_str j "name" in
+  let entry = Engine.register engine ~name ~source:(source_of_request j) in
+  let relations =
+    List.map
+      (fun rel ->
+        Obj
+          [ ("name", Str rel);
+            ( "rows",
+              Num
+                (float_of_int
+                   (Relation.cardinality (Database.find entry.Catalog.db rel)))
+            ) ])
+      (Database.names entry.Catalog.db)
+  in
+  Obj
+    [ ("ok", Bool true);
+      ("op", Str "register");
+      ("dataset", Str entry.Catalog.dataset);
+      ("version", Num (float_of_int entry.Catalog.version));
+      ("source", Str (Catalog.source_to_string entry.Catalog.source));
+      ("relations", List relations) ]
+
+let op_prepare engine j =
+  let dataset = req_str j "dataset" in
+  let sql = req_str j "sql" in
+  let handle, p =
+    Engine.prepare engine ?name:(opt_str j "name") ~dataset sql
+  in
+  let report = (Prepared.handle p).Runner.pr_lint in
+  Obj
+    [ ("ok", Bool true);
+      ("op", Str "prepare");
+      ("handle", Str handle);
+      ("dataset", Str dataset);
+      ("version", Num (float_of_int (Prepared.version p)));
+      ( "relations",
+        List
+          (List.map
+             (fun r -> Str r)
+             (Gus_core.Splan.relations (Prepared.handle p).Runner.pr_plan)) );
+      ("analyzable", Bool (report.Lint.analysis <> None));
+      ( "diagnostics",
+        List (List.map diagnostic_json report.Lint.diagnostics) ) ]
+
+let exec_item j =
+  let handle = req_str j "handle" in
+  let rates =
+    match member "rates" j with
+    | None -> []
+    | Some (Obj fields) ->
+        List.map
+          (fun (rel, v) ->
+            match to_num v with
+            | Some rate -> (rel, rate)
+            | None ->
+                raise
+                  (Bad_request
+                     (Printf.sprintf "rate for %S: expected number" rel)))
+          fields
+    | Some _ -> raise (Bad_request "field \"rates\": expected object")
+  in
+  ( handle,
+    { Prepared.seed = opt_int j "seed" ~default:42;
+      rates;
+      explain = opt_bool j "explain" ~default:false;
+      exact = opt_bool j "exact" ~default:false } )
+
+let op_execute engine j =
+  let handle, ov = exec_item j in
+  response_json ~handle (Engine.execute engine ~handle ov)
+
+let protect ~op f =
+  try f ()
+  with e -> (
+    match error_of_exn e with
+    | Some (code, message) -> error_json ?op code message
+    | None -> raise e)
+
+let op_batch engine j =
+  let items =
+    match Option.bind (member "items" j) to_list with
+    | Some items -> items
+    | None -> raise (Bad_request "missing list field \"items\"")
+  in
+  let parsed =
+    List.map
+      (fun item ->
+        try Ok (exec_item item)
+        with e -> (
+          match error_of_exn e with
+          | Some (code, message) ->
+              Error (error_json ~op:"execute" code message)
+          | None -> raise e))
+      items
+  in
+  let jobs =
+    Array.of_list (List.filter_map (function Ok job -> Some job | Error _ -> None) parsed)
+  in
+  let outcomes = Engine.batch engine jobs in
+  let cursor = ref 0 in
+  let results =
+    List.map
+      (function
+        | Error ej -> ej
+        | Ok (handle, _) -> (
+            let r = outcomes.(!cursor) in
+            incr cursor;
+            match r with
+            | Ok outcome -> response_json ~handle outcome
+            | Error e -> (
+                match error_of_exn e with
+                | Some (code, message) ->
+                    error_json ~op:"execute" code message
+                | None -> raise e)))
+      parsed
+  in
+  Obj [ ("ok", Bool true); ("op", Str "batch"); ("results", List results) ]
+
+let op_stats engine j =
+  ignore j;
+  let catalog =
+    List.map
+      (fun (e : Catalog.entry) ->
+        Obj
+          [ ("dataset", Str e.dataset);
+            ("version", Num (float_of_int e.version));
+            ("source", Str (Catalog.source_to_string e.source)) ])
+      (Catalog.names (Engine.catalog engine))
+  in
+  let prepared =
+    List.map
+      (fun (name, p) ->
+        Obj
+          [ ("handle", Str name);
+            ("dataset", Str (Prepared.dataset p));
+            ("version", Num (float_of_int (Prepared.version p)));
+            ("sql", Str (Prepared.sql p)) ])
+      (Engine.prepared_names engine)
+  in
+  Obj
+    [ ("ok", Bool true);
+      ("op", Str "stats");
+      ("catalog", List catalog);
+      ("prepared", List prepared);
+      ( "cache",
+        Obj
+          [ ("length", Num (float_of_int (Engine.cache_length engine)));
+            ("capacity", Num (float_of_int (Engine.cache_capacity engine))) ]
+      );
+      ("metrics", Json.of_string (Gus_obs.Metrics.snapshot ())) ]
+
+let handle_request engine j =
+  let op = Option.bind (member "op" j) to_str in
+  protect ~op @@ fun () ->
+  match op with
+  | Some "register" -> op_register engine j
+  | Some "prepare" -> op_prepare engine j
+  | Some "execute" -> op_execute engine j
+  | Some "batch" -> op_batch engine j
+  | Some "stats" -> op_stats engine j
+  | Some other -> raise (Bad_request (Printf.sprintf "unknown op %S" other))
+  | None -> raise (Bad_request "missing string field \"op\"")
+
+let handle_line engine line =
+  let response =
+    match Json.of_string line with
+    | j -> handle_request engine j
+    | exception Json.Parse_error msg -> error_json "bad_json" msg
+  in
+  Json.to_string response
+
+let serve engine ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        if String.trim line <> "" then begin
+          output_string oc (handle_line engine line);
+          output_char oc '\n';
+          flush oc
+        end;
+        loop ()
+  in
+  loop ()

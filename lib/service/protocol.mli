@@ -1,0 +1,51 @@
+(** The [gusdb serve] NDJSON request/response protocol.
+
+    One JSON object per line on stdin, one JSON object per line on
+    stdout, strictly in request order — no network, no framing beyond
+    newlines, so the whole protocol is cram-testable with a heredoc.
+    DESIGN.md §8 gives the grammar; the operations are:
+
+    - [register] — build + (re)bind a catalog dataset
+      ([source]: ["tpch"] | ["synthetic"] | ["csv"])
+    - [prepare]  — parse/plan/lint once, install a named handle
+    - [execute]  — run a handle with per-call seed/rates/exact/explain
+    - [batch]    — many executes, fanned across the pool, results in
+      submission order
+    - [stats]    — catalog + handles + cache occupancy + the
+      {!Gus_obs.Metrics} snapshot
+
+    Responses carry ["ok": true] or
+    ["ok": false, "error": {"code", "message"}]; a request that names an
+    [op] echoes it back.  Failures never tear down the loop (only EOF
+    does) and never print a backtrace. *)
+
+val error_of_exn : exn -> (string * string) option
+(** Map a user-facing failure to a stable [(code, message)] pair —
+    [parse_error], [plan_error], [unsupported_plan], [unknown_dataset],
+    [unknown_handle], [unknown_relation], [unknown_column],
+    [type_error], [io_error], [bad_request], [bad_json].  [None] for
+    programming errors, which should stay loud.  Shared with the CLI's
+    [--json] error rendering (Cli_common). *)
+
+val response_json : handle:string -> Engine.outcome -> Json.t
+(** The [execute] success payload (estimates, stddevs, intervals, group
+    rows, cache/streaming flags, wall time in µs). *)
+
+val result_json : Gus_sql.Runner.result -> Json.t
+val exact_json : Gus_sql.Runner.response -> Json.t option
+(** Estimate/ground-truth fragments of {!response_json}, shared with
+    [gusdb query --json] so the one-shot and serving renderings cannot
+    diverge (the parity cram compares them byte for byte). *)
+
+val handle_request : Engine.t -> Json.t -> Json.t
+(** Process one parsed request object.  Total: protocol-level and
+    user-facing execution errors come back as error objects. *)
+
+val handle_line : Engine.t -> string -> string
+(** {!handle_request} on one raw NDJSON line (adds JSON parsing to the
+    error envelope).  The result has no embedded newlines. *)
+
+val serve : Engine.t -> in_channel -> out_channel -> unit
+(** The loop: read lines to EOF, skip blank ones, answer each with one
+    line, flushing per response (a driving process pipes requests in and
+    waits for answers). *)

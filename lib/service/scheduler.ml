@@ -1,0 +1,33 @@
+let m_batches = Gus_obs.Metrics.counter "scheduler.batches"
+let m_jobs = Gus_obs.Metrics.counter "scheduler.jobs"
+
+let map ?pool f jobs =
+  let n = Array.length jobs in
+  Gus_obs.Metrics.incr m_batches;
+  Gus_obs.Metrics.add m_jobs n;
+  let run i = try Ok (f jobs.(i)) with e -> Error e in
+  let parallel =
+    match pool with
+    | Some p when n > 1 && Gus_util.Pool.is_live p && Gus_util.Pool.size p > 1
+      ->
+        Some p
+    | _ -> None
+  in
+  match parallel with
+  | None ->
+      (* explicit loop: inline jobs run in submission order *)
+      let results = Array.make n None in
+      for i = 0 to n - 1 do
+        results.(i) <- Some (run i)
+      done;
+      Array.map (function Some r -> r | None -> assert false) results
+  | Some pool ->
+      (* Slot array written at disjoint indices by the lanes. *)
+      let results = Array.make n None in
+      Gus_util.Pool.run_chunks pool ~lo:0 ~hi:n (fun lo hi ->
+          for i = lo to hi - 1 do
+            results.(i) <- Some (run i)
+          done);
+      Array.map
+        (function Some r -> r | None -> assert false (* every slot filled *))
+        results

@@ -1,0 +1,16 @@
+(** Deterministic batch fan-out over the domain {!Gus_util.Pool}.
+
+    A batch of [n] independent jobs is partitioned into the pool's
+    contiguous index chunks and each lane runs its chunk sequentially;
+    every job writes only its own pre-allocated result slot, so the
+    output array is in submission order for {e any} lane count — the
+    protocol's [batch] op promises deterministic result ordering.
+
+    Jobs must not share mutable state (in the engine they execute
+    against immutable database snapshots, and all cache traffic happens
+    outside the fan-out, on the driving thread).  Per-job exceptions are
+    captured as [Error] results rather than tearing down the batch. *)
+
+val map : ?pool:Gus_util.Pool.t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [map ~pool f jobs] with no pool (or a pool of size 1, or a batch of
+    one) runs inline in submission order. *)

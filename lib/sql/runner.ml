@@ -93,10 +93,77 @@ let partition_groups keys rel =
     rel;
   List.rev_map (fun k -> (k, Hashtbl.find groups k)) !order
 
-let lint ?config db sql =
-  let query = Parser.parse sql in
-  let { Planner.plan; _ } = Planner.compile ~self_join_check:false db query in
-  (plan, Gus_analysis.Lint.run_db ?config db plan)
+(* ---- the materializing evaluation core --------------------------------- *)
+
+(* Execute the plan and evaluate every SELECT item over the materialized
+   sample.  [gus] is the plan's SOA analysis, computed by the caller
+   (prepare-time artifact: it depends only on the plan and base
+   cardinalities, never on tuple data). *)
+let eval_query ~gus ~seed db query plan =
+  let rng = Gus_util.Rng.create seed in
+  let sample = Splan.exec db rng plan in
+  let cells, groups =
+    match query.Ast.group_by with
+    | [] -> (List.map (eval_item ~gus sample) query.Ast.items, [])
+    | keys ->
+        let per_group =
+          List.map
+            (fun (k, sub) ->
+              { keys = k;
+                group_cells = List.map (eval_item ~gus sub) query.Ast.items })
+            (partition_groups keys sample)
+        in
+        ([], per_group)
+  in
+  { cells; groups; n_sample_tuples = Relation.cardinality sample; gus; plan }
+
+(* ---- the streaming evaluation core ------------------------------------- *)
+
+(* Innermost QUANTILE bound, mirroring [eval_item]'s unwrapping. *)
+let rec item_quantile ?q = function
+  | Ast.Quantile (inner, q) -> item_quantile ~q inner
+  | _ -> q
+
+let streamable_item item =
+  let rec go = function
+    | Ast.Sum _ | Ast.Count_star | Ast.Count _ -> true
+    | Ast.Quantile (inner, _) -> go inner
+    | Ast.Avg _ -> false
+  in
+  go item.Ast.agg
+
+let rec agg_expr = function
+  | Ast.Sum e -> e
+  | Ast.Count_star -> one
+  | Ast.Count e -> Expr.(Bin (Add, Bin (Mul, e, Expr.float 0.0), Expr.float 1.0))
+  | Ast.Avg e -> e
+  | Ast.Quantile (inner, _) -> agg_expr inner
+
+(* Fold the plan's result tuples straight into the SBox via
+   [Splan.fold_stream] (through {!Sbox.of_plan}), never materializing the
+   sampled relation.  Only single-aggregate SUM/COUNT queries without
+   GROUP BY qualify; [None] means "fall back to the materializing core".
+   Same seed ⇒ bit-identical estimate / n_sample_tuples to [eval_query]
+   (the moment sums — hence stddev — can differ in final bits from
+   reduction order; see Sbox.of_plan). *)
+let stream_result ?pool ~gus ~seed db query plan =
+  match query.Ast.items with
+  | [ item ] when query.Ast.group_by = [] && streamable_item item ->
+      let rng = Gus_util.Rng.create seed in
+      let f = agg_expr item.Ast.agg in
+      let r = Sbox.of_plan ?pool ~gus ~f db rng plan in
+      let cell =
+        cell_of_report ~label:(label_of item)
+          ?quantile:(item_quantile item.Ast.agg)
+          (r.Sbox.estimate, r.Sbox.stddev)
+      in
+      Some
+        { cells = [ cell ];
+          groups = [];
+          n_sample_tuples = r.Sbox.n_tuples;
+          gus;
+          plan }
+  | _ -> None
 
 (* ---- EXPLAIN ANALYZE ----------------------------------------------- *)
 
@@ -117,13 +184,6 @@ type explain = {
   ex_variance_raw : float option;
   ex_total_ns : int;
 }
-
-let rec agg_expr = function
-  | Ast.Sum e -> e
-  | Ast.Count_star -> one
-  | Ast.Count e -> Expr.(Bin (Add, Bin (Mul, e, Expr.float 0.0), Expr.float 1.0))
-  | Ast.Avg e -> e
-  | Ast.Quantile (inner, _) -> agg_expr inner
 
 (* The sampler's own (a, b_pair): the Figure-1 translation used by the
    linter, with diagnostics discarded — lint is where they are reported. *)
@@ -172,11 +232,7 @@ let subtree_mask ~gus plan path =
         Some !mask
       with Exit | Gus_relational.Lineage.Overlap _ -> None)
 
-let run_explained ?(seed = 42) db sql =
-  let query = Parser.parse sql in
-  let { Planner.plan; _ } = Planner.compile db query in
-  let analysis = Rewrite.analyze_db db plan in
-  let gus = analysis.Rewrite.gus in
+let explain_of ~gus ~seed db query plan =
   let rng = Gus_util.Rng.create seed in
   let sample, profiles = Splan.exec_profiled db rng plan in
   let cells, groups =
@@ -249,30 +305,6 @@ let run_explained ?(seed = 42) db sql =
     ex_variance_raw = Option.map (fun r -> r.Sbox.variance_raw) report;
     ex_total_ns = total_ns }
 
-let run ?(seed = 42) db sql =
-  let query = Parser.parse sql in
-  let { Planner.plan; _ } = Planner.compile db query in
-  (* Analyze before executing: a plan outside the GUS theory is rejected
-     with every diagnostic code at once, before any sampling work runs. *)
-  let analysis = Rewrite.analyze_db db plan in
-  let gus = analysis.Rewrite.gus in
-  let rng = Gus_util.Rng.create seed in
-  let sample = Splan.exec db rng plan in
-  let cells, groups =
-    match query.Ast.group_by with
-    | [] -> (List.map (eval_item ~gus sample) query.Ast.items, [])
-    | keys ->
-        let per_group =
-          List.map
-            (fun (k, sub) ->
-              { keys = k;
-                group_cells = List.map (eval_item ~gus sub) query.Ast.items })
-            (partition_groups keys sample)
-        in
-        ([], per_group)
-  in
-  { cells; groups; n_sample_tuples = Relation.cardinality sample; gus; plan }
-
 let exact_values query exact_rel =
   let eval_f f =
     let ev = Expr.bind_float exact_rel.Relation.schema f in
@@ -303,6 +335,117 @@ let run_exact_groups db sql =
   List.map
     (fun (k, sub) -> (k, exact_values query sub))
     (partition_groups query.Ast.group_by exact_rel)
+
+(* ---- the typed request/response API ------------------------------------ *)
+
+type params = {
+  seed : int;
+  explain : bool;
+  exact : bool;
+  streaming : bool;
+  pool : Gus_util.Pool.t option;
+}
+
+let default_params =
+  { seed = 42; explain = false; exact = false; streaming = false; pool = None }
+
+type request = {
+  sql : string;
+  lint_config : Gus_analysis.Lint.config;
+  params : params;
+}
+
+let request ?(seed = 42) ?(explain = false) ?(exact = false)
+    ?(streaming = false) ?pool
+    ?(lint_config = Gus_analysis.Lint.default_config) sql =
+  { sql; lint_config; params = { seed; explain; exact; streaming; pool } }
+
+type prepared = {
+  pr_sql : string;
+  pr_query : Ast.query;
+  pr_plan : Splan.t;
+  pr_lint : Gus_analysis.Lint.report;
+}
+
+let prepare ?lint_config db sql =
+  let query = Parser.parse sql in
+  (* Self-joins are let through the planner so the linter reports them as
+     GUS001 alongside everything else, instead of a planner fast-fail. *)
+  let { Planner.plan; _ } = Planner.compile ~self_join_check:false db query in
+  let report = Gus_analysis.Lint.run_db ?config:lint_config db plan in
+  { pr_sql = sql; pr_query = query; pr_plan = plan; pr_lint = report }
+
+let prepared_errors p = Gus_analysis.Lint.errors p.pr_lint
+
+let prepared_gus p =
+  Option.map (fun a -> a.Gus_analysis.Lint.gus) p.pr_lint.Gus_analysis.Lint.analysis
+
+type response = {
+  rs_result : result;
+  rs_explain : explain option;
+  rs_lint : Gus_analysis.Lint.report;
+  rs_exact : (string * float) list;
+  rs_exact_groups : (string list * (string * float) list) list;
+  rs_streamed : bool;
+}
+
+let execute db (p : prepared) (params : params) =
+  let query = p.pr_query and plan = p.pr_plan in
+  (* Reject before executing: a plan outside the GUS theory fails with
+     every diagnostic code at once, before any sampling work runs. *)
+  let gus =
+    match prepared_gus p with
+    | Some gus -> gus
+    | None -> raise (Rewrite.Unsupported (Rewrite.render_errors (prepared_errors p)))
+  in
+  let ex, result, streamed =
+    if params.explain then
+      let ex = explain_of ~gus ~seed:params.seed db query plan in
+      (Some ex, ex.ex_result, false)
+    else
+      match
+        (if params.streaming then
+           stream_result ?pool:params.pool ~gus ~seed:params.seed db query plan
+         else None)
+      with
+      | Some r -> (None, r, true)
+      | None -> (None, eval_query ~gus ~seed:params.seed db query plan, false)
+  in
+  let exact_cells, exact_groups =
+    if not params.exact then ([], [])
+    else
+      let exact_rel = Splan.exec_exact db plan in
+      match query.Ast.group_by with
+      | [] -> (exact_values query exact_rel, [])
+      | keys ->
+          ( [],
+            List.map
+              (fun (k, sub) -> (k, exact_values query sub))
+              (partition_groups keys exact_rel) )
+  in
+  { rs_result = result;
+    rs_explain = ex;
+    rs_lint = p.pr_lint;
+    rs_exact = exact_cells;
+    rs_exact_groups = exact_groups;
+    rs_streamed = streamed }
+
+let run_request db (rq : request) =
+  execute db (prepare ~lint_config:rq.lint_config db rq.sql) rq.params
+
+(* ---- deprecated thin wrappers ------------------------------------------ *)
+
+let lint ?config db sql =
+  let p = prepare ?lint_config:config db sql in
+  (p.pr_plan, p.pr_lint)
+
+let run ?(seed = 42) db sql =
+  (run_request db (request ~seed sql)).rs_result
+
+let run_explained ?(seed = 42) db sql =
+  match (run_request db (request ~seed ~explain:true sql)).rs_explain with
+  | Some ex -> ex
+  | None -> assert false (* explain:true always populates rs_explain *)
 
 let pp_cell ppf c =
   Format.fprintf ppf

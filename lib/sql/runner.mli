@@ -26,34 +26,7 @@ type result = {
   plan : Gus_core.Splan.t;
 }
 
-val lint :
-  ?config:Gus_analysis.Lint.config ->
-  Gus_relational.Database.t ->
-  string ->
-  Gus_core.Splan.t * Gus_analysis.Lint.report
-(** Parse and plan the query (allowing self-joins through so they can be
-    reported), then run the static SOA-soundness linter over the plan —
-    without executing it.  Raises [Parser.Error] / [Planner.Error] on
-    malformed input; never executes the plan or touches tuple data. *)
-
-val run : ?seed:int -> Gus_relational.Database.t -> string -> result
-(** Raises [Parser.Error] / [Planner.Error] / [Rewrite.Unsupported] on bad
-    input.  The SOA analysis runs {e before} execution, so an unsupported
-    plan is rejected with every [GUSxxx] diagnostic at once and no sampling
-    work is wasted. *)
-
-val run_exact : Gus_relational.Database.t -> string -> (string * float) list
-(** Ground truth for each SELECT item, ignoring all TABLESAMPLE clauses
-    (QUANTILE items report the exact aggregate).  Not defined for GROUP BY
-    queries — use {!run_exact_groups}. *)
-
-val run_exact_groups : Gus_relational.Database.t -> string -> (string list * (string * float) list) list
-(** Ground truth per group for a GROUP BY query, keyed like
-    {!group_row.keys}. *)
-
-val pp_result : Format.formatter -> result -> unit
-
-(** {1 EXPLAIN ANALYZE} *)
+(** {1 EXPLAIN ANALYZE annotations} *)
 
 type node_annot = {
   an_path : int list;  (** root-to-node child indices *)
@@ -76,11 +49,141 @@ type explain = {
   ex_total_ns : int;
 }
 
+(** {1 The typed request/response API}
+
+    {!prepare} runs parse → plan → lint exactly once per SQL text and
+    returns a reusable {!prepared} handle; {!execute} runs it any number
+    of times with per-call {!params}.  The historical optional-argument
+    entry points ({!run}, {!run_explained}, {!lint}) survive as thin
+    wrappers over this API.  [Gus_service.Prepared] consumes it
+    directly. *)
+
+type params = {
+  seed : int;  (** RNG seed for the sampling run (default 42) *)
+  explain : bool;  (** collect per-node profiles ({!explain}) *)
+  exact : bool;  (** also evaluate the sample-free skeleton *)
+  streaming : bool;
+      (** fold result tuples straight into the SBox via
+          {!Gus_core.Splan.fold_stream} when the query shape allows it
+          (single SUM/COUNT aggregate, no GROUP BY): no materialized
+          sample, bit-identical estimate and tuple count to the
+          materializing core (stddev can differ in final bits from
+          moment-reduction order) *)
+  pool : Gus_util.Pool.t option;
+      (** forwarded to the streaming estimator's moment passes *)
+}
+
+val default_params : params
+(** [{ seed = 42; explain = false; exact = false; streaming = false;
+    pool = None }]. *)
+
+type request = {
+  sql : string;
+  lint_config : Gus_analysis.Lint.config;
+  params : params;
+}
+
+val request :
+  ?seed:int ->
+  ?explain:bool ->
+  ?exact:bool ->
+  ?streaming:bool ->
+  ?pool:Gus_util.Pool.t ->
+  ?lint_config:Gus_analysis.Lint.config ->
+  string ->
+  request
+(** Build a request with {!default_params}-style defaults. *)
+
+type prepared = {
+  pr_sql : string;
+  pr_query : Ast.query;
+  pr_plan : Gus_core.Splan.t;
+  pr_lint : Gus_analysis.Lint.report;
+      (** complete static analysis; [pr_lint.analysis] carries the top GUS
+          iff the plan has no [Error]-severity diagnostics *)
+}
+
+val prepare :
+  ?lint_config:Gus_analysis.Lint.config ->
+  Gus_relational.Database.t ->
+  string ->
+  prepared
+(** Parse → plan → lint, without executing anything.  Self-joins are let
+    through the planner so the linter reports them (GUS001) together with
+    every other problem.  Raises [Parser.Error] / [Planner.Error] /
+    [Lexer.Error] on malformed text; lint findings (including errors) are
+    returned in [pr_lint], not raised — {!execute} raises on them. *)
+
+val prepared_errors : prepared -> Gus_analysis.Diagnostic.t list
+val prepared_gus : prepared -> Gus_core.Gus.t option
+(** The plan's single equivalent top GUS; [None] iff the lint found
+    errors. *)
+
+type response = {
+  rs_result : result;
+  rs_explain : explain option;  (** [Some] iff [params.explain] *)
+  rs_lint : Gus_analysis.Lint.report;
+  rs_exact : (string * float) list;
+      (** ground truth per SELECT item; non-empty only with [params.exact]
+          on a non-GROUP-BY query *)
+  rs_exact_groups : (string list * (string * float) list) list;
+      (** ground truth per group with [params.exact] under GROUP BY *)
+  rs_streamed : bool;
+      (** whether the streaming core answered this execution *)
+}
+
+val execute : Gus_relational.Database.t -> prepared -> params -> response
+(** Execute a prepared query.  Raises [Rewrite.Unsupported] (listing every
+    [GUSxxx] error at once) when the prepared plan is outside the GUS
+    theory — {e before} any sampling work runs.  Deterministic in
+    [(prepared, params.seed)]: repeated calls return bit-identical
+    responses. *)
+
+val run_request : Gus_relational.Database.t -> request -> response
+(** [prepare] + [execute] in one shot — the cold path. *)
+
+(** {1 Deprecated one-shot wrappers}
+
+    Thin veneers over {!run_request}, kept so existing callers compile.
+    New code should use {!prepare} / {!execute}. *)
+
+val lint :
+  ?config:Gus_analysis.Lint.config ->
+  Gus_relational.Database.t ->
+  string ->
+  Gus_core.Splan.t * Gus_analysis.Lint.report
+(** @deprecated Use {!prepare} and read [pr_plan] / [pr_lint].  Parse and
+    plan the query (allowing self-joins through so they can be reported),
+    then run the static SOA-soundness linter over the plan — without
+    executing it.  Raises [Parser.Error] / [Planner.Error] on malformed
+    input; never executes the plan or touches tuple data. *)
+
+val run : ?seed:int -> Gus_relational.Database.t -> string -> result
+(** @deprecated Use {!run_request} (or {!prepare} + {!execute} for
+    repeated execution).  Raises [Parser.Error] / [Planner.Error] /
+    [Rewrite.Unsupported] on bad input.  The SOA analysis runs {e before}
+    execution, so an unsupported plan is rejected with every [GUSxxx]
+    diagnostic at once and no sampling work is wasted. *)
+
 val run_explained : ?seed:int -> Gus_relational.Database.t -> string -> explain
-(** {!run} under {!Gus_core.Splan.exec_profiled}: same parse → analyze →
-    execute → estimate pipeline, same sample for the same seed, plus
-    per-node wall times, row counts, sampling rates and variance
-    contributions for [--explain-analyze]. *)
+(** @deprecated Use {!run_request} with [explain = true].  {!run} under
+    {!Gus_core.Splan.exec_profiled}: same parse → analyze → execute →
+    estimate pipeline, same sample for the same seed, plus per-node wall
+    times, row counts, sampling rates and variance contributions for
+    [--explain-analyze]. *)
+
+val run_exact : Gus_relational.Database.t -> string -> (string * float) list
+(** Ground truth for each SELECT item, ignoring all TABLESAMPLE clauses
+    (QUANTILE items report the exact aggregate).  Not defined for GROUP BY
+    queries — use {!run_exact_groups}.  Unlike {!execute} with [exact],
+    this never lints: skeletons of non-analyzable plans still have ground
+    truth. *)
+
+val run_exact_groups : Gus_relational.Database.t -> string -> (string list * (string * float) list) list
+(** Ground truth per group for a GROUP BY query, keyed like
+    {!group_row.keys}. *)
+
+val pp_result : Format.formatter -> result -> unit
 
 val pp_explain : Format.formatter -> explain -> unit
 (** The plan tree annotated per node ([wall, in, out], plus [a], [b0] and

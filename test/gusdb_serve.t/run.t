@@ -1,0 +1,74 @@
+The serving engine end to end, over the NDJSON stdin/stdout protocol:
+register a dataset, prepare one query, execute it twice with identical
+(params, seed), run a batch, then read the stats snapshot.  Wall-clock
+fields are normalized; everything else is deterministic.
+
+  $ cat > requests <<'EOF'
+  > {"op":"register","name":"t","scale":0.05}
+  > {"op":"prepare","dataset":"t","name":"q","sql":"SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)"}
+  > {"op":"execute","handle":"q","seed":7}
+  > {"op":"execute","handle":"q","seed":7}
+  > {"op":"batch","items":[{"handle":"q","seed":8},{"handle":"q","seed":7},{"handle":"nope","seed":7}]}
+  > {"op":"stats"}
+  > {"op":"execute","handle":"q","seed":7,"rates":{"lineitem":2.0}}
+  > {"op":"frobnicate"}
+  > EOF
+  $ gusdb serve < requests | sed 's/"wall_us":[0-9]*/"wall_us":_/g' > responses
+
+Registration reports the dataset version and its relations:
+
+  $ sed -n 1p responses
+  {"ok":true,"op":"register","dataset":"t","version":1,"source":"tpch(scale=0.05,seed=20130630)","relations":[{"name":"part","rows":100},{"name":"supplier","rows":5},{"name":"customer","rows":75},{"name":"orders","rows":750},{"name":"lineitem","rows":2983}]}
+
+Preparation parses, plans and lints exactly once and installs the handle:
+
+  $ sed -n 2p responses
+  {"ok":true,"op":"prepare","handle":"q","dataset":"t","version":1,"relations":["lineitem"],"analyzable":true,"diagnostics":[]}
+
+The first execution is cold, the second — same handle, same seed, same
+params — is answered from the LRU cache, bit-identical:
+
+  $ sed -n 3p responses
+  {"ok":true,"op":"execute","handle":"q","cached":false,"streamed":true,"wall_us":_,"result":{"cells":[{"label":"s","estimate":19508097.968093183,"stddev":929118.8210645813,"ci95_normal":{"lo":17687058.576172397,"hi":21329137.36001397},"ci95_chebyshev":{"lo":15352952.281943452,"hi":23663243.654242914}}],"n_sample_tuples":593}}
+  $ sed -n 4p responses
+  {"ok":true,"op":"execute","handle":"q","cached":true,"streamed":true,"wall_us":_,"result":{"cells":[{"label":"s","estimate":19508097.968093183,"stddev":929118.8210645813,"ci95_normal":{"lo":17687058.576172397,"hi":21329137.36001397},"ci95_chebyshev":{"lo":15352952.281943452,"hi":23663243.654242914}}],"n_sample_tuples":593}}
+  $ sed -n 3p responses | sed 's/"cached":false/"cached":X/' > first
+  $ sed -n 4p responses | sed 's/"cached":true/"cached":X/' > second
+  $ cmp first second
+
+The batch fans across the pool but returns results in submission order;
+its second item is another hit for the seed-7 entry, and the failing item
+is an in-band error object:
+
+  $ sed -n 5p responses
+  {"ok":true,"op":"batch","results":[{"ok":true,"op":"execute","handle":"q","cached":false,"streamed":true,"wall_us":_,"result":{"cells":[{"label":"s","estimate":19072840.27201876,"stddev":988241.8430617072,"ci95_normal":{"lo":17135921.88853605,"hi":21009758.65550147},"ci95_chebyshev":{"lo":14653288.39342745,"hi":23492392.15061007}}],"n_sample_tuples":608}},{"ok":true,"op":"execute","handle":"q","cached":true,"streamed":true,"wall_us":_,"result":{"cells":[{"label":"s","estimate":19508097.968093183,"stddev":929118.8210645813,"ci95_normal":{"lo":17687058.576172397,"hi":21329137.36001397},"ci95_chebyshev":{"lo":15352952.281943452,"hi":23663243.654242914}}],"n_sample_tuples":593}},{"ok":false,"op":"execute","error":{"code":"unknown_handle","message":"unknown handle nope"}}]}
+
+The stats snapshot records the cache traffic — the acceptance bar is
+cache.hits >= 1:
+
+  $ grep -o '"cache.hits":[0-9]*' responses
+  "cache.hits":2
+  $ grep -o '"cache.misses":[0-9]*' responses
+  "cache.misses":2
+  $ grep -o '"cache.evictions":[0-9]*' responses
+  "cache.evictions":0
+  $ grep -o '"service.prepares":[0-9]*' responses
+  "service.prepares":1
+  $ grep -o '"scheduler.jobs":[0-9]*' responses
+  "scheduler.jobs":1
+
+Bad rate overrides and unknown ops come back as structured errors, and
+the loop survives both:
+
+  $ sed -n 7,8p responses
+  {"ok":false,"op":"execute","error":{"code":"bad_request","message":"Sampler: probability 2 not in [0,1]"}}
+  {"ok":false,"op":"frobnicate","error":{"code":"bad_request","message":"unknown op \"frobnicate\""}}
+
+Served estimates are bit-identical to the one-shot CLI path — the same
+(dataset, sql, seed) through `gusdb query --json` prints the exact same
+estimate the cache served above:
+
+  $ gusdb query -s 0.05 --seed 7 --json "SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)" | grep -o '"estimate":[^,]*'
+  "estimate":19508097.968093183
+  $ sed -n 3p responses | grep -o '"estimate":[^,]*'
+  "estimate":19508097.968093183

@@ -1,0 +1,445 @@
+(* Serving-layer tests:
+
+   1. Json: parse/print units, escape handling, and a QCheck round-trip
+      (print → parse is the identity, floats bit-identical).
+   2. Cache: LRU eviction order, recency bumps on find and re-add,
+      prefix invalidation, and the cache.hits/misses/evictions counters.
+   3. Catalog: version bumps on re-registration, mutation hooks,
+      source rendering.
+   4. Prepared: rate overrides rewrite exactly the named relations'
+      samplers (and reject unknown names), version-bump re-preparation.
+   5. Engine: second identical execute is a recorded cache hit with a
+      bit-identical response; catalog mutation invalidates; prepared
+      execution matches one-shot Runner.run estimates bit for bit.
+   6. Scheduler + QCheck: cached and uncached execution of the same
+      (sql, params, seed) are bit-identical, and batch fan-out returns
+      identical results in identical order for pool sizes {1, 2, 4}.
+   7. Protocol: NDJSON units for register/prepare/execute/stats and the
+      structured error objects. *)
+
+module Json = Gus_service.Json
+module Cache = Gus_service.Cache
+module Catalog = Gus_service.Catalog
+module Prepared = Gus_service.Prepared
+module Engine = Gus_service.Engine
+module Scheduler = Gus_service.Scheduler
+module Protocol = Gus_service.Protocol
+module Runner = Gus_sql.Runner
+module Metrics = Gus_obs.Metrics
+module Pool = Gus_util.Pool
+module Splan = Gus_core.Splan
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_string = Alcotest.check Alcotest.string
+
+let pool_of =
+  let tbl = Hashtbl.create 4 in
+  fun size ->
+    match Hashtbl.find_opt tbl size with
+    | Some p -> p
+    | None ->
+        let p = Pool.create ~size in
+        Hashtbl.add tbl size p;
+        p
+
+(* One small shared database; every engine below registers this same
+   immutable snapshot, so engine construction is cheap. *)
+let db = Gus_tpch.Tpch.generate ~seed:1 ~scale:0.05 ()
+let dataset = "d"
+
+let fresh_engine ?pool () =
+  let e = Engine.create ~cache_capacity:8 ?pool () in
+  ignore
+    (Engine.register_db e ~name:dataset ~source:(Catalog.In_memory "test") db);
+  e
+
+let sql_single = "SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)"
+
+let sql_join =
+  "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem \
+   TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (200 ROWS) WHERE l_orderkey \
+   = o_orderkey"
+
+(* Canonical bit-exact signature of a response: the round-trip JSON
+   printer makes string equality float-bit equality. *)
+let sig_of (rs : Runner.response) =
+  Json.to_string
+    (Json.obj
+       [ ("result", Some (Protocol.result_json rs.Runner.rs_result));
+         ("exact", Protocol.exact_json rs);
+         ("streamed", Some (Json.Bool rs.Runner.rs_streamed)) ])
+
+(* ---- 1. Json ---- *)
+
+let test_json_basics () =
+  let j = Json.of_string {| {"a": [1, 2.5, -3e2], "b": "x\n\"y\u00e9", "c": {"t": true, "n": null}} |} in
+  check_string "string escape" "x\n\"y\xc3\xa9"
+    (Option.get (Option.bind (Json.member "b" j) Json.to_str));
+  (match Option.bind (Json.member "a" j) Json.to_list with
+  | Some [ a; b; c ] ->
+      check_int "int" 1 (Option.get (Json.to_int a));
+      Alcotest.check (Alcotest.float 0.) "frac" 2.5 (Option.get (Json.to_num b));
+      Alcotest.check (Alcotest.float 0.) "exp" (-300.) (Option.get (Json.to_num c))
+  | _ -> Alcotest.fail "list shape");
+  check_bool "bool" true
+    (Option.get
+       (Option.bind (Json.member "c" j) (fun c ->
+            Option.bind (Json.member "t" c) Json.to_bool)));
+  check_string "compact print" {|{"x":[1,true,null,"q"]}|}
+    (Json.to_string
+       (Json.Obj [ ("x", Json.List [ Json.Num 1.; Json.Bool true; Json.Null; Json.Str "q" ]) ]));
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "accepted %S" bad))
+    [ ""; "{"; "[1,]"; "{\"a\":1,}"; "tru"; "1 2"; "\"\\x\""; "\"unterminated" ]
+
+let test_json_roundtrip () =
+  QCheck.Test.check_exn
+  @@ QCheck.Test.make ~name:"json print/parse round-trip" ~count:200
+       QCheck.(
+         pair (list (pair small_string float)) (list small_string))
+       (fun (fields, strings) ->
+         let v =
+           Json.Obj
+             [ ( "o",
+                 Json.Obj (List.map (fun (k, f) -> (k, Json.Num f)) fields) );
+               ("l", Json.List (List.map (fun s -> Json.Str s) strings)) ]
+         in
+         (* non-finite floats print as null by design; skip those *)
+         QCheck.assume
+           (List.for_all (fun (_, f) -> Float.is_finite f) fields);
+         let v' = Json.of_string (Json.to_string v) in
+         Json.to_string v = Json.to_string v'
+         &&
+         match Json.member "o" v' with
+         | Some (Json.Obj fields') ->
+             List.for_all2
+               (fun (_, f) (_, j) -> Json.to_num j = Some f)
+               fields fields'
+         | _ -> fields <> [])
+
+(* ---- 2. Cache ---- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  Alcotest.(check (list string)) "lru order" [ "a"; "b"; "c" ]
+    (Cache.keys_lru_order c);
+  (* a hit moves "a" to MRU, so the next eviction takes "b" *)
+  check_bool "hit" true (Cache.find c "a" = Some 1);
+  Cache.add c "d" 4;
+  Alcotest.(check (list string)) "evicted b" [ "c"; "a"; "d" ]
+    (Cache.keys_lru_order c);
+  check_bool "b gone" true (Cache.find c "b" = None);
+  (* re-adding an existing key updates in place and bumps recency *)
+  Cache.add c "c" 33;
+  Alcotest.(check (list string)) "re-add bumps" [ "a"; "d"; "c" ]
+    (Cache.keys_lru_order c);
+  check_bool "updated" true (Cache.find c "c" = Some 33);
+  check_int "len" 3 (Cache.length c)
+
+let test_cache_prefix () =
+  let c = Cache.create ~capacity:8 in
+  List.iter (fun k -> Cache.add c k 0)
+    [ "ds\x001\x00q1"; "ds\x001\x00q2"; "ds2\x001\x00q1"; "other" ];
+  check_int "dropped" 2 (Cache.remove_prefix c ~prefix:"ds\x00");
+  Alcotest.(check (list string)) "survivors" [ "ds2\x001\x00q1"; "other" ]
+    (Cache.keys_lru_order c);
+  check_int "nothing" 0 (Cache.remove_prefix c ~prefix:"nope")
+
+let test_cache_metrics () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+  @@ fun () ->
+  let hits () = Metrics.counter_value (Metrics.counter "cache.hits") in
+  let misses () = Metrics.counter_value (Metrics.counter "cache.misses") in
+  let evictions () =
+    Metrics.counter_value (Metrics.counter "cache.evictions")
+  in
+  let c = Cache.create ~capacity:2 in
+  ignore (Cache.find c "x");
+  Cache.add c "x" 1;
+  ignore (Cache.find c "x");
+  Cache.add c "y" 2;
+  Cache.add c "z" 3;
+  (* evicts x *)
+  ignore (Cache.find c "x");
+  check_int "hits" 1 (hits ());
+  check_int "misses" 2 (misses ());
+  check_int "evictions" 1 (evictions ())
+
+(* ---- 3. Catalog ---- *)
+
+let test_catalog_versions () =
+  let cat = Catalog.create () in
+  let fired = ref [] in
+  Catalog.on_mutate cat (fun name -> fired := name :: !fired);
+  let e1 = Catalog.register cat ~name:"a" ~source:(Catalog.In_memory "v1") db in
+  check_int "first version" 1 e1.Catalog.version;
+  let e2 = Catalog.register cat ~name:"a" ~source:(Catalog.In_memory "v2") db in
+  check_int "bumped" 2 e2.Catalog.version;
+  check_int "current" 2 (Catalog.find_exn cat "a").Catalog.version;
+  check_bool "remove" true (Catalog.remove cat "a");
+  check_bool "remove again" false (Catalog.remove cat "a");
+  Alcotest.(check (list string)) "hooks fired" [ "a"; "a"; "a" ]
+    (List.rev !fired);
+  (match Catalog.find_exn cat "a" with
+  | exception Catalog.Unknown_dataset "a" -> ()
+  | _ -> Alcotest.fail "expected Unknown_dataset");
+  check_string "source rendering" "tpch(scale=0.1,seed=7)"
+    (Catalog.source_to_string (Catalog.Tpch { scale = 0.1; seed = 7 }))
+
+(* ---- 4. Prepared ---- *)
+
+let test_override_rates () =
+  let e = fresh_engine () in
+  let _, p = Engine.prepare e ~dataset sql_join in
+  let plan = (Prepared.handle p).Runner.pr_plan in
+  let card rel =
+    Gus_relational.Relation.cardinality (Gus_relational.Database.find db rel)
+  in
+  let plan' = Prepared.override_rates ~card [ ("lineitem", 0.5) ] plan in
+  check_bool "changed" false (Splan.equal plan plan');
+  (* only the named relation's sampler moves: reverting it restores the
+     original plan *)
+  let plan'' = Prepared.override_rates ~card [ ("lineitem", 0.10) ] plan' in
+  check_bool "revert" true (Splan.equal plan plan'');
+  (* WOR override maps a fraction to rate × N rows *)
+  let plan_wor =
+    Prepared.override_rates ~card [ ("orders", 0.5) ] plan
+  in
+  check_bool "wor resized" false (Splan.equal plan plan_wor);
+  (match Prepared.override_rates ~card [ ("customer", 0.5) ] plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsampled relation must be rejected");
+  match Prepared.override_rates ~card [ ("lineitem", 1.5) ] plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate out of range must be rejected"
+
+let test_reprepare_on_version_bump () =
+  let e = fresh_engine () in
+  let _, p = Engine.prepare e ~dataset sql_single in
+  check_int "prepared at v1" 1 (Prepared.version p);
+  ignore
+    (Engine.register_db e ~name:dataset ~source:(Catalog.In_memory "again") db);
+  let o = Engine.execute e ~handle:"q1" Prepared.default_overrides in
+  check_bool "not cached" false o.Engine.cached;
+  check_int "re-prepared at v2" 2 (Prepared.version p)
+
+(* ---- 5. Engine ---- *)
+
+let test_cache_hit_bit_identical () =
+  let e = fresh_engine () in
+  let handle, _ = Engine.prepare e ~dataset sql_join in
+  let ov = { Prepared.default_overrides with seed = 9 } in
+  let o1 = Engine.execute e ~handle ov in
+  let o2 = Engine.execute e ~handle ov in
+  check_bool "first cold" false o1.Engine.cached;
+  check_bool "second hit" true o2.Engine.cached;
+  check_string "bit-identical" (sig_of o1.Engine.response)
+    (sig_of o2.Engine.response);
+  (* different params are different keys *)
+  let o3 = Engine.execute e ~handle { ov with seed = 10 } in
+  check_bool "new seed cold" false o3.Engine.cached;
+  check_int "two entries" 2 (Engine.cache_length e)
+
+let test_invalidation_on_mutation () =
+  let e = fresh_engine () in
+  let handle, _ = Engine.prepare e ~dataset sql_single in
+  ignore (Engine.execute e ~handle Prepared.default_overrides);
+  check_int "cached" 1 (Engine.cache_length e);
+  ignore
+    (Engine.register_db e ~name:dataset ~source:(Catalog.In_memory "v2") db);
+  check_int "invalidated" 0 (Engine.cache_length e);
+  let o = Engine.execute e ~handle Prepared.default_overrides in
+  check_bool "recomputed" false o.Engine.cached
+
+let test_matches_one_shot_runner () =
+  let e = fresh_engine () in
+  let handle, _ = Engine.prepare e ~dataset sql_join in
+  let seed = 42 in
+  let served =
+    (Engine.execute e ~handle { Prepared.default_overrides with seed })
+      .Engine.response
+  in
+  let one_shot = Runner.run ~seed db sql_join in
+  (* the serving path streams; estimates and tuple counts are guaranteed
+     bit-identical to the materializing one-shot path (stddev may differ
+     in final bits from moment-reduction order) *)
+  check_bool "streamed" true served.Runner.rs_streamed;
+  List.iter2
+    (fun (a : Runner.cell) (b : Runner.cell) ->
+      check_string "label" a.Runner.label b.Runner.label;
+      check_bool "estimate bits" true (a.Runner.value = b.Runner.value))
+    served.Runner.rs_result.Runner.cells one_shot.Runner.cells;
+  check_int "tuple count" one_shot.Runner.n_sample_tuples
+    served.Runner.rs_result.Runner.n_sample_tuples
+
+(* ---- 6. Scheduler + the cached/uncached QCheck property ---- *)
+
+let test_scheduler_map () =
+  let jobs = Array.init 17 (fun i -> i) in
+  let f i = if i = 13 then failwith "boom" else (i * i) + 1 in
+  let inline = Scheduler.map f jobs in
+  List.iter
+    (fun size ->
+      let pooled = Scheduler.map ~pool:(pool_of size) f jobs in
+      Array.iteri
+        (fun i r ->
+          match (inline.(i), r) with
+          | Ok a, Ok b -> check_int "slot" a b
+          | Error _, Error _ -> check_int "failing slot" 13 i
+          | _ -> Alcotest.fail "inline/pooled disagree")
+        pooled)
+    [ 1; 2; 4 ]
+
+let test_cached_uncached_property () =
+  QCheck.Test.check_exn
+  @@ QCheck.Test.make
+       ~name:"cached = uncached, batch order pool-size invariant" ~count:8
+       QCheck.(pair (int_bound 1000) (int_bound 2))
+       (fun (seed, rate_case) ->
+         let rates =
+           match rate_case with
+           | 0 -> []
+           | 1 -> [ ("lineitem", 0.25) ]
+           | _ -> [ ("lineitem", 0.15); ("orders", 0.4) ]
+         in
+         let ov = { Prepared.default_overrides with seed; rates } in
+         (* uncached: a fresh engine computes from scratch *)
+         let cold () =
+           let e = fresh_engine () in
+           let handle, _ = Engine.prepare e ~dataset sql_join in
+           (Engine.execute e ~handle ov).Engine.response
+         in
+         let reference = sig_of (cold ()) in
+         (* cached: same engine twice; second answer must be a hit and
+            bit-identical *)
+         let e = fresh_engine () in
+         let handle, _ = Engine.prepare e ~dataset sql_join in
+         let o1 = Engine.execute e ~handle ov in
+         let o2 = Engine.execute e ~handle ov in
+         let ok_cache =
+           (not o1.Engine.cached) && o2.Engine.cached
+           && sig_of o1.Engine.response = reference
+           && sig_of o2.Engine.response = reference
+         in
+         (* batch: three seeds through pools of size 1/2/4 give the same
+            ordered signatures *)
+         let batch_sigs size =
+           let e = fresh_engine ~pool:(pool_of size) () in
+           let handle, _ = Engine.prepare e ~dataset sql_join in
+           Engine.batch e
+             (Array.map
+                (fun s -> (handle, { ov with Prepared.seed = s }))
+                [| seed; seed + 1; seed |])
+           |> Array.map (function
+                | Ok o -> sig_of o.Engine.response
+                | Error e -> raise e)
+         in
+         let ref_batch = batch_sigs 1 in
+         ok_cache
+         && List.for_all (fun s -> batch_sigs s = ref_batch) [ 2; 4 ])
+
+(* ---- 7. Protocol ---- *)
+
+let test_protocol_roundtrip () =
+  let e = Engine.create ~cache_capacity:4 () in
+  ignore (Engine.register_db e ~name:"t" ~source:(Catalog.In_memory "test") db);
+  let line s = Json.of_string (Protocol.handle_line e s) in
+  let prep =
+    line
+      (Json.to_string
+         (Json.Obj
+            [ ("op", Json.Str "prepare");
+              ("dataset", Json.Str "t");
+              ("name", Json.Str "q");
+              ("sql", Json.Str sql_single) ]))
+  in
+  check_bool "prepare ok" true
+    (Option.bind (Json.member "ok" prep) Json.to_bool = Some true);
+  check_bool "analyzable" true
+    (Option.bind (Json.member "analyzable" prep) Json.to_bool = Some true);
+  let exec = line {|{"op":"execute","handle":"q","seed":5}|} in
+  check_bool "exec ok" true
+    (Option.bind (Json.member "ok" exec) Json.to_bool = Some true);
+  check_bool "not cached" true
+    (Option.bind (Json.member "cached" exec) Json.to_bool = Some false);
+  let exec2 = line {|{"op":"execute","handle":"q","seed":5}|} in
+  check_bool "cached" true
+    (Option.bind (Json.member "cached" exec2) Json.to_bool = Some true);
+  (* identical result objects on hit *)
+  check_string "same result"
+    (Json.to_string (Option.get (Json.member "result" exec)))
+    (Json.to_string (Option.get (Json.member "result" exec2)));
+  let stats = line {|{"op":"stats"}|} in
+  check_bool "stats ok" true
+    (Option.bind (Json.member "ok" stats) Json.to_bool = Some true);
+  check_bool "cache length" true
+    (Option.bind (Json.member "cache" stats) (Json.member "length")
+     |> Fun.flip Option.bind Json.to_num
+    = Some 1.)
+
+let test_protocol_errors () =
+  let e = Engine.create () in
+  let code_of s =
+    let j = Json.of_string (Protocol.handle_line e s) in
+    ( Option.bind (Json.member "ok" j) Json.to_bool,
+      Option.bind (Json.member "error" j) (Json.member "code")
+      |> Fun.flip Option.bind Json.to_str )
+  in
+  Alcotest.(check (pair (option bool) (option string)))
+    "bad json" (Some false, Some "bad_json") (code_of "{nope");
+  Alcotest.(check (pair (option bool) (option string)))
+    "unknown op" (Some false, Some "bad_request") (code_of {|{"op":"frob"}|});
+  Alcotest.(check (pair (option bool) (option string)))
+    "missing op" (Some false, Some "bad_request") (code_of {|{"x":1}|});
+  Alcotest.(check (pair (option bool) (option string)))
+    "unknown dataset" (Some false, Some "unknown_dataset")
+    (code_of {|{"op":"prepare","dataset":"nope","sql":"SELECT COUNT(*) FROM t"}|});
+  Alcotest.(check (pair (option bool) (option string)))
+    "unknown handle" (Some false, Some "unknown_handle")
+    (code_of {|{"op":"execute","handle":"nope"}|});
+  ignore (Engine.register_db e ~name:"t" ~source:(Catalog.In_memory "test") db);
+  Alcotest.(check (pair (option bool) (option string)))
+    "parse error" (Some false, Some "parse_error")
+    (code_of {|{"op":"prepare","dataset":"t","sql":"SELECT SUM(x FROM"}|})
+
+let () =
+  Alcotest.run "service"
+    [ ( "json",
+        [ Alcotest.test_case "basics" `Quick test_json_basics;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip ] );
+      ( "cache",
+        [ Alcotest.test_case "lru eviction order" `Quick test_cache_lru;
+          Alcotest.test_case "prefix invalidation" `Quick test_cache_prefix;
+          Alcotest.test_case "metrics counters" `Quick test_cache_metrics ] );
+      ( "catalog",
+        [ Alcotest.test_case "versions + hooks" `Quick test_catalog_versions ]
+      );
+      ( "prepared",
+        [ Alcotest.test_case "rate overrides" `Quick test_override_rates;
+          Alcotest.test_case "re-prepare on version bump" `Quick
+            test_reprepare_on_version_bump ] );
+      ( "engine",
+        [ Alcotest.test_case "cache hit bit-identical" `Quick
+            test_cache_hit_bit_identical;
+          Alcotest.test_case "invalidation on mutation" `Quick
+            test_invalidation_on_mutation;
+          Alcotest.test_case "matches one-shot Runner.run" `Quick
+            test_matches_one_shot_runner ] );
+      ( "scheduler",
+        [ Alcotest.test_case "deterministic map" `Quick test_scheduler_map;
+          Alcotest.test_case "cached = uncached (pools 1/2/4)" `Slow
+            test_cached_uncached_property ] );
+      ( "protocol",
+        [ Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "errors" `Quick test_protocol_errors ] ) ]
