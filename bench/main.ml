@@ -84,6 +84,17 @@ let micro_specs () =
   in
   let pairs2_10k = pairs 2 10_000 in
   let pairs4_10k = pairs 4 10_000 in
+  (* 10-relation lineage where only 3 relations actually sample: the
+     static analyzer proves the other 7 contribute zero Theorem-1
+     coefficients, so the skip-mask run does 7 of the 1023 subset passes. *)
+  let pairs10_10k = pairs 10 10_000 in
+  let gus_n10 =
+    Gus.join
+      (Gus.join (Gus.bernoulli ~rel:"r0" 0.1)
+         (Gus.join (Gus.bernoulli ~rel:"r1" 0.2) (Gus.bernoulli ~rel:"r2" 0.5)))
+      (Gus.identity (Array.init 7 (Printf.sprintf "d%d")))
+  in
+  let skip10 = Gus_analysis.Cost.skip_mask gus_n10 in
   let pool = Lazy.force micro_pool in
   let db = Exp.Harness.db_cached ~scale:0.3 in
   let q1 = Exp.Harness.query1_plan () in
@@ -145,6 +156,16 @@ let micro_specs () =
           ignore
             (Moments.bilinear_of_pairs ~n_rels:4
                (Array.map (fun (l, f) -> (l, f, f)) pairs4_10k))) };
+    (* Static skip-mask win: same input, same kernel; the masked run only
+       visits the 2^3 − 1 live subset passes out of 2^10 − 1. *)
+    { name = "sbox/moments-dense-n10";
+      heavy = true;
+      body = (fun () -> ignore (Moments.of_pairs ~n_rels:10 pairs10_10k)) };
+    { name = "sbox/moments-skipmask-n10";
+      heavy = true;
+      body =
+        (fun () ->
+          ignore (Moments.of_pairs ~skip_mask:skip10 ~n_rels:10 pairs10_10k)) };
     { name = "sbox/sbox-query1-e2e";
       heavy = true;
       body =

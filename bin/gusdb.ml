@@ -149,6 +149,25 @@ let lint_cmd =
     Arg.(value & opt float Lint.default_config.Lint.small_a
          & info [ "small-a" ] ~docv:"A" ~doc)
   in
+  let variance_bound_arg =
+    let doc = "Hint (GUS015) when the Theorem-1 worst-case relative \
+               variance bound reaches $(docv)." in
+    Arg.(value & opt float Lint.default_config.Lint.variance_bound
+         & info [ "variance-bound" ] ~docv:"B" ~doc)
+  in
+  let cost_budget_arg =
+    let doc = "Warn (GUS014) when the predicted coefficient-enumeration \
+               cost (live moment passes x estimated groups) exceeds $(docv)." in
+    Arg.(value & opt float Lint.default_config.Lint.cost_budget
+         & info [ "cost-budget" ] ~docv:"C" ~doc)
+  in
+  let fix_arg =
+    let doc = "Apply every machine-applicable fix attached to the \
+               diagnostics (to a fixpoint), print the rewritten plan and \
+               re-lint it.  Every fix preserves the skeleton and the \
+               estimator's expectation." in
+    Arg.(value & flag & info [ "fix" ] ~doc)
+  in
   let codes_arg =
     let doc = "List every diagnostic code with its severity, summary and \
                paper citation, then exit." in
@@ -162,7 +181,7 @@ let lint_cmd =
           (D.title code) (D.citation code))
       D.all_codes
   in
-  let run scale sql json small_a codes data =
+  let run scale sql json small_a variance_bound cost_budget codes fix data =
     if codes then print_codes ()
     else
       match sql with
@@ -172,13 +191,31 @@ let lint_cmd =
       | Some sql ->
           C.or_fail ~json @@ fun () ->
           let db = C.db_source ~scale data in
-          let config = { Lint.small_a } in
+          let config = { Lint.small_a; variance_bound; cost_budget } in
           let plan, report = Gus_sql.Runner.lint ~config db sql in
           if json then print_endline (Lint.to_json report)
           else begin
             Format.printf "sampling plan:@.%a@." Lint.pp_annotated_plan
               (plan, report);
             Format.printf "%a" Lint.pp_report report
+          end;
+          if fix then begin
+            let card r =
+              Relation.cardinality (Database.find db r)
+            in
+            let fixed, applied = Lint.apply_fixes ~config ~card plan in
+            if applied = [] then Format.printf "@.no applicable fixes.@."
+            else begin
+              Format.printf "@.applied %d fix(es):@." (List.length applied);
+              List.iter
+                (fun f ->
+                  Format.printf "  %s@." f.Gus_analysis.Fix.summary)
+                applied;
+              let report' = Lint.run ~config ~card fixed in
+              Format.printf "fixed plan:@.%a@." Lint.pp_annotated_plan
+                (fixed, report');
+              Format.printf "%s@." (Lint.summary report')
+            end
           end;
           if Lint.errors report <> [] then exit 1
   in
@@ -189,7 +226,35 @@ let lint_cmd =
              executing it, reporting every violation, warning and hint at \
              once.")
     Term.(const run $ C.scale_arg $ sql_opt_arg $ C.json_arg $ small_a_arg
-          $ codes_arg $ C.data_arg)
+          $ variance_bound_arg $ cost_budget_arg $ codes_arg $ fix_arg
+          $ C.data_arg)
+
+(* ---- lint-workload ---- *)
+
+let lint_workload_cmd =
+  let dir_arg =
+    let doc = "Directory holding the SQL corpus ($(b,*.sql) files, \
+               recursively)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let run scale dir data =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "gusdb lint-workload: no such directory %s\n" dir;
+      exit 124
+    end;
+    C.or_fail ~json:true @@ fun () ->
+    let db = C.db_source ~scale data in
+    let rep = Gus_service.Workload_lint.run db dir in
+    print_endline (Json.to_string (Gus_service.Workload_lint.to_json rep));
+    exit (Gus_service.Workload_lint.exit_code rep)
+  in
+  Cmd.v
+    (Cmd.info "lint-workload"
+       ~doc:"Lint every query of a SQL corpus directory into one \
+             aggregated JSON report.  Exit codes are a stable CI \
+             contract: 0 all clean, 1 at least one error-severity \
+             finding or unparsable query, 124 no such directory.")
+    Term.(const run $ C.scale_arg $ dir_arg $ C.data_arg)
 
 (* ---- serve ---- *)
 
@@ -350,5 +415,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; query_cmd; plan_cmd; lint_cmd; serve_cmd; repl_cmd;
-            experiments_cmd ]))
+          [ gen_cmd; query_cmd; plan_cmd; lint_cmd; lint_workload_cmd;
+            serve_cmd; repl_cmd; experiments_cmd ]))

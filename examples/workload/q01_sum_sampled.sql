@@ -1,0 +1,2 @@
+-- Total quantity from a 10% Bernoulli sample of lineitem.
+SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT);

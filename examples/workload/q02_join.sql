@@ -1,0 +1,6 @@
+-- Join of a sampled fact table against an unsampled dimension;
+-- the orders side carries no randomness, so its Theorem-1
+-- coefficient passes are statically skipped (GUS016).
+SELECT SUM(l_extendedprice)
+FROM lineitem TABLESAMPLE (20 PERCENT), orders
+WHERE l_orderkey = o_orderkey;

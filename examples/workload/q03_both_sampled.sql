@@ -1,0 +1,4 @@
+-- Both join inputs sampled: the product-form GUS of Prop. 6.
+SELECT COUNT(*)
+FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (25 PERCENT)
+WHERE l_orderkey = o_orderkey;

@@ -1,0 +1,3 @@
+-- Sample-free queries answer exactly and lint clean.
+SELECT SUM(l_quantity) FROM lineitem;
+SELECT COUNT(*) FROM orders;

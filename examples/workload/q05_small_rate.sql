@@ -1,0 +1,4 @@
+-- A legal but statistically degenerate rate: the linter warns
+-- (GUS010) and bounds the worst-case relative variance (GUS015),
+-- but warnings and hints do not fail the workload gate.
+SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (0.005 PERCENT);

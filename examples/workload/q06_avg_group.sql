@@ -1,0 +1,4 @@
+-- AVG via the delta method, grouped.
+SELECT AVG(l_extendedprice)
+FROM lineitem TABLESAMPLE (50 PERCENT)
+GROUP BY l_returnflag;

@@ -1,0 +1,129 @@
+(* Abstract domains for the static plan analyzer (no data access).
+
+   Three small lattices, each with [leq] / [join] / [widen]:
+
+   - [Itv]: closed intervals of non-negative floats, used for the
+     first-order inclusion probability [a] (always a sub-interval of
+     [0, 1]) and as the carrier for cardinality reasoning.
+   - [Card]: cardinality intervals over naturals with a +inf top,
+     plus a point "expected rows" estimate threaded alongside for the
+     cost model (the interval is sound, the point value is a
+     heuristic).
+   - [Cls]: the GUS-class lattice
+     [Ind_bernoulli ⊑ Product_form ⊑ General] from the paper's
+     taxonomy: independent per-tuple Bernoulli designs, product-form
+     designs (independent across relations, arbitrary pair structure
+     within one relation — WOR, block sampling), and everything else
+     (derived-input sampling, unions of samples). *)
+
+module Itv = struct
+  type t = { lo : float; hi : float }
+
+  let make lo hi =
+    if not (lo <= hi) then invalid_arg "Absdom.Itv.make: lo > hi";
+    { lo; hi }
+
+  let point x = { lo = x; hi = x }
+  let zero = point 0.0
+  let unit = { lo = 0.0; hi = 1.0 }
+  let is_point i = i.lo = i.hi
+  let leq a b = b.lo <= a.lo && a.hi <= b.hi
+  let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+  (* Standard interval widening: any bound that grew jumps to the
+     corresponding bound of [unit] for probabilities (callers pass the
+     widening ceiling explicitly via [top]). *)
+  let widen ~top a b =
+    if leq b a then a
+    else
+      { lo = (if b.lo < a.lo then top.lo else a.lo);
+        hi = (if b.hi > a.hi then top.hi else a.hi) }
+
+  (* All endpoints are >= 0, so the product of intervals is the
+     product of endpoints. *)
+  let mul a b = { lo = a.lo *. b.lo; hi = a.hi *. b.hi }
+
+  (* a ∪ b for inclusion probabilities of a union of independent
+     samples: p + q − pq, monotone in both arguments on [0,1]. *)
+  let union_prob a b =
+    let f p q = p +. q -. (p *. q) in
+    { lo = f a.lo b.lo; hi = f a.hi b.hi }
+
+  let scale k a = { lo = k *. a.lo; hi = k *. a.hi }
+  let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi
+  let to_string i = Format.asprintf "%a" pp i
+end
+
+module Card = struct
+  (* [hi = infinity] is top; [exp] is a point estimate of the expected
+     row count used by the cost model (not part of the lattice
+     order). *)
+  type t = { lo : float; hi : float; exp : float }
+
+  let make ~lo ~hi ~exp =
+    if not (lo <= hi) then invalid_arg "Absdom.Card.make: lo > hi";
+    { lo; hi; exp = Float.max 0.0 (Float.min hi (Float.max lo exp)) }
+
+  let exact n =
+    let n = float_of_int (max 0 n) in
+    { lo = n; hi = n; exp = n }
+
+  let top = { lo = 0.0; hi = infinity; exp = 0.0 }
+  let leq a b = b.lo <= a.lo && a.hi <= b.hi
+  let exp t = t.exp
+
+  let join a b =
+    { lo = Float.min a.lo b.lo;
+      hi = Float.max a.hi b.hi;
+      exp = 0.5 *. (a.exp +. b.exp) }
+
+  let widen a b =
+    if leq b a then a
+    else
+      { lo = (if b.lo < a.lo then 0.0 else a.lo);
+        hi = (if b.hi > a.hi then infinity else a.hi);
+        exp = b.exp }
+
+  (* A selection keeps between none and all of its input. *)
+  let filter t = { t with lo = 0.0 }
+
+  (* Sampling with inclusion probability in [p]: keeps between none
+     and all rows; expectation scales by the midpoint of [p]. *)
+  let sample (p : Itv.t) t =
+    { lo = 0.0; hi = t.hi; exp = t.exp *. (0.5 *. (p.Itv.lo +. p.Itv.hi)) }
+
+  let product a b =
+    { lo = a.lo *. b.lo; hi = a.hi *. b.hi; exp = a.exp *. b.exp }
+
+  (* An equi-join emits at most |L|·|R| rows and possibly none.  The
+     expectation heuristic assumes a key/foreign-key join: about as
+     many rows as the larger input. *)
+  let equi_join a b =
+    { lo = 0.0; hi = a.hi *. b.hi; exp = Float.max a.exp b.exp }
+
+  let sum a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi; exp = a.exp +. b.exp }
+
+  let pp ppf t =
+    if t.hi = infinity then Format.fprintf ppf "[%g, +inf)" t.lo
+    else Format.fprintf ppf "[%g, %g]" t.lo t.hi
+
+  let to_string t = Format.asprintf "%a" pp t
+end
+
+module Cls = struct
+  type t = Ind_bernoulli | Product_form | General
+
+  let rank = function Ind_bernoulli -> 0 | Product_form -> 1 | General -> 2
+  let leq a b = rank a <= rank b
+  let join a b = if rank a >= rank b then a else b
+
+  (* The lattice is finite (height 3), so widening is just join. *)
+  let widen = join
+
+  let to_string = function
+    | Ind_bernoulli -> "independent-bernoulli"
+    | Product_form -> "product-form"
+    | General -> "general"
+
+  let pp ppf c = Format.pp_print_string ppf (to_string c)
+end

@@ -1,0 +1,108 @@
+(** Abstract domains for the static analyzer ({!Dataflow}).
+
+    Each domain is a join-semilattice with a widening operator; the
+    dataflow pass interprets {!Gus_core.Splan.t} bottom-up over tuples
+    of these domains, with no data access.  Plans are trees (no loops),
+    so widening is never needed for termination — it exists so the
+    domains compose with fixpoint-style clients and is exercised by the
+    property tests (see DESIGN.md §9 for the join/widening rules). *)
+
+(** Closed intervals of non-negative floats (inclusion probabilities,
+    blow-up factors). *)
+module Itv : sig
+  type t = private { lo : float; hi : float }
+
+  val make : float -> float -> t
+  (** Raises [Invalid_argument] when [lo > hi]. *)
+
+  val point : float -> t
+  val zero : t
+
+  val unit : t
+  (** The full probability interval [\[0, 1\]]. *)
+
+  val is_point : t -> bool
+
+  val leq : t -> t -> bool
+  (** Interval inclusion ([a ⊑ b] iff [a ⊆ b]). *)
+
+  val join : t -> t -> t
+  (** Smallest interval containing both. *)
+
+  val widen : top:t -> t -> t -> t
+  (** [widen ~top a b]: any bound of [b] strictly outside [a] jumps to
+      the corresponding bound of [top]; stable bounds are kept. *)
+
+  val mul : t -> t -> t
+  (** Pointwise product (sound because all endpoints are [>= 0]). *)
+
+  val union_prob : t -> t -> t
+  (** Inclusion probability of a union of two independent samples:
+      [p + q − pq], applied to both endpoints (monotone on [0,1]). *)
+
+  val scale : float -> t -> t
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+(** Cardinality intervals over the naturals with a [+inf] top, carrying
+    a point "expected rows" estimate for the cost model.  The interval
+    is sound; [exp] is a heuristic and not part of the lattice order. *)
+module Card : sig
+  type t = private { lo : float; hi : float; exp : float }
+
+  val make : lo:float -> hi:float -> exp:float -> t
+  (** Raises [Invalid_argument] when [lo > hi]; [exp] is clamped into
+      [\[lo, hi\]]. *)
+
+  val exact : int -> t
+  (** The singleton interval for a known base-relation cardinality. *)
+
+  val top : t
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** Unstable bounds jump to [0] / [+inf]. *)
+
+  val exp : t -> float
+  (** The expected-rows point estimate. *)
+
+  val filter : t -> t
+  (** Effect of a selection: lower bound drops to 0. *)
+
+  val sample : Itv.t -> t -> t
+  (** Effect of sampling with inclusion probability in the given
+      interval: lower bound 0, expectation scaled by its midpoint. *)
+
+  val product : t -> t -> t
+  (** Cross product. *)
+
+  val equi_join : t -> t -> t
+  (** Bounds [\[0, |L|·|R|\]]; expectation assumes a key/foreign-key
+      join (≈ the larger input). *)
+
+  val sum : t -> t -> t
+  (** Union (bag semantics): cardinalities add. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+(** The GUS-class lattice
+    [Ind_bernoulli ⊑ Product_form ⊑ General]: independent per-tuple
+    Bernoulli designs; product-form designs (independent across
+    relations, arbitrary pair correlation within one — WOR, block);
+    everything else (derived-input sampling, unions of samples). *)
+module Cls : sig
+  type t = Ind_bernoulli | Product_form | General
+
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** The lattice is finite, so widening coincides with join. *)
+
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end

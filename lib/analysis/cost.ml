@@ -1,0 +1,93 @@
+module Gus = Gus_core.Gus
+module Subset = Gus_util.Subset
+
+type report = {
+  n_rels : int;
+  passes : int;
+  skipped : int;
+  est_groups : float;
+  predicted_cost : float;
+  variance_bound : float;
+  skip_mask : int;
+  cls : Absdom.Cls.t;
+}
+
+(* Relation [i] is "design-inert" (dead) when the second-order
+   inclusion probabilities do not depend on whether [i] is in the
+   subset: b_{T ∪ {i}} = b_T for every T.  Unsampled relations and
+   p = 1 Bernoullis are exactly of this shape (their product-form
+   factor has φ(1) = φ(0)).  The comparison is on float bits: joins
+   build b arrays by multiplying the factor in, so an inert factor
+   multiplies by 1.0 and the equality is exact. *)
+let dead_mask_unverified (g : Gus.t) =
+  let n = Gus.n_rels g in
+  let nmasks = Subset.count n in
+  let dead = ref 0 in
+  for i = 0 to n - 1 do
+    let bit = 1 lsl i in
+    let inert = ref true in
+    let t = ref 0 in
+    while !inert && !t < nmasks do
+      if !t land bit = 0 && not (Gus.b_get g !t = Gus.b_get g (!t lor bit))
+      then inert := false;
+      t := !t + 1
+    done;
+    if !inert then dead := !dead lor bit
+  done;
+  !dead
+
+(* The fast Möbius transform turns exact b-equality into exact float
+   zeros for every dead-containing coefficient (the dead dimension's
+   pass computes x −. x = 0.0 and later passes compute 0.0 −. 0.0), but
+   verify against the actual coefficients and refuse to skip anything
+   if a single one is not bit-zero: skipping is only ever a no-op. *)
+let verified_dead_mask (g : Gus.t) c =
+  let dead = dead_mask_unverified g in
+  if dead = 0 then 0
+  else
+    let nmasks = Array.length c in
+    let ok = ref true in
+    for s = 0 to nmasks - 1 do
+      if s land dead <> 0 && not (c.(s) = 0.0) then ok := false
+    done;
+    if !ok then dead else 0
+
+let skip_mask g = verified_dead_mask g (Gus.c_coefficients g)
+
+let variance_bound_of_c (g : Gus.t) c =
+  let a = g.Gus.a in
+  if not (a > 0.0) then infinity
+  else begin
+    let sum = ref 0.0 in
+    Array.iter (fun cs -> if cs > 0.0 then sum := !sum +. cs) c;
+    Float.max 0.0 ((!sum /. (a *. a)) -. 1.0)
+  end
+
+let variance_bound g = variance_bound_of_c g (Gus.c_coefficients g)
+
+let analyze ~(facts : Dataflow.table) (g : Gus.t) =
+  let n = Gus.n_rels g in
+  let c = Gus.c_coefficients g in
+  let skip_mask = verified_dead_mask g c in
+  let passes = Subset.count n - 1 in
+  let skipped =
+    if skip_mask = 0 then 0
+    else passes - (Subset.count (n - Subset.cardinal skip_mask) - 1)
+  in
+  let root = Dataflow.root facts in
+  let est_groups = Float.max 1.0 (Absdom.Card.exp root.Dataflow.card) in
+  { n_rels = n;
+    passes;
+    skipped;
+    est_groups;
+    predicted_cost = float_of_int (passes - skipped) *. est_groups;
+    variance_bound = variance_bound_of_c g c;
+    skip_mask;
+    cls = root.Dataflow.cls }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%d relation(s), %d moment pass(es) (%d provably zero), ~%g group(s), \
+     predicted cost %g, worst-case Var/E%s %s %g"
+    r.n_rels r.passes r.skipped r.est_groups r.predicted_cost "\xc2\xb2"
+    "\xe2\x89\xa4" r.variance_bound

@@ -1,0 +1,42 @@
+(** Static cost/variance model over an SOA-rewritten plan.
+
+    Everything here is a pure function of the GUS design (and the
+    {!Dataflow} facts for group-count estimation) — no data access.
+
+    {b Skip-mask.}  A relation is {e design-inert} when the
+    second-order probabilities ignore it: [b_{T∪{i}} = b_T] for all
+    [T] — the Prop.-6 product-form factor of an unsampled relation (or
+    a p = 1 Bernoulli) satisfies φ(1) = φ(0).  Every coefficient [c_S]
+    with [S] touching an inert relation is provably zero, and — because
+    the fast Möbius transform subtracts bit-equal floats — {e exactly}
+    [0.0] in floating point.  {!skip_mask} returns the inert-relation
+    bitmask only after verifying that bit-exactness against the actual
+    coefficient array, so consumers ({!Gus_estimator.Moments}) may skip
+    those moment passes with bit-identical results on the remaining
+    entries. *)
+
+type report = {
+  n_rels : int;
+  passes : int;  (** total moment passes: 2ⁿ − 1 *)
+  skipped : int;  (** passes with provably-zero coefficients *)
+  est_groups : float;  (** expected lineage-group count (≥ 1) *)
+  predicted_cost : float;  (** (passes − skipped) · est_groups *)
+  variance_bound : float;
+      (** Theorem-1 worst case for f ≥ 0:
+          [Var/E² ≤ Σ_S max(0, c_S)/a² − 1]; [infinity] when [a = 0] *)
+  skip_mask : int;  (** verified inert-relation bitmask (0 = none) *)
+  cls : Absdom.Cls.t;  (** GUS class of the overall design *)
+}
+
+val skip_mask : Gus_core.Gus.t -> int
+(** Verified inert-relation bitmask: mask [s] of the moments kernel can
+    be skipped iff [s land skip_mask <> 0].  Returns 0 (skip nothing)
+    unless every skippable coefficient is exactly [0.0]. *)
+
+val variance_bound : Gus_core.Gus.t -> float
+
+val analyze : facts:Dataflow.table -> Gus_core.Gus.t -> report
+(** Requires the facts of the {e same} plan the GUS was rewritten from
+    (only the root fact is consulted). *)
+
+val pp : Format.formatter -> report -> unit

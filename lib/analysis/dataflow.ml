@@ -1,0 +1,131 @@
+module Sampler = Gus_sampling.Sampler
+module Splan = Gus_core.Splan
+module Lineage = Gus_relational.Lineage
+module Itv = Absdom.Itv
+module Card = Absdom.Card
+module Cls = Absdom.Cls
+
+type fact = {
+  card : Card.t;
+  a : Itv.t;
+  width : int;
+  cls : Cls.t;
+  sampled : bool;
+}
+
+type table = (Diagnostic.path * fact) list
+
+let find table path =
+  List.find_map (fun (p, f) -> if p = path then Some f else None) table
+
+let root table =
+  match find table [] with
+  | Some f -> f
+  | None -> invalid_arg "Dataflow.root: empty table"
+
+let to_list table = table
+
+(* Inclusion-probability interval contributed by one sampler applied to
+   an input with the given fact.  For WOR the probability is n/N where N
+   is the input cardinality: interval division against the input's
+   cardinality interval (the static resolution behind GUS018 — when the
+   input interval is a point, a is a point even for derived inputs). *)
+let sampler_a (s : Sampler.t) (input : fact) =
+  match s with
+  | Sampler.Bernoulli p | Sampler.Hash_bernoulli { p; _ }
+  | Sampler.Block { p; _ } ->
+      Itv.point p
+  | Sampler.Wor n ->
+      let n = float_of_int (max n 0) in
+      let c = input.card in
+      let hi =
+        if c.Card.lo <= 0.0 then 1.0 else Float.min 1.0 (n /. c.Card.lo)
+      in
+      let lo =
+        if c.Card.hi = infinity then 0.0
+        else if c.Card.hi <= 0.0 then 1.0
+        else Float.min 1.0 (n /. c.Card.hi)
+      in
+      Itv.make (Float.min lo hi) hi
+  | Sampler.Wr _ -> Itv.unit
+
+let sampler_cls (s : Sampler.t) (input : fact) =
+  let own =
+    match s with
+    | Sampler.Bernoulli _ | Sampler.Hash_bernoulli _ -> Cls.Ind_bernoulli
+    | Sampler.Wor _ | Sampler.Block _ -> Cls.Product_form
+    | Sampler.Wr _ -> Cls.General
+  in
+  (* Sampling an already-sampled or multi-relation derived input leaves
+     the product-form factorization (one factor per base relation). *)
+  if input.sampled || input.width > 1 then Cls.General
+  else Cls.join own input.cls
+
+let analyze ~card plan =
+  let out = ref [] in
+  let record path fact = out := (List.rev path, fact) :: !out in
+  let rec go rpath plan =
+    let fact =
+      match plan with
+      | Splan.Scan name ->
+          let width = Array.length (Lineage.schema_of name) in
+          { card = Card.exact (card name);
+            a = Itv.point 1.0;
+            width;
+            cls = Cls.Ind_bernoulli;
+            sampled = false }
+      | Splan.Select (_, q) ->
+          let c = go (0 :: rpath) q in
+          { c with card = Card.filter c.card }
+      | Splan.Project (_, q) ->
+          (* Projection preserves cardinality. *)
+          go (0 :: rpath) q
+      | Splan.Distinct q ->
+          (* DISTINCT can only shrink, which [filter] over-approximates. *)
+          let c = go (0 :: rpath) q in
+          { c with card = Card.filter c.card }
+      | Splan.Sample (s, q) ->
+          let c = go (0 :: rpath) q in
+          let sa = sampler_a s c in
+          { card = Card.sample sa c.card;
+            a = Itv.mul c.a sa;
+            width = c.width;
+            cls = sampler_cls s c;
+            sampled = true }
+      | Splan.Equi_join { left; right; _ } ->
+          let l = go (0 :: rpath) left and r = go (1 :: rpath) right in
+          { card = Card.equi_join l.card r.card;
+            a = Itv.mul l.a r.a;
+            width = l.width + r.width;
+            cls = Cls.join l.cls r.cls;
+            sampled = l.sampled || r.sampled }
+      | Splan.Theta_join (_, left, right) | Splan.Cross (left, right) ->
+          let l = go (0 :: rpath) left and r = go (1 :: rpath) right in
+          let c =
+            match plan with
+            | Splan.Theta_join _ -> Card.filter (Card.product l.card r.card)
+            | _ -> Card.product l.card r.card
+          in
+          { card = c;
+            a = Itv.mul l.a r.a;
+            width = l.width + r.width;
+            cls = Cls.join l.cls r.cls;
+            sampled = l.sampled || r.sampled }
+      | Splan.Union_samples (left, right) ->
+          let l = go (0 :: rpath) left and r = go (1 :: rpath) right in
+          { card = Card.sum l.card r.card;
+            a = Itv.union_prob l.a r.a;
+            width = l.width;
+            cls = Cls.General;
+            sampled = l.sampled || r.sampled }
+    in
+    record rpath fact;
+    fact
+  in
+  ignore (go [] plan);
+  List.sort (fun (p, _) (q, _) -> Diagnostic.compare_path p q) !out
+
+let pp_fact ppf f =
+  Format.fprintf ppf "card %a, a %a, width %d, class %a%s" Card.pp f.card
+    Itv.pp f.a f.width Cls.pp f.cls
+    (if f.sampled then ", sampled" else "")

@@ -1,0 +1,32 @@
+(** Bottom-up abstract interpretation of sampling plans (no data
+    access).
+
+    One pass over a {!Gus_core.Splan.t} computes, for every node, a
+    {!fact} over the {!Absdom} domains: a cardinality interval (with an
+    expected-rows point estimate for the cost model), an interval for
+    the first-order inclusion probability [a], the lineage width, the
+    GUS-class lattice element, and whether the subtree contains a
+    sampler.  The only external input is the base-relation cardinality
+    oracle [card] — the same one {!Lint.run} takes. *)
+
+type fact = {
+  card : Absdom.Card.t;  (** result-cardinality interval *)
+  a : Absdom.Itv.t;  (** first-order inclusion probability interval *)
+  width : int;  (** number of lineage slots (base relations) *)
+  cls : Absdom.Cls.t;  (** GUS-class lattice element *)
+  sampled : bool;  (** does the subtree contain a sampling operator? *)
+}
+
+type table = (Diagnostic.path * fact) list
+(** Per-node facts keyed by root-to-node path, in pre-order. *)
+
+val analyze : card:(string -> int) -> Gus_core.Splan.t -> table
+(** Total on every plan (including ones the linter rejects): abstract
+    interpretation never needs the GUS translation to succeed. *)
+
+val root : table -> fact
+(** The fact at path [[]]. *)
+
+val find : table -> Diagnostic.path -> fact option
+val to_list : table -> (Diagnostic.path * fact) list
+val pp_fact : Format.formatter -> fact -> unit

@@ -14,6 +14,11 @@ type code =
   | Redundant_sampler
   | Sample_select_pushdown
   | Analysis_limit
+  | Enumeration_cost
+  | Variance_bound
+  | Zero_coefficients
+  | Stacked_samplers
+  | Wor_over_deterministic_derived
 
 let all_codes =
   [ Self_join;
@@ -28,7 +33,12 @@ let all_codes =
     Small_inclusion_probability;
     Redundant_sampler;
     Sample_select_pushdown;
-    Analysis_limit ]
+    Analysis_limit;
+    Enumeration_cost;
+    Variance_bound;
+    Zero_coefficients;
+    Stacked_samplers;
+    Wor_over_deterministic_derived ]
 
 let code_id = function
   | Self_join -> "GUS001"
@@ -44,15 +54,23 @@ let code_id = function
   | Redundant_sampler -> "GUS011"
   | Sample_select_pushdown -> "GUS012"
   | Analysis_limit -> "GUS013"
+  | Enumeration_cost -> "GUS014"
+  | Variance_bound -> "GUS015"
+  | Zero_coefficients -> "GUS016"
+  | Stacked_samplers -> "GUS017"
+  | Wor_over_deterministic_derived -> "GUS018"
 
 let severity_of_code = function
   | Self_join | Union_skeleton_mismatch | Wor_over_derived
   | Block_over_derived | Hash_over_derived | With_replacement
   | Distinct_over_sample | Probability_out_of_range
-  | Zero_inclusion_probability | Analysis_limit ->
+  | Zero_inclusion_probability | Analysis_limit
+  | Wor_over_deterministic_derived ->
       Error
-  | Small_inclusion_probability -> Warning
-  | Redundant_sampler | Sample_select_pushdown -> Hint
+  | Small_inclusion_probability | Enumeration_cost -> Warning
+  | Redundant_sampler | Sample_select_pushdown | Variance_bound
+  | Zero_coefficients | Stacked_samplers ->
+      Hint
 
 let title = function
   | Self_join -> "self-join: a relation appears on both sides of a join"
@@ -68,6 +86,12 @@ let title = function
   | Redundant_sampler -> "redundant sampler: keeps every tuple (identity GUS)"
   | Sample_select_pushdown -> "sample could be pushed below the selection"
   | Analysis_limit -> "plan exceeds the analyzer's implementation limits"
+  | Enumeration_cost -> "coefficient enumeration is expensive for this plan"
+  | Variance_bound -> "large worst-case relative variance bound"
+  | Zero_coefficients -> "provably-zero coefficients: kernel skip-mask applies"
+  | Stacked_samplers -> "stacked Bernoulli samplers compose into one"
+  | Wor_over_deterministic_derived ->
+      "WOR over a deterministic derived input: N not known statically"
 
 let citation = function
   | Self_join -> "Prop. 6 (disjoint lineage); Section 9"
@@ -83,6 +107,12 @@ let citation = function
   | Redundant_sampler -> "Prop. 4 (identity GUS)"
   | Sample_select_pushdown -> "Prop. 5 (selection commutes with GUS)"
   | Analysis_limit -> "Section 5 (2\xe2\x81\xbf coefficient arrays)"
+  | Enumeration_cost -> "Section 5 (2\xe2\x81\xbf coefficient passes)"
+  | Variance_bound -> "Theorem 1 (worst-case Var/E\xc2\xb2 for f \xe2\x89\xa5 0)"
+  | Zero_coefficients -> "Prop. 6 (product-form zero coefficients)"
+  | Stacked_samplers -> "Prop. 8 (compaction)"
+  | Wor_over_deterministic_derived ->
+      "Figure 1 (WOR needs a fixed N); Section 9"
 
 type path = int list
 
@@ -102,8 +132,10 @@ type t = {
   path : path;
   node : string;
   message : string;
+  fix : Fix.t option;
 }
 
+let make ?fix ~code ~path ~node message = { code; path; node; message; fix }
 let severity d = severity_of_code d.code
 
 let severity_label = function
@@ -114,7 +146,10 @@ let severity_label = function
 let pp ppf d =
   Format.fprintf ppf "%s %-7s at %s (%s): %s [%s]" (code_id d.code)
     (severity_label (severity d))
-    (path_to_string d.path) d.node d.message (citation d.code)
+    (path_to_string d.path) d.node d.message (citation d.code);
+  match d.fix with
+  | None -> ()
+  | Some f -> Format.fprintf ppf " (fix: %s)" f.Fix.summary
 
 let to_string d = Format.asprintf "%a" pp d
 
@@ -134,10 +169,19 @@ let json_escape s =
   Buffer.contents buf
 
 let to_json d =
+  let fix =
+    match d.fix with
+    | None -> ""
+    | Some f ->
+        Printf.sprintf ", \"fix\": {\"action\": \"%s\", \"summary\": \"%s\"}"
+          (Fix.action_label f.Fix.action)
+          (json_escape f.Fix.summary)
+  in
   Printf.sprintf
     "{\"code\": \"%s\", \"severity\": \"%s\", \"path\": \"%s\", \"node\": \
-     \"%s\", \"message\": \"%s\", \"citation\": \"%s\"}"
+     \"%s\", \"message\": \"%s\", \"citation\": \"%s\"%s}"
     (code_id d.code)
     (severity_label (severity d))
     (path_to_string d.path) (json_escape d.node) (json_escape d.message)
     (json_escape (citation d.code))
+    fix

@@ -40,6 +40,26 @@ type code =
       (** GUS013 — outside the analyzer's implementation envelope (more
           than {!Gus_util.Subset.max_universe} relations: the coefficient
           arrays are 2ⁿ) *)
+  | Enumeration_cost
+      (** GUS014 — the static cost model predicts an expensive
+          coefficient enumeration: (2ⁿ − 1 − skipped) moment passes times
+          the estimated group count exceeds the configured budget *)
+  | Variance_bound
+      (** GUS015 — the Theorem-1 worst-case relative variance bound
+          Σ_S max(0, c_S)/a² − 1 (valid for f ≥ 0) exceeds the configured
+          threshold *)
+  | Zero_coefficients
+      (** GUS016 — some coefficient subsets are provably zero under this
+          design (Prop. 6 product structure): the moments kernel will
+          skip them via the emitted skip-mask *)
+  | Stacked_samplers
+      (** GUS017 — two plain Bernoulli samplers stacked directly: they
+          compose into one with a = a₁·a₂ (Prop. 8); a fix is attached *)
+  | Wor_over_deterministic_derived
+      (** GUS018 — WOR over a sample-free derived input: N = |σ(R)| is
+          deterministic but not statically known, so a = n/N cannot be
+          derived without executing the skeleton (unlike GUS003, where N
+          itself is a random variable) *)
 
 val all_codes : code list
 (** Every code, in [GUS001]… order. *)
@@ -70,16 +90,22 @@ type t = {
   path : path;
   node : string;  (** short head rendering of the offending operator *)
   message : string;
+  fix : Fix.t option;  (** machine-applicable rewrite, when one exists *)
 }
+
+val make :
+  ?fix:Fix.t -> code:code -> path:path -> node:string -> string -> t
 
 val severity : t -> severity
 val severity_label : severity -> string
 (** ["error"] / ["warning"] / ["hint"]. *)
 
 val pp : Format.formatter -> t -> unit
-(** One line: code, severity, path, node, message, citation. *)
+(** One line: code, severity, path, node, message, citation, and a
+    ["(fix: …)"] suffix when a fix is attached. *)
 
 val to_string : t -> string
 
 val to_json : t -> string
-(** A single JSON object (stable field order, escaped strings). *)
+(** A single JSON object (stable field order, escaped strings); carries
+    a ["fix"] object when a fix is attached. *)

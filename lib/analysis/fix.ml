@@ -1,0 +1,118 @@
+module Sampler = Gus_sampling.Sampler
+module Splan = Gus_core.Splan
+
+type action =
+  | Drop_sampler of Sampler.t
+  | Merge_stacked of { outer : Sampler.t; inner : Sampler.t; merged : Sampler.t }
+  | Push_below_select of Sampler.t
+
+type t = { at : int list; action : action; summary : string }
+
+let drop_sampler ~at sampler =
+  { at;
+    action = Drop_sampler sampler;
+    summary = Printf.sprintf "drop redundant %s" (Sampler.to_string sampler) }
+
+let merge_stacked ~at outer inner merged =
+  { at;
+    action = Merge_stacked { outer; inner; merged };
+    summary =
+      Printf.sprintf "merge %s over %s into %s (a = a1*a2)"
+        (Sampler.to_string outer) (Sampler.to_string inner)
+        (Sampler.to_string merged) }
+
+let push_below_select ~at sampler =
+  { at;
+    action = Push_below_select sampler;
+    summary =
+      Printf.sprintf "push %s below the select (Prop. 5)"
+        (Sampler.to_string sampler) }
+
+let action_label = function
+  | Drop_sampler _ -> "drop-sampler"
+  | Merge_stacked _ -> "merge-stacked"
+  | Push_below_select _ -> "push-below-select"
+
+(* Same rendering as [Diagnostic.path_to_string]; duplicated because
+   [Diagnostic] depends on this module (diagnostics carry fixes). *)
+let path_to_string = function
+  | [] -> "$"
+  | p -> "$." ^ String.concat "." (List.map string_of_int p)
+
+let pp ppf t =
+  Format.fprintf ppf "%s at %s: %s" (action_label t.action)
+    (path_to_string t.at) t.summary
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Rewrite the subtree at the end of [path], or return [None] when the
+   plan no longer has that shape (a previous fix moved it). *)
+let rec rewrite_at path f plan =
+  match path with
+  | [] -> f plan
+  | i :: rest -> (
+      let on child =
+        Option.map (fun c -> (c : Splan.t)) (rewrite_at rest f child)
+      in
+      match (plan, i) with
+      | Splan.Select (p, q), 0 ->
+          Option.map (fun q -> Splan.Select (p, q)) (on q)
+      | Splan.Project (fields, q), 0 ->
+          Option.map (fun q -> Splan.Project (fields, q)) (on q)
+      | Splan.Sample (s, q), 0 ->
+          Option.map (fun q -> Splan.Sample (s, q)) (on q)
+      | Splan.Distinct q, 0 -> Option.map (fun q -> Splan.Distinct q) (on q)
+      | Splan.Equi_join j, 0 ->
+          Option.map (fun left -> Splan.Equi_join { j with left }) (on j.left)
+      | Splan.Equi_join j, 1 ->
+          Option.map (fun right -> Splan.Equi_join { j with right }) (on j.right)
+      | Splan.Theta_join (p, l, r), 0 ->
+          Option.map (fun l -> Splan.Theta_join (p, l, r)) (on l)
+      | Splan.Theta_join (p, l, r), 1 ->
+          Option.map (fun r -> Splan.Theta_join (p, l, r)) (on r)
+      | Splan.Cross (l, r), 0 -> Option.map (fun l -> Splan.Cross (l, r)) (on l)
+      | Splan.Cross (l, r), 1 -> Option.map (fun r -> Splan.Cross (l, r)) (on r)
+      | Splan.Union_samples (l, r), 0 ->
+          Option.map (fun l -> Splan.Union_samples (l, r)) (on l)
+      | Splan.Union_samples (l, r), 1 ->
+          Option.map (fun r -> Splan.Union_samples (l, r)) (on r)
+      | (Splan.Scan _ | Splan.Select _ | Splan.Project _ | Splan.Sample _
+        | Splan.Distinct _ | Splan.Equi_join _ | Splan.Theta_join _
+        | Splan.Cross _ | Splan.Union_samples _), _ ->
+          None)
+
+(* Each rewrite checks that the node still holds the exact samplers the
+   fix was issued for: an earlier fix in the same batch may have
+   rewritten a descendant (e.g. merged a deeper stacked pair), in which
+   case applying a stale precomputed result would be unsound.  Returning
+   [None] is always safe — the apply_fixes fixpoint re-lints and
+   re-issues fresh fixes for whatever shape remains. *)
+let apply t plan =
+  let step node =
+    match (t.action, node) with
+    | Drop_sampler s, Splan.Sample (s', q) when s = s' -> Some q
+    | ( Merge_stacked { outer; inner; merged },
+        Splan.Sample (o, Splan.Sample (i, q)) )
+      when o = outer && i = inner ->
+        Some (Splan.Sample (merged, q))
+    | Push_below_select s, Splan.Sample (s', Splan.Select (p, q))
+      when s = s' ->
+        Some (Splan.Select (p, Splan.Sample (s', q)))
+    | (Drop_sampler _ | Merge_stacked _ | Push_below_select _), _ -> None
+  in
+  rewrite_at t.at step plan
+
+(* Apply deepest-first so shallower paths stay valid while deeper
+   subtrees are rewritten; none of the three rewrites changes the child
+   index of a node above it.  Returns the fixed plan and the fixes that
+   actually applied. *)
+let apply_all fixes plan =
+  let deeper a b = compare (List.length b.at, b.at) (List.length a.at, a.at) in
+  let fixes = List.stable_sort deeper fixes in
+  List.fold_left
+    (fun (plan, applied) fix ->
+      match apply fix plan with
+      | Some plan' -> (plan', fix :: applied)
+      | None -> (plan, applied))
+    (plan, []) fixes
+  |> fun (plan, applied) -> (plan, List.rev applied)

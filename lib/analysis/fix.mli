@@ -1,0 +1,64 @@
+(** Machine-applicable plan rewrites attached to diagnostics.
+
+    Each fix is a {e GUS-equivalence}: the rewritten plan has the same
+    sample-free skeleton and an SOA rewrite with an equal (or, for
+    dropped no-op samplers, equal-by-construction) first-order inclusion
+    probability, so the Theorem-1 estimator has the identical
+    expectation.  Per-seed realizations generally differ — the executor
+    threads one RNG stream through the plan, so moving or removing a
+    sampler re-aligns every later draw — which is exactly why the
+    property tests compare skeletons, [a], and exact expectations rather
+    than single runs. *)
+
+type action =
+  | Drop_sampler of Gus_sampling.Sampler.t
+      (** [Sample (s, q) → q] — a no-op sampler (a = 1). *)
+  | Merge_stacked of {
+      outer : Gus_sampling.Sampler.t;
+      inner : Gus_sampling.Sampler.t;
+      merged : Gus_sampling.Sampler.t;
+    }
+      (** [Sample (outer, Sample (inner, q)) → Sample (merged, q)] — two
+          stacked plain Bernoullis compose into one with
+          [a = a₁·a₂] (Prop. 8). *)
+  | Push_below_select of Gus_sampling.Sampler.t
+      (** [Sample (s, Select (p, q)) → Select (p, Sample (s, q))] —
+          per-tuple sampling commutes with selection (Prop. 5) and
+          unlocks streaming/pushdown.
+
+    Every action records the sampler(s) it was issued for, and {!apply}
+    refuses to rewrite a node whose samplers no longer match — an
+    earlier fix in the same batch may have rewritten a descendant,
+    making a precomputed result stale. *)
+
+type t = {
+  at : int list;  (** root-to-node child-index path of the rewrite site *)
+  action : action;
+  summary : string;  (** human-readable one-liner, e.g. for [--fix] output *)
+}
+
+val drop_sampler : at:int list -> Gus_sampling.Sampler.t -> t
+val merge_stacked :
+  at:int list ->
+  Gus_sampling.Sampler.t ->
+  Gus_sampling.Sampler.t ->
+  Gus_sampling.Sampler.t ->
+  t
+(** [merge_stacked ~at outer inner merged]. *)
+
+val push_below_select : at:int list -> Gus_sampling.Sampler.t -> t
+
+val apply : t -> Gus_core.Splan.t -> Gus_core.Splan.t option
+(** [None] when the plan no longer has the expected shape at [at]
+    (e.g. an earlier fix already rewrote it). *)
+
+val apply_all : t list -> Gus_core.Splan.t -> Gus_core.Splan.t * t list
+(** Apply a batch deepest-first; returns the rewritten plan and the
+    fixes that actually applied, in application order. *)
+
+val action_label : action -> string
+(** Stable machine tag: ["drop-sampler"], ["merge-stacked"],
+    ["push-below-select"]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

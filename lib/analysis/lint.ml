@@ -1,23 +1,34 @@
 module Subset = Gus_util.Subset
+module Metrics = Gus_obs.Metrics
 module Sampler = Gus_sampling.Sampler
 module Gus = Gus_core.Gus
 module Splan = Gus_core.Splan
 module D = Diagnostic
 
-type config = { small_a : float }
+type config = {
+  small_a : float;
+  variance_bound : float;
+  cost_budget : float;
+}
 
-let default_config = { small_a = 1e-3 }
+let default_config =
+  { small_a = 1e-3; variance_bound = 1e4; cost_budget = 1e8 }
 
 type analysis = {
   skeleton : Splan.t;
   gus : Gus.t;
   steps : (string * Gus.t) list;
+  facts : Dataflow.table;
+  cost : Cost.report;
+  sampler_gus : (D.path * Gus.t) list;
 }
 
 type report = {
   diagnostics : D.t list;
   analysis : analysis option;
 }
+
+let m_lint_runs = Metrics.counter "analysis.lint.runs"
 
 let with_severity sev r =
   List.filter (fun d -> D.severity d = sev) r.diagnostics
@@ -34,7 +45,7 @@ let node_label = Splan.node_label
 
 let check_gus ?(path = []) ?(node = "GUS") g =
   let out = ref [] in
-  let emit code message = out := { D.code; path; node; message } :: !out in
+  let emit code message = out := D.make ~code ~path ~node message :: !out in
   let a = g.Gus.a in
   if a = 0.0 then
     emit D.Zero_inclusion_probability
@@ -57,11 +68,28 @@ let check_gus ?(path = []) ?(node = "GUS") g =
 
 (* ---- sampler translation with diagnostics ---- *)
 
+(* What a sampler sits on, as far as WOR/block translatability goes. *)
+type sampler_input =
+  | Over_scan  (** a bare [Scan] *)
+  | Over_preserving
+      (** a cardinality-preserving [Project] chain over one [Scan]:
+          rows are 1:1 with base rows, so [N] resolves through the
+          skeleton to the base cardinality *)
+  | Over_fixed
+      (** sample-free derived input: [N] is deterministic but not
+          statically known (GUS018) *)
+  | Over_random
+      (** the input itself is sampled: [N] is a random variable
+          (GUS003) *)
+
 (* Mirrors the paper's Figure-1 translations.  Emits every applicable
    diagnostic instead of raising; returns the sampler's GUS when one exists
    (it may exist even alongside hints, e.g. a redundant identity sampler). *)
-let translate_sampler ~card ~over ~base ~path ~node ~emit s =
-  let emitd code message = emit { D.code; path; node; message } in
+let translate_sampler ~card ~over ~input ~path ~node ~emit s =
+  let emitd ?fix code message =
+    emit (D.make ?fix ~code ~path ~node message)
+  in
+  let drop_fix = Fix.drop_sampler ~at:path s in
   let check_p what p =
     if p = 0.0 then begin
       emitd D.Zero_inclusion_probability
@@ -78,7 +106,7 @@ let translate_sampler ~card ~over ~base ~path ~node ~emit s =
     end
     else begin
       if p = 1.0 then
-        emitd D.Redundant_sampler
+        emitd ~fix:drop_fix D.Redundant_sampler
           (Printf.sprintf
              "%s keeps every tuple: it is the identity GUS and can be \
               removed"
@@ -109,10 +137,19 @@ let translate_sampler ~card ~over ~base ~path ~node ~emit s =
           (Printf.sprintf "WOR sample size %d is negative" n);
         None
       end
-      else if not (base && Array.length over = 1) then begin
+      else if Array.length over <> 1 || input = Over_random then begin
         emitd D.Wor_over_derived
           "WOR over a derived or already-sampled input: its inclusion \
            probability n/N depends on a random cardinality";
+        None
+      end
+      else if input = Over_fixed then begin
+        emitd D.Wor_over_deterministic_derived
+          (Printf.sprintf
+             "WOR(%d) over a sample-free derived input: N is fixed but not \
+              statically known, so a = n/N cannot be derived without \
+              executing the skeleton; sample the base table instead"
+             n);
         None
       end
       else begin
@@ -141,7 +178,7 @@ let translate_sampler ~card ~over ~base ~path ~node ~emit s =
         end
         else begin
           if n = big_n then
-            emitd D.Redundant_sampler
+            emitd ~fix:drop_fix D.Redundant_sampler
               (Printf.sprintf
                  "WOR(%d) over %s keeps all N = %d tuples: it is the \
                   identity GUS and can be removed"
@@ -158,7 +195,7 @@ let translate_sampler ~card ~over ~base ~path ~node ~emit s =
         end
         else check_p "block sampling" p
       in
-      if not (base && Array.length over = 1) then begin
+      if not (input = Over_scan && Array.length over = 1) then begin
         emitd D.Block_over_derived
           "block sampling is only supported directly over a base table: a \
            kept block is the Bernoulli unit, so the lineage must still be \
@@ -194,18 +231,37 @@ let dups lineage =
     lineage
   |> List.sort_uniq String.compare
 
+(* A [Project] chain over a single [Scan] is 1:1 with the base rows. *)
+let rec preserving_chain = function
+  | Splan.Scan _ -> true
+  | Splan.Project (_, q) -> preserving_chain q
+  | _ -> false
+
+let validate_config config =
+  let check name v =
+    if not (v >= 0.0) (* also rejects nan *) then
+      invalid_arg
+        (Printf.sprintf "Lint.run: config.%s = %g must be >= 0" name v)
+  in
+  check "small_a" config.small_a;
+  check "variance_bound" config.variance_bound;
+  check "cost_budget" config.cost_budget
+
 let run ?(config = default_config) ~card plan =
+  validate_config config;
+  Metrics.incr m_lint_runs;
   let diags = ref [] in
   let emit d = diags := d :: !diags in
   let steps = ref [] in
   let note what g = steps := (what, g) :: !steps in
+  let samplers = ref [] in
   (* Interior combinator calls can only fail on inputs our own checks have
      already rejected; the guard keeps the linter total regardless. *)
   let guarded path node f =
     match f () with
     | g -> Some g
     | exception (Gus.Incompatible msg | Invalid_argument msg) ->
-        emit { D.code = D.Analysis_limit; path; node; message = msg };
+        emit (D.make ~code:D.Analysis_limit ~path ~node msg);
         None
   in
   let join_like path node mk l_info r_info =
@@ -213,30 +269,24 @@ let run ?(config = default_config) ~card plan =
     let overlap = List.sort_uniq String.compare overlap in
     if overlap <> [] then
       emit
-        { D.code = D.Self_join;
-          path;
-          node;
-          message =
-            Printf.sprintf
+        (D.make ~code:D.Self_join ~path ~node
+           (Printf.sprintf
               "relation%s %s used on both sides of the join: overlapping \
                lineage violates Prop. 6's disjointness precondition \
                (self-joins are outside GUS)"
               (if List.length overlap > 1 then "s" else "")
-              (String.concat ", " overlap) };
+              (String.concat ", " overlap)));
     let n = List.length l_info.lineage + List.length r_info.lineage in
     let gus =
       match (overlap, l_info.gus, r_info.gus) with
       | [], Some gl, Some gr ->
           if n > Subset.max_universe then begin
             emit
-              { D.code = D.Analysis_limit;
-                path;
-                node;
-                message =
-                  Printf.sprintf
+              (D.make ~code:D.Analysis_limit ~path ~node
+                 (Printf.sprintf
                     "%d relations exceed the %d-relation analysis limit \
                      (the b\xcc\x84 arrays hold 2\xe2\x81\xbf entries)"
-                    n Subset.max_universe };
+                    n Subset.max_universe));
             None
           end
           else
@@ -283,16 +333,33 @@ let run ?(config = default_config) ~card plan =
         (match (s, q) with
         | (Sampler.Bernoulli _ | Sampler.Hash_bernoulli _), Splan.Select _ ->
             emit
-              { D.code = D.Sample_select_pushdown;
-                path;
-                node;
-                message =
-                  "this per-tuple sampler commutes with the selection below \
-                   it: pushing the sample below the selection is \
-                   SOA-equivalent and evaluates the predicate only on \
-                   sampled tuples" }
+              (D.make ~code:D.Sample_select_pushdown ~path ~node
+                 ~fix:(Fix.push_below_select ~at:path s)
+                 "this per-tuple sampler commutes with the selection below \
+                  it: pushing the sample below the selection is \
+                  SOA-equivalent and evaluates the predicate only on \
+                  sampled tuples")
         | _ -> ());
-        let base = match q with Splan.Scan _ -> true | _ -> false in
+        (match (s, q) with
+        | Sampler.Bernoulli p1, Splan.Sample ((Sampler.Bernoulli p2 as s2), _)
+          when p1 > 0.0 && p1 <= 1.0 && p2 > 0.0 && p2 <= 1.0 ->
+            let merged = Sampler.Bernoulli (p1 *. p2) in
+            emit
+              (D.make ~code:D.Stacked_samplers ~path ~node
+                 ~fix:(Fix.merge_stacked ~at:path s s2 merged)
+                 (Printf.sprintf
+                    "two stacked Bernoulli samplers compose into one \
+                     (Prop. 8): %s over %s is the single %s"
+                    (Sampler.to_string s) (Sampler.to_string s2)
+                    (Sampler.to_string merged)))
+        | _ -> ());
+        let input =
+          match q with
+          | Splan.Scan _ -> Over_scan
+          | _ when c.sampled -> Over_random
+          | _ when preserving_chain q -> Over_preserving
+          | _ -> Over_fixed
+        in
         let dup_rels = dups c.lineage in
         let over =
           (* Deduplicate so the sampler's own checks still run (and its
@@ -310,11 +377,12 @@ let run ?(config = default_config) ~card plan =
         let gs =
           Option.join
             (guarded path node (fun () ->
-                 translate_sampler ~card ~over ~base ~path ~node ~emit s))
+                 translate_sampler ~card ~over ~input ~path ~node ~emit s))
         in
         (* With overlapping lineage below, no single GUS describes the
            subtree; keep the diagnostics but drop the value. *)
         let gs = if dup_rels = [] then gs else None in
+        Option.iter (fun g -> samplers := (path, g) :: !samplers) gs;
         let gus =
           match (gs, c.gus) with
           | Some gs, Some g ->
@@ -336,13 +404,10 @@ let run ?(config = default_config) ~card plan =
         in
         if rejected then
           emit
-            { D.code = D.Distinct_over_sample;
-              path;
-              node;
-              message =
-                "DISTINCT above sampling is outside GUS: duplicate \
-                 elimination depends on more than pairwise inclusion \
-                 probabilities" };
+            (D.make ~code:D.Distinct_over_sample ~path ~node
+               "DISTINCT above sampling is outside GUS: duplicate \
+                elimination depends on more than pairwise inclusion \
+                probabilities");
         let gus = if rejected then None else c.gus in
         { c with skeleton = Splan.Distinct c.skeleton; gus }
     | Splan.Union_samples (left, right) ->
@@ -350,12 +415,9 @@ let run ?(config = default_config) ~card plan =
         let same = Splan.equal l.skeleton r.skeleton in
         if not same then
           emit
-            { D.code = D.Union_skeleton_mismatch;
-              path;
-              node;
-              message =
-                "union of samples of two different expressions: Prop. 7 \
-                 requires both samples to come from the same expression" };
+            (D.make ~code:D.Union_skeleton_mismatch ~path ~node
+               "union of samples of two different expressions: Prop. 7 \
+                requires both samples to come from the same expression");
         let gus =
           match (same, l.gus, r.gus) with
           | true, Some gl, Some gr ->
@@ -371,22 +433,72 @@ let run ?(config = default_config) ~card plan =
           sampled = l.sampled || r.sampled }
   in
   let root = go [] plan in
-  (match root.gus with
-  | Some g ->
-      List.iter emit (check_gus ~path:[] ~node:(node_label plan) g);
-      if g.Gus.a > 0.0 && g.Gus.a < config.small_a then
-        emit
-          { D.code = D.Small_inclusion_probability;
-            path = [];
-            node = node_label plan;
-            message =
-              Printf.sprintf
-                "effective sampling fraction a = %g is below %g: Theorem-1 \
-                 variance terms scale with c_S/a\xc2\xb2 (blow-up factor \
-                 \xe2\x89\x88 %.3g)"
-                g.Gus.a config.small_a
-                (1.0 /. (g.Gus.a *. g.Gus.a)) }
-  | None -> ());
+  let facts = Dataflow.analyze ~card plan in
+  let cost =
+    match root.gus with
+    | None -> None
+    | Some g ->
+        let node = node_label plan in
+        List.iter emit (check_gus ~path:[] ~node g);
+        if g.Gus.a > 0.0 && g.Gus.a < config.small_a then
+          emit
+            (D.make ~code:D.Small_inclusion_probability ~path:[] ~node
+               (Printf.sprintf
+                  "effective sampling fraction a = %g is below %g: Theorem-1 \
+                   variance terms scale with c_S/a\xc2\xb2 (blow-up factor \
+                   \xe2\x89\x88 %.3g)"
+                  g.Gus.a config.small_a
+                  (1.0 /. (g.Gus.a *. g.Gus.a))));
+        match guarded [] node (fun () -> Cost.analyze ~facts g) with
+        | None -> None
+        | Some cost ->
+            (* Cost/variance findings only make sense on sampled plans: a
+               sample-free plan answers exactly and never runs the
+               estimator, so its identity GUS (every relation inert)
+               would otherwise fire GUS014/GUS016 as pure noise. *)
+            if root.sampled && cost.Cost.predicted_cost > config.cost_budget
+            then
+              emit
+                (D.make ~code:D.Enumeration_cost ~path:[] ~node
+                   (Printf.sprintf
+                      "coefficient enumeration needs %d moment pass(es) \
+                       over \xe2\x89\x88 %.3g group(s) \xe2\x89\x88 %.3g \
+                       operations, above the %.3g budget: consider sampling \
+                       fewer relations"
+                      (cost.Cost.passes - cost.Cost.skipped)
+                      cost.Cost.est_groups cost.Cost.predicted_cost
+                      config.cost_budget));
+            if root.sampled && cost.Cost.variance_bound >= config.variance_bound
+            then
+              emit
+                (D.make ~code:D.Variance_bound ~path:[] ~node
+                   (Printf.sprintf
+                      "worst-case relative variance (Theorem 1, f \xe2\x89\xa5 \
+                       0): Var/E\xc2\xb2 \xe2\x89\xa4 %.3g \xe2\x89\xa5 the \
+                       %.3g threshold \xe2\x80\x94 relative standard error \
+                       up to \xe2\x89\x88 %.3g\xc3\x97"
+                      cost.Cost.variance_bound config.variance_bound
+                      (Float.sqrt cost.Cost.variance_bound)));
+            if root.sampled && cost.Cost.skip_mask <> 0 then begin
+              let inert =
+                List.filter_map
+                  (fun i ->
+                    if Subset.mem cost.Cost.skip_mask i then
+                      Some g.Gus.rels.(i)
+                    else None)
+                  (List.init (Gus.n_rels g) Fun.id)
+              in
+              emit
+                (D.make ~code:D.Zero_coefficients ~path:[] ~node
+                   (Printf.sprintf
+                      "%d of %d coefficient subset(s) are provably zero \
+                       (Prop. 6 product form: [%s] carry no sampling \
+                       randomness): the moments kernel skips those passes"
+                      cost.Cost.skipped cost.Cost.passes
+                      (String.concat "," inert)))
+            end;
+            Some cost
+  in
   let diagnostics =
     List.stable_sort
       (fun d1 d2 ->
@@ -398,9 +510,15 @@ let run ?(config = default_config) ~card plan =
     List.exists (fun d -> D.severity d = D.Error) diagnostics
   in
   let analysis =
-    match (has_error, root.gus) with
-    | false, Some gus ->
-        Some { skeleton = root.skeleton; gus; steps = List.rev !steps }
+    match (has_error, root.gus, cost) with
+    | false, Some gus, Some cost ->
+        Some
+          { skeleton = root.skeleton;
+            gus;
+            steps = List.rev !steps;
+            facts;
+            cost;
+            sampler_gus = List.rev !samplers }
     | _ -> None
   in
   { diagnostics; analysis }
@@ -409,6 +527,29 @@ let run_db ?config db plan =
   run ?config plan
     ~card:(fun r ->
       Gus_relational.Relation.cardinality (Gus_relational.Database.find db r))
+
+(* ---- machine-applicable fixes ---- *)
+
+let fixes r = List.filter_map (fun d -> d.D.fix) r.diagnostics
+
+let apply_fixes ?config ~card plan =
+  (* Fixpoint loop: applying one fix can expose another (merging two
+     stacked Bernoullis can stack the result on a third).  Each round
+     re-lints, so every applied fix came from a fresh report; the plan
+     shrinks or keeps its size each round, so 32 rounds is far beyond any
+     real chain. *)
+  let rec loop rounds plan applied =
+    if rounds = 0 then (plan, List.rev applied)
+    else
+      let report = run ?config ~card plan in
+      match fixes report with
+      | [] -> (plan, List.rev applied)
+      | fs -> (
+          match Fix.apply_all fs plan with
+          | _, [] -> (plan, List.rev applied)
+          | plan', done_ -> loop (rounds - 1) plan' (List.rev_append done_ applied))
+  in
+  loop 32 plan []
 
 (* ---- rendering ---- *)
 
@@ -456,6 +597,20 @@ let to_json r =
   Buffer.add_string buf
     (Printf.sprintf "  \"analyzable\": %b,\n"
        (match r.analysis with Some _ -> true | None -> false));
+  (match r.analysis with
+  | Some a ->
+      let c = a.cost in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"analysis\": {\"a\": %g, \"class\": \"%s\", \"relations\": \
+            %d, \"coefficient_passes\": %d, \"skipped_passes\": %d, \
+            \"est_groups\": %g, \"predicted_cost\": %g, \"variance_bound\": \
+            %g},\n"
+           a.gus.Gus.a
+           (Absdom.Cls.to_string c.Cost.cls)
+           c.Cost.n_rels c.Cost.passes c.Cost.skipped c.Cost.est_groups
+           c.Cost.predicted_cost c.Cost.variance_bound)
+  | None -> ());
   Buffer.add_string buf "  \"diagnostics\": [";
   List.iteri
     (fun i d ->

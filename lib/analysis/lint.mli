@@ -19,10 +19,16 @@ type config = {
       (** warn (GUS010) when the plan's effective first-order inclusion
           probability is positive but below this threshold — Theorem 1's
           variance terms scale with [c_S/a²] *)
+  variance_bound : float;
+      (** hint (GUS015) when the Theorem-1 worst-case relative variance
+          bound (f ≥ 0) is at or above this threshold *)
+  cost_budget : float;
+      (** warn (GUS014) when the predicted coefficient-enumeration cost
+          (live moment passes × estimated group count) exceeds this *)
 }
 
 val default_config : config
-(** [{ small_a = 1e-3 }]. *)
+(** [{ small_a = 1e-3; variance_bound = 1e4; cost_budget = 1e8 }]. *)
 
 type analysis = {
   skeleton : Gus_core.Splan.t;
@@ -31,6 +37,13 @@ type analysis = {
       (** single equivalent GUS over the skeleton's lineage *)
   steps : (string * Gus_core.Gus.t) list;
       (** derivation trace, leaves first — the Figure-4 walk-through *)
+  facts : Dataflow.table;
+      (** per-node abstract-interpretation facts (pre-order) *)
+  cost : Cost.report;
+      (** static cost/variance model, including the verified skip-mask *)
+  sampler_gus : (Diagnostic.path * Gus_core.Gus.t) list;
+      (** the Figure-1 GUS of each sampling operator, keyed by plan path
+          — computed once here so executors need not re-lint per run *)
 }
 
 type report = {
@@ -42,10 +55,13 @@ type report = {
 
 val run :
   ?config:config -> card:(string -> int) -> Gus_core.Splan.t -> report
-(** Lint a plan.  [card] resolves base-relation cardinalities (needed to
-    translate [WOR(n)] into [a = n/N]); it is only consulted for WOR
-    samplers sitting directly on a [Scan].  Never raises on any plan shape
-    (assuming [card] is total). *)
+(** Lint a plan.  [card] resolves base-relation cardinalities: it feeds
+    the WOR translation ([a = n/N], consulted for WOR over a [Scan] or a
+    cardinality-preserving [Project] chain over one) and the {!Dataflow}
+    cardinality intervals.  Never raises on any plan shape (assuming
+    [card] is total — a relation of cardinality 0 is fine); raises
+    [Invalid_argument] only on a config with negative (or NaN)
+    thresholds. *)
 
 val run_db :
   ?config:config ->
@@ -62,19 +78,45 @@ val check_gus :
 (** Coherence checks on a single GUS value: [a ∈ (0,1]] and every
     second-order probability bounded by its marginal ([b_T ≤ a]). *)
 
+(** What a sampler's input looks like, for WOR/block translatability:
+    a bare [Scan]; a cardinality-preserving [Project] chain over one
+    (rows 1:1 with base rows, so WOR's [N] resolves through the skeleton
+    to the base cardinality); a sample-free derived input whose
+    cardinality is fixed but not statically known (GUS018); or an input
+    that is itself sampled, making [N] a random variable (GUS003). *)
+type sampler_input =
+  | Over_scan
+  | Over_preserving
+  | Over_fixed
+  | Over_random
+
 val translate_sampler :
   card:(string -> int) ->
   over:Gus_relational.Lineage.schema ->
-  base:bool ->
+  input:sampler_input ->
   path:Diagnostic.path ->
   node:string ->
   emit:(Diagnostic.t -> unit) ->
   Gus_sampling.Sampler.t ->
   Gus_core.Gus.t option
-(** Figure-1 translation of one sampling operator applied to an input with
-    the given lineage schema; [base] says whether the input is a bare
-    [Scan].  Emits every applicable diagnostic through [emit] and returns
-    the GUS when the sampler has one (possibly alongside hints). *)
+(** Figure-1 translation of one sampling operator applied to an input
+    with the given lineage schema and {!sampler_input} kind.  Emits every
+    applicable diagnostic through [emit] and returns the GUS when the
+    sampler has one (possibly alongside hints). *)
+
+val fixes : report -> Fix.t list
+(** The machine-applicable fixes attached to the report's diagnostics,
+    in diagnostic order. *)
+
+val apply_fixes :
+  ?config:config ->
+  card:(string -> int) ->
+  Gus_core.Splan.t ->
+  Gus_core.Splan.t * Fix.t list
+(** Lint → apply every attached fix → re-lint, to a fixpoint.  Returns
+    the rewritten plan and the fixes applied, in application order.
+    Every fix is a GUS-equivalence, so the result has the same skeleton
+    and estimator expectation as the input. *)
 
 val node_label : Gus_core.Splan.t -> string
 (** The one-line operator head used in diagnostics and tree rendering;

@@ -19,11 +19,11 @@ type result = {
   steps : (string * Gus.t) list;
 }
 
-let sampler_gus ~card ~over ~base sampler =
+let sampler_gus ~card ~over ~input sampler =
   let diags = ref [] in
   let emit d = diags := d :: !diags in
   let gus =
-    Lint.translate_sampler ~card ~over ~base ~path:[]
+    Lint.translate_sampler ~card ~over ~input ~path:[]
       ~node:(Sampler.to_string sampler) ~emit sampler
   in
   let errs =

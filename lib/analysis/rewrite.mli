@@ -43,10 +43,11 @@ val analyze_db : Gus_relational.Database.t -> Gus_core.Splan.t -> result
 val sampler_gus :
   card:(string -> int) ->
   over:Gus_relational.Lineage.schema ->
-  base:bool ->
+  input:Lint.sampler_input ->
   Gus_sampling.Sampler.t ->
   Gus_core.Gus.t
 (** GUS translation of one sampling operator applied to an input with the
-    given lineage schema; [base] says whether the input is a bare [Scan]
-    (WOR and block sampling are only translatable there).  Raises
-    {!Unsupported} with the corresponding diagnostic codes. *)
+    given lineage schema and {!Lint.sampler_input} kind (WOR and block
+    sampling are only translatable over a base table or, for WOR, a
+    cardinality-preserving projection of one).  Raises {!Unsupported}
+    with the corresponding diagnostic codes. *)

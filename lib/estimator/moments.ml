@@ -166,8 +166,16 @@ let run_passes ?pool ~par_threshold ~n_pairs ~nmasks body =
     let p = match pool with Some p -> p | None -> Pool.default () in
     Pool.run_chunks p ~lo:1 ~hi:nmasks body
 
-let of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels pairs =
+let check_skip_mask ~what ~n_rels skip_mask =
+  if skip_mask land lnot (Subset.full n_rels) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Moments.%s: skip_mask has bits outside the universe"
+         what)
+
+let of_pairs ?pool ?(par_threshold = default_par_threshold) ?(skip_mask = 0)
+    ~n_rels pairs =
   check_lengths ~what:"of_pairs" ~n_rels ~lineage_of:fst pairs;
+  check_skip_mask ~what:"of_pairs" ~n_rels skip_mask;
   let nmasks = Subset.count n_rels in
   let y = Array.make nmasks 0.0 in
   let m = Array.length pairs in
@@ -187,6 +195,7 @@ let of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels pairs =
           masked_equal li lj pos !npos
         in
         for s = lo to hi - 1 do
+          if s land skip_mask = 0 then begin
           let t0 = if obs then Gus_obs.Trace.now_ns () else 0 in
           npos := fill_positions pos s;
           Inttbl.reset tbl ~hint:m;
@@ -208,14 +217,16 @@ let of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels pairs =
           if obs then
             Metrics.observe m_pass_us
               (float_of_int (Gus_obs.Trace.now_ns () - t0) /. 1e3)
+          end
         done);
   y
 
-let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
-    pairs =
+let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold)
+    ?(skip_mask = 0) ~n_rels pairs =
   check_lengths ~what:"bilinear_of_pairs" ~n_rels
     ~lineage_of:(fun (l, _, _) -> l)
     pairs;
+  check_skip_mask ~what:"bilinear_of_pairs" ~n_rels skip_mask;
   let nmasks = Subset.count n_rels in
   let y = Array.make nmasks 0.0 in
   let m = Array.length pairs in
@@ -237,6 +248,7 @@ let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
           masked_equal li lj pos !npos
         in
         for s = lo to hi - 1 do
+          if s land skip_mask = 0 then begin
           let t0 = if obs then Gus_obs.Trace.now_ns () else 0 in
           npos := fill_positions pos s;
           Inttbl.reset tbl ~hint:m;
@@ -264,6 +276,7 @@ let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold) ~n_rels
           if obs then
             Metrics.observe m_pass_us
               (float_of_int (Gus_obs.Trace.now_ns () - t0) /. 1e3)
+          end
         done);
   y
 
@@ -309,6 +322,7 @@ module Acc = struct
   type t = {
     n_rels : int;
     nmasks : int;
+    skip_mask : int;  (* masks s with s ∧ skip_mask ≠ 0 are never grouped *)
     groups : group array;  (* groups.(s - 1) handles mask s *)
     mutable count : int;
     mutable total : float;
@@ -354,19 +368,27 @@ module Acc = struct
     in
     g
 
-  let create ?(hint = 64) ~n_rels () =
+  let create ?(hint = 64) ?(skip_mask = 0) ~n_rels () =
     if n_rels > Subset.max_universe then
       invalid_arg "Moments.Acc.create: too many relations";
+    check_skip_mask ~what:"Acc.create" ~n_rels skip_mask;
     let nmasks = Subset.count n_rels in
     { n_rels;
       nmasks;
-      groups = Array.init (nmasks - 1) (fun i -> make_group ~hint (i + 1));
+      skip_mask;
+      groups =
+        Array.init (nmasks - 1) (fun i ->
+            (* Skipped masks keep a minimal placeholder group that is
+               never probed. *)
+            let hint = if (i + 1) land skip_mask = 0 then hint else 1 in
+            make_group ~hint (i + 1));
       count = 0;
       total = 0.0 }
 
   let count t = t.count
   let total t = t.total
   let n_rels t = t.n_rels
+  let skip_mask t = t.skip_mask
 
   (* Hash of stored group [r] — the same fold as {!masked_hash} over the
      same values in the same order, so rehashing preserves probe homes. *)
@@ -411,6 +433,7 @@ module Acc = struct
     t.count <- t.count + 1;
     t.total <- t.total +. f;
     for s = 1 to t.nmasks - 1 do
+      if s land t.skip_mask = 0 then begin
       let g = t.groups.(s - 1) in
       maybe_grow g;
       g.cur_lineage <- lineage;
@@ -427,6 +450,7 @@ module Acc = struct
         let r = Inttbl.repr_at g.tbl slot in
         g.sums.(r) <- g.sums.(r) +. f
       end
+      end
     done
 
   let add_pairs t pairs = Array.iter (fun (l, f) -> add t l f) pairs
@@ -434,9 +458,12 @@ module Acc = struct
   let merge a b =
     if a.n_rels <> b.n_rels then
       invalid_arg "Moments.Acc.merge: relation count mismatch";
+    if a.skip_mask <> b.skip_mask then
+      invalid_arg "Moments.Acc.merge: skip-mask mismatch";
     a.count <- a.count + b.count;
     a.total <- a.total +. b.total;
     for s = 1 to a.nmasks - 1 do
+      if s land a.skip_mask = 0 then begin
       let ga = a.groups.(s - 1) and gb = b.groups.(s - 1) in
       for r = 0 to gb.ngroups - 1 do
         let base = r * gb.npos in
@@ -455,6 +482,7 @@ module Acc = struct
           ga.sums.(ra) <- ga.sums.(ra) +. gb.sums.(r)
         end
       done
+      end
     done
 
   let finalize ?pool t =
@@ -463,13 +491,15 @@ module Acc = struct
     if t.nmasks > 1 then begin
       let body lo hi =
         for s = lo to hi - 1 do
-          let g = t.groups.(s - 1) in
-          let acc = ref 0.0 in
-          for r = 0 to g.ngroups - 1 do
-            let v = Array.unsafe_get g.sums r in
-            acc := !acc +. (v *. v)
-          done;
-          y.(s) <- !acc
+          if s land t.skip_mask = 0 then begin
+            let g = t.groups.(s - 1) in
+            let acc = ref 0.0 in
+            for r = 0 to g.ngroups - 1 do
+              let v = Array.unsafe_get g.sums r in
+              acc := !acc +. (v *. v)
+            done;
+            y.(s) <- !acc
+          end
         done
       in
       match pool with

@@ -14,11 +14,22 @@
     whose size is the machine's recommended domain count — on single-core
     hosts everything stays sequential).  [?par_threshold] is the tuple
     count below which the passes always run sequentially on the calling
-    domain (default 4096). *)
+    domain (default 4096).
+
+    {b Skip-masks.}  [?skip_mask] (default 0) is a bitmask of lineage
+    positions whose moments are statically known to be unused: every
+    subset mask [s] with [s land skip_mask <> 0] is skipped entirely and
+    its [y.(s)] left at [0.0].  The static analyzer
+    ({!Gus_analysis.Cost.skip_mask}) emits it for relations that carry no
+    sampling randomness — their Theorem-1 coefficients are provably (and
+    bit-exactly) zero, so skipped moments never contribute.  Non-skipped
+    entries are computed by exactly the same code path, hence bit-identical
+    to the dense run. *)
 
 val of_pairs :
   ?pool:Gus_util.Pool.t ->
   ?par_threshold:int ->
+  ?skip_mask:int ->
   n_rels:int ->
   (int array * float) array ->
   float array
@@ -49,6 +60,7 @@ val total : (int array * float) array -> float
 val bilinear_of_pairs :
   ?pool:Gus_util.Pool.t ->
   ?par_threshold:int ->
+  ?skip_mask:int ->
   n_rels:int ->
   (int array * float * float) array ->
   float array
@@ -91,11 +103,14 @@ val default_par_threshold : int
 module Acc : sig
   type t
 
-  val create : ?hint:int -> n_rels:int -> unit -> t
+  val create : ?hint:int -> ?skip_mask:int -> n_rels:int -> unit -> t
   (** [create ~n_rels ()] starts an empty accumulator over [n_rels]
       lineage columns.  [hint] pre-sizes each mask's group table (number
       of expected distinct groups, default 64); tables grow by rehashing
-      as needed, so the hint only avoids early rehashes. *)
+      as needed, so the hint only avoids early rehashes.  [skip_mask]
+      masks are never grouped at all — the big streaming win, since
+      {!add}'s per-tuple loop drops from [2^n_rels − 1] probes to the
+      live masks only. *)
 
   val add : t -> int array -> float -> unit
   (** [add t lineage f] folds in one tuple.  The lineage array is read,
@@ -108,7 +123,8 @@ module Acc : sig
   val merge : t -> t -> unit
   (** [merge a b] folds [b]'s groups into [a] ([b] is unchanged);
       equivalent to having fed [b]'s stream into [a] after [a]'s own, up
-      to float reassociation.  Raises on [n_rels] mismatch. *)
+      to float reassociation.  Raises on [n_rels] or skip-mask
+      mismatch. *)
 
   val finalize : ?pool:Gus_util.Pool.t -> t -> float array
   (** The moment vector, indexed by subset mask like {!of_pairs}.  Does
@@ -124,4 +140,6 @@ module Acc : sig
   (** Σ f so far. *)
 
   val n_rels : t -> int
+
+  val skip_mask : t -> int
 end

@@ -20,7 +20,7 @@ type report = {
   stddev : float;
 }
 
-let y_hat_of_moments ~gus y_raw =
+let y_hat_of_moments ?(skip_mask = 0) ~gus y_raw =
   let n = Gus.n_rels gus in
   let nmasks = Subset.count n in
   if Array.length y_raw <> nmasks then
@@ -32,29 +32,42 @@ let y_hat_of_moments ~gus y_raw =
   Array.sort (fun s t -> compare (Subset.cardinal t) (Subset.cardinal s)) masks;
   Array.iter
     (fun s ->
-      let d = Gus.d_correction gus ~s in
-      let d_ss = d.(Subset.empty) in
-      if Float.abs d_ss < 1e-300 then begin
-        Log.warn (fun m ->
-            m "pair probability b_%s = 0: y_%s is not estimable, using 0"
-              (Gus.subset_name gus s) (Gus.subset_name gus s));
+      if s land skip_mask <> 0 then
+        (* Design-inert mask: its Theorem-1 coefficient is exactly zero
+           (verified by {!Gus_analysis.Cost.skip_mask}), so the solved Ŷ
+           would be multiplied by 0.0 everywhere it could matter.  The raw
+           moment was skipped too, so pin the entry rather than solving
+           from a zero. *)
         y_hat.(s) <- 0.0
-      end
       else begin
-        let correction = ref 0.0 in
-        let comp = Subset.complement n s in
-        Subset.iter_subsets comp (fun t ->
-            if t <> Subset.empty then
-              correction := !correction +. (d.(t) *. y_hat.(Subset.union s t)));
-        y_hat.(s) <- (y_raw.(s) -. !correction) /. d_ss
+        let d = Gus.d_correction gus ~s in
+        let d_ss = d.(Subset.empty) in
+        if Float.abs d_ss < 1e-300 then begin
+          Log.warn (fun m ->
+              m "pair probability b_%s = 0: y_%s is not estimable, using 0"
+                (Gus.subset_name gus s) (Gus.subset_name gus s));
+          y_hat.(s) <- 0.0
+        end
+        else begin
+          let correction = ref 0.0 in
+          let comp = Subset.complement n s in
+          Subset.iter_subsets comp (fun t ->
+              (* Terms whose union hits the skip-mask have an analytically
+                 zero d entry (the pair probabilities factor through the
+                 inert relation) and a pinned-zero Ŷ, so dropping them is
+                 exact. *)
+              if t <> Subset.empty && Subset.union s t land skip_mask = 0 then
+                correction := !correction +. (d.(t) *. y_hat.(Subset.union s t)));
+          y_hat.(s) <- (y_raw.(s) -. !correction) /. d_ss
+        end
       end)
     masks;
   y_hat
 
-let of_pairs ~gus pairs =
+let of_pairs ?(skip_mask = 0) ~gus pairs =
   let n = Gus.n_rels gus in
-  let y_raw = Moments.of_pairs ~n_rels:n pairs in
-  let y_hat = y_hat_of_moments ~gus y_raw in
+  let y_raw = Moments.of_pairs ~skip_mask ~n_rels:n pairs in
+  let y_hat = y_hat_of_moments ~skip_mask ~gus y_raw in
   let total_f = Moments.total pairs in
   let estimate = Gus.scale_up gus total_f in
   let variance_raw = Gus.variance gus ~y:y_hat in
@@ -81,15 +94,15 @@ let check_lineage gus lschema =
 
 let check_schema gus rel = check_lineage gus rel.Relation.lineage_schema
 
-let of_relation ~gus ~f rel =
+let of_relation ?skip_mask ~gus ~f rel =
   check_schema gus rel;
-  of_pairs ~gus (Moments.pairs_of_relation ~f rel)
+  of_pairs ?skip_mask ~gus (Moments.pairs_of_relation ~f rel)
 
 let report_of_acc ?pool ~gus acc =
   if Moments.Acc.n_rels acc <> Gus.n_rels gus then
     invalid_arg "Sbox.report_of_acc: accumulator arity does not match GUS";
   let y_raw = Moments.Acc.finalize ?pool acc in
-  let y_hat = y_hat_of_moments ~gus y_raw in
+  let y_hat = y_hat_of_moments ~skip_mask:(Moments.Acc.skip_mask acc) ~gus y_raw in
   let total_f = Moments.Acc.total acc in
   let estimate = Gus.scale_up gus total_f in
   let variance_raw = Gus.variance gus ~y:y_hat in
@@ -103,13 +116,13 @@ let report_of_acc ?pool ~gus acc =
     variance_raw;
     stddev = sqrt variance }
 
-let of_plan ?pool ~gus ~f db rng plan =
+let of_plan ?pool ?(skip_mask = 0) ~gus ~f db rng plan =
   Gus_obs.Trace.span "sbox.of_plan" @@ fun () ->
   check_lineage gus (Splan.lineage_schema plan);
   let n = Gus.n_rels gus in
   let init schema =
     let eval = Expr.bind_float schema f in
-    (Moments.Acc.create ~n_rels:n (), eval)
+    (Moments.Acc.create ~skip_mask ~n_rels:n (), eval)
   in
   let feed (acc, eval) tup =
     Moments.Acc.add acc tup.Tuple.lineage (eval tup);
@@ -184,7 +197,8 @@ let stream ?(seed = 42) ?pool db plan ~f =
   let analysis =
     Gus_obs.Trace.span "sbox.analyze" (fun () -> Rewrite.analyze_db db plan)
   in
-  let report = of_plan ?pool ~gus:analysis.Rewrite.gus ~f db rng plan in
+  let skip_mask = Gus_analysis.Cost.skip_mask analysis.Rewrite.gus in
+  let report = of_plan ?pool ~skip_mask ~gus:analysis.Rewrite.gus ~f db rng plan in
   (report, analysis)
 
 (* [run] used to materialize the result relation, turn it into a pairs

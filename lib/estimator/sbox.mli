@@ -16,10 +16,20 @@ type report = {
   stddev : float;
 }
 
-val of_pairs : gus:Gus_core.Gus.t -> (int array * float) array -> report
-(** Core entry point.  Lineage arrays must align with [gus.rels]. *)
+val of_pairs :
+  ?skip_mask:int -> gus:Gus_core.Gus.t -> (int array * float) array -> report
+(** Core entry point.  Lineage arrays must align with [gus.rels].
+    [?skip_mask] (default 0, see {!Moments}) must come from
+    {!Gus_analysis.Cost.skip_mask} on this GUS: dead masks get Ŷ pinned
+    to 0, which is exact because their Theorem-1 coefficients are
+    verified bit-zero. *)
 
-val of_relation : gus:Gus_core.Gus.t -> f:Gus_relational.Expr.t -> Gus_relational.Relation.t -> report
+val of_relation :
+  ?skip_mask:int ->
+  gus:Gus_core.Gus.t ->
+  f:Gus_relational.Expr.t ->
+  Gus_relational.Relation.t ->
+  report
 (** Checks that the relation's lineage schema equals [gus.rels]. *)
 
 val report_of_acc :
@@ -27,10 +37,12 @@ val report_of_acc :
 (** Finalize a streaming accumulator into a full report.  Non-destructive:
     the accumulator can keep absorbing tuples and be reported again — the
     checkpoint primitive the online estimators build on.  [?pool] is
-    forwarded to {!Moments.Acc.finalize}. *)
+    forwarded to {!Moments.Acc.finalize}.  The accumulator's skip-mask
+    carries through to the Ŷ solve. *)
 
 val of_plan :
   ?pool:Gus_util.Pool.t ->
+  ?skip_mask:int ->
   gus:Gus_core.Gus.t ->
   f:Gus_relational.Expr.t ->
   Gus_relational.Database.t ->
@@ -45,12 +57,15 @@ val of_plan :
     bits from reduction order).  With [?pool], chunk-parallel feeding
     (when the streamable suffix is RNG-free) and pooled moment passes. *)
 
-val y_hat_of_moments : gus:Gus_core.Gus.t -> float array -> float array
+val y_hat_of_moments :
+  ?skip_mask:int -> gus:Gus_core.Gus.t -> float array -> float array
 (** The Section-6.3 unbiased correction: raw sample moments [Y] →
     unbiased [Ŷ], solved top-down from the full subset.  When some
     [b'_S = 0] (the pair probability vanishes, e.g. WOR with n ≤ 1) the
     moment is unrecoverable and the entry is set to 0 with a warning
-    logged. *)
+    logged.  Masks hitting [?skip_mask] are pinned to 0 and their
+    d-correction terms dropped — exact under a verified
+    {!Gus_analysis.Cost.skip_mask}. *)
 
 val interval : ?coverage:float -> Gus_stats.Interval.method_ -> report -> Gus_stats.Interval.t
 (** Default coverage 0.95. *)
@@ -78,7 +93,9 @@ val stream :
   f:Gus_relational.Expr.t ->
   report * Gus_analysis.Rewrite.result
 (** Analyze the plan, then estimate it end to end via {!of_plan} — the
-    whole pipeline without ever materializing the sampled result. *)
+    whole pipeline without ever materializing the sampled result.  The
+    statically verified skip-mask of the analyzed GUS is applied, so
+    design-inert moment passes are never grouped at all. *)
 
 val run :
   ?seed:int ->

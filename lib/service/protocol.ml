@@ -111,14 +111,7 @@ let exact_json rs =
                     ("cells", List (List.map pair cells)) ])
               groups))
 
-let diagnostic_json (d : D.t) =
-  Obj
-    [ ("code", Str (D.code_id d.code));
-      ("severity", Str (D.severity_label (D.severity d)));
-      ("path", Str (D.path_to_string d.path));
-      ("node", Str d.node);
-      ("message", Str d.message);
-      ("citation", Str (D.citation d.code)) ]
+let diagnostic_json = Workload_lint.diagnostic_json
 
 let response_json ~handle (o : Engine.outcome) =
   let rs = o.Engine.response in
@@ -193,20 +186,28 @@ let op_prepare engine j =
     Engine.prepare engine ?name:(opt_str j "name") ~dataset sql
   in
   let report = (Prepared.handle p).Runner.pr_lint in
-  Obj
-    [ ("ok", Bool true);
-      ("op", Str "prepare");
-      ("handle", Str handle);
-      ("dataset", Str dataset);
-      ("version", Num (float_of_int (Prepared.version p)));
+  (* The prepare-time static analysis (class, predicted cost, variance
+     bound) rides along so clients can triage a prepared query before
+     ever executing it. *)
+  obj
+    [ ("ok", Some (Bool true));
+      ("op", Some (Str "prepare"));
+      ("handle", Some (Str handle));
+      ("dataset", Some (Str dataset));
+      ("version", Some (Num (float_of_int (Prepared.version p))));
       ( "relations",
-        List
-          (List.map
-             (fun r -> Str r)
-             (Gus_core.Splan.relations (Prepared.handle p).Runner.pr_plan)) );
-      ("analyzable", Bool (report.Lint.analysis <> None));
+        Some
+          (List
+             (List.map
+                (fun r -> Str r)
+                (Gus_core.Splan.relations (Prepared.handle p).Runner.pr_plan)))
+      );
+      ("analyzable", Some (Bool (report.Lint.analysis <> None)));
+      ("severity", Some (Str (Workload_lint.severity_label report)));
+      ( "analysis",
+        Option.map Workload_lint.analysis_json report.Lint.analysis );
       ( "diagnostics",
-        List (List.map diagnostic_json report.Lint.diagnostics) ) ]
+        Some (List (List.map diagnostic_json report.Lint.diagnostics)) ) ]
 
 let exec_item j =
   let handle = req_str j "handle" in

@@ -45,21 +45,21 @@ let cell_of_report ~label ?quantile (estimate, stddev) =
     ci95_normal = safe_interval Interval.Normal;
     ci95_chebyshev = safe_interval Interval.Chebyshev }
 
-let eval_item ~gus sample item =
+let eval_item ?skip_mask ~gus sample item =
   let label = label_of item in
   let rec go ?quantile agg =
     match agg with
     | Ast.Sum e ->
-        let r = Sbox.of_relation ~gus ~f:e sample in
+        let r = Sbox.of_relation ?skip_mask ~gus ~f:e sample in
         cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
     | Ast.Count_star ->
-        let r = Sbox.of_relation ~gus ~f:one sample in
+        let r = Sbox.of_relation ?skip_mask ~gus ~f:one sample in
         cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
     | Ast.Count e ->
         (* COUNT(e) counts non-null rows: e*0 + 1 is 1 when e is a number
            and Null (→ 0 under SUM) when e is Null. *)
         let indicator = Expr.(Bin (Add, Bin (Mul, e, Expr.float 0.0), Expr.float 1.0)) in
-        let r = Sbox.of_relation ~gus ~f:indicator sample in
+        let r = Sbox.of_relation ?skip_mask ~gus ~f:indicator sample in
         cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
     | Ast.Avg e ->
         let r = Sbox.avg ~gus ~f:e sample in
@@ -99,18 +99,19 @@ let partition_groups keys rel =
    sample.  [gus] is the plan's SOA analysis, computed by the caller
    (prepare-time artifact: it depends only on the plan and base
    cardinalities, never on tuple data). *)
-let eval_query ~gus ~seed db query plan =
+let eval_query ?skip_mask ~gus ~seed db query plan =
   let rng = Gus_util.Rng.create seed in
   let sample = Splan.exec db rng plan in
   let cells, groups =
     match query.Ast.group_by with
-    | [] -> (List.map (eval_item ~gus sample) query.Ast.items, [])
+    | [] -> (List.map (eval_item ?skip_mask ~gus sample) query.Ast.items, [])
     | keys ->
         let per_group =
           List.map
             (fun (k, sub) ->
               { keys = k;
-                group_cells = List.map (eval_item ~gus sub) query.Ast.items })
+                group_cells =
+                  List.map (eval_item ?skip_mask ~gus sub) query.Ast.items })
             (partition_groups keys sample)
         in
         ([], per_group)
@@ -146,12 +147,12 @@ let rec agg_expr = function
    Same seed ⇒ bit-identical estimate / n_sample_tuples to [eval_query]
    (the moment sums — hence stddev — can differ in final bits from
    reduction order; see Sbox.of_plan). *)
-let stream_result ?pool ~gus ~seed db query plan =
+let stream_result ?pool ?skip_mask ~gus ~seed db query plan =
   match query.Ast.items with
   | [ item ] when query.Ast.group_by = [] && streamable_item item ->
       let rng = Gus_util.Rng.create seed in
       let f = agg_expr item.Ast.agg in
-      let r = Sbox.of_plan ?pool ~gus ~f db rng plan in
+      let r = Sbox.of_plan ?pool ?skip_mask ~gus ~f db rng plan in
       let cell =
         cell_of_report ~label:(label_of item)
           ?quantile:(item_quantile item.Ast.agg)
@@ -185,33 +186,6 @@ type explain = {
   ex_total_ns : int;
 }
 
-(* The sampler's own (a, b_pair): the Figure-1 translation used by the
-   linter, with diagnostics discarded — lint is where they are reported. *)
-let sampler_gus db plan path =
-  match Splan.subtree plan path with
-  | Some (Splan.Sample (s, q)) ->
-      let over =
-        let seen = Hashtbl.create 8 in
-        Array.of_list
-          (List.filter
-             (fun r ->
-               if Hashtbl.mem seen r then false
-               else begin
-                 Hashtbl.add seen r ();
-                 true
-               end)
-             (Array.to_list (Splan.lineage_schema q)))
-      in
-      let base = match q with Splan.Scan _ -> true | _ -> false in
-      (try
-         Gus_analysis.Lint.translate_sampler
-           ~card:(fun r -> Relation.cardinality (Database.find db r))
-           ~over ~base ~path ~node:(Splan.node_label (Splan.Sample (s, q)))
-           ~emit:(fun _ -> ())
-           s
-       with _ -> None)
-  | _ -> None
-
 (* Map a subtree's relation set into a subset mask over [gus.rels]. *)
 let subtree_mask ~gus plan path =
   match Splan.subtree plan path with
@@ -232,24 +206,33 @@ let subtree_mask ~gus plan path =
         Some !mask
       with Exit | Gus_relational.Lineage.Overlap _ -> None)
 
-let explain_of ~gus ~seed db query plan =
+let explain_of ~(analysis : Gus_analysis.Lint.analysis) ~seed db query plan =
+  let gus = analysis.Gus_analysis.Lint.gus in
+  let skip_mask = analysis.Gus_analysis.Lint.cost.Gus_analysis.Cost.skip_mask in
   let rng = Gus_util.Rng.create seed in
   let sample, profiles = Splan.exec_profiled db rng plan in
   let cells, groups =
     match query.Ast.group_by with
-    | [] -> (List.map (eval_item ~gus sample) query.Ast.items, [])
+    | [] -> (List.map (eval_item ~skip_mask ~gus sample) query.Ast.items, [])
     | keys ->
         let per_group =
           List.map
             (fun (k, sub) ->
               { keys = k;
-                group_cells = List.map (eval_item ~gus sub) query.Ast.items })
+                group_cells =
+                  List.map (eval_item ~skip_mask ~gus sub) query.Ast.items })
             (partition_groups keys sample)
         in
         ([], per_group)
   in
   let result =
     { cells; groups; n_sample_tuples = Relation.cardinality sample; gus; plan }
+  in
+  (* The sampler annotations come straight from the prepare-time analysis:
+     the linter already ran the Figure-1 translation of every sampling
+     node and recorded it per path, so EXPLAIN never re-lints. *)
+  let sampler_gus path =
+    List.assoc_opt path analysis.Gus_analysis.Lint.sampler_gus
   in
   (* Variance decomposition of the first aggregate: Theorem 1 says
      Var = sum_S (c_S/a^2) y_S - y_0; each sampling node is annotated with
@@ -259,7 +242,7 @@ let explain_of ~gus ~seed db query plan =
     match query.Ast.items with
     | [] -> None
     | item :: _ -> (
-        try Some (Sbox.of_relation ~gus ~f:(agg_expr item.Ast.agg) sample)
+        try Some (Sbox.of_relation ~skip_mask ~gus ~f:(agg_expr item.Ast.agg) sample)
         with _ -> None)
   in
   let contrib_of =
@@ -289,7 +272,7 @@ let explain_of ~gus ~seed db query plan =
             (if is_sample then
                Option.map
                  (fun g -> (g.Gus_core.Gus.a, g.Gus_core.Gus.b.(0)))
-                 (sampler_gus db plan np.Splan.np_path)
+                 (sampler_gus np.Splan.np_path)
              else None);
           an_var_contrib =
             (if is_sample then contrib_of np.Splan.np_path else None) })
@@ -392,24 +375,30 @@ type response = {
 let execute db (p : prepared) (params : params) =
   let query = p.pr_query and plan = p.pr_plan in
   (* Reject before executing: a plan outside the GUS theory fails with
-     every diagnostic code at once, before any sampling work runs. *)
-  let gus =
-    match prepared_gus p with
-    | Some gus -> gus
+     every diagnostic code at once, before any sampling work runs.  All
+     static facts (GUS, per-sampler translations, skip-mask) come from the
+     prepare-time analysis — execution never re-lints. *)
+  let analysis =
+    match p.pr_lint.Gus_analysis.Lint.analysis with
+    | Some a -> a
     | None -> raise (Rewrite.Unsupported (Rewrite.render_errors (prepared_errors p)))
   in
+  let gus = analysis.Gus_analysis.Lint.gus in
+  let skip_mask = analysis.Gus_analysis.Lint.cost.Gus_analysis.Cost.skip_mask in
   let ex, result, streamed =
     if params.explain then
-      let ex = explain_of ~gus ~seed:params.seed db query plan in
+      let ex = explain_of ~analysis ~seed:params.seed db query plan in
       (Some ex, ex.ex_result, false)
     else
       match
         (if params.streaming then
-           stream_result ?pool:params.pool ~gus ~seed:params.seed db query plan
+           stream_result ?pool:params.pool ~skip_mask ~gus ~seed:params.seed db
+             query plan
          else None)
       with
       | Some r -> (None, r, true)
-      | None -> (None, eval_query ~gus ~seed:params.seed db query plan, false)
+      | None ->
+          (None, eval_query ~skip_mask ~gus ~seed:params.seed db query plan, false)
   in
   let exact_cells, exact_groups =
     if not params.exact then ([], [])

@@ -106,12 +106,13 @@ A legal but statistically degenerate sampling rate is a warning
 
   $ gusdb lint -s 0.01 "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (0.005 PERCENT)"; echo "exit: $?"
   sampling plan:
-  Bernoulli(5e-05)  <-- GUS010
+  Bernoulli(5e-05)  <-- GUS010, GUS015
     lineitem
   
   GUS010 warning at $ (Bernoulli(5e-05)): effective sampling fraction a = 5e-05 is below 0.001: Theorem-1 variance terms scale with c_S/a² (blow-up factor ≈ 4e+08) [Theorem 1 (variance terms c_S/a²)]
+  GUS015 hint    at $ (Bernoulli(5e-05)): worst-case relative variance (Theorem 1, f ≥ 0): Var/E² ≤ 2e+04 ≥ the 1e+04 threshold — relative standard error up to ≈ 141× [Theorem 1 (worst-case Var/E² for f ≥ 0)]
   plan is GUS-analyzable: a = 5e-05 over [lineitem]
-  0 error(s), 1 warning(s), 0 hint(s)
+  0 error(s), 1 warning(s), 1 hint(s)
   exit: 0
 
 Machine-readable output:
@@ -128,6 +129,71 @@ Machine-readable output:
     ]
   }
   exit: 1
+
+The diagnostics table in DESIGN.md §5 is kept in lockstep with the
+registry: code and severity agree line for line.
+
+  $ gusdb lint --codes | awk '{print $1, $2}' > codes_cli
+  $ grep -E '^\| GUS[0-9]+ \|' ../../DESIGN.md | cut -d'|' -f2,3 | tr -d ' ' | tr '|' ' ' > codes_doc
+  $ diff codes_cli codes_doc
+
+--fix applies the machine-applicable rewrites to a fixpoint and
+re-lints: a WOR that keeps all 584 lineitem rows is the identity GUS
+(GUS011) and is dropped, leaving a clean plan.  Every fix preserves
+the sample-free skeleton and the estimator's expectation:
+
+  $ gusdb lint -s 0.01 --fix "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (584 ROWS)"; echo "exit: $?"
+  sampling plan:
+  WOR(584)  <-- GUS011, GUS016
+    lineitem
+  
+  GUS011 hint    at $ (WOR(584)): WOR(584) over lineitem keeps all N = 584 tuples: it is the identity GUS and can be removed [Prop. 4 (identity GUS)] (fix: drop redundant WOR(584))
+  GUS016 hint    at $ (WOR(584)): 1 of 1 coefficient subset(s) are provably zero (Prop. 6 product form: [lineitem] carry no sampling randomness): the moments kernel skips those passes [Prop. 6 (product-form zero coefficients)]
+  plan is GUS-analyzable: a = 1 over [lineitem]
+  0 error(s), 0 warning(s), 2 hint(s)
+  
+  applied 1 fix(es):
+    drop redundant WOR(584)
+  fixed plan:
+  lineitem
+  
+  0 error(s), 0 warning(s), 0 hint(s)
+  exit: 0
+
+
+
+
+lint-workload sweeps a SQL corpus directory into one aggregated JSON
+report with a stable exit-code contract (0 clean, 1 any error-severity
+finding or unparsable query, 124 missing directory):
+
+  $ mkdir corpus
+  $ cat > corpus/good.sql <<'EOF'
+  > -- a clean sampled aggregate
+  > SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT);
+  > EOF
+  $ gusdb lint-workload -s 0.01 corpus; echo "exit: $?"
+  {"ok":true,"op":"lint-workload","dir":"corpus","files":1,"queries":1,"unparsable":0,"errors":0,"warnings":0,"hints":0,"by_code":{},"entries":[{"file":"good.sql","query":0,"status":"ok","severity":"none","errors":0,"warnings":0,"hints":0,"fixable":0,"analysis":{"a":0.1,"class":"independent-bernoulli","relations":1,"coefficient_passes":1,"skipped_passes":0,"est_groups":58.400000000000006,"predicted_cost":58.400000000000006,"variance_bound":8.999999999999998}}]}
+  exit: 0
+
+A corpus with a self-join (error severity) and an unparsable statement
+exits 1, and the report counts both:
+
+  $ cat > corpus/bad.sql <<'EOF'
+  > SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT), lineitem;
+  > SELECT BOGUS;
+  > EOF
+  $ gusdb lint-workload -s 0.01 corpus > report.json; echo "exit: $?"
+  exit: 1
+  $ grep -o '"errors":[0-9]*' report.json | head -1
+  "errors":1
+  $ grep -o '"unparsable":[0-9]*' report.json | head -1
+  "unparsable":1
+  $ grep -o '"by_code":{[^}]*}' report.json
+  "by_code":{"GUS001":1}
+  $ gusdb lint-workload -s 0.01 no_such_dir; echo "exit: $?"
+  gusdb lint-workload: no such directory no_such_dir
+  exit: 124
 
 Unsupported plans are rejected by query before any sampling runs,
 with the same stable codes:

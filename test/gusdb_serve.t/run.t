@@ -23,7 +23,7 @@ Registration reports the dataset version and its relations:
 Preparation parses, plans and lints exactly once and installs the handle:
 
   $ sed -n 2p responses
-  {"ok":true,"op":"prepare","handle":"q","dataset":"t","version":1,"relations":["lineitem"],"analyzable":true,"diagnostics":[]}
+  {"ok":true,"op":"prepare","handle":"q","dataset":"t","version":1,"relations":["lineitem"],"analyzable":true,"severity":"none","analysis":{"a":0.2,"class":"independent-bernoulli","relations":1,"coefficient_passes":1,"skipped_passes":0,"est_groups":596.6,"predicted_cost":596.6,"variance_bound":3.999999999999999},"diagnostics":[]}
 
 The first execution is cold, the second — same handle, same seed, same
 params — is answered from the LRU cache, bit-identical:

@@ -47,11 +47,12 @@ let has_code id report = List.mem id (codes_of report)
 (* ---- the diagnostic registry ---- *)
 
 let test_registry () =
-  check_int "13 codes" 13 (List.length D.all_codes);
+  check_int "18 codes" 18 (List.length D.all_codes);
   let ids = List.map D.code_id D.all_codes in
   check (Alcotest.list Alcotest.string) "stable ids"
     [ "GUS001"; "GUS002"; "GUS003"; "GUS004"; "GUS005"; "GUS006"; "GUS007";
-      "GUS008"; "GUS009"; "GUS010"; "GUS011"; "GUS012"; "GUS013" ]
+      "GUS008"; "GUS009"; "GUS010"; "GUS011"; "GUS012"; "GUS013"; "GUS014";
+      "GUS015"; "GUS016"; "GUS017"; "GUS018" ]
     ids;
   List.iter
     (fun c ->
@@ -93,11 +94,40 @@ let test_union_mismatch_gus002 () =
   check_bool "GUS002" true (has_code "GUS002" (Lint.run ~card plan))
 
 let test_wor_over_derived_gus003 () =
+  (* WOR over an input that is itself sampled: N is a random variable. *)
+  let plan =
+    Splan.Sample (Sampler.Wor 10, Splan.Sample (b01, Splan.Scan "r"))
+  in
+  check_bool "GUS003" true (has_code "GUS003" (Lint.run ~card plan))
+
+let test_wor_over_fixed_gus018 () =
+  (* WOR over a sample-free but cardinality-changing derived input: N is
+     fixed yet not statically known, a dedicated error distinct from the
+     random-input case. *)
   let plan =
     Splan.Sample
       (Sampler.Wor 10, Splan.Select (Expr.(col "x" > int 0), Splan.Scan "r"))
   in
-  check_bool "GUS003" true (has_code "GUS003" (Lint.run ~card plan))
+  let report = Lint.run ~card plan in
+  check_bool "GUS018" true (has_code "GUS018" report);
+  check_bool "not GUS003" false (has_code "GUS003" report);
+  check_bool "error: not analyzable" true (report.Lint.analysis = None)
+
+let test_wor_over_preserving_projection () =
+  (* A Project chain keeps rows 1:1 with the base table, so WOR's N
+     resolves through the skeleton to card "r" = 100 and a = 10/100. *)
+  let plan =
+    Splan.Sample
+      (Sampler.Wor 10,
+       Splan.Project ([ ("x", Expr.col "x") ], Splan.Scan "r"))
+  in
+  let report = Lint.run ~card plan in
+  check_bool "no GUS018" false (has_code "GUS018" report);
+  check_bool "no GUS003" false (has_code "GUS003" report);
+  match report.Lint.analysis with
+  | None -> Alcotest.fail "must be analyzable"
+  | Some a ->
+      check (Alcotest.float 1e-12) "a = n/N" 0.1 a.Lint.gus.Gus.a
 
 let test_block_over_derived_gus004 () =
   let block = Sampler.Block { rows_per_block = 10; p = 0.5 } in
@@ -141,8 +171,55 @@ let test_small_a_gus010 () =
   check_bool "only a warning: still analyzable" true
     (report.Lint.analysis <> None);
   (* The threshold is configurable. *)
-  let lax = Lint.run ~config:{ Lint.small_a = 1e-9 } ~card plan in
+  let lax =
+    Lint.run ~config:{ Lint.default_config with Lint.small_a = 1e-9 } ~card plan
+  in
   check_bool "below-threshold config silences it" false (has_code "GUS010" lax)
+
+(* The threshold comparison is strict, 0 disables the warning entirely,
+   and invalid configs are rejected rather than silently accepted. *)
+let test_small_a_boundaries () =
+  let plan = Splan.Sample (Sampler.Bernoulli 1e-3, Splan.Scan "r") in
+  let with_threshold small_a =
+    Lint.run ~config:{ Lint.default_config with Lint.small_a } ~card plan
+  in
+  check_bool "a = threshold: no warning (strict <)" false
+    (has_code "GUS010" (with_threshold 1e-3));
+  check_bool "a just below threshold: warns" true
+    (has_code "GUS010" (with_threshold 1.0000001e-3));
+  check_bool "small_a = 0 disables the warning" false
+    (has_code "GUS010" (with_threshold 0.0));
+  let rejects config =
+    match Lint.run ~config ~card plan with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "negative small_a rejected" true
+    (rejects { Lint.default_config with Lint.small_a = -1.0 });
+  check_bool "negative variance_bound rejected" true
+    (rejects { Lint.default_config with Lint.variance_bound = -1.0 });
+  check_bool "NaN cost_budget rejected" true
+    (rejects { Lint.default_config with Lint.cost_budget = Float.nan })
+
+(* [run] stays total when every base relation is empty: WOR's a = n/N has
+   no denominator, selections/joins see cardinality-zero intervals. *)
+let test_totality_on_empty_relations () =
+  let zero_card _ = 0 in
+  let plans =
+    [ Splan.Sample (b01, Splan.Scan "r");
+      Splan.Sample (Sampler.Wor 10, Splan.Scan "r");
+      Splan.Sample (Sampler.Wor 0, Splan.Scan "r");
+      join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Scan "s");
+      Splan.Sample
+        (Sampler.Wor 1,
+         Splan.Project ([ ("x", Expr.col "x") ], Splan.Scan "r")) ]
+  in
+  List.iter
+    (fun plan ->
+      let report = Lint.run ~card:zero_card plan in
+      ignore (Lint.summary report);
+      ignore (Lint.to_json report))
+    plans
 
 let test_redundant_gus011 () =
   let keep_all = Splan.Sample (Sampler.Bernoulli 1.0, Splan.Scan "r") in
@@ -176,6 +253,70 @@ let test_analysis_limit_gus013 () =
   done;
   let report = Lint.run ~card (Splan.Sample (b01, !plan)) in
   check_bool "GUS013" true (has_code "GUS013" report)
+
+let test_enumeration_cost_gus014 () =
+  let plan =
+    Splan.Cross
+      (Splan.Sample (b01, Splan.Scan "r"),
+       Splan.Cross (Splan.Sample (b05, Splan.Scan "s"), Splan.Scan "t"))
+  in
+  let tight =
+    Lint.run ~config:{ Lint.default_config with Lint.cost_budget = 10.0 }
+      ~card plan
+  in
+  check_bool "GUS014 under a tight budget" true (has_code "GUS014" tight);
+  check_bool "warning only: analyzable" true (tight.Lint.analysis <> None);
+  check_bool "default budget is silent here" false
+    (has_code "GUS014" (Lint.run ~card plan))
+
+let test_variance_bound_gus015 () =
+  let tiny = Splan.Sample (Sampler.Bernoulli 1e-5, Splan.Scan "r") in
+  let report = Lint.run ~card tiny in
+  (* A single Bernoulli(p) has worst-case Var/E^2 = 1/p - 1. *)
+  check_bool "GUS015" true (has_code "GUS015" report);
+  check_bool "hint only: analyzable" true (report.Lint.analysis <> None);
+  let fine = Splan.Sample (b01, Splan.Scan "r") in
+  check_bool "10% sample is silent" false (has_code "GUS015" (Lint.run ~card fine))
+
+let test_zero_coefficients_gus016 () =
+  (* s is never sampled, so every coefficient of a subset containing it
+     is provably zero and the kernel can skip those passes. *)
+  let plan = join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Scan "s") in
+  let report = Lint.run ~card plan in
+  check_bool "GUS016" true (has_code "GUS016" report);
+  (match report.Lint.analysis with
+  | None -> Alcotest.fail "must be analyzable"
+  | Some a ->
+      let c = a.Lint.cost in
+      check_int "skip mask = bit of s" 2 c.Gus_analysis.Cost.skip_mask;
+      check_int "2 of 3 passes skipped" 2 c.Gus_analysis.Cost.skipped);
+  (* Fully sampled: nothing is inert, no hint. *)
+  let alive =
+    join (Splan.Sample (b01, Splan.Scan "r")) (Splan.Sample (b05, Splan.Scan "s"))
+  in
+  check_bool "no inert relation: silent" false
+    (has_code "GUS016" (Lint.run ~card alive));
+  (* Sample-free plans answer exactly; the identity GUS must not fire
+     cost noise. *)
+  check_int "sample-free plan clean" 0
+    (List.length (Lint.run ~card (join (Splan.Scan "r") (Splan.Scan "s"))).Lint.diagnostics)
+
+let test_stacked_samplers_gus017 () =
+  let plan =
+    Splan.Sample (b01, Splan.Sample (b05, Splan.Scan "r"))
+  in
+  let report = Lint.run ~card plan in
+  check_bool "GUS017" true (has_code "GUS017" report);
+  check_bool "hint only: analyzable" true (report.Lint.analysis <> None);
+  (* The attached fix merges the pair into one Bernoulli(0.05). *)
+  let fixed, applied = Lint.apply_fixes ~card plan in
+  check_int "one fix applied" 1 (List.length applied);
+  (match fixed with
+  | Splan.Sample (Sampler.Bernoulli p, Splan.Scan "r") ->
+      check (Alcotest.float 1e-12) "merged a" 0.05 p
+  | _ -> Alcotest.fail "expected a single merged Bernoulli over the scan");
+  check_bool "fixed plan has no GUS017" false
+    (has_code "GUS017" (Lint.run ~card fixed))
 
 (* ---- several codes in one plan, reported all at once ---- *)
 
@@ -311,6 +452,8 @@ let () =
           Alcotest.test_case "GUS001 self-join" `Quick test_self_join_gus001;
           Alcotest.test_case "GUS002 union mismatch" `Quick test_union_mismatch_gus002;
           Alcotest.test_case "GUS003 WOR over derived" `Quick test_wor_over_derived_gus003;
+          Alcotest.test_case "GUS018 WOR over fixed derived" `Quick test_wor_over_fixed_gus018;
+          Alcotest.test_case "WOR over preserving projection" `Quick test_wor_over_preserving_projection;
           Alcotest.test_case "GUS004 block over derived" `Quick test_block_over_derived_gus004;
           Alcotest.test_case "GUS005 hash over derived" `Quick test_hash_over_derived_gus005;
           Alcotest.test_case "GUS006 with replacement" `Quick test_wr_gus006;
@@ -320,7 +463,14 @@ let () =
           Alcotest.test_case "GUS010 small a" `Quick test_small_a_gus010;
           Alcotest.test_case "GUS011 redundant sampler" `Quick test_redundant_gus011;
           Alcotest.test_case "GUS012 pushdown hint" `Quick test_pushdown_gus012;
-          Alcotest.test_case "GUS013 analysis limit" `Quick test_analysis_limit_gus013 ] );
+          Alcotest.test_case "GUS013 analysis limit" `Quick test_analysis_limit_gus013;
+          Alcotest.test_case "GUS014 enumeration cost" `Quick test_enumeration_cost_gus014;
+          Alcotest.test_case "GUS015 variance bound" `Quick test_variance_bound_gus015;
+          Alcotest.test_case "GUS016 zero coefficients" `Quick test_zero_coefficients_gus016;
+          Alcotest.test_case "GUS017 stacked samplers" `Quick test_stacked_samplers_gus017 ] );
+      ( "config",
+        [ Alcotest.test_case "small_a boundaries" `Quick test_small_a_boundaries;
+          Alcotest.test_case "total on empty relations" `Quick test_totality_on_empty_relations ] );
       ( "reports",
         [ Alcotest.test_case "several codes at once" `Quick test_multiple_codes_one_plan;
           Alcotest.test_case "union lineage exception" `Quick test_union_lineage_mismatch_exception;

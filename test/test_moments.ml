@@ -233,10 +233,70 @@ let test_kernel_large_parallel () =
         y)
     (Lazy.force pools)
 
+(* ---- skip-mask: skipped entries stay 0, live entries are bit-identical
+   to the dense run (same code path, same order — not merely close) ---- *)
+
+let skip_gen =
+  QCheck2.Gen.(
+    kernel_gen >>= fun (n_rels, tri) ->
+    int_range 0 (Subset.full n_rels) >|= fun mask -> (n_rels, tri, mask))
+
+let prop_skip_mask_bit_identical =
+  QCheck2.Test.make
+    ~name:"of_pairs with skip_mask: live masks bit-identical, dead 0.0"
+    ~count:200 skip_gen (fun (n_rels, tri, skip_mask) ->
+      let pairs = Array.map (fun (l, f, _) -> (l, f)) tri in
+      let dense = Moments.of_pairs ~n_rels pairs in
+      let skipped = Moments.of_pairs ~skip_mask ~n_rels pairs in
+      let bilinear_dense = Moments.bilinear_of_pairs ~n_rels tri in
+      let bilinear_skipped = Moments.bilinear_of_pairs ~skip_mask ~n_rels tri in
+      (* streaming accumulator under the same mask, vs a dense one — the
+         live-mask group tables run the identical code path *)
+      let acc = Moments.Acc.create ~skip_mask ~n_rels () in
+      let acc_dense = Moments.Acc.create ~n_rels () in
+      Array.iter
+        (fun (l, f) ->
+          Moments.Acc.add acc l f;
+          Moments.Acc.add acc_dense l f)
+        pairs;
+      let streamed = Moments.Acc.finalize acc in
+      let streamed_dense = Moments.Acc.finalize acc_dense in
+      let ok = ref (Moments.Acc.skip_mask acc = skip_mask) in
+      for s = 0 to Subset.full n_rels do
+        if s land skip_mask <> 0 then begin
+          if not (skipped.(s) = 0.0) then ok := false;
+          if not (streamed.(s) = 0.0) then ok := false;
+          if not (bilinear_skipped.(s) = 0.0) then ok := false
+        end
+        else begin
+          (* bit-exact comparison on purpose *)
+          if not (Int64.equal (Int64.bits_of_float skipped.(s))
+                    (Int64.bits_of_float dense.(s))) then ok := false;
+          if not (Int64.equal (Int64.bits_of_float streamed.(s))
+                    (Int64.bits_of_float streamed_dense.(s))) then ok := false;
+          if not (Int64.equal (Int64.bits_of_float bilinear_skipped.(s))
+                    (Int64.bits_of_float bilinear_dense.(s))) then ok := false
+        end
+      done;
+      !ok)
+
+let test_skip_mask_validation () =
+  let pairs = [| ([| 0; 1 |], 1.0) |] in
+  (match Moments.of_pairs ~skip_mask:4 ~n_rels:2 pairs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mask outside the universe accepted");
+  (* merge requires agreeing masks *)
+  let a = Moments.Acc.create ~skip_mask:1 ~n_rels:2 () in
+  let b = Moments.Acc.create ~n_rels:2 () in
+  match Moments.Acc.merge a b with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "mask mismatch merge accepted"
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_matches_brute_force; prop_mobius_z_nonneg_sum;
-      prop_kernel_matches_naive; prop_bilinear_kernel_matches_naive ]
+      prop_kernel_matches_naive; prop_bilinear_kernel_matches_naive;
+      prop_skip_mask_bit_identical ]
 
 let () =
   Alcotest.run "gus_estimator.moments"
@@ -247,7 +307,8 @@ let () =
           Alcotest.test_case "empty input" `Quick test_empty_input;
           Alcotest.test_case "zero relations" `Quick test_zero_rels;
           Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
-          Alcotest.test_case "monotone along chains" `Quick test_monotone_in_subsets ] );
+          Alcotest.test_case "monotone along chains" `Quick test_monotone_in_subsets;
+          Alcotest.test_case "skip-mask validation" `Quick test_skip_mask_validation ] );
       ( "bilinear",
         [ Alcotest.test_case "f=g reduces to plain" `Quick test_bilinear_reduces_to_plain;
           Alcotest.test_case "hand-computed" `Quick test_bilinear_hand_computed;

@@ -61,17 +61,17 @@ let test_self_join_lineage_overlap () =
 (* ---- sampler translation ---- *)
 
 let test_translate_bernoulli_base () =
-  let g = Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true b01 in
+  let g = Rewrite.sampler_gus ~card ~over:[| "r" |] ~input:Gus_analysis.Lint.Over_scan b01 in
   check_bool "bernoulli" true (Gus.equal_approx g (Gus.bernoulli ~rel:"r" 0.1))
 
 let test_translate_wor_base () =
-  let g = Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true (Sampler.Wor 10) in
+  let g = Rewrite.sampler_gus ~card ~over:[| "r" |] ~input:Gus_analysis.Lint.Over_scan (Sampler.Wor 10) in
   check_bool "wor uses catalog card" true
     (Gus.equal_approx g (Gus.wor ~rel:"r" ~n:10 ~out_of:100))
 
 let test_translate_block () =
   let g =
-    Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true
+    Rewrite.sampler_gus ~card ~over:[| "r" |] ~input:Gus_analysis.Lint.Over_scan
       (Sampler.Block { rows_per_block = 10; p = 0.3 })
   in
   check_bool "block = Bernoulli at block granularity" true
@@ -79,13 +79,16 @@ let test_translate_block () =
 
 let test_translate_hash () =
   let g =
-    Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true
+    Rewrite.sampler_gus ~card ~over:[| "r" |] ~input:Gus_analysis.Lint.Over_scan
       (Sampler.Hash_bernoulli { seed = 1; p = 0.2 })
   in
   check_bool "hash bernoulli" true (Gus.equal_approx g (Gus.bernoulli ~rel:"r" 0.2))
 
 let test_translate_bernoulli_derived () =
-  let g = Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false b01 in
+  let g =
+    Rewrite.sampler_gus ~card ~over:[| "r"; "s" |]
+      ~input:Gus_analysis.Lint.Over_random b01
+  in
   check_bool "derived bernoulli" true
     (Gus.equal_approx g (Gus.bernoulli_over [| "r"; "s" |] 0.1))
 
@@ -94,20 +97,33 @@ let unsupported f = try ignore (f ()); false with Rewrite.Unsupported _ -> true
 let test_translate_unsupported () =
   check_bool "WR" true
     (unsupported (fun () ->
-         Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:true (Sampler.Wr 5)));
+         Rewrite.sampler_gus ~card ~over:[| "r" |] ~input:Gus_analysis.Lint.Over_scan (Sampler.Wr 5)));
   check_bool "WOR over derived" true
     (unsupported (fun () ->
-         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false (Sampler.Wor 5)));
+         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |]
+           ~input:Gus_analysis.Lint.Over_random (Sampler.Wor 5)));
   check_bool "WOR over sampled base" true
     (unsupported (fun () ->
-         Rewrite.sampler_gus ~card ~over:[| "r" |] ~base:false (Sampler.Wor 5)));
+         Rewrite.sampler_gus ~card ~over:[| "r" |]
+           ~input:Gus_analysis.Lint.Over_random (Sampler.Wor 5)));
+  check_bool "WOR over fixed derived (GUS018)" true
+    (unsupported (fun () ->
+         Rewrite.sampler_gus ~card ~over:[| "r" |]
+           ~input:Gus_analysis.Lint.Over_fixed (Sampler.Wor 5)));
+  check_bool "WOR over preserving projection is fine" true
+    (Gus.equal_approx
+       (Rewrite.sampler_gus ~card ~over:[| "r" |]
+          ~input:Gus_analysis.Lint.Over_preserving (Sampler.Wor 10))
+       (Gus.wor ~rel:"r" ~n:10 ~out_of:100));
   check_bool "block over derived" true
     (unsupported (fun () ->
-         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false
+         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |]
+           ~input:Gus_analysis.Lint.Over_random
            (Sampler.Block { rows_per_block = 2; p = 0.5 })));
   check_bool "hash over derived" true
     (unsupported (fun () ->
-         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |] ~base:false
+         Rewrite.sampler_gus ~card ~over:[| "r"; "s" |]
+           ~input:Gus_analysis.Lint.Over_random
            (Sampler.Hash_bernoulli { seed = 1; p = 0.5 })))
 
 (* ---- analyze ---- *)

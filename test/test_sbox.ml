@@ -274,6 +274,41 @@ let test_run_end_to_end () =
     (Gus.equal_approx analysis.Rewrite.gus (Gus.bernoulli ~rel:"pop" 0.5));
   check_bool "estimate positive" true (report.Sbox.estimate > 0.0)
 
+let test_skip_mask_matches_dense () =
+  (* Half-sampled join: "s" carries no randomness, so the static analyzer
+     kills every mask touching it.  The estimate is Σf/a either way
+     (bit-identical); at n = 2 even the variance sum visits the same
+     floats in the same order, so it is bit-identical too. *)
+  let gus = Gus.join (Gus.bernoulli ~rel:"r" 0.1) (Gus.identity [| "s" |]) in
+  let skip_mask = Gus_analysis.Cost.skip_mask gus in
+  check Alcotest.int "skip mask = {s}" 2 skip_mask;
+  let pairs =
+    Array.init 120 (fun i ->
+        ([| i mod 11; i mod 7 |], float_of_int ((i mod 5) + 1)))
+  in
+  let dense = Sbox.of_pairs ~gus pairs in
+  let skipped = Sbox.of_pairs ~skip_mask ~gus pairs in
+  let bits = Int64.bits_of_float in
+  check_bool "estimate bit-identical" true
+    (Int64.equal (bits dense.Sbox.estimate) (bits skipped.Sbox.estimate));
+  check_bool "variance bit-identical at n=2" true
+    (Int64.equal (bits dense.Sbox.variance) (bits skipped.Sbox.variance));
+  Array.iteri
+    (fun s yh ->
+      if s land skip_mask <> 0 then close "dead y_hat pinned to 0" 0.0 yh
+      else
+        check_bool "live y_hat bit-identical" true
+          (Int64.equal (bits dense.Sbox.y_hat.(s)) (bits yh)))
+    skipped.Sbox.y_hat;
+  (* y_hat_of_moments agrees with the report's correction under the mask. *)
+  let y = Moments.of_pairs ~skip_mask ~n_rels:2 pairs in
+  let yh = Sbox.y_hat_of_moments ~skip_mask ~gus y in
+  Array.iteri
+    (fun s v ->
+      check_bool "y_hat_of_moments matches report" true
+        (Int64.equal (bits skipped.Sbox.y_hat.(s)) (bits v)))
+    yh
+
 let test_query1_fixture_pinned () =
   (* End-to-end regression pin: the full Query-1 pipeline (TPC-H generator →
      sampled plan execution → SBox) must keep producing the values the seed
@@ -330,6 +365,8 @@ let () =
           Alcotest.test_case "schema mismatch" `Quick test_schema_mismatch_rejected;
           Alcotest.test_case "unbiased (MC)" `Slow test_unbiased_estimate_mc;
           Alcotest.test_case "run end-to-end" `Quick test_run_end_to_end;
+          Alcotest.test_case "skip-mask = dense (bit-identical)" `Quick
+            test_skip_mask_matches_dense;
           Alcotest.test_case "Query-1 fixture pinned to seed values" `Quick
             test_query1_fixture_pinned ] );
       ( "variance",

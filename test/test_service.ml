@@ -70,6 +70,69 @@ let sig_of (rs : Runner.response) =
          ("exact", Protocol.exact_json rs);
          ("streamed", Some (Json.Bool rs.Runner.rs_streamed)) ])
 
+(* ---- Workload lint + lint-once metric ---- *)
+
+let test_workload_json_roundtrip () =
+  (* A tiny on-disk corpus with one clean file and one file holding an
+     error finding plus an unparsable statement; the aggregated JSON
+     must survive a print → parse → print cycle byte for byte. *)
+  let dir =
+    let f = Filename.temp_file "gus_workload" "" in
+    Sys.remove f;
+    Sys.mkdir f 0o755;
+    f
+  in
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "good.sql" (sql_single ^ ";\n");
+  write "bad.sql"
+    "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT), \
+     lineitem;\nSELECT BOGUS;\n";
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let wl = Gus_service.Workload_lint.run db dir in
+      check_int "files" 2 wl.Gus_service.Workload_lint.files;
+      check_int "unparsable" 1 (Gus_service.Workload_lint.unparsable wl);
+      check_int "errors" 1 (Gus_service.Workload_lint.errors wl);
+      check_int "exit code" 1 (Gus_service.Workload_lint.exit_code wl);
+      let s = Json.to_string (Gus_service.Workload_lint.to_json wl) in
+      check_string "json round-trip" s (Json.to_string (Json.of_string s));
+      (* missing directory is the caller's problem, as documented *)
+      match Gus_service.Workload_lint.run db (Filename.concat dir "absent") with
+      | exception Sys_error _ -> ()
+      | _ -> Alcotest.fail "missing corpus dir must raise Sys_error")
+
+let test_execute_never_relints () =
+  (* The analyzer runs once at prepare time; plain executions (cached or
+     not) reuse the recorded facts.  Only a sampler override, which
+     changes the plan, may re-lint. *)
+  let lint_runs = Metrics.counter "analysis.lint.runs" in
+  let was_enabled = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled was_enabled)
+    (fun () ->
+      let e = fresh_engine () in
+      let before = Metrics.counter_value lint_runs in
+      let handle, _ = Engine.prepare e ~dataset sql_join in
+      let after_prepare = Metrics.counter_value lint_runs in
+      check_int "prepare lints exactly once" 1 (after_prepare - before);
+      for seed = 1 to 3 do
+        ignore
+          (Engine.execute e ~handle { Prepared.default_overrides with seed })
+      done;
+      ignore (Engine.execute e ~handle Prepared.default_overrides);
+      check_int "executes never re-lint" after_prepare
+        (Metrics.counter_value lint_runs))
+
 (* ---- 1. Json ---- *)
 
 let test_json_basics () =
@@ -440,6 +503,11 @@ let () =
         [ Alcotest.test_case "deterministic map" `Quick test_scheduler_map;
           Alcotest.test_case "cached = uncached (pools 1/2/4)" `Slow
             test_cached_uncached_property ] );
+      ( "workload",
+        [ Alcotest.test_case "json round-trip + totals" `Quick
+            test_workload_json_roundtrip;
+          Alcotest.test_case "execute never re-lints" `Quick
+            test_execute_never_relints ] );
       ( "protocol",
         [ Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "errors" `Quick test_protocol_errors ] ) ]
