@@ -38,7 +38,13 @@ let baseline_main_ns =
        the reference for the "<2% overhead when disabled" claim, and what
        CI's hard overhead gate compares fresh runs against. *)
     ("sbox/stream-query1", 2.26286e6);
-    ("harness/trials-q1", 10.83e6) ]
+    ("harness/trials-q1", 10.83e6);
+    (* Row-engine numbers measured immediately before the columnar storage
+       swap: full SF-0.1 generation into boxed tuple rows, and a SUM scan
+       walking those rows one Value at a time.  The columnar engine is read
+       against these (scan-sum is the ≥5x acceptance row). *)
+    ("tpch/load-sf0.1", 12.92e6);
+    ("tpch/scan-sum-sf0.1", 62.61e3) ]
 
 (* Where [baseline_main_ns] was measured.  ns-per-run is meaningless
    across machines, so both CI gates compare a fresh run against the
@@ -71,7 +77,7 @@ type spec = { name : string; heavy : bool; body : unit -> unit }
 
 let heavy_quota_floor = 1.0
 
-let micro_specs () =
+let micro_specs ~quota () =
   (* Shared fixtures, built once. *)
   let plan6 = Exp.Exp_runtime.chain_plan ~n:6 in
   let plan10 = Exp.Exp_runtime.chain_plan ~n:10 in
@@ -120,7 +126,57 @@ let micro_specs () =
   let _ = Service.Engine.prepare engine ~name:"q" ~dataset:"bench" serve_sql in
   let warm_handle = Service.Prepared.prepare serve_cat ~dataset:"bench" serve_sql in
   let ov = Service.Prepared.default_overrides in
-  [ { name = "sbox/rewrite-n6";
+  (* TPC-H scale sweep: generation, base-scan aggregate.  lineitem at
+     SF 0.1 is the base relation every honest downstream number rests on. *)
+  let lineitem01 =
+    Gus_relational.Database.find (Exp.Harness.db_cached ~scale:0.1) "lineitem"
+  in
+  (* Snapshot fixture: one write of the SF-0.1 database, restored per
+     iteration.  Restore is O(columns) header parsing + mmap, so the row
+     reads directly against tpch/load-sf0.1 (the ≥10x acceptance pair). *)
+  let snap01 = Filename.temp_file "gusdb-bench-sf01" ".snap" in
+  at_exit (fun () -> try Sys.remove snap01 with Sys_error _ -> ());
+  Gus_relational.Snapshot.save ~path:snap01 db01;
+  (* SF-1 sweep rows cost ~130ms per load iteration; they only carry
+     signal with a real quota, so they ride behind --quota >= 1. *)
+  let sf1 =
+    if quota < 1.0 then []
+    else begin
+      let db1 = Exp.Harness.db_cached ~scale:1.0 in
+      let lineitem1 = Gus_relational.Database.find db1 "lineitem" in
+      let snap1 = Filename.temp_file "gusdb-bench-sf1" ".snap" in
+      at_exit (fun () -> try Sys.remove snap1 with Sys_error _ -> ());
+      Gus_relational.Snapshot.save ~path:snap1 db1;
+      [ { name = "tpch/load-sf1";
+          heavy = true;
+          body =
+            (fun () ->
+              ignore (Gus_tpch.Tpch.generate ~seed:20130630 ~scale:1.0 ())) };
+        { name = "tpch/scan-sum-sf1";
+          heavy = false;
+          body =
+            (fun () ->
+              ignore
+                (Gus_relational.Relation.sum_column lineitem1 "l_extendedprice")) };
+        { name = "tpch/snapshot-restore-sf1";
+          heavy = true;
+          body = (fun () -> ignore (Gus_relational.Snapshot.load ~path:snap1)) } ]
+    end
+  in
+  sf1
+  @ [ { name = "tpch/load-sf0.1";
+      heavy = true;
+      body =
+        (fun () -> ignore (Gus_tpch.Tpch.generate ~seed:20130630 ~scale:0.1 ())) };
+    { name = "tpch/scan-sum-sf0.1";
+      heavy = false;
+      body =
+        (fun () ->
+          ignore (Gus_relational.Relation.sum_column lineitem01 "l_extendedprice")) };
+    { name = "tpch/snapshot-restore-sf0.1";
+      heavy = true;
+      body = (fun () -> ignore (Gus_relational.Snapshot.load ~path:snap01)) };
+    { name = "sbox/rewrite-n6";
       heavy = false;
       body = (fun () -> ignore (Rewrite.analyze ~card plan6)) };
     { name = "sbox/rewrite-n10";
@@ -332,7 +388,7 @@ let bench_group ~quota specs =
 
 let run_micro ~quota ~json () =
   print_endline "\n=== Bechamel micro-benchmarks (monotonic clock) ===\n";
-  let specs = micro_specs () in
+  let specs = micro_specs ~quota () in
   let light, heavy = List.partition (fun s -> not s.heavy) specs in
   (* Allocation-heavy benches get the quota floored so the fit stabilizes;
      everything else keeps the requested (possibly very short) quota. *)

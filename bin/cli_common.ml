@@ -15,9 +15,10 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let data_arg =
-  let doc = "Load relations from CSVs in $(docv) (written by `gusdb gen`) \
-             instead of generating data in memory." in
-  Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"DIR" ~doc)
+  let doc = "Load relations from $(docv) instead of generating data in \
+             memory: a directory of CSVs (written by `gusdb gen`) or a \
+             binary snapshot file (written by `gusdb snapshot`)." in
+  Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"PATH" ~doc)
 
 let json_arg =
   let doc = "Emit machine-readable JSON (results on success, a structured \
@@ -40,11 +41,14 @@ let apply_pool_size = function
    `register {"scale": 0.3}` must mean the same database. *)
 let generation_seed = 20130630
 
-(* Either load CSVs previously written by `gen`, or generate in memory. *)
+(* Either load data previously written by `gen` (a CSV directory) or
+   `snapshot` (a single binary file), or generate in memory. *)
 let db_source ~scale data =
   let source =
     match data with
     | None -> Gus_service.Catalog.Tpch { scale; seed = generation_seed }
+    | Some path when Sys.file_exists path && not (Sys.is_directory path) ->
+        Gus_service.Catalog.Snapshot path
     | Some dir -> Gus_service.Catalog.Csv_dir dir
   in
   Gus_service.Catalog.build source

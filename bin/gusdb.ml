@@ -2,6 +2,8 @@
 
    Subcommands:
      gen          generate a synthetic TPC-H-style database and write CSVs
+     snapshot     write or inspect a mmap-able binary snapshot of the
+                  database (restore via --data FILE or serve `register`)
      query        run a dialect query (with TABLESAMPLE) and print the
                   estimate with confidence intervals, next to ground truth
      plan         show a query's sampling plan, its SOA rewrite trace and
@@ -43,6 +45,59 @@ let gen_cmd =
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic TPC-H-style database.")
     Term.(const run $ C.scale_arg $ C.seed_arg $ out_arg)
+
+(* ---- snapshot ---- *)
+
+let snapshot_cmd =
+  let out_arg =
+    let doc = "Write a binary snapshot of the database to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let info_arg =
+    let doc = "Load the snapshot at $(docv) and print its contents instead \
+               of writing one." in
+    Arg.(value & opt (some string) None & info [ "info" ] ~docv:"FILE" ~doc)
+  in
+  let print_db db =
+    List.iter
+      (fun name ->
+        let rel = Database.find db name in
+        Printf.printf "  %-10s %8d rows  %d columns\n" name
+          (Relation.cardinality rel)
+          (Schema.arity rel.Relation.schema))
+      (Database.names db)
+  in
+  let run scale data out info_path =
+    C.or_fail @@ fun () ->
+    match (out, info_path) with
+    | None, None ->
+        Printf.eprintf
+          "gusdb snapshot: either -o FILE (write) or --info FILE (inspect) \
+           is required\n";
+        exit 124
+    | _, Some path ->
+        let db = Snapshot.load ~path in
+        Printf.printf "%s: format v%d, %d relations, %d rows\n" path
+          Snapshot.version
+          (List.length (Database.names db))
+          (Database.total_rows db);
+        print_db db
+    | Some path, None ->
+        let db = C.db_source ~scale data in
+        Snapshot.save ~path db;
+        let size = (Unix.stat path).Unix.st_size in
+        Printf.printf "wrote %s: %d relations, %d rows, %d bytes\n" path
+          (List.length (Database.names db))
+          (Database.total_rows db) size;
+        print_db db
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Write (or inspect) a versioned binary snapshot of the \
+             database.  Restoring a snapshot (query/serve with a snapshot \
+             path, or register with source \"snapshot\") memory-maps the \
+             column data instead of re-generating or re-parsing it.")
+    Term.(const run $ C.scale_arg $ C.data_arg $ out_arg $ info_arg)
 
 (* ---- query ---- *)
 
@@ -415,5 +470,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; query_cmd; plan_cmd; lint_cmd; lint_workload_cmd;
-            serve_cmd; repl_cmd; experiments_cmd ]))
+          [ gen_cmd; snapshot_cmd; query_cmd; plan_cmd; lint_cmd;
+            lint_workload_cmd; serve_cmd; repl_cmd; experiments_cmd ]))

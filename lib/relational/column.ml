@@ -1,0 +1,340 @@
+(* Typed columnar storage: one growable unboxed vector per column.
+
+   Floats live in a float64 Bigarray, ints (and bools, as 0/1) in an
+   untagged-int Bigarray, strings as dictionary codes (an int Bigarray of
+   indices into an append-only string dictionary).  Nulls are a packed
+   bitmap on the side, allocated lazily — a column with no NULLs pays one
+   [has_nulls] branch and nothing else.
+
+   Bigarray backing makes two things possible at once: kernels scan the
+   raw arrays at hardware speed with no per-row boxing, and snapshot
+   restore can wrap a [Unix.map_file]d region directly as column data
+   (see {!Snapshot}) — the capacity of a wrapped column equals its
+   length, so the first append after a restore falls into the ordinary
+   grow-by-copy path and never writes through the mapping. *)
+
+module Vec = Gus_util.Vec
+
+type float_ba =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type dict = {
+  strings : string Vec.t;
+  index : (string, int) Hashtbl.t;
+}
+
+type data =
+  | Floats of float_ba
+  | Ints of int_ba  (** TInt values, and TBool as 0/1 *)
+  | Codes of int_ba * dict  (** TStr: per-row dictionary codes *)
+
+type t = {
+  ty : Value.ty;
+  mutable n : int;
+  mutable data : data;
+  (* Packed null bitmap, bit i = row i is NULL.  Length 0 ⇔ no NULL has
+     ever been pushed; grows with capacity once one appears. *)
+  mutable nulls : Bytes.t;
+  mutable has_nulls : bool;
+}
+
+let float_ba n : float_ba =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let int_ba n : int_ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let dict_create () = { strings = Vec.create (); index = Hashtbl.create 16 }
+
+let create ?(capacity = 16) ty =
+  let capacity = max capacity 1 in
+  let data =
+    match ty with
+    | Value.TFloat -> Floats (float_ba capacity)
+    | Value.TInt | Value.TBool -> Ints (int_ba capacity)
+    | Value.TStr -> Codes (int_ba capacity, dict_create ())
+  in
+  { ty; n = 0; data; nulls = Bytes.empty; has_nulls = false }
+
+let length t = t.n
+let ty t = t.ty
+let has_nulls t = t.has_nulls
+
+let capacity t =
+  match t.data with
+  | Floats ba -> Bigarray.Array1.dim ba
+  | Ints ba | Codes (ba, _) -> Bigarray.Array1.dim ba
+
+(* ---- null bitmap ---- *)
+
+let nulls_bytes_for cap = (cap + 7) / 8
+
+let is_null t i =
+  t.has_nulls
+  && Char.code (Bytes.unsafe_get t.nulls (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let ensure_nulls t =
+  let need = nulls_bytes_for (capacity t) in
+  if Bytes.length t.nulls < need then begin
+    let b = Bytes.make need '\000' in
+    Bytes.blit t.nulls 0 b 0 (Bytes.length t.nulls);
+    t.nulls <- b
+  end
+
+let set_null t i =
+  ensure_nulls t;
+  t.has_nulls <- true;
+  Bytes.set t.nulls (i lsr 3)
+    (Char.chr (Char.code (Bytes.get t.nulls (i lsr 3)) lor (1 lsl (i land 7))))
+
+(* ---- growth ---- *)
+
+let grow t =
+  let cap = capacity t in
+  let cap' = max 16 (2 * cap) in
+  (match t.data with
+  | Floats ba ->
+      let ba' = float_ba cap' in
+      Bigarray.Array1.blit ba (Bigarray.Array1.sub ba' 0 cap);
+      t.data <- Floats ba'
+  | Ints ba ->
+      let ba' = int_ba cap' in
+      Bigarray.Array1.blit ba (Bigarray.Array1.sub ba' 0 cap);
+      t.data <- Ints ba'
+  | Codes (ba, d) ->
+      let ba' = int_ba cap' in
+      Bigarray.Array1.blit ba (Bigarray.Array1.sub ba' 0 cap);
+      t.data <- Codes (ba', d));
+  if t.has_nulls then ensure_nulls t
+
+let ensure_room t = if t.n >= capacity t then grow t
+
+(* ---- typed appends ---- *)
+
+let push_float t x =
+  ensure_room t;
+  (match t.data with
+  | Floats ba -> Bigarray.Array1.unsafe_set ba t.n x
+  | Ints _ | Codes _ -> Value.type_error "Column.push_float" (Value.Float x));
+  t.n <- t.n + 1
+
+let push_int t x =
+  ensure_room t;
+  (match t.data with
+  | Ints ba -> Bigarray.Array1.unsafe_set ba t.n x
+  | Floats _ | Codes _ -> Value.type_error "Column.push_int" (Value.Int x));
+  t.n <- t.n + 1
+
+let dict_code d s =
+  match Hashtbl.find_opt d.index s with
+  | Some c -> c
+  | None ->
+      let c = Vec.length d.strings in
+      Vec.push d.strings s;
+      Hashtbl.add d.index s c;
+      c
+
+let push_string t s =
+  ensure_room t;
+  (match t.data with
+  | Codes (ba, d) -> Bigarray.Array1.unsafe_set ba t.n (dict_code d s)
+  | Floats _ | Ints _ -> Value.type_error "Column.push_string" (Value.Str s));
+  t.n <- t.n + 1
+
+let push_null t =
+  ensure_room t;
+  (* The value slot under a null bit is never read; keep it zero so
+     snapshots of equal relations are byte-identical. *)
+  (match t.data with
+  | Floats ba -> Bigarray.Array1.unsafe_set ba t.n 0.0
+  | Ints ba | Codes (ba, _) -> Bigarray.Array1.unsafe_set ba t.n 0);
+  set_null t t.n;
+  t.n <- t.n + 1
+
+let push t v =
+  match v with
+  | Value.Null -> push_null t
+  | Value.Float x -> push_float t x
+  | Value.Int x -> push_int t x
+  | Value.Bool b ->
+      if t.ty <> Value.TBool then Value.type_error "Column.push" v;
+      push_int t (if b then 1 else 0)
+  | Value.Str s -> push_string t s
+
+(* ---- reads ---- *)
+
+let check t i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Column: index %d out of bounds [0,%d)" i t.n)
+
+let get_float t i =
+  match t.data with
+  | Floats ba -> Bigarray.Array1.unsafe_get ba i
+  | Ints _ | Codes _ -> Value.type_error "Column.get_float" Value.Null
+
+let get_int t i =
+  match t.data with
+  | Ints ba | Codes (ba, _) -> Bigarray.Array1.unsafe_get ba i
+  | Floats _ -> Value.type_error "Column.get_int" Value.Null
+
+let get_string t i =
+  match t.data with
+  | Codes (ba, d) -> Vec.get d.strings (Bigarray.Array1.unsafe_get ba i)
+  | Floats _ | Ints _ -> Value.type_error "Column.get_string" Value.Null
+
+let get t i =
+  check t i;
+  if is_null t i then Value.Null
+  else
+    match t.data with
+    | Floats ba -> Value.Float (Bigarray.Array1.unsafe_get ba i)
+    | Ints ba ->
+        let x = Bigarray.Array1.unsafe_get ba i in
+        if t.ty = Value.TBool then Value.Bool (x <> 0) else Value.Int x
+    | Codes (ba, d) ->
+        Value.Str (Vec.get d.strings (Bigarray.Array1.unsafe_get ba i))
+
+(* ---- gather ---- *)
+
+(* New column holding rows [idx.(0..count-1)] of [t], in that order.
+   Dictionary columns share [t]'s dictionary (it is append-only, and codes
+   are only meaningful per column), so a gather never re-hashes strings. *)
+let gather t idx count =
+  let nulls =
+    if not t.has_nulls then Bytes.empty
+    else begin
+      let b = Bytes.make (nulls_bytes_for (max count 1)) '\000' in
+      for k = 0 to count - 1 do
+        let i = idx.(k) in
+        if is_null t i then
+          Bytes.set b (k lsr 3)
+            (Char.chr (Char.code (Bytes.get b (k lsr 3)) lor (1 lsl (k land 7))))
+      done;
+      b
+    end
+  in
+  let cap = max count 1 in
+  let data =
+    match t.data with
+    | Floats ba ->
+        let out = float_ba cap in
+        for k = 0 to count - 1 do
+          Bigarray.Array1.unsafe_set out k (Bigarray.Array1.unsafe_get ba idx.(k))
+        done;
+        Floats out
+    | Ints ba ->
+        let out = int_ba cap in
+        for k = 0 to count - 1 do
+          Bigarray.Array1.unsafe_set out k (Bigarray.Array1.unsafe_get ba idx.(k))
+        done;
+        Ints out
+    | Codes (ba, d) ->
+        let out = int_ba cap in
+        for k = 0 to count - 1 do
+          Bigarray.Array1.unsafe_set out k (Bigarray.Array1.unsafe_get ba idx.(k))
+        done;
+        Codes (out, d)
+  in
+  { ty = t.ty; n = count; data; nulls; has_nulls = t.has_nulls }
+
+(* Length-[n] copy: same values, nulls and (shared) dictionary, fresh
+   backing so later appends to either column cannot alias. *)
+let copy t =
+  let cap = max t.n 1 in
+  let blit_into src dst = Bigarray.Array1.blit (Bigarray.Array1.sub src 0 t.n) (Bigarray.Array1.sub dst 0 t.n) in
+  let data =
+    match t.data with
+    | Floats ba ->
+        let out = float_ba cap in
+        blit_into ba out;
+        Floats out
+    | Ints ba ->
+        let out = int_ba cap in
+        blit_into ba out;
+        Ints out
+    | Codes (ba, d) ->
+        let out = int_ba cap in
+        blit_into ba out;
+        Codes (out, d)
+  in
+  let nulls =
+    if not t.has_nulls then Bytes.empty
+    else Bytes.sub t.nulls 0 (nulls_bytes_for t.n)
+  in
+  { ty = t.ty; n = t.n; data; nulls; has_nulls = t.has_nulls }
+
+(* An int column holding [idx.(0..count-1)] verbatim (lineage ids). *)
+let of_int_array idx count =
+  let cap = max count 1 in
+  let ba = int_ba cap in
+  for k = 0 to count - 1 do
+    Bigarray.Array1.unsafe_set ba k idx.(k)
+  done;
+  { ty = Value.TInt; n = count; data = Ints ba; nulls = Bytes.empty;
+    has_nulls = false }
+
+(* ---- raw views (snapshot writer / vectorized kernels) ---- *)
+
+let float_data t =
+  match t.data with
+  | Floats ba -> Bigarray.Array1.sub ba 0 t.n
+  | Ints _ | Codes _ -> invalid_arg "Column.float_data: not a float column"
+
+let int_data t =
+  match t.data with
+  | Ints ba | Codes (ba, _) -> Bigarray.Array1.sub ba 0 t.n
+  | Floats _ -> invalid_arg "Column.int_data: not an int column"
+
+let dict_strings t =
+  match t.data with
+  | Codes (_, d) -> Vec.to_array d.strings
+  | Floats _ | Ints _ -> invalid_arg "Column.dict_strings: not a string column"
+
+let null_bytes t =
+  if not t.has_nulls then None else Some (Bytes.sub t.nulls 0 (nulls_bytes_for t.n))
+
+(* ---- constructors over existing storage (snapshot restore) ---- *)
+
+let nulls_of ~n = function
+  | None -> (Bytes.empty, false)
+  | Some b ->
+      if Bytes.length b < nulls_bytes_for n then
+        invalid_arg "Column: null bitmap shorter than column";
+      (b, true)
+
+let of_float_ba ?nulls (ba : float_ba) =
+  let n = Bigarray.Array1.dim ba in
+  let nulls, has_nulls = nulls_of ~n nulls in
+  { ty = Value.TFloat; n; data = Floats ba; nulls; has_nulls }
+
+let of_int_ba ?nulls ~ty (ba : int_ba) =
+  (match ty with
+  | Value.TInt | Value.TBool -> ()
+  | Value.TFloat | Value.TStr ->
+      invalid_arg "Column.of_int_ba: ty must be TInt or TBool");
+  let n = Bigarray.Array1.dim ba in
+  let nulls, has_nulls = nulls_of ~n nulls in
+  { ty; n; data = Ints ba; nulls; has_nulls }
+
+let of_codes_ba ?nulls ~dict (ba : int_ba) =
+  let n = Bigarray.Array1.dim ba in
+  let d = dict_create () in
+  Array.iter (fun s -> ignore (dict_code d s)) dict;
+  let ndict = Vec.length d.strings in
+  let nulls, has_nulls = nulls_of ~n nulls in
+  (* NULL slots hold the placeholder code 0, which is out of range when
+     the dictionary is empty (an all-NULL column) — only validate codes
+     that are actually live. *)
+  let is_null i =
+    has_nulls
+    && Bytes.get_uint8 nulls (i lsr 3) land (1 lsl (i land 7)) <> 0
+  in
+  for i = 0 to n - 1 do
+    let c = Bigarray.Array1.unsafe_get ba i in
+    if (c < 0 || c >= ndict) && not (is_null i) then
+      invalid_arg
+        (Printf.sprintf "Column.of_codes_ba: code %d outside dictionary [0,%d)"
+           c ndict)
+  done;
+  { ty = Value.TStr; n; data = Codes (ba, d); nulls; has_nulls }

@@ -1,0 +1,90 @@
+(** Typed, growable, unboxed column storage.
+
+    One column = one {!Value.ty} worth of unboxed data in a Bigarray
+    (floats as float64, ints and bools as untagged ints, strings as
+    dictionary codes) plus a lazily-allocated packed null bitmap.
+    Bigarray backing keeps scans allocation-free and lets snapshot
+    restore wrap an [Unix.map_file]d region directly as column data: a
+    wrapped column has capacity = length, so the first append falls into
+    the ordinary grow-by-copy path and never writes through the mapping. *)
+
+type float_ba =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val create : ?capacity:int -> Value.ty -> t
+val length : t -> int
+val ty : t -> Value.ty
+
+val has_nulls : t -> bool
+(** Whether any NULL was ever pushed; [false] guarantees {!is_null} is
+    [false] everywhere without touching the bitmap. *)
+
+(** {1 Appends}
+
+    Typed pushes skip Value boxing entirely; {!push} dispatches on the
+    value and raises {!Value.Type_error} on a column/value mismatch. *)
+
+val push : t -> Value.t -> unit
+val push_float : t -> float -> unit
+val push_int : t -> int -> unit
+val push_string : t -> string -> unit
+val push_null : t -> unit
+
+(** {1 Reads} *)
+
+val get : t -> int -> Value.t
+(** Boxed read (bounds-checked); NULL bit wins over the value slot. *)
+
+val is_null : t -> int -> bool
+
+val get_float : t -> int -> float
+val get_int : t -> int -> int
+val get_string : t -> int -> string
+(** Unboxed reads for kernels: no bounds check, no null check — the
+    caller guarantees [0 <= i < length] and (unless it wants the zeroed
+    placeholder) [not (is_null t i)].  [get_int] also reads TBool (0/1)
+    and TStr (dictionary code) columns. *)
+
+(** {1 Vectorized building blocks} *)
+
+val gather : t -> int array -> int -> t
+(** [gather t idx count] is a new column holding rows
+    [idx.(0) .. idx.(count-1)] of [t] in that order.  Dictionary columns
+    share the source dictionary (append-only), so no string is
+    re-hashed. *)
+
+val copy : t -> t
+(** Same values, nulls and (shared) dictionary, fresh backing storage. *)
+
+val of_int_array : int array -> int -> t
+(** TInt column holding the first [count] entries verbatim (lineage
+    ids). *)
+
+(** {1 Raw views — snapshot writer and vectorized kernels} *)
+
+val float_data : t -> float_ba
+val int_data : t -> int_ba
+(** Length-[length t] views of the backing array (TInt/TBool values, or
+    TStr dictionary codes).  Raise [Invalid_argument] on a type
+    mismatch. *)
+
+val dict_strings : t -> string array
+(** The dictionary in code order ([codes.(i)] indexes this array). *)
+
+val null_bytes : t -> Bytes.t option
+(** Packed bitmap (bit [i] = row [i] NULL), [(length+7)/8] bytes; [None]
+    when the column has no nulls. *)
+
+(** {1 Constructors over existing storage — snapshot restore} *)
+
+val of_float_ba : ?nulls:Bytes.t -> float_ba -> t
+val of_int_ba : ?nulls:Bytes.t -> ty:Value.ty -> int_ba -> t
+(** [ty] must be [TInt] or [TBool]. *)
+
+val of_codes_ba : ?nulls:Bytes.t -> dict:string array -> int_ba -> t
+(** Validates every code against the dictionary; raises
+    [Invalid_argument] on an out-of-range code (corrupt snapshot). *)

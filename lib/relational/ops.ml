@@ -97,15 +97,86 @@ let chunked_scan ?pool ?(par_threshold = Pool.default_par_threshold) rel out bod
       Array.iter (fun v -> Vec.iter (Relation.append_tuple out) v) outs
   | _ -> Relation.iter (body (Relation.append_tuple out)) rel
 
+(* ---- vectorized kernels -------------------------------------------------
+   When the input is columnar and the expressions compile ({!Vexpr}), the
+   operators below run over raw columns: predicates fill selection index
+   vectors (chunked across the pool, stitched back in chunk order — the
+   same determinism discipline as {!chunked_scan}), and outputs are
+   gathered column-wise.  Every kernel is bit-identical to the row path
+   it replaces; anything it cannot express falls back to that path. *)
+
+(* Selection indices for [keep] over [0, n), pool-chunked when worthwhile.
+   Chunk boundaries come from {!Pool.chunks} and the per-chunk buffers are
+   concatenated in chunk order, so the result is independent of the lane
+   count. *)
+let select_indices ?pool ?(par_threshold = Pool.default_par_threshold) keep n =
+  match pool with
+  | Some p when Pool.is_live p && Pool.size p > 1 && n >= par_threshold ->
+      let chs = Pool.chunks p ~lo:0 ~hi:n in
+      let bufs =
+        Array.map (fun (clo, chi) -> Array.make (max 1 (chi - clo)) 0) chs
+      in
+      let counts = Array.make (Array.length chs) 0 in
+      Pool.run_chunks p ~lo:0 ~hi:(Array.length chs) (fun klo khi ->
+          for k = klo to khi - 1 do
+            let clo, chi = chs.(k) in
+            let buf = bufs.(k) in
+            let m = ref 0 in
+            for i = clo to chi - 1 do
+              if keep i then begin
+                buf.(!m) <- i;
+                incr m
+              end
+            done;
+            counts.(k) <- !m
+          done);
+      let total = Array.fold_left ( + ) 0 counts in
+      let idx = Array.make (max 1 total) 0 in
+      let off = ref 0 in
+      Array.iteri
+        (fun k buf ->
+          Array.blit buf 0 idx !off counts.(k);
+          off := !off + counts.(k))
+        bufs;
+      (idx, total)
+  | _ ->
+      let idx = Array.make (max 1 n) 0 in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        if keep i then begin
+          idx.(!m) <- i;
+          incr m
+        end
+      done;
+      (idx, !m)
+
 let select ?pool ?par_threshold pred rel =
-  let keep = Expr.bind_predicate rel.Relation.schema pred in
-  let out =
-    Relation.derived
-      ~name:(Printf.sprintf "select(%s)" rel.Relation.name)
-      rel.Relation.schema rel.Relation.lineage_schema
+  let name = Printf.sprintf "select(%s)" rel.Relation.name in
+  let vectorized =
+    match Relation.store rel with
+    | Relation.Cols c -> begin
+        match Vexpr.predicate rel.Relation.schema c.Relation.ccols pred with
+        | Some keep ->
+            let idx, count =
+              select_indices ?pool ?par_threshold keep c.Relation.cn
+            in
+            Some (Relation.gather_rows ~name rel c idx count)
+        | None -> None
+      end
+    | Relation.Rows _ -> None
   in
-  chunked_scan ?pool ?par_threshold rel out (fun push tup ->
-      if keep tup then push tup);
+  let out =
+    match vectorized with
+    | Some out -> out
+    | None ->
+        let keep = Expr.bind_predicate rel.Relation.schema pred in
+        let out =
+          Relation.derived ~name rel.Relation.schema rel.Relation.lineage_schema
+        in
+        chunked_scan ?pool ?par_threshold rel out (fun push tup ->
+            if keep tup then push tup);
+        out
+  in
   account c_select ~inputs:[ rel ] out
 
 let project_schema fields schema =
@@ -124,17 +195,115 @@ let project_schema fields schema =
          { Schema.name; ty })
        fields)
 
+(* One output column per projected field.  [PCopy] reuses the source
+   column wholesale (fresh backing, shared dictionary); the typed
+   builders evaluate a compiled expression row by row into an unboxed
+   column.  A field whose compiled type disagrees with the inferred
+   output schema (e.g. all-int arithmetic, which the schema declares
+   float but the row engine materializes as [Int] values) has no exact
+   columnar representation — the whole projection falls back. *)
+type field_plan =
+  | PCopy of int
+  | PF of (int -> float) * (int -> bool)
+  | PI of (int -> int) * (int -> bool)
+  | PS of (int -> string) * (int -> bool)
+  | PB of (int -> int)
+  | PNull of (int -> unit)
+
+let plan_field schema cols ty expr =
+  match expr with
+  | Expr.Col name -> Option.map (fun j -> PCopy j) (Schema.find_index schema name)
+  | _ -> begin
+      match (Vexpr.compile schema cols expr, ty) with
+      | Some (Vexpr.VF (v, nl)), Value.TFloat -> Some (PF (v, nl))
+      | Some (Vexpr.VI (v, nl)), Value.TInt -> Some (PI (v, nl))
+      | Some (Vexpr.VS (v, nl)), Value.TStr -> Some (PS (v, nl))
+      | Some (Vexpr.VB g), Value.TBool -> Some (PB g)
+      | Some (Vexpr.VNull eff), _ -> Some (PNull eff)
+      | _ -> None
+    end
+
+let build_field c plan ty =
+  let n = c.Relation.cn in
+  match plan with
+  | PCopy j -> Column.copy c.Relation.ccols.(j)
+  | PF (v, nl) ->
+      let col = Column.create ~capacity:(max 1 n) Value.TFloat in
+      for i = 0 to n - 1 do
+        if nl i then Column.push_null col else Column.push_float col (v i)
+      done;
+      col
+  | PI (v, nl) ->
+      let col = Column.create ~capacity:(max 1 n) Value.TInt in
+      for i = 0 to n - 1 do
+        if nl i then Column.push_null col else Column.push_int col (v i)
+      done;
+      col
+  | PS (v, nl) ->
+      let col = Column.create ~capacity:(max 1 n) Value.TStr in
+      for i = 0 to n - 1 do
+        if nl i then Column.push_null col else Column.push_string col (v i)
+      done;
+      col
+  | PB g ->
+      let col = Column.create ~capacity:(max 1 n) Value.TBool in
+      for i = 0 to n - 1 do
+        match g i with 2 -> Column.push_null col | x -> Column.push_int col x
+      done;
+      col
+  | PNull eff ->
+      let col = Column.create ~capacity:(max 1 n) ty in
+      for i = 0 to n - 1 do
+        eff i;
+        Column.push_null col
+      done;
+      col
+
 let project ?pool ?par_threshold fields rel =
   let schema = rel.Relation.schema in
-  let evals = List.map (fun (_, e) -> Expr.bind schema e) fields in
-  let out =
-    Relation.derived
-      ~name:(Printf.sprintf "project(%s)" rel.Relation.name)
-      (project_schema fields schema) rel.Relation.lineage_schema
+  let out_schema = project_schema fields schema in
+  let name = Printf.sprintf "project(%s)" rel.Relation.name in
+  let vectorized =
+    match Relation.store rel with
+    | Relation.Cols c ->
+        let plans =
+          List.mapi
+            (fun i (_, e) ->
+              plan_field schema c.Relation.ccols (Schema.column_ty out_schema i) e)
+            fields
+        in
+        if List.for_all Option.is_some plans then
+          let ccols =
+            Array.of_list
+              (List.mapi
+                 (fun i plan ->
+                   build_field c (Option.get plan) (Schema.column_ty out_schema i))
+                 plans)
+          in
+          let clineage =
+            match c.Relation.clineage with
+            | Relation.Identity -> Relation.Identity
+            | Relation.Explicit ls -> Relation.Explicit (Array.map Column.copy ls)
+          in
+          Some
+            (Relation.derived_cols ~name out_schema rel.Relation.lineage_schema
+               { Relation.cn = c.Relation.cn; ccols; clineage })
+        else None
+    | Relation.Rows _ -> None
   in
-  chunked_scan ?pool ?par_threshold rel out (fun push tup ->
-      let values = Array.of_list (List.map (fun f -> f tup) evals) in
-      push (Tuple.with_values tup values));
+  let out =
+    match vectorized with
+    | Some out -> out
+    | None ->
+        let evals = List.map (fun (_, e) -> Expr.bind schema e) fields in
+        let out =
+          Relation.derived ~name out_schema rel.Relation.lineage_schema
+        in
+        chunked_scan ?pool ?par_threshold rel out (fun push tup ->
+            let values = Array.of_list (List.map (fun f -> f tup) evals) in
+            push (Tuple.with_values tup values));
+        out
+  in
   account c_project ~inputs:[ rel ] out
 
 let joined_name a b =
@@ -154,7 +323,94 @@ let cross a b =
     a;
   account c_cross ~inputs:[ a; b ] out
 
+(* Vectorized gate: a direct reference to an int key column.  Int keys
+   hash and compare the same on both paths (and never collide across
+   types, unlike the general [Value.equal] which lets [Int 1] match
+   [Float 1.]), so the chain-hash join below emits exactly the pairs,
+   in exactly the order, of the row-path join. *)
+let int_key_col rel key =
+  match (Relation.store rel, key) with
+  | Relation.Cols c, Expr.Col name -> begin
+      match Schema.find_index rel.Relation.schema name with
+      | Some j when Column.ty c.Relation.ccols.(j) = Value.TInt ->
+          Some (c, c.Relation.ccols.(j))
+      | _ -> None
+    end
+  | _ -> None
+
+module ITbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash i = Int64.to_int (Gus_util.Hashing.hash_int ~seed:7 i) land max_int
+end)
+
+(* Explicit lineage columns for one join side restricted to [idx]. *)
+let gather_lineage (c : Relation.cols) idx count =
+  match c.Relation.clineage with
+  | Relation.Identity -> [| Column.of_int_array idx count |]
+  | Relation.Explicit ls -> Array.map (fun col -> Column.gather col idx count) ls
+
+let equi_join_cols ~name schema lschema ca ka cb kb =
+  (* Build on the smaller side; chains built backwards so they emit in
+     build order, matching the row path. *)
+  let build_c, build_k, probe_c, probe_k, build_left =
+    if ca.Relation.cn <= cb.Relation.cn then (ca, ka, cb, kb, true)
+    else (cb, kb, ca, ka, false)
+  in
+  let nbuild = build_c.Relation.cn in
+  let table : int ITbl.t = ITbl.create (max 16 nbuild) in
+  let next = Array.make (max 1 nbuild) (-1) in
+  for i = nbuild - 1 downto 0 do
+    if not (Column.is_null build_k i) then begin
+      let k = Column.get_int build_k i in
+      (match ITbl.find_opt table k with
+      | Some head -> next.(i) <- head
+      | None -> ());
+      ITbl.replace table k i
+    end
+  done;
+  let build_idx = Vec.create () and probe_idx = Vec.create () in
+  for i = 0 to probe_c.Relation.cn - 1 do
+    if not (Column.is_null probe_k i) then
+      match ITbl.find_opt table (Column.get_int probe_k i) with
+      | None -> ()
+      | Some head ->
+          let j = ref head in
+          while !j >= 0 do
+            Vec.push build_idx !j;
+            Vec.push probe_idx i;
+            j := next.(!j)
+          done
+  done;
+  let count = Vec.length build_idx in
+  let build_idx = Vec.to_array build_idx and probe_idx = Vec.to_array probe_idx in
+  let a_idx, b_idx =
+    if build_left then (build_idx, probe_idx) else (probe_idx, build_idx)
+  in
+  let side c idx = Array.map (fun col -> Column.gather col idx count) c.Relation.ccols in
+  let ccols = Array.append (side ca a_idx) (side cb b_idx) in
+  let clineage =
+    Relation.Explicit
+      (Array.append (gather_lineage ca a_idx count) (gather_lineage cb b_idx count))
+  in
+  Relation.derived_cols ~name schema lschema { Relation.cn = count; ccols; clineage }
+
 let equi_join ~left_key ~right_key a b =
+  let vectorized =
+    match (int_key_col a left_key, int_key_col b right_key) with
+    | Some (ca, ka), Some (cb, kb) ->
+        let schema = Schema.concat a.Relation.schema b.Relation.schema in
+        let lschema =
+          Lineage.schema_concat a.Relation.lineage_schema b.Relation.lineage_schema
+        in
+        Some
+          (equi_join_cols ~name:(joined_name a b) schema lschema ca ka cb kb)
+    | _ -> None
+  in
+  match vectorized with
+  | Some out -> account c_equi_join ~inputs:[ a; b ] out
+  | None ->
   let out = join_output a b in
   let lkey = Expr.bind a.Relation.schema left_key in
   let rkey = Expr.bind b.Relation.schema right_key in

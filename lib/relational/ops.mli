@@ -27,6 +27,19 @@ val project_schema : (string * Expr.t) list -> Schema.t -> Schema.t
     streaming executors that must know the post-projection schema without
     materializing anything. *)
 
+val select_indices :
+  ?pool:Gus_util.Pool.t ->
+  ?par_threshold:int ->
+  (int -> bool) ->
+  int ->
+  int array * int
+(** [select_indices ?pool keep n] is the ascending list of indices in
+    [0, n) for which [keep] holds, as [(buffer, count)] — the columnar
+    predicate kernel.  With a live multi-lane pool and [n >=
+    par_threshold] the range is cut into {!Gus_util.Pool.chunks},
+    evaluated in parallel, and stitched back in chunk order, so the
+    result never depends on the lane count.  [keep] must be pure. *)
+
 val chunked_scan :
   ?pool:Gus_util.Pool.t ->
   ?par_threshold:int ->

@@ -1,37 +1,198 @@
 module Vec = Gus_util.Vec
 
+(* Two physical layouts behind one logical relation:
+
+   - [Cols]: typed columnar storage ({!Column}), one unboxed vector per
+     schema column plus the lineage.  Base relations (and the outputs of
+     the vectorized kernels in {!Ops}/{!Gus_sampling.Sampler}) live here;
+     scans run over raw Bigarrays with no per-row boxing.
+   - [Rows]: the original boxed [Tuple.t] vector.  Derived relations
+     built by the row-at-a-time fallback operators live here.
+
+   The row API ([tuple]/[iter]/[fold]) works over both: on a columnar
+   store it materializes each tuple on demand, with exactly the values
+   and lineage the row engine would have stored — the two layouts are
+   observationally identical, which is what the kernel parity tests
+   assert.
+
+   Base-relation lineage is the row id, so a columnar base stores no
+   lineage at all ([Identity]); columnar outputs of selections, samples
+   and joins carry explicit int lineage columns. *)
+
+type lineage_store =
+  | Identity  (** lineage of row [i] is [[| i |]] (base relations) *)
+  | Explicit of Column.t array
+      (** one int column per lineage-schema slot *)
+
+type cols = {
+  mutable cn : int;
+  ccols : Column.t array;
+  mutable clineage : lineage_store;
+}
+
+type store = Rows of Tuple.t Vec.t | Cols of cols
+
 type t = {
   name : string;
   schema : Schema.t;
   lineage_schema : Lineage.schema;
-  tuples : Tuple.t Vec.t;
+  store : store;
 }
 
-let create_base ~name schema =
-  { name;
-    schema;
-    lineage_schema = Lineage.schema_of name;
-    tuples = Vec.create () }
+let store t = t.store
+
+let cols_of_schema ?capacity schema =
+  Array.of_list
+    (List.map (fun c -> Column.create ?capacity c.Schema.ty) (Schema.columns schema))
+
+let create_base ?(storage = `Cols) ?capacity ~name schema =
+  let store =
+    match storage with
+    | `Rows -> Rows (Vec.create ())
+    | `Cols ->
+        Cols { cn = 0; ccols = cols_of_schema ?capacity schema; clineage = Identity }
+  in
+  { name; schema; lineage_schema = Lineage.schema_of name; store }
 
 let derived ?(name = "<derived>") schema lineage_schema =
-  { name; schema; lineage_schema; tuples = Vec.create () }
+  { name; schema; lineage_schema; store = Rows (Vec.create ()) }
+
+let derived_cols ?(name = "<derived>") schema lineage_schema c =
+  let width =
+    match c.clineage with
+    | Identity -> Array.length lineage_schema
+    | Explicit ls -> Array.length ls
+  in
+  if width <> Array.length lineage_schema then
+    invalid_arg "Relation.derived_cols: lineage width mismatch";
+  Array.iter
+    (fun col ->
+      if Column.length col <> c.cn then
+        invalid_arg "Relation.derived_cols: ragged columns")
+    c.ccols;
+  { name; schema; lineage_schema; store = Cols c }
+
+let cardinality t =
+  match t.store with Rows v -> Vec.length v | Cols c -> c.cn
+
+let lineage_width c =
+  match c.clineage with Identity -> 1 | Explicit ls -> Array.length ls
+
+let lineage_id c ~slot i =
+  match c.clineage with
+  | Identity -> i
+  | Explicit ls -> Column.get_int ls.(slot) i
+
+let materialize_lineage c i =
+  match c.clineage with
+  | Identity -> [| i |]
+  | Explicit ls -> Array.map (fun col -> Column.get_int col i) ls
+
+let materialize c i =
+  let values = Array.map (fun col -> Column.get col i) c.ccols in
+  Tuple.make values (materialize_lineage c i)
+
+let tuple t i =
+  match t.store with
+  | Rows v -> Vec.get v i
+  | Cols c ->
+      if i < 0 || i >= c.cn then
+        invalid_arg (Printf.sprintf "Relation: index %d out of bounds [0,%d)" i c.cn);
+      materialize c i
+
+let iter f t =
+  match t.store with
+  | Rows v -> Vec.iter f v
+  | Cols c ->
+      for i = 0 to c.cn - 1 do
+        f (materialize c i)
+      done
+
+let fold f acc t =
+  match t.store with
+  | Rows v -> Vec.fold f acc v
+  | Cols c ->
+      let acc = ref acc in
+      for i = 0 to c.cn - 1 do
+        acc := f !acc (materialize c i)
+      done;
+      !acc
 
 let append_row t values =
   if not (Lineage.schema_equal t.lineage_schema (Lineage.schema_of t.name)) then
     invalid_arg "Relation.append_row: not a base relation";
   Schema.check_tuple t.schema values;
-  Vec.push t.tuples (Tuple.make values [| Vec.length t.tuples |])
+  match t.store with
+  | Rows v -> Vec.push v (Tuple.make values [| Vec.length v |])
+  | Cols c ->
+      (match c.clineage with
+      | Identity -> ()
+      | Explicit ls -> Array.iter (fun col -> Column.push_int col c.cn) ls);
+      Array.iteri (fun j v -> Column.push c.ccols.(j) v) values;
+      c.cn <- c.cn + 1
 
-let append_tuple t tup = Vec.push t.tuples tup
+(* A base columnar relation stores no lineage; appending an arbitrary
+   tuple (whose lineage need not be its row id) forces the explicit
+   representation first. *)
+let force_explicit c =
+  match c.clineage with
+  | Explicit _ -> ()
+  | Identity ->
+      let col = Column.create ~capacity:(max 16 c.cn) Value.TInt in
+      for i = 0 to c.cn - 1 do
+        Column.push_int col i
+      done;
+      c.clineage <- Explicit [| col |]
 
-let cardinality t = Vec.length t.tuples
-let tuple t i = Vec.get t.tuples i
-let iter f t = Vec.iter f t.tuples
-let fold f acc t = Vec.fold f acc t.tuples
+let append_tuple t tup =
+  match t.store with
+  | Rows v -> Vec.push v tup
+  | Cols c ->
+      let lineage = tup.Tuple.lineage in
+      (match c.clineage with
+      | Identity when Array.length lineage = 1 && lineage.(0) = c.cn -> ()
+      | _ ->
+          force_explicit c;
+          (match c.clineage with
+          | Explicit ls ->
+              if Array.length ls <> Array.length lineage then
+                invalid_arg "Relation.append_tuple: lineage width mismatch";
+              Array.iteri (fun s col -> Column.push_int col lineage.(s)) ls
+          | Identity -> assert false));
+      Array.iteri (fun j v -> Column.push c.ccols.(j) v) tup.Tuple.values;
+      c.cn <- c.cn + 1
+
+let gather_store c idx count =
+  let ccols = Array.map (fun col -> Column.gather col idx count) c.ccols in
+  let clineage =
+    match c.clineage with
+    | Identity -> Explicit [| Column.of_int_array idx count |]
+    | Explicit ls -> Explicit (Array.map (fun col -> Column.gather col idx count) ls)
+  in
+  { cn = count; ccols; clineage }
+
+let gather_rows ?name t c idx count =
+  let name = Option.value name ~default:t.name in
+  { name;
+    schema = t.schema;
+    lineage_schema = t.lineage_schema;
+    store = Cols (gather_store c idx count) }
+
+let to_rows t =
+  match t.store with
+  | Rows _ -> t
+  | Cols _ ->
+      let v = Vec.create ~capacity:(max 16 (cardinality t)) () in
+      iter (fun tup -> Vec.push v tup) t;
+      { t with store = Rows v }
 
 let column_values t name =
-  let i = Schema.index_of t.schema name in
-  Array.map (fun tup -> Tuple.value tup i) (Vec.to_array t.tuples)
+  let j = Schema.index_of t.schema name in
+  match t.store with
+  | Rows v ->
+      (* Index the vector directly — no [Vec.to_array] copy per call. *)
+      Array.init (Vec.length v) (fun i -> Tuple.value (Vec.get v i) j)
+  | Cols c -> Array.init c.cn (fun i -> Column.get c.ccols.(j) i)
 
 let pp ppf t =
   Format.fprintf ppf "%s%a (%d rows)" t.name Schema.pp t.schema (cardinality t);
@@ -55,10 +216,31 @@ let to_csv_string t =
   Buffer.contents buf
 
 let sum_column t name =
-  let i = Schema.index_of t.schema name in
-  fold
-    (fun acc tup ->
-      match Tuple.value tup i with
-      | Value.Null -> acc
-      | v -> acc +. Value.to_float v)
-    0.0 t
+  let j = Schema.index_of t.schema name in
+  match t.store with
+  | Cols c when Column.ty c.ccols.(j) = Value.TFloat ->
+      (* The vectorized base-scan aggregate: a straight pass over the
+         unboxed float array.  NULL slots hold 0.0, so the null branch
+         is only needed to mirror the row path's skip — which also
+         contributes 0 — making the two paths bit-identical even without
+         it; keep the single [has_nulls] test and add blindly. *)
+      let ba = Column.float_data c.ccols.(j) in
+      let acc = ref 0.0 in
+      for i = 0 to c.cn - 1 do
+        acc := !acc +. Bigarray.Array1.unsafe_get ba i
+      done;
+      !acc
+  | Cols c when Column.ty c.ccols.(j) = Value.TInt ->
+      let ba = Column.int_data c.ccols.(j) in
+      let acc = ref 0.0 in
+      for i = 0 to c.cn - 1 do
+        acc := !acc +. float_of_int (Bigarray.Array1.unsafe_get ba i)
+      done;
+      !acc
+  | _ ->
+      fold
+        (fun acc tup ->
+          match Tuple.value tup j with
+          | Value.Null -> acc
+          | v -> acc +. Value.to_float v)
+        0.0 t

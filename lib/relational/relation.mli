@@ -1,27 +1,77 @@
-(** A materialized relation: schema, lineage schema, and rows.
+(** A materialized relation: schema, lineage schema, and rows — stored
+    either as typed columns ({!Column}) or as boxed tuple rows.
 
     Base relations have a single-entry lineage schema (their own name) and
     row ids 0..n−1; derived relations carry whatever lineage their operators
-    produced. *)
+    produced.
+
+    The two storages are observationally identical through the row API
+    ({!tuple}, {!iter}, {!fold}): a columnar relation materializes each
+    tuple on demand with exactly the values and lineage the row engine
+    would have stored.  Vectorized kernels ({!Ops},
+    {!Gus_sampling.Sampler}) pattern-match on {!store} to reach the raw
+    columns and fall back to the row API otherwise. *)
+
+type lineage_store =
+  | Identity  (** lineage of row [i] is [[| i |]] (base relations) *)
+  | Explicit of Column.t array
+      (** one int column per lineage-schema slot *)
+
+type cols = {
+  mutable cn : int;  (** row count *)
+  ccols : Column.t array;  (** one per schema column, all length [cn] *)
+  mutable clineage : lineage_store;
+}
+
+type store = Rows of Tuple.t Gus_util.Vec.t | Cols of cols
 
 type t = {
   name : string;
   schema : Schema.t;
   lineage_schema : Lineage.schema;
-  tuples : Tuple.t Gus_util.Vec.t;
+  store : store;
 }
 
-val create_base : name:string -> Schema.t -> t
+val store : t -> store
+
+val create_base :
+  ?storage:[ `Cols | `Rows ] -> ?capacity:int -> name:string -> Schema.t -> t
 (** Empty base relation; rows appended with {!append_row} get consecutive
-    row ids. *)
+    row ids.  Columnar by default; [~storage:`Rows] keeps the boxed
+    tuple-vector layout (used as the oracle in parity tests). *)
 
 val derived : ?name:string -> Schema.t -> Lineage.schema -> t
+(** Empty row-backed derived relation (the row-path operators append
+    tuples one at a time). *)
+
+val derived_cols : ?name:string -> Schema.t -> Lineage.schema -> cols -> t
+(** Columnar derived relation over already-built columns (vectorized
+    kernel outputs).  Checks column lengths and lineage width. *)
+
 val append_row : t -> Value.t array -> unit
 (** Base relations only (lineage schema must be the relation itself);
     type-checks against the schema. *)
 
 val append_tuple : t -> Tuple.t -> unit
 val cardinality : t -> int
+
+val lineage_width : cols -> int
+
+val lineage_id : cols -> slot:int -> int -> int
+(** Lineage id of row [i] at [slot] without materializing the array. *)
+
+val gather_store : cols -> int array -> int -> cols
+(** Columnar store holding rows [idx.(0..count-1)] of [c] in that order,
+    lineage included (identity lineage becomes an explicit column of the
+    gathered row ids — exactly what the row path would carry). *)
+
+val gather_rows : ?name:string -> t -> cols -> int array -> int -> t
+(** Relation wrapper over {!gather_store}: same schema and lineage
+    schema, rows restricted/reordered to [idx]. *)
+
+val to_rows : t -> t
+(** Row-backed copy (identity on row-backed relations).  Test oracle. *)
+
 val tuple : t -> int -> Tuple.t
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
@@ -30,5 +80,7 @@ val pp : Format.formatter -> t -> unit
 (** Header plus first rows (for debugging). *)
 
 val to_csv_string : t -> string
+
 val sum_column : t -> string -> float
-(** Exact SUM over a numeric column, [Null]s contribute 0. *)
+(** Exact SUM over a numeric column, [Null]s contribute 0; a single
+    unboxed pass on columnar storage. *)

@@ -13,6 +13,10 @@ type t =
 
 exception Type_error of string
 
+val type_error : string -> t -> 'a
+(** [type_error op v] raises {!Type_error} describing [op] applied to
+    [v]. *)
+
 type ty = TBool | TInt | TFloat | TStr
 (** Declared column types. [Null] inhabits all of them. *)
 

@@ -1,0 +1,30 @@
+(** Vectorized expression compilation over columnar storage.
+
+    Binds an {!Expr.t} against a schema and its {!Column} array, yielding
+    typed per-index closures that read column data directly.  Compilation
+    returns [None] whenever exact parity with the row engine
+    ({!Expr.compile}) cannot be guaranteed statically; callers must then
+    fall back to the row path.  When compilation succeeds, evaluation is
+    bit-identical to the row engine, including the order and identity of
+    raises (division by zero inside NULL-producing subtrees). *)
+
+type vec =
+  | VF of (int -> float) * (int -> bool)  (** (value, is-null) *)
+  | VI of (int -> int) * (int -> bool)
+  | VS of (int -> string) * (int -> bool)
+  | VB of (int -> int)  (** tri-state: 0 = false, 1 = true, 2 = NULL *)
+  | VNull of (int -> unit)
+      (** statically NULL; closure replays the subtree's row-path
+          effects *)
+
+(** Contract: a value closure may only be called on row [i] after the
+    paired null closure returned [false] for [i]; the null closure (and a
+    [VB]/[VNull] closure) must be called exactly once per row, and
+    carries all evaluation effects. *)
+
+val compile : Schema.t -> Column.t array -> Expr.t -> vec option
+
+val predicate : Schema.t -> Column.t array -> Expr.t -> (int -> bool) option
+(** WHERE-clause view: [Bool true] keeps the row, everything else
+    (false, NULL, non-boolean results) drops it — evaluating the
+    expression first, so raises match the row path. *)

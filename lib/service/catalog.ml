@@ -4,6 +4,7 @@ type source =
   | Tpch of { scale : float; seed : int }
   | Skewed of { scale : float; seed : int; part_skew : float; price_skew : float }
   | Csv_dir of string
+  | Snapshot of string
   | In_memory of string
 
 let source_to_string = function
@@ -12,6 +13,7 @@ let source_to_string = function
       Printf.sprintf "synthetic(scale=%g,seed=%d,part_skew=%g,price_skew=%g)"
         scale seed part_skew price_skew
   | Csv_dir dir -> Printf.sprintf "csv(%s)" dir
+  | Snapshot path -> Printf.sprintf "snapshot(%s)" path
   | In_memory what -> Printf.sprintf "memory(%s)" what
 
 type entry = {
@@ -67,6 +69,7 @@ let build = function
       if Database.names db = [] then
         failwith (Printf.sprintf "no known CSVs found in %s" dir);
       db
+  | Snapshot path -> Snapshot.load ~path
   | In_memory _ ->
       invalid_arg "Catalog.load: In_memory sources have no build recipe"
 

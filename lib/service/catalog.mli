@@ -15,6 +15,8 @@ type source =
   | Skewed of { scale : float; seed : int; part_skew : float; price_skew : float }
       (** the generator with heavy-tail knobs — the "synthetic" source *)
   | Csv_dir of string  (** CSVs written by [gusdb gen] *)
+  | Snapshot of string
+      (** binary snapshot written by [gusdb snapshot]; mmapped on load *)
   | In_memory of string  (** caller-built database; payload describes it *)
 
 val source_to_string : source -> string
@@ -38,8 +40,12 @@ val register : t -> name:string -> source:source -> Gus_relational.Database.t ->
 val build : source -> Gus_relational.Database.t
 (** Build a database from its source description: [Tpch]/[Skewed]
     generate, [Csv_dir] loads every known TPC-H CSV present in the
-    directory.  Raises [Failure] on an unreadable or empty CSV directory
-    and [Invalid_argument] on [In_memory] (which has no recipe — use
+    directory, [Snapshot] maps a binary snapshot file
+    ({!Gus_relational.Snapshot.load}).  Raises [Failure] on an
+    unreadable or empty CSV directory,
+    {!Gus_relational.Snapshot.Format_error} /
+    {!Gus_relational.Snapshot.Version_mismatch} on a bad snapshot, and
+    [Invalid_argument] on [In_memory] (which has no recipe — use
     {!register}).  Also what the CLI's [--data] loading goes through. *)
 
 val load : t -> name:string -> source:source -> entry

@@ -17,6 +17,12 @@ let error_of_exn = function
   | Database.Unknown_relation r ->
       Some ("unknown_relation", "unknown relation " ^ r)
   | Catalog.Unknown_dataset d -> Some ("unknown_dataset", "unknown dataset " ^ d)
+  | Snapshot.Format_error msg -> Some ("snapshot_corrupt", msg)
+  | Snapshot.Version_mismatch { found; expected } ->
+      Some
+        ( "snapshot_version",
+          Printf.sprintf "snapshot format version %d (this build reads %d)"
+            found expected )
   | Engine.Unknown_handle h -> Some ("unknown_handle", "unknown handle " ^ h)
   | Bad_request msg -> Some ("bad_request", msg)
   | Json.Parse_error msg -> Some ("bad_json", msg)
@@ -154,6 +160,7 @@ let source_of_request j =
             opt_num j "price_skew"
               ~default:Gus_tpch.Tpch.default_config.price_skew }
   | Some "csv" -> Catalog.Csv_dir (req_str j "dir")
+  | Some "snapshot" -> Catalog.Snapshot (req_str j "path")
   | Some other -> raise (Bad_request (Printf.sprintf "unknown source %S" other))
 
 let op_register engine j =

@@ -1,0 +1,484 @@
+(* Columnar-engine parity suite.
+
+   The columnar store and its vectorized kernels must be observationally
+   identical — same values bit for bit, same lineage, same row order,
+   same exceptions — to the boxed row engine ([~storage:`Rows], the seed
+   implementation kept as the test oracle).  Random relations include
+   NULLs, dictionary-encoded strings, negative zero and empty inputs;
+   random expressions include arithmetic that raises (division by zero)
+   and unknown columns, because "identical" covers the failure paths too.
+
+   1. QCheck: select / project / equi-join outputs identical across
+      storages for pools {none, 1, 2, 4}.
+   2. QCheck: every sampler draws the identical sample on both storages
+      from the same seed (pooled Bernoulli included, per pool size).
+   3. Snapshot: save → load round-trips bit-identically (values, lineage,
+      schema), re-saving the loaded database is byte-identical, mapped
+      columns are copy-on-append, and corrupt/versioned files raise the
+      documented exceptions.
+   4. Streaming SBox: Query-1 estimates on columnar and row databases are
+      bit-identical and still pinned to the seed implementation's value. *)
+
+module Rng = Gus_util.Rng
+module Pool = Gus_util.Pool
+module Splan = Gus_core.Splan
+module Rewrite = Gus_analysis.Rewrite
+module Sbox = Gus_estimator.Sbox
+module Sampler = Gus_sampling.Sampler
+module Harness = Gus_experiments.Harness
+open Gus_relational
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_string = Alcotest.check Alcotest.string
+
+let pool_of =
+  let tbl = Hashtbl.create 4 in
+  fun size ->
+    match Hashtbl.find_opt tbl size with
+    | Some p -> p
+    | None ->
+        let p = Pool.create ~size in
+        Hashtbl.add tbl size p;
+        p
+
+(* ---- bit-level equality ---- *)
+
+let value_eq a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> a = b
+
+let schema_eq a b =
+  Schema.arity a = Schema.arity b
+  && List.for_all
+       (fun j -> Schema.column_name a j = Schema.column_name b j
+                 && Schema.column_ty a j = Schema.column_ty b j)
+       (List.init (Schema.arity a) Fun.id)
+
+let rel_eq a b =
+  a.Relation.name = b.Relation.name
+  && schema_eq a.Relation.schema b.Relation.schema
+  && a.Relation.lineage_schema = b.Relation.lineage_schema
+  && Relation.cardinality a = Relation.cardinality b
+  && (let ok = ref true in
+      for i = 0 to Relation.cardinality a - 1 do
+        let ta = Relation.tuple a i and tb = Relation.tuple b i in
+        if
+          not
+            (Array.length ta.Tuple.values = Array.length tb.Tuple.values
+            && Array.for_all2 value_eq ta.Tuple.values tb.Tuple.values
+            && ta.Tuple.lineage = tb.Tuple.lineage)
+        then ok := false
+      done;
+      !ok)
+
+(* Run both engines and demand the same outcome — result or exception. *)
+let outcome f =
+  match f () with
+  | r -> Ok r
+  | exception Value.Type_error m -> Error ("type_error: " ^ m)
+  | exception Expr.Bind_error m -> Error ("bind_error: " ^ m)
+  | exception Schema.Unknown_column c -> Error ("unknown_column: " ^ c)
+  | exception Invalid_argument m -> Error ("invalid_arg: " ^ m)
+
+let outcomes_agree a b =
+  match (a, b) with
+  | Ok ra, Ok rb -> rel_eq ra rb
+  | Error ma, Error mb -> ma = mb
+  | _ -> false
+
+(* ---- random relations (both storages, same data) ---- *)
+
+let dict = [| "alpha"; "beta"; "gamma"; "delta" |]
+
+let schema =
+  Schema.make
+    [ { Schema.name = "f"; ty = Value.TFloat };
+      { Schema.name = "i"; ty = Value.TInt };
+      { Schema.name = "s"; ty = Value.TStr };
+      { Schema.name = "b"; ty = Value.TBool } ]
+
+(* One int code per cell; code → value keeps the generator shrinkable
+   while still covering NULLs (≈1/7 of cells), both signs, -0.0 and the
+   whole dictionary. *)
+let value_of_code j code =
+  if code mod 7 = 0 then Value.Null
+  else
+    match j with
+    | 0 ->
+        let x = float_of_int ((code mod 13) - 6) /. 3.0 in
+        Value.Float (if code mod 11 = 1 then -0.0 else x)
+    | 1 -> Value.Int ((code mod 11) - 5)
+    | 2 -> Value.Str dict.(code mod Array.length dict)
+    | _ -> Value.Bool (code mod 2 = 0)
+
+(* Join right-hand side: distinct names so Schema.concat is legal. *)
+let schema_r =
+  Schema.make
+    [ { Schema.name = "rf"; ty = Value.TFloat };
+      { Schema.name = "ri"; ty = Value.TInt };
+      { Schema.name = "rs"; ty = Value.TStr };
+      { Schema.name = "rb"; ty = Value.TBool } ]
+
+let build ?(schema = schema) ~name storage codes =
+  let rel = Relation.create_base ~storage ~name schema in
+  List.iter
+    (fun row -> Relation.append_row rel (Array.mapi value_of_code row))
+    codes;
+  rel
+
+let both_storages ~name codes = (build ~name `Cols codes, build ~name `Rows codes)
+
+let rows_gen =
+  QCheck2.Gen.(list_size (int_range 0 80) (array_size (pure 4) (int_range 0 1000)))
+
+(* ---- random expressions ---- *)
+
+let leaf_gen =
+  QCheck2.Gen.oneofl
+    [ Expr.col "f"; Expr.col "i"; Expr.col "s"; Expr.col "b";
+      Expr.col "nosuch"; Expr.int 2; Expr.int 0; Expr.int (-3);
+      Expr.float 1.5; Expr.float 0.0; Expr.str "beta"; Expr.bool true;
+      Expr.bool false; Expr.null ]
+
+let rec expr_gen n =
+  if n <= 0 then leaf_gen
+  else
+    QCheck2.Gen.(
+      frequency
+        [ (2, leaf_gen);
+          ( 3,
+            map3
+              (fun o a b -> Expr.Bin (o, a, b))
+              (oneofl [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div ])
+              (expr_gen (n - 1)) (expr_gen (n - 1)) );
+          ( 3,
+            map3
+              (fun o a b -> Expr.Cmp (o, a, b))
+              (oneofl [ Expr.Eq; Expr.Neq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ])
+              (expr_gen (n - 1)) (expr_gen (n - 1)) );
+          (1, map2 (fun a b -> Expr.And (a, b)) (expr_gen (n - 1)) (expr_gen (n - 1)));
+          (1, map2 (fun a b -> Expr.Or (a, b)) (expr_gen (n - 1)) (expr_gen (n - 1)));
+          (1, map (fun a -> Expr.Not a) (expr_gen (n - 1)));
+          (1, map (fun a -> Expr.Neg a) (expr_gen (n - 1))) ])
+
+let pools = [ None; Some 1; Some 2; Some 4 ]
+
+let with_pool psize f =
+  match psize with
+  | None -> f ?pool:None ()
+  | Some s -> f ?pool:(Some (pool_of s)) ()
+
+(* ---- 1. operator parity ---- *)
+
+let print_case (codes, e) =
+  Printf.sprintf "n=%d expr=%s" (List.length codes) (Expr.to_string e)
+
+let prop_select_parity =
+  QCheck2.Test.make ~name:"select: cols = rows (all pools)" ~count:250
+    ~print:print_case
+    QCheck2.Gen.(pair rows_gen (expr_gen 3))
+    (fun (codes, e) ->
+      let c, r = both_storages ~name:"t" codes in
+      List.for_all
+        (fun psize ->
+          outcomes_agree
+            (outcome (fun () ->
+                 with_pool psize (fun ?pool () ->
+                     Ops.select ?pool ~par_threshold:8 e c)))
+            (outcome (fun () ->
+                 with_pool psize (fun ?pool () ->
+                     Ops.select ?pool ~par_threshold:8 e r))))
+        pools)
+
+let prop_project_parity =
+  QCheck2.Test.make ~name:"project: cols = rows (all pools)" ~count:250
+    ~print:(fun (codes, e1, e2) ->
+      Printf.sprintf "n=%d a=%s b=%s" (List.length codes) (Expr.to_string e1)
+        (Expr.to_string e2))
+    QCheck2.Gen.(triple rows_gen (expr_gen 2) (expr_gen 2))
+    (fun (codes, e1, e2) ->
+      let c, r = both_storages ~name:"t" codes in
+      let fields = [ ("a", e1); ("b", e2); ("f2", Expr.col "f") ] in
+      List.for_all
+        (fun psize ->
+          outcomes_agree
+            (outcome (fun () ->
+                 with_pool psize (fun ?pool () ->
+                     Ops.project ?pool ~par_threshold:8 fields c)))
+            (outcome (fun () ->
+                 with_pool psize (fun ?pool () ->
+                     Ops.project ?pool ~par_threshold:8 fields r))))
+        pools)
+
+let prop_join_parity =
+  QCheck2.Test.make ~name:"equi-join: cols = rows (mixed storages)" ~count:150
+    ~print:(fun (a, b) ->
+      Printf.sprintf "left=%d right=%d" (List.length a) (List.length b))
+    QCheck2.Gen.(pair rows_gen rows_gen)
+    (fun (acodes, bcodes) ->
+      let ac, ar = both_storages ~name:"l" acodes in
+      let bc = build ~schema:schema_r ~name:"r" `Cols bcodes
+      and br = build ~schema:schema_r ~name:"r" `Rows bcodes in
+      let join a b =
+        outcome (fun () ->
+            Ops.equi_join ~left_key:(Expr.col "i") ~right_key:(Expr.col "ri") a b)
+      in
+      let oracle = join ar br in
+      (* The vectorized build/probe kernel (cols x cols) and the row
+         fallback (either side row-backed) must agree exactly: same
+         output rows in the same order, NULL keys never matching. *)
+      outcomes_agree (join ac bc) oracle
+      && outcomes_agree (join ac br) oracle
+      && outcomes_agree (join ar bc) oracle)
+
+let prop_column_values_parity =
+  QCheck2.Test.make ~name:"column_values/sum_column: cols = rows" ~count:150
+    ~print:(fun codes -> Printf.sprintf "n=%d" (List.length codes))
+    rows_gen
+    (fun codes ->
+      let c, r = both_storages ~name:"t" codes in
+      List.for_all
+        (fun col ->
+          let vc = Relation.column_values c col
+          and vr = Relation.column_values r col in
+          Array.length vc = Array.length vr && Array.for_all2 value_eq vc vr)
+        [ "f"; "i"; "s"; "b" ]
+      && Int64.equal
+           (Int64.bits_of_float (Relation.sum_column c "f"))
+           (Int64.bits_of_float (Relation.sum_column r "f"))
+      && Int64.equal
+           (Int64.bits_of_float (Relation.sum_column c "i"))
+           (Int64.bits_of_float (Relation.sum_column r "i")))
+
+(* ---- 2. sampler parity ---- *)
+
+let samplers n =
+  [ Sampler.Bernoulli 0.35;
+    Sampler.Wor (max 1 (n / 2));
+    Sampler.Wor (n + 3);
+    Sampler.Wr (max 1 (n / 2));
+    Sampler.Block { rows_per_block = 4; p = 0.5 };
+    Sampler.Hash_bernoulli { seed = 11; p = 0.4 } ]
+
+let prop_sampler_parity =
+  QCheck2.Test.make ~name:"samplers: cols = rows (same seed, all pools)"
+    ~count:120
+    ~print:(fun (codes, seed) ->
+      Printf.sprintf "n=%d seed=%d" (List.length codes) seed)
+    QCheck2.Gen.(pair rows_gen (int_range 0 1000))
+    (fun (codes, seed) ->
+      let c, r = both_storages ~name:"t" codes in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun psize ->
+              let run rel =
+                with_pool psize (fun ?pool () ->
+                    Sampler.apply ?pool ~par_threshold:8 s (Rng.create seed) rel)
+              in
+              rel_eq (run c) (run r))
+            pools)
+        (samplers (List.length codes)))
+
+(* ---- 3. snapshots ---- *)
+
+let temp_snap () = Filename.temp_file "gus-test" ".snap"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let mixed_db () =
+  let db = Database.create () in
+  let rng = Rng.create 31 in
+  let codes n =
+    List.init n (fun _ -> Array.init 4 (fun _ -> Rng.int rng 1000))
+  in
+  Database.add db (build ~name:"t" `Cols (codes 257));
+  (* A row-backed base must be converted on save, an empty relation must
+     round-trip, and an all-NULL column exercises the bitmap path. *)
+  Database.add db (build ~name:"rowbacked" `Rows (codes 41));
+  Database.add db (build ~name:"empty" `Cols []);
+  Database.add db (build ~name:"allnull" `Cols [ [| 0; 0; 0; 0 |]; [| 7; 7; 7; 7 |] ]);
+  db
+
+let test_snapshot_roundtrip () =
+  let db = mixed_db () in
+  let path = temp_snap () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Snapshot.save ~path db;
+  let db' = Snapshot.load ~path in
+  Alcotest.(check (list string))
+    "names" (Database.names db) (Database.names db');
+  List.iter
+    (fun name ->
+      let orig = Database.find db name and got = Database.find db' name in
+      check_bool (name ^ " bit-identical") true
+        (rel_eq (Relation.to_rows orig) (Relation.to_rows got));
+      (* Loaded relations are base columnar with identity lineage. *)
+      match Relation.store got with
+      | Relation.Cols { clineage = Relation.Identity; _ } -> ()
+      | _ -> Alcotest.fail (name ^ ": expected identity columnar store"))
+    (Database.names db);
+  (* Determinism: re-saving the loaded database is byte-identical. *)
+  let path2 = temp_snap () in
+  Fun.protect ~finally:(fun () -> Sys.remove path2) @@ fun () ->
+  Snapshot.save ~path:path2 db';
+  check_bool "resave byte-identical" true (read_file path = read_file path2)
+
+let test_snapshot_mapped_copy_on_append () =
+  let db = mixed_db () in
+  let path = temp_snap () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Snapshot.save ~path db;
+  let before = read_file path in
+  let db' = Snapshot.load ~path in
+  let rel = Database.find db' "t" in
+  Relation.append_row rel
+    [| Value.Float 9.5; Value.Int 3; Value.Str "beta"; Value.Bool true |];
+  check_int "append visible" 258 (Relation.cardinality rel);
+  check_bool "appended row readable" true
+    (value_eq (Value.Float 9.5) (Relation.tuple rel 257).Tuple.values.(0));
+  (* The mapped file must not be written through. *)
+  check_string "file bytes unchanged" before (read_file path);
+  let db'' = Snapshot.load ~path in
+  check_int "reload unchanged" 257 (Relation.cardinality (Database.find db'' "t"))
+
+let test_snapshot_errors () =
+  let db = mixed_db () in
+  let path = temp_snap () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Snapshot.save ~path db;
+  let bytes = Bytes.of_string (read_file path) in
+  let write_variant mutate =
+    let b = Bytes.copy bytes in
+    mutate b;
+    let p = temp_snap () in
+    let oc = open_out_bin p in
+    output_bytes oc b;
+    close_out oc;
+    p
+  in
+  let expect_format what p =
+    Fun.protect ~finally:(fun () -> Sys.remove p) @@ fun () ->
+    match Snapshot.load ~path:p with
+    | _ -> Alcotest.fail (what ^ ": expected Format_error")
+    | exception Snapshot.Format_error _ -> ()
+  in
+  expect_format "bad magic" (write_variant (fun b -> Bytes.set b 0 'X'));
+  expect_format "endianness"
+    (write_variant (fun b -> Bytes.set_int64_le b 8 0x0807060504030201L));
+  (let p = write_variant (fun b -> Bytes.set b 16 '\009') in
+   Fun.protect ~finally:(fun () -> Sys.remove p) @@ fun () ->
+   match Snapshot.load ~path:p with
+   | _ -> Alcotest.fail "version: expected Version_mismatch"
+   | exception Snapshot.Version_mismatch { found; expected } ->
+       check_int "found" 9 found;
+       check_int "expected" 1 expected);
+  (* Truncation at several depths: header, descriptors, column data. *)
+  List.iter
+    (fun keep ->
+      let p = temp_snap () in
+      let oc = open_out_bin p in
+      output_bytes oc (Bytes.sub bytes 0 keep);
+      close_out oc;
+      expect_format (Printf.sprintf "truncated to %d" keep) p)
+    [ 4; 40; 96; Bytes.length bytes - 9 ];
+  match Snapshot.load ~path:"/nonexistent/gus.snap" with
+  | _ -> Alcotest.fail "missing file: expected Format_error"
+  | exception Snapshot.Format_error _ -> ()
+
+(* ---- 4. streaming SBox parity + pinned Query-1 ---- *)
+
+let row_copy db =
+  let out = Database.create () in
+  List.iter
+    (fun n -> Database.add out (Relation.to_rows (Database.find db n)))
+    (Database.names db);
+  out
+
+let test_stream_query1_parity () =
+  let db = Harness.db_cached ~scale:0.1 in
+  let db_rows = row_copy db in
+  let plan = Harness.query1_plan () in
+  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun seed ->
+      let run ?pool d =
+        Sbox.of_plan ?pool ~gus ~f:Harness.revenue_f d (Rng.create seed) plan
+      in
+      let c = run db and r = run db_rows in
+      check_int (Printf.sprintf "seed %d: n_tuples" seed) r.Sbox.n_tuples
+        c.Sbox.n_tuples;
+      check_bool (Printf.sprintf "seed %d: estimate bits" seed) true
+        (Int64.equal (bits r.Sbox.estimate) (bits c.Sbox.estimate));
+      check_bool (Printf.sprintf "seed %d: total_f bits" seed) true
+        (Int64.equal (bits r.Sbox.total_f) (bits c.Sbox.total_f));
+      List.iter
+        (fun size ->
+          let cp = run ~pool:(pool_of size) db
+          and rp = run ~pool:(pool_of size) db_rows in
+          check_int (Printf.sprintf "seed %d pool %d: n_tuples" seed size)
+            rp.Sbox.n_tuples cp.Sbox.n_tuples;
+          check_bool (Printf.sprintf "seed %d pool %d: estimate bits" seed size)
+            true
+            (Int64.equal (bits rp.Sbox.estimate) (bits cp.Sbox.estimate)))
+        [ 1; 2; 4 ])
+    [ 5; 17; 4242 ];
+  (* The columnar fast path must still reproduce the seed implementation's
+     pinned Query-1 estimate (captured before the columnar rewrite). *)
+  let r =
+    Sbox.of_plan ~gus ~f:Harness.revenue_f db (Rng.create 5) plan
+  in
+  check_int "pinned n_tuples" 399 r.Sbox.n_tuples;
+  let close_rel what expected actual =
+    check_bool what true
+      (Float.abs (expected -. actual)
+      <= 1e-9 *. Float.max 1.0 (Float.abs expected))
+  in
+  close_rel "pinned estimate" 30171033.0121831 r.Sbox.estimate
+
+let test_snapshot_query_parity () =
+  (* Estimates off a restored snapshot are bit-identical to estimates off
+     the generated database — the serve `register {"source":"snapshot"}`
+     contract. *)
+  let db = Harness.db_cached ~scale:0.1 in
+  let path = temp_snap () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Snapshot.save ~path db;
+  let db' = Snapshot.load ~path in
+  let plan = Harness.query1_plan () in
+  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let run d = Sbox.of_plan ~gus ~f:Harness.revenue_f d (Rng.create 5) plan in
+  let a = run db and b = run db' in
+  check_int "n_tuples" a.Sbox.n_tuples b.Sbox.n_tuples;
+  check_bool "estimate bits" true
+    (Int64.equal
+       (Int64.bits_of_float a.Sbox.estimate)
+       (Int64.bits_of_float b.Sbox.estimate))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_select_parity; prop_project_parity; prop_join_parity;
+      prop_column_values_parity; prop_sampler_parity ]
+
+let () =
+  Alcotest.run "columnar"
+    [ ("parity", qcheck_tests);
+      ( "snapshot",
+        [ Alcotest.test_case "round-trip bit-identical" `Quick
+            test_snapshot_roundtrip;
+          Alcotest.test_case "mapped columns copy on append" `Quick
+            test_snapshot_mapped_copy_on_append;
+          Alcotest.test_case "corrupt and versioned files" `Quick
+            test_snapshot_errors;
+          Alcotest.test_case "restored estimates bit-identical" `Quick
+            test_snapshot_query_parity ] );
+      ( "streaming",
+        [ Alcotest.test_case "Query-1 cols = rows + pinned" `Quick
+            test_stream_query1_parity ] ) ]
