@@ -16,6 +16,8 @@ open Toolkit
 module Splan = Gus_core.Splan
 module Rewrite = Gus_analysis.Rewrite
 module Gus = Gus_core.Gus
+module Symalg = Gus_core.Symalg
+module Subset = Gus_util.Subset
 module Moments = Gus_estimator.Moments
 module Sbox = Gus_estimator.Sbox
 module Pool = Gus_util.Pool
@@ -44,7 +46,14 @@ let baseline_main_ns =
        walking those rows one Value at a time.  The columnar engine is read
        against these (scan-sum is the ≥5x acceptance row). *)
     ("tpch/load-sf0.1", 12.92e6);
-    ("tpch/scan-sum-sf0.1", 62.61e3) ]
+    ("tpch/scan-sum-sf0.1", 62.61e3);
+    (* Dense-engine rewrite numbers measured immediately before the
+       symbolic coefficient algebra landed: every Rewrite.analyze call
+       materialized the full 2^n b-vector.  The rewrite-n6/n10 rows now
+       pin `Dense so they keep reading against these; the symbolic
+       default path is the separate sbox/rewrite-sym-n10 row. *)
+    ("sbox/rewrite-n6", 129.669e3);
+    ("sbox/rewrite-n10", 515.02e3) ]
 
 (* Where [baseline_main_ns] was measured.  ns-per-run is meaningless
    across machines, so both CI gates compare a fresh run against the
@@ -68,21 +77,33 @@ let git_rev () =
 
 let micro_pool = lazy (Pool.create ~size:(max 2 (Pool.default_size ())))
 
-(* One micro-benchmark: full display name, the staged body, and whether it
-   is allocation-heavy — heavy benches churn the major heap enough that the
-   OLS fit needs a longer quota to stabilize (the committed
-   exec-query1-sampled once recorded r² < 0), so they run with the quota
-   floored at [heavy_quota_floor] seconds. *)
-type spec = { name : string; heavy : bool; body : unit -> unit }
+(* One micro-benchmark: full display name, the staged body, a per-row
+   quota floor and a per-row warmup count.  Allocation-heavy benches churn
+   the major heap enough that the OLS fit needs a longer quota to
+   stabilize (the committed exec-query1-sampled once recorded r² < 0);
+   very fast bodies (the sub-100us service / scan / rewrite rows) need
+   both a floor and many untimed warmup calls, or cold caches and the
+   small sample count collapse the fit (the committed tpch/scan-sum-sf0.1
+   and service/cache-hit-q1 once recorded r² << 0).  Rows sharing an
+   effective quota are measured as one Bechamel group. *)
+type spec = {
+  name : string;
+  quota_floor : float;
+  warmup : int;
+  body : unit -> unit;
+}
 
 let heavy_quota_floor = 1.0
+let fit_quota_floor = 2.0
+let fit_warmup = 256
+
 
 let micro_specs ~quota () =
   (* Shared fixtures, built once. *)
   let plan6 = Exp.Exp_runtime.chain_plan ~n:6 in
   let plan10 = Exp.Exp_runtime.chain_plan ~n:10 in
   let card = Exp.Exp_runtime.chain_card in
-  let gus10 = (Rewrite.analyze ~card plan10).Rewrite.gus in
+  let gus10 = (Lazy.force (Rewrite.analyze ~card plan10).Rewrite.gus) in
   let rng = Gus_util.Rng.create 99 in
   let pairs n m =
     Array.init m (fun _ ->
@@ -94,6 +115,28 @@ let micro_specs ~quota () =
      static analyzer proves the other 7 contribute zero Theorem-1
      coefficients, so the skip-mask run does 7 of the 1023 subset passes. *)
   let pairs10_10k = pairs 10 10_000 in
+  (* 20-relation lineage, 3 sampled: past the dense wall (the moments
+     kernel would need 2^20 passes and the rewrite a 2^20 b-vector).  The
+     symbolic row analyzes the factorized design, projects to the 3 live
+     relations, and runs 2^3 viewed passes over the native 20-column
+     lineages — estimate, y-hat and variance included. *)
+  let pairs20_10k = pairs 20 10_000 in
+  let wide_rels = Array.init 20 (Printf.sprintf "w%02d") in
+  let wide_sampled = [ 4; 9; 14 ] in
+  let wide_sym () =
+    let leaf i =
+      let rel = wide_rels.(i) in
+      let id = Symalg.identity [| rel |] in
+      if List.mem i wide_sampled then
+        Symalg.compact (Symalg.bernoulli ~rel 0.5) id
+      else id
+    in
+    let s = ref (leaf 0) in
+    for i = 1 to 19 do
+      s := Symalg.join !s (leaf i)
+    done;
+    !s
+  in
   let gus_n10 =
     Gus.join
       (Gus.join (Gus.bernoulli ~rel:"r0" 0.1)
@@ -104,7 +147,7 @@ let micro_specs ~quota () =
   let pool = Lazy.force micro_pool in
   let db = Exp.Harness.db_cached ~scale:0.3 in
   let q1 = Exp.Harness.query1_plan () in
-  let q1_gus = (Rewrite.analyze_db db q1).Rewrite.gus in
+  let q1_gus = (Lazy.force (Rewrite.analyze_db db q1).Rewrite.gus) in
   let q1_sample = Splan.exec db (Gus_util.Rng.create 5) q1 in
   let db01 = Exp.Harness.db_cached ~scale:0.1 in
   (* Serving-layer fixtures: one engine, one dataset, one SQL text.  The
@@ -148,65 +191,88 @@ let micro_specs ~quota () =
       at_exit (fun () -> try Sys.remove snap1 with Sys_error _ -> ());
       Gus_relational.Snapshot.save ~path:snap1 db1;
       [ { name = "tpch/load-sf1";
-          heavy = true;
+          quota_floor = heavy_quota_floor;
+      warmup = 1;
           body =
             (fun () ->
               ignore (Gus_tpch.Tpch.generate ~seed:20130630 ~scale:1.0 ())) };
         { name = "tpch/scan-sum-sf1";
-          heavy = false;
+          quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
           body =
             (fun () ->
               ignore
                 (Gus_relational.Relation.sum_column lineitem1 "l_extendedprice")) };
         { name = "tpch/snapshot-restore-sf1";
-          heavy = true;
+          quota_floor = heavy_quota_floor;
+      warmup = 1;
           body = (fun () -> ignore (Gus_relational.Snapshot.load ~path:snap1)) } ]
     end
   in
   sf1
   @ [ { name = "tpch/load-sf0.1";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () -> ignore (Gus_tpch.Tpch.generate ~seed:20130630 ~scale:0.1 ())) };
     { name = "tpch/scan-sum-sf0.1";
-      heavy = false;
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
       body =
         (fun () ->
           ignore (Gus_relational.Relation.sum_column lineitem01 "l_extendedprice")) };
     { name = "tpch/snapshot-restore-sf0.1";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body = (fun () -> ignore (Gus_relational.Snapshot.load ~path:snap01)) };
     { name = "sbox/rewrite-n6";
-      heavy = false;
-      body = (fun () -> ignore (Rewrite.analyze ~card plan6)) };
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
+      body = (fun () -> ignore (Rewrite.analyze ~coeff_engine:`Dense ~card plan6)) };
     { name = "sbox/rewrite-n10";
-      heavy = false;
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
+      body = (fun () -> ignore (Rewrite.analyze ~coeff_engine:`Dense ~card plan10)) };
+    (* Same plan, default symbolic engine: the rewrite keeps the design
+       factorized and never materializes the 2^10 b-vector.  CI's
+       within-run gate asserts this row is >=50x faster than the `Dense
+       row above. *)
+    { name = "sbox/rewrite-sym-n10";
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
       body = (fun () -> ignore (Rewrite.analyze ~card plan10)) };
     { name = "sbox/c-coeffs-n10";
-      heavy = false;
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
       body = (fun () -> ignore (Gus.c_coefficients gus10)) };
     { name = "sbox/moments-2rel-10k";
-      heavy = false;
+      quota_floor = fit_quota_floor;
+      warmup = 1;
       body = (fun () -> ignore (Moments.of_pairs ~n_rels:2 pairs2_10k)) };
     { name = "sbox/moments-4rel-10k";
-      heavy = false;
+      quota_floor = fit_quota_floor;
+      warmup = 1;
       body = (fun () -> ignore (Moments.of_pairs ~n_rels:4 pairs4_10k)) };
     (* The retained seed implementation: the "before" of the kernel. *)
     { name = "sbox/moments-2rel-10k-naive";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body = (fun () -> ignore (Moments.of_pairs_naive ~n_rels:2 pairs2_10k)) };
     { name = "sbox/moments-4rel-10k-naive";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body = (fun () -> ignore (Moments.of_pairs_naive ~n_rels:4 pairs4_10k)) };
     (* Multicore fan-out of the subset passes (threshold forced off so the
        pool is exercised even at 10k tuples). *)
     { name = "sbox/moments-4rel-10k-par";
-      heavy = false;
+      quota_floor = fit_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           ignore (Moments.of_pairs ~pool ~par_threshold:0 ~n_rels:4 pairs4_10k)) };
     { name = "sbox/bilinear-4rel-10k";
-      heavy = false;
+      quota_floor = fit_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           ignore
@@ -215,27 +281,56 @@ let micro_specs ~quota () =
     (* Static skip-mask win: same input, same kernel; the masked run only
        visits the 2^3 − 1 live subset passes out of 2^10 − 1. *)
     { name = "sbox/moments-dense-n10";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body = (fun () -> ignore (Moments.of_pairs ~n_rels:10 pairs10_10k)) };
+    (* The headline symbolic row: everything from factorized design to
+       variance on a 20-relation lineage no dense path can touch.  Read
+       against sbox/moments-dense-n10 — same kernel, same 10k tuples,
+       half the relation count on the dense side, and the symbolic run
+       is still two orders of magnitude faster because it only ever
+       visits the 2^3 live subsets. *)
+    { name = "sbox/moments-sym-n20";
+      quota_floor = fit_quota_floor;
+      warmup = 1;
+      body =
+        (fun () ->
+          let sym = wide_sym () in
+          let live = Symalg.live_mask sym in
+          let view = Array.of_list (Subset.elements live) in
+          let gus = Symalg.to_gus (Symalg.project sym live) in
+          let y =
+            Moments.of_pairs ~view ~lineage_width:20
+              ~n_rels:(Subset.cardinal live) pairs20_10k
+          in
+          let y_hat = Sbox.y_hat_of_moments ~gus y in
+          let total_f = Moments.total pairs20_10k in
+          let estimate = Gus.scale_up gus total_f in
+          let variance = Gus.variance gus ~y:y_hat in
+          ignore (estimate +. variance)) };
     { name = "sbox/moments-skipmask-n10";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           ignore (Moments.of_pairs ~skip_mask:skip10 ~n_rels:10 pairs10_10k)) };
     { name = "sbox/sbox-query1-e2e";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           ignore
             (Sbox.of_relation ~gus:q1_gus ~f:Exp.Harness.revenue_f q1_sample)) };
     { name = "sbox/exec-query1-sampled";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body = (fun () -> ignore (Splan.exec db (Gus_util.Rng.create 6) q1)) };
     (* Streaming pipeline: same plan, same seed, but the result tuples fold
        straight into the moments accumulator — the row to read against
        exec-query1-sampled + sbox-query1-e2e, whose sum it replaces. *)
     { name = "sbox/stream-query1";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           ignore
@@ -247,7 +342,8 @@ let micro_specs ~quota () =
        and against the recorded pre-instrumentation baseline for the cost
        of having it compiled in at all. *)
     { name = "obs/stream-query1-traced";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           Gus_obs.Trace.set_enabled true;
@@ -264,14 +360,16 @@ let micro_specs ~quota () =
     (* Monte-Carlo harness: 5 streaming trials (incl. the exact pass), at
        scale 0.1 to match the recorded pre-streaming baseline. *)
     { name = "harness/trials-q1";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           ignore
             (Exp.Harness.trials ~trials:5 ~seed:1 db01 q1
                ~f:Exp.Harness.revenue_f)) };
     { name = "harness/trials-q1-par";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           ignore
@@ -281,16 +379,19 @@ let micro_specs ~quota () =
        triple — cold > prepared > cache-hit.  CI's within-run check
        asserts the ordering from these three rows. *)
     { name = "service/cold-q1";
-      heavy = true;
+      quota_floor = heavy_quota_floor;
+      warmup = 1;
       body =
         (fun () ->
           let h = Service.Prepared.prepare serve_cat ~dataset:"bench" serve_sql in
           ignore (Service.Prepared.execute serve_cat h ov)) };
     { name = "service/prepared-q1";
-      heavy = true;
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
       body = (fun () -> ignore (Service.Prepared.execute serve_cat warm_handle ov)) };
     { name = "service/cache-hit-q1";
-      heavy = true;
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
       body = (fun () -> ignore (Service.Engine.execute engine ~handle:"q" ov)) } ]
 
 let json_escape s =
@@ -375,7 +476,12 @@ let bench_group ~quota specs =
        outside the measured window.  The compaction then resets the major
        heap so earlier allocation-heavy benches don't tax this group's
        GC pacing. *)
-    List.iter (fun s -> s.body ()) specs;
+    List.iter
+      (fun s ->
+        for _ = 1 to s.warmup do
+          s.body ()
+        done)
+      specs;
     Gc.compact ();
     let tests =
       Test.make_grouped ~name:"" ~fmt:"%s%s"
@@ -389,12 +495,17 @@ let bench_group ~quota specs =
 let run_micro ~quota ~json () =
   print_endline "\n=== Bechamel micro-benchmarks (monotonic clock) ===\n";
   let specs = micro_specs ~quota () in
-  let light, heavy = List.partition (fun s -> not s.heavy) specs in
-  (* Allocation-heavy benches get the quota floored so the fit stabilizes;
-     everything else keeps the requested (possibly very short) quota. *)
+  (* Rows sharing an effective quota (requested quota floored per row)
+     are measured as one group, so floored rows keep their fits stable
+     under a short --quota while unfloored rows stay cheap. *)
+  let effective s = Float.max quota s.quota_floor in
+  let quotas =
+    List.sort_uniq compare (List.map effective specs)
+  in
   let rows =
-    bench_group ~quota light
-    @ bench_group ~quota:(Float.max quota heavy_quota_floor) heavy
+    List.concat_map
+      (fun q -> bench_group ~quota:q (List.filter (fun s -> effective s = q) specs))
+      quotas
   in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   let rows =

@@ -177,10 +177,16 @@ let plan_cmd =
     Format.printf "SOA rewrite (%d steps):@."
       (List.length analysis.Rewrite.steps);
     List.iter
-      (fun (what, g) -> Format.printf "  %-40s a = %.6g@." what g.Gus.a)
+      (fun (what, g) ->
+        Format.printf "  %-40s a = %.6g@." what g.Gus_core.Symalg.a)
       analysis.Rewrite.steps;
-    Format.printf "@.top GUS quasi-operator:@.  @[%a@]@." Gus.pp
-      analysis.Rewrite.gus;
+    (* Wide plans have no dense materialization: fall back to the
+       symbolic sum-of-products rendering. *)
+    (match Rewrite.dense analysis with
+    | g -> Format.printf "@.top GUS quasi-operator:@.  @[%a@]@." Gus.pp g
+    | exception Gus.Incompatible _ ->
+        Format.printf "@.top GUS quasi-operator (symbolic):@.  @[%a@]@."
+          Gus_core.Symalg.pp analysis.Rewrite.sym);
     Format.printf "@.sample-free skeleton:@.%a@." Splan.pp_tree
       analysis.Rewrite.skeleton
   in
@@ -228,6 +234,14 @@ let lint_cmd =
                paper citation, then exit." in
     Arg.(value & flag & info [ "codes" ] ~doc)
   in
+  let dense_coeffs_arg =
+    let doc = "Run the legacy dense coefficient engine (materialize all \
+               2^n second-order probabilities) instead of the symbolic \
+               sum-of-products algebra.  Output is byte-identical where \
+               both engines apply; this flag exists as the comparison \
+               baseline and fails on plans past the dense width limit." in
+    Arg.(value & flag & info [ "dense-coeffs" ] ~doc)
+  in
   let print_codes () =
     List.iter
       (fun code ->
@@ -236,7 +250,8 @@ let lint_cmd =
           (D.title code) (D.citation code))
       D.all_codes
   in
-  let run scale sql json small_a variance_bound cost_budget codes fix data =
+  let run scale sql json small_a variance_bound cost_budget codes fix
+      dense_coeffs data =
     if codes then print_codes ()
     else
       match sql with
@@ -247,7 +262,8 @@ let lint_cmd =
           C.or_fail ~json @@ fun () ->
           let db = C.db_source ~scale data in
           let config = { Lint.small_a; variance_bound; cost_budget } in
-          let plan, report = Gus_sql.Runner.lint ~config db sql in
+          let engine = if dense_coeffs then `Dense else `Symbolic in
+          let plan, report = Gus_sql.Runner.lint ~config ~engine db sql in
           if json then print_endline (Lint.to_json report)
           else begin
             Format.printf "sampling plan:@.%a@." Lint.pp_annotated_plan
@@ -282,7 +298,7 @@ let lint_cmd =
              once.")
     Term.(const run $ C.scale_arg $ sql_opt_arg $ C.json_arg $ small_a_arg
           $ variance_bound_arg $ cost_budget_arg $ codes_arg $ fix_arg
-          $ C.data_arg)
+          $ dense_coeffs_arg $ C.data_arg)
 
 (* ---- lint-workload ---- *)
 
@@ -292,14 +308,21 @@ let lint_workload_cmd =
                recursively)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
   in
-  let run scale dir data =
+  let dense_coeffs_arg =
+    let doc = "Run the legacy dense coefficient engine instead of the \
+               symbolic sum-of-products algebra (byte-identical output; \
+               comparison baseline)." in
+    Arg.(value & flag & info [ "dense-coeffs" ] ~doc)
+  in
+  let run scale dir dense_coeffs data =
     if not (Sys.file_exists dir && Sys.is_directory dir) then begin
       Printf.eprintf "gusdb lint-workload: no such directory %s\n" dir;
       exit 124
     end;
     C.or_fail ~json:true @@ fun () ->
     let db = C.db_source ~scale data in
-    let rep = Gus_service.Workload_lint.run db dir in
+    let engine = if dense_coeffs then `Dense else `Symbolic in
+    let rep = Gus_service.Workload_lint.run ~engine db dir in
     print_endline (Json.to_string (Gus_service.Workload_lint.to_json rep));
     exit (Gus_service.Workload_lint.exit_code rep)
   in
@@ -309,7 +332,7 @@ let lint_workload_cmd =
              aggregated JSON report.  Exit codes are a stable CI \
              contract: 0 all clean, 1 at least one error-severity \
              finding or unparsable query, 124 no such directory.")
-    Term.(const run $ C.scale_arg $ dir_arg $ C.data_arg)
+    Term.(const run $ C.scale_arg $ dir_arg $ dense_coeffs_arg $ C.data_arg)
 
 (* ---- serve ---- *)
 
@@ -386,7 +409,7 @@ let repl_cmd =
                    let { Gus_sql.Planner.plan; _ } = Gus_sql.Planner.compile db query in
                    Format.printf "%a" Splan.pp_tree plan;
                    let analysis = Rewrite.analyze_db db plan in
-                   Format.printf "@[%a@]@." Gus.pp analysis.Rewrite.gus
+                   Format.printf "@[%a@]@." Gus.pp (Lazy.force analysis.Rewrite.gus)
                  end
                  else if String.length text >= 6 && String.sub text 0 6 = "\\exact"
                  then begin

@@ -31,7 +31,7 @@ let () =
   let report, analysis = Sbox.run ~seed:7 db plan ~f in
 
   Format.printf "sample:   %d result tuples@." report.Sbox.n_tuples;
-  Format.printf "top GUS:  @[%a@]@.@." Gus_core.Gus.pp analysis.Rewrite.gus;
+  Format.printf "top GUS:  @[%a@]@.@." Gus_core.Gus.pp (Lazy.force analysis.Rewrite.gus);
   Format.printf "estimate: %.4g  (stddev %.3g)@." report.Sbox.estimate
     report.Sbox.stddev;
   Format.printf "95%% CI (normal):    %a@." Interval.pp

@@ -54,14 +54,15 @@ let verified_dead_mask (g : Gus.t) c =
 
 let skip_mask g = verified_dead_mask g (Gus.c_coefficients g)
 
-let variance_bound_of_c (g : Gus.t) c =
-  let a = g.Gus.a in
+let variance_bound_of_c_a ~a c =
   if not (a > 0.0) then infinity
   else begin
     let sum = ref 0.0 in
     Array.iter (fun cs -> if cs > 0.0 then sum := !sum +. cs) c;
     Float.max 0.0 ((!sum /. (a *. a)) -. 1.0)
   end
+
+let variance_bound_of_c (g : Gus.t) c = variance_bound_of_c_a ~a:g.Gus.a c
 
 let variance_bound g = variance_bound_of_c g (Gus.c_coefficients g)
 
@@ -84,6 +85,72 @@ let analyze ~(facts : Dataflow.table) (g : Gus.t) =
     variance_bound = variance_bound_of_c g c;
     skip_mask;
     cls = root.Dataflow.cls }
+
+(* ---- symbolic analysis ----
+
+   Same report, computed from the sum-of-products form without touching
+   2^n anywhere:
+
+   - the skip-mask is the complement of the *structural* live mask (a
+     factor with lo = hi on float bits multiplies identical values into
+     b_T and b_{T∪{i}}, so the dense entries would be bit-equal and the
+     Möbius coefficients exact zeros — the same argument {!skip_mask}
+     verifies numerically);
+   - the variance bound either enumerates the coefficients over the
+     *projected* k-relation live universe (k small: entries are bit-equal
+     to the dense [b] at the embedded masks, the transform runs the same
+     per-bit passes in the same order, and the positive-sum accumulates
+     the surviving coefficients in the same ascending order the dense scan
+     does — so the bound is bit-identical to {!analyze}'s), or uses the
+     closed form Σ c_S⁺ = b_full = a for provably-nonnegative designs
+     where enumeration would be wasteful. *)
+
+module Symalg = Gus_core.Symalg
+
+(* Below this live-relation count, always enumerate: bit-parity with the
+   dense path costs at most 2^8 evaluations. *)
+let sym_enum_limit = 8
+
+(* Enumerating 2^k coefficients stays cheap well past the dense-array
+   wall; beyond this the bound for non-monotone designs is unknown. *)
+let sym_enum_hard_limit = 20
+
+let analyze_sym ~(facts : Dataflow.table) (sym : Symalg.t) =
+  match sym.Symalg.repr with
+  | Symalg.Dense g -> analyze ~facts g
+  | Symalg.Sop _ ->
+      let n = Symalg.n_rels sym in
+      let live = Symalg.live_mask sym in
+      let k = Subset.cardinal live in
+      let passes = Subset.full_wide n (* 2^n − 1 without the 2^n array *) in
+      let skip_mask =
+        if k = n then 0 else Subset.diff (Subset.full_wide n) live
+      in
+      let skipped = if skip_mask = 0 then 0 else passes - ((1 lsl k) - 1) in
+      let enumerate () =
+        let g_live = Symalg.to_gus (Symalg.project sym live) in
+        variance_bound_of_c_a ~a:sym.Symalg.a (Gus.c_coefficients g_live)
+      in
+      let variance_bound =
+        if not (sym.Symalg.a > 0.0) then infinity
+        else if k <= sym_enum_limit then enumerate ()
+        else if Symalg.nonneg_monotone sym then
+          (* Σ c_S⁺ = Σ c_S = b_full = a exactly (all coefficients are
+             nonnegative and the telescoping sum is the diagonal). *)
+          Float.max 0.0 ((sym.Symalg.a /. (sym.Symalg.a *. sym.Symalg.a)) -. 1.0)
+        else if k <= sym_enum_hard_limit then enumerate ()
+        else infinity
+      in
+      let root = Dataflow.root facts in
+      let est_groups = Float.max 1.0 (Absdom.Card.exp root.Dataflow.card) in
+      { n_rels = n;
+        passes;
+        skipped;
+        est_groups;
+        predicted_cost = float_of_int (passes - skipped) *. est_groups;
+        variance_bound;
+        skip_mask;
+        cls = root.Dataflow.cls }
 
 let pp ppf r =
   Format.fprintf ppf

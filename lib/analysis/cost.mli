@@ -39,4 +39,14 @@ val analyze : facts:Dataflow.table -> Gus_core.Gus.t -> report
 (** Requires the facts of the {e same} plan the GUS was rewritten from
     (only the root fact is consulted). *)
 
+val analyze_sym : facts:Dataflow.table -> Gus_core.Symalg.t -> report
+(** {!analyze} computed from the symbolic sum-of-products form without
+    enumerating [2^n] anywhere: the skip-mask comes from the structural
+    live mask (dead factor ⇒ bit-equal dense entries ⇒ exact-zero
+    coefficients), and the variance bound either enumerates coefficients
+    over the {e projected} live universe (small live sets — bit-identical
+    to {!analyze}'s bound) or collapses to the closed form
+    [Σ c_S⁺ = a] for provably-nonnegative designs.  Dense-fallback
+    representations delegate to {!analyze}. *)
+
 val pp : Format.formatter -> report -> unit

@@ -2,6 +2,7 @@ module Subset = Gus_util.Subset
 module Metrics = Gus_obs.Metrics
 module Sampler = Gus_sampling.Sampler
 module Gus = Gus_core.Gus
+module Symalg = Gus_core.Symalg
 module Splan = Gus_core.Splan
 module D = Diagnostic
 
@@ -14,13 +15,16 @@ type config = {
 let default_config =
   { small_a = 1e-3; variance_bound = 1e4; cost_budget = 1e8 }
 
+type coeff_engine = [ `Symbolic | `Dense ]
+
 type analysis = {
   skeleton : Splan.t;
-  gus : Gus.t;
-  steps : (string * Gus.t) list;
+  sym : Symalg.t;
+  gus : Gus.t Lazy.t;
+  steps : (string * Symalg.t) list;
   facts : Dataflow.table;
   cost : Cost.report;
-  sampler_gus : (D.path * Gus.t) list;
+  sampler_gus : (D.path * Symalg.t) list;
 }
 
 type report = {
@@ -66,6 +70,44 @@ let check_gus ?(path = []) ?(node = "GUS") g =
     g.Gus.b;
   List.rev !out
 
+(* Symbolic twin of {!check_gus}: the [a] checks are shared, and the
+   per-entry bound is checked without materializing 2^n entries.  A
+   nonneg-monotone SoP provably satisfies b_T ≤ b_full = a everywhere, so
+   the scan is skipped wholesale (the dense scan over such a design is
+   silent too — products of probabilities only ever shrink); otherwise
+   only the live universe is enumerated, since dead-mask entries are
+   bit-equal to their live projections. *)
+let check_sym ?(path = []) ?(node = "GUS") sym =
+  let out = ref [] in
+  let emit code message = out := D.make ~code ~path ~node message :: !out in
+  let a = sym.Symalg.a in
+  if a = 0.0 then
+    emit D.Zero_inclusion_probability
+      "nothing is ever sampled (a = 0): the 1/a scale-up of Theorem 1 is \
+       undefined"
+  else if not (a > 0.0 && a <= 1.0) then
+    emit D.Probability_out_of_range
+      (Printf.sprintf "first-order inclusion probability a = %g is outside \
+                       (0,1]" a);
+  let check_entry s bs =
+    if bs > a +. 1e-9 then
+      emit D.Probability_out_of_range
+        (Printf.sprintf
+           "b%s = %g exceeds its marginal a = %g: P[t,t' \xe2\x88\x88 S] \
+            can never exceed P[t \xe2\x88\x88 S]"
+           (Symalg.subset_name sym s) bs a)
+  in
+  (match sym.Symalg.repr with
+  | Symalg.Dense g -> Array.iteri check_entry g.Gus.b
+  | Symalg.Sop _ ->
+      if not (Symalg.nonneg_monotone sym) then begin
+        let live = Symalg.live_mask sym in
+        if Subset.cardinal live <= 20 then
+          Subset.iter_subsets live (fun s ->
+              check_entry s (Symalg.b_get sym s))
+      end);
+  List.rev !out
+
 (* ---- sampler translation with diagnostics ---- *)
 
 (* What a sampler sits on, as far as WOR/block translatability goes. *)
@@ -85,7 +127,7 @@ type sampler_input =
 (* Mirrors the paper's Figure-1 translations.  Emits every applicable
    diagnostic instead of raising; returns the sampler's GUS when one exists
    (it may exist even alongside hints, e.g. a redundant identity sampler). *)
-let translate_sampler ~card ~over ~input ~path ~node ~emit s =
+let translate_sampler_sym ~card ~over ~input ~path ~node ~emit s =
   let emitd ?fix code message =
     emit (D.make ?fix ~code ~path ~node message)
   in
@@ -117,8 +159,8 @@ let translate_sampler ~card ~over ~input ~path ~node ~emit s =
   match s with
   | Sampler.Bernoulli p ->
       if not (check_p "Bernoulli" p) then None
-      else if Array.length over = 1 then Some (Gus.bernoulli ~rel:over.(0) p)
-      else Some (Gus.bernoulli_over over p)
+      else if Array.length over = 1 then Some (Symalg.bernoulli ~rel:over.(0) p)
+      else Some (Symalg.bernoulli_over over p)
   | Sampler.Hash_bernoulli { p; _ } ->
       let p_ok = check_p "hash-Bernoulli" p in
       if Array.length over <> 1 then begin
@@ -130,7 +172,7 @@ let translate_sampler ~card ~over ~input ~path ~node ~emit s =
         None
       end
       else if not p_ok then None
-      else Some (Gus.bernoulli ~rel:over.(0) p)
+      else Some (Symalg.bernoulli ~rel:over.(0) p)
   | Sampler.Wor n ->
       if n < 0 then begin
         emitd D.Probability_out_of_range
@@ -183,7 +225,7 @@ let translate_sampler ~card ~over ~input ~path ~node ~emit s =
                  "WOR(%d) over %s keeps all N = %d tuples: it is the \
                   identity GUS and can be removed"
                  n over.(0) big_n);
-          Some (Gus.wor ~rel:over.(0) ~n ~out_of:big_n)
+          Some (Symalg.wor ~rel:over.(0) ~n ~out_of:big_n)
         end
       end
   | Sampler.Block { rows_per_block; p } ->
@@ -205,19 +247,26 @@ let translate_sampler ~card ~over ~input ~path ~node ~emit s =
       else if not p_ok then None
       else
         (* Block-granular lineage: a kept *block* is one Bernoulli unit. *)
-        Some (Gus.bernoulli ~rel:over.(0) p)
+        Some (Symalg.bernoulli ~rel:over.(0) p)
   | Sampler.Wr _ ->
       emitd D.With_replacement
         "with-replacement sampling is not a randomized filter, hence not a \
          GUS method";
       None
 
+(* Dense public wrapper: same Figure-1 logic, materialized.  Raises
+   {!Gus_core.Gus.Incompatible} past the dense width, like the dense
+   constructors always did. *)
+let translate_sampler ~card ~over ~input ~path ~node ~emit s =
+  Option.map Symalg.to_gus
+    (translate_sampler_sym ~card ~over ~input ~path ~node ~emit s)
+
 (* ---- the plan walk ---- *)
 
 type info = {
   skeleton : Splan.t;
   lineage : string list;  (** base relations in plan order, duplicates kept *)
-  gus : Gus.t option;  (** [None] once an error invalidates the subtree *)
+  sym : Symalg.t option;  (** [None] once an error invalidates the subtree *)
   sampled : bool;
 }
 
@@ -247,7 +296,7 @@ let validate_config config =
   check "variance_bound" config.variance_bound;
   check "cost_budget" config.cost_budget
 
-let run ?(config = default_config) ~card plan =
+let run ?(config = default_config) ?(engine = `Symbolic) ~card plan =
   validate_config config;
   Metrics.incr m_lint_runs;
   let diags = ref [] in
@@ -277,28 +326,28 @@ let run ?(config = default_config) ~card plan =
               (if List.length overlap > 1 then "s" else "")
               (String.concat ", " overlap)));
     let n = List.length l_info.lineage + List.length r_info.lineage in
-    let gus =
-      match (overlap, l_info.gus, r_info.gus) with
+    let sym =
+      match (overlap, l_info.sym, r_info.sym) with
       | [], Some gl, Some gr ->
-          if n > Subset.max_universe then begin
+          if n > Subset.max_mask_bits then begin
             emit
               (D.make ~code:D.Analysis_limit ~path ~node
                  (Printf.sprintf
-                    "%d relations exceed the %d-relation analysis limit \
-                     (the b\xcc\x84 arrays hold 2\xe2\x81\xbf entries)"
-                    n Subset.max_universe));
+                    "%d relations exceed the %d-relation symbolic analysis \
+                     limit (coefficient subsets are int bitmasks)"
+                    n Subset.max_mask_bits));
             None
           end
           else
             guarded path node (fun () ->
-                let g = Gus.join gl gr in
+                let g = Symalg.join gl gr in
                 note "join (Prop 6)" g;
                 g)
       | _ -> None
     in
     { skeleton = mk l_info.skeleton r_info.skeleton;
       lineage = l_info.lineage @ r_info.lineage;
-      gus;
+      sym;
       sampled = l_info.sampled || r_info.sampled }
   in
   let rec go path plan =
@@ -307,7 +356,7 @@ let run ?(config = default_config) ~card plan =
     | Splan.Scan name ->
         { skeleton = Splan.Scan name;
           lineage = [ name ];
-          gus = Some (Gus.identity [| name |]);
+          sym = Some (Symalg.identity [| name |]);
           sampled = false }
     | Splan.Select (p, q) ->
         (* Prop 5: selection commutes with GUS. *)
@@ -377,29 +426,29 @@ let run ?(config = default_config) ~card plan =
         let gs =
           Option.join
             (guarded path node (fun () ->
-                 translate_sampler ~card ~over ~input ~path ~node ~emit s))
+                 translate_sampler_sym ~card ~over ~input ~path ~node ~emit s))
         in
         (* With overlapping lineage below, no single GUS describes the
            subtree; keep the diagnostics but drop the value. *)
         let gs = if dup_rels = [] then gs else None in
         Option.iter (fun g -> samplers := (path, g) :: !samplers) gs;
-        let gus =
-          match (gs, c.gus) with
+        let sym =
+          match (gs, c.sym) with
           | Some gs, Some g ->
               note (Printf.sprintf "translate %s" node) gs;
               (* Prop 8: stack the sampler's GUS on the input's GUS. *)
               guarded path node (fun () ->
-                  let combined = Gus.compact gs g in
+                  let combined = Symalg.compact gs g in
                   note (Printf.sprintf "compact %s into input" node) combined;
                   combined)
           | _ -> None
         in
-        { skeleton = c.skeleton; lineage = c.lineage; gus; sampled = true }
+        { skeleton = c.skeleton; lineage = c.lineage; sym; sampled = true }
     | Splan.Distinct q ->
         let c = go (path @ [ 0 ]) q in
         let rejected =
-          match c.gus with
-          | Some g -> not (Gus.equal_approx g (Gus.identity g.Gus.rels))
+          match c.sym with
+          | Some g -> not (Symalg.is_identity g)
           | None -> c.sampled
         in
         if rejected then
@@ -408,8 +457,8 @@ let run ?(config = default_config) ~card plan =
                "DISTINCT above sampling is outside GUS: duplicate \
                 elimination depends on more than pairwise inclusion \
                 probabilities");
-        let gus = if rejected then None else c.gus in
-        { c with skeleton = Splan.Distinct c.skeleton; gus }
+        let sym = if rejected then None else c.sym in
+        { c with skeleton = Splan.Distinct c.skeleton; sym }
     | Splan.Union_samples (left, right) ->
         let l = go (path @ [ 0 ]) left and r = go (path @ [ 1 ]) right in
         let same = Splan.equal l.skeleton r.skeleton in
@@ -418,38 +467,56 @@ let run ?(config = default_config) ~card plan =
             (D.make ~code:D.Union_skeleton_mismatch ~path ~node
                "union of samples of two different expressions: Prop. 7 \
                 requires both samples to come from the same expression");
-        let gus =
-          match (same, l.gus, r.gus) with
+        let sym =
+          match (same, l.sym, r.sym) with
           | true, Some gl, Some gr ->
               guarded path node (fun () ->
-                  let g = Gus.union gl gr in
+                  let g = Symalg.union gl gr in
                   note "GUS union (Prop 7)" g;
                   g)
           | _ -> None
         in
         { skeleton = l.skeleton;
           lineage = l.lineage;
-          gus;
+          sym;
           sampled = l.sampled || r.sampled }
   in
   let root = go [] plan in
   let facts = Dataflow.analyze ~card plan in
   let cost =
-    match root.gus with
+    match root.sym with
     | None -> None
-    | Some g ->
+    | Some sym ->
         let node = node_label plan in
-        List.iter emit (check_gus ~path:[] ~node g);
-        if g.Gus.a > 0.0 && g.Gus.a < config.small_a then
-          emit
-            (D.make ~code:D.Small_inclusion_probability ~path:[] ~node
-               (Printf.sprintf
-                  "effective sampling fraction a = %g is below %g: Theorem-1 \
-                   variance terms scale with c_S/a\xc2\xb2 (blow-up factor \
-                   \xe2\x89\x88 %.3g)"
-                  g.Gus.a config.small_a
-                  (1.0 /. (g.Gus.a *. g.Gus.a))));
-        match guarded [] node (fun () -> Cost.analyze ~facts g) with
+        let a_root, analyzed =
+          match engine with
+          | `Symbolic ->
+              List.iter emit (check_sym ~path:[] ~node sym);
+              ( Some sym.Symalg.a,
+                guarded [] node (fun () -> Cost.analyze_sym ~facts sym) )
+          | `Dense -> (
+              (* Legacy measurement path: materialize the full 2^n vector
+                 and run the historical checks on it, exactly as before the
+                 symbolic engine existed. *)
+              match guarded [] node (fun () -> Symalg.to_gus sym) with
+              | None -> (None, None)
+              | Some g ->
+                  List.iter emit (check_gus ~path:[] ~node g);
+                  ( Some g.Gus.a,
+                    guarded [] node (fun () -> Cost.analyze ~facts g) ))
+        in
+        (match a_root with
+        | Some a when a > 0.0 && a < config.small_a ->
+            emit
+              (D.make ~code:D.Small_inclusion_probability ~path:[] ~node
+                 (Printf.sprintf
+                    "effective sampling fraction a = %g is below %g: Theorem-1 \
+                     variance terms scale with c_S/a\xc2\xb2 (blow-up factor \
+                     \xe2\x89\x88 %.3g)"
+                    a config.small_a
+                    (1.0 /. (a *. a))))
+        | _ -> ());
+        match analyzed with
         | None -> None
         | Some cost ->
             (* Cost/variance findings only make sense on sampled plans: a
@@ -484,9 +551,9 @@ let run ?(config = default_config) ~card plan =
                 List.filter_map
                   (fun i ->
                     if Subset.mem cost.Cost.skip_mask i then
-                      Some g.Gus.rels.(i)
+                      Some sym.Symalg.rels.(i)
                     else None)
-                  (List.init (Gus.n_rels g) Fun.id)
+                  (List.init (Symalg.n_rels sym) Fun.id)
               in
               emit
                 (D.make ~code:D.Zero_coefficients ~path:[] ~node
@@ -510,11 +577,12 @@ let run ?(config = default_config) ~card plan =
     List.exists (fun d -> D.severity d = D.Error) diagnostics
   in
   let analysis =
-    match (has_error, root.gus, cost) with
-    | false, Some gus, Some cost ->
+    match (has_error, root.sym, cost) with
+    | false, Some sym, Some cost ->
         Some
           { skeleton = root.skeleton;
-            gus;
+            sym;
+            gus = lazy (Symalg.to_gus sym);
             steps = List.rev !steps;
             facts;
             cost;
@@ -523,8 +591,8 @@ let run ?(config = default_config) ~card plan =
   in
   { diagnostics; analysis }
 
-let run_db ?config db plan =
-  run ?config plan
+let run_db ?config ?engine db plan =
+  run ?config ?engine plan
     ~card:(fun r ->
       Gus_relational.Relation.cardinality (Gus_relational.Database.find db r))
 
@@ -566,8 +634,8 @@ let pp_report ppf r =
   (match r.analysis with
   | Some a ->
       Format.fprintf ppf "plan is GUS-analyzable: a = %.6g over [%s]@."
-        a.gus.Gus.a
-        (String.concat "," (Array.to_list a.gus.Gus.rels))
+        a.sym.Symalg.a
+        (String.concat "," (Array.to_list a.sym.Symalg.rels))
   | None -> Format.fprintf ppf "plan is not GUS-analyzable@.");
   Format.fprintf ppf "%s@." (summary r)
 
@@ -606,7 +674,7 @@ let to_json r =
             %d, \"coefficient_passes\": %d, \"skipped_passes\": %d, \
             \"est_groups\": %g, \"predicted_cost\": %g, \"variance_bound\": \
             %g},\n"
-           a.gus.Gus.a
+           a.sym.Symalg.a
            (Absdom.Cls.to_string c.Cost.cls)
            c.Cost.n_rels c.Cost.passes c.Cost.skipped c.Cost.est_groups
            c.Cost.predicted_cost c.Cost.variance_bound)

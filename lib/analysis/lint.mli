@@ -30,18 +30,33 @@ type config = {
 val default_config : config
 (** [{ small_a = 1e-3; variance_bound = 1e4; cost_budget = 1e8 }]. *)
 
+type coeff_engine = [ `Symbolic | `Dense ]
+(** Which coefficient engine the root checks and cost model run on.
+    [`Symbolic] (the default) keeps the design in
+    {!Gus_core.Symalg} sum-of-products form — closed-form sparse
+    coefficients, no [2^n] enumeration, works past the dense width wall.
+    [`Dense] materializes the full [2^n] vector and runs the historical
+    path — the legacy measurement baseline ([gusdb lint
+    --dense-coeffs]), byte-identical in output where both engines
+    apply. *)
+
 type analysis = {
   skeleton : Gus_core.Splan.t;
       (** the input with every sampling operator removed *)
-  gus : Gus_core.Gus.t;
-      (** single equivalent GUS over the skeleton's lineage *)
-  steps : (string * Gus_core.Gus.t) list;
+  sym : Gus_core.Symalg.t;
+      (** single equivalent GUS over the skeleton's lineage, in symbolic
+          sum-of-products form *)
+  gus : Gus_core.Gus.t Lazy.t;
+      (** dense materialization of [sym]; forcing raises
+          {!Gus_core.Gus.Incompatible} past the dense width wall
+          ({!Gus_util.Subset.max_universe} relations) *)
+  steps : (string * Gus_core.Symalg.t) list;
       (** derivation trace, leaves first — the Figure-4 walk-through *)
   facts : Dataflow.table;
       (** per-node abstract-interpretation facts (pre-order) *)
   cost : Cost.report;
       (** static cost/variance model, including the verified skip-mask *)
-  sampler_gus : (Diagnostic.path * Gus_core.Gus.t) list;
+  sampler_gus : (Diagnostic.path * Gus_core.Symalg.t) list;
       (** the Figure-1 GUS of each sampling operator, keyed by plan path
           — computed once here so executors need not re-lint per run *)
 }
@@ -54,7 +69,11 @@ type report = {
 }
 
 val run :
-  ?config:config -> card:(string -> int) -> Gus_core.Splan.t -> report
+  ?config:config ->
+  ?engine:coeff_engine ->
+  card:(string -> int) ->
+  Gus_core.Splan.t ->
+  report
 (** Lint a plan.  [card] resolves base-relation cardinalities: it feeds
     the WOR translation ([a = n/N], consulted for WOR over a [Scan] or a
     cardinality-preserving [Project] chain over one) and the {!Dataflow}
@@ -65,6 +84,7 @@ val run :
 
 val run_db :
   ?config:config ->
+  ?engine:coeff_engine ->
   Gus_relational.Database.t ->
   Gus_core.Splan.t ->
   report
@@ -77,6 +97,16 @@ val check_gus :
   ?path:Diagnostic.path -> ?node:string -> Gus_core.Gus.t -> Diagnostic.t list
 (** Coherence checks on a single GUS value: [a ∈ (0,1]] and every
     second-order probability bounded by its marginal ([b_T ≤ a]). *)
+
+val check_sym :
+  ?path:Diagnostic.path ->
+  ?node:string ->
+  Gus_core.Symalg.t ->
+  Diagnostic.t list
+(** Symbolic twin of {!check_gus}: the [a] checks are shared; the
+    [b_T ≤ a] scan is skipped wholesale for provably-monotone designs,
+    enumerates only the live subsets otherwise, and falls back to the
+    full dense scan for dense-fallback representations. *)
 
 (** What a sampler's input looks like, for WOR/block translatability:
     a bare [Scan]; a cardinality-preserving [Project] chain over one

@@ -1,5 +1,6 @@
 module Sampler = Gus_sampling.Sampler
 module Gus = Gus_core.Gus
+module Symalg = Gus_core.Symalg
 module Splan = Gus_core.Splan
 module D = Diagnostic
 
@@ -15,9 +16,12 @@ let render_errors errs =
 
 type result = {
   skeleton : Splan.t;
-  gus : Gus.t;
-  steps : (string * Gus.t) list;
+  sym : Symalg.t;
+  gus : Gus.t Lazy.t;
+  steps : (string * Symalg.t) list;
 }
+
+let dense r = Lazy.force r.gus
 
 let sampler_gus ~card ~over ~input sampler =
   let diags = ref [] in
@@ -36,18 +40,21 @@ let sampler_gus ~card ~over ~input sampler =
       raise (Unsupported "sampler translation failed")
   | errs, _ -> raise (Unsupported (render_errors errs))
 
-let analyze ~card plan =
-  let report = Lint.run ~card plan in
+let analyze ?coeff_engine ~card plan =
+  let report = Lint.run ?engine:coeff_engine ~card plan in
   match (Lint.errors report, report.Lint.analysis) with
   | [], Some a ->
-      { skeleton = a.Lint.skeleton; gus = a.Lint.gus; steps = a.Lint.steps }
+      { skeleton = a.Lint.skeleton;
+        sym = a.Lint.sym;
+        gus = a.Lint.gus;
+        steps = a.Lint.steps }
   | [], None ->
       (* Unreachable: the linter produces an analysis iff it found no
          errors. *)
       raise (Unsupported "plan is not GUS-analyzable")
   | errs, _ -> raise (Unsupported (render_errors errs))
 
-let analyze_db db plan =
-  analyze plan
+let analyze_db ?coeff_engine db plan =
+  analyze ?coeff_engine plan
     ~card:(fun r ->
       Gus_relational.Relation.cardinality (Gus_relational.Database.find db r))

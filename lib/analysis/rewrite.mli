@@ -27,18 +27,36 @@ val render_errors : Diagnostic.t list -> string
 type result = {
   skeleton : Gus_core.Splan.t;
       (** the input with every sampling operator removed *)
-  gus : Gus_core.Gus.t;
-      (** single equivalent GUS over the skeleton's lineage *)
-  steps : (string * Gus_core.Gus.t) list;
+  sym : Gus_core.Symalg.t;
+      (** single equivalent GUS over the skeleton's lineage, kept in
+          symbolic sum-of-products form — the primary representation *)
+  gus : Gus_core.Gus.t Lazy.t;
+      (** dense materialization of [sym], forced on demand; raises
+          {!Gus_core.Gus.Incompatible} past the dense width wall *)
+  steps : (string * Gus_core.Symalg.t) list;
       (** derivation trace, leaves first — the Figure-4 walk-through *)
 }
 
-val analyze : card:(string -> int) -> Gus_core.Splan.t -> result
+val dense : result -> Gus_core.Gus.t
+(** Force the dense materialization.  Raises
+    {!Gus_core.Gus.Incompatible} past {!Gus_util.Subset.max_universe}
+    relations — wide plans must stay on the symbolic representation. *)
+
+val analyze :
+  ?coeff_engine:Lint.coeff_engine ->
+  card:(string -> int) ->
+  Gus_core.Splan.t ->
+  result
 (** [card] resolves base-relation cardinalities (needed to translate
     [WOR(n)] into [a = n/N]); typically [fun r -> Relation.cardinality
-    (Database.find db r)]. *)
+    (Database.find db r)].  [coeff_engine] selects the root
+    check/cost engine (default [`Symbolic]); see {!Lint.coeff_engine}. *)
 
-val analyze_db : Gus_relational.Database.t -> Gus_core.Splan.t -> result
+val analyze_db :
+  ?coeff_engine:Lint.coeff_engine ->
+  Gus_relational.Database.t ->
+  Gus_core.Splan.t ->
+  result
 
 val sampler_gus :
   card:(string -> int) ->

@@ -34,14 +34,52 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-let check_lengths ~what ~n_rels ~lineage_of pairs =
-  if n_rels > Subset.max_universe then
-    invalid_arg (Printf.sprintf "Moments.%s: too many relations" what);
+let check_lengths ~what ~width ~lineage_of pairs =
   Array.iter
     (fun p ->
-      if Array.length (lineage_of p) <> n_rels then
+      if Array.length (lineage_of p) <> width then
         invalid_arg (Printf.sprintf "Moments.%s: lineage length mismatch" what))
     pairs
+
+(* A view embeds the kernel's [n_rels] subset positions into wider lineage
+   arrays: position [i] of the kernel universe reads lineage column
+   [view.(i)].  This is what lets a 20-relation plan with 3 live relations
+   run 2^3 moment passes over its native 20-column lineages.  The identity
+   view is [None].  [width] is the expected lineage length. *)
+let check_view ~what ~n_rels ~width view =
+  if n_rels > Subset.max_universe then
+    invalid_arg (Printf.sprintf "Moments.%s: too many relations" what);
+  match view with
+  | None ->
+      if width <> n_rels then
+        invalid_arg
+          (Printf.sprintf "Moments.%s: lineage_width %d without a view" what
+             width)
+  | Some v ->
+      if Array.length v <> n_rels then
+        invalid_arg
+          (Printf.sprintf "Moments.%s: view length %d <> n_rels %d" what
+             (Array.length v) n_rels);
+      Array.iteri
+        (fun i p ->
+          if p < 0 || p >= width then
+            invalid_arg
+              (Printf.sprintf
+                 "Moments.%s: view position %d outside lineage width %d" what p
+                 width);
+          if i > 0 && v.(i - 1) >= p then
+            invalid_arg
+              (Printf.sprintf "Moments.%s: view not strictly ascending" what))
+        v
+
+(* Remap the filled kernel positions through the view, in place. *)
+let[@inline] apply_view view (pos : int array) npos =
+  match view with
+  | None -> ()
+  | Some (v : int array) ->
+      for k = 0 to npos - 1 do
+        Array.unsafe_set pos k (Array.unsafe_get v (Array.unsafe_get pos k))
+      done
 
 (* ------------------------------------------------------------------ *)
 (* Naive reference implementation (the original seed code): one fresh
@@ -51,7 +89,8 @@ let check_lengths ~what ~n_rels ~lineage_of pairs =
    BENCH_moments.json trajectory. *)
 
 let of_pairs_naive ~n_rels pairs =
-  check_lengths ~what:"of_pairs" ~n_rels ~lineage_of:fst pairs;
+  check_view ~what:"of_pairs" ~n_rels ~width:n_rels None;
+  check_lengths ~what:"of_pairs" ~width:n_rels ~lineage_of:fst pairs;
   let nmasks = Subset.count n_rels in
   let y = Array.make nmasks 0.0 in
   let grand = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 pairs in
@@ -73,7 +112,8 @@ let of_pairs_naive ~n_rels pairs =
   y
 
 let bilinear_of_pairs_naive ~n_rels pairs =
-  check_lengths ~what:"bilinear_of_pairs" ~n_rels
+  check_view ~what:"bilinear_of_pairs" ~n_rels ~width:n_rels None;
+  check_lengths ~what:"bilinear_of_pairs" ~width:n_rels
     ~lineage_of:(fun (l, _, _) -> l)
     pairs;
   let nmasks = Subset.count n_rels in
@@ -173,8 +213,10 @@ let check_skip_mask ~what ~n_rels skip_mask =
          what)
 
 let of_pairs ?pool ?(par_threshold = default_par_threshold) ?(skip_mask = 0)
-    ~n_rels pairs =
-  check_lengths ~what:"of_pairs" ~n_rels ~lineage_of:fst pairs;
+    ?view ?lineage_width ~n_rels pairs =
+  let width = Option.value lineage_width ~default:n_rels in
+  check_view ~what:"of_pairs" ~n_rels ~width view;
+  check_lengths ~what:"of_pairs" ~width ~lineage_of:fst pairs;
   check_skip_mask ~what:"of_pairs" ~n_rels skip_mask;
   let nmasks = Subset.count n_rels in
   let y = Array.make nmasks 0.0 in
@@ -198,6 +240,7 @@ let of_pairs ?pool ?(par_threshold = default_par_threshold) ?(skip_mask = 0)
           if s land skip_mask = 0 then begin
           let t0 = if obs then Gus_obs.Trace.now_ns () else 0 in
           npos := fill_positions pos s;
+          apply_view view pos !npos;
           Inttbl.reset tbl ~hint:m;
           for i = 0 to m - 1 do
             let l, f = Array.unsafe_get pairs i in
@@ -222,8 +265,10 @@ let of_pairs ?pool ?(par_threshold = default_par_threshold) ?(skip_mask = 0)
   y
 
 let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold)
-    ?(skip_mask = 0) ~n_rels pairs =
-  check_lengths ~what:"bilinear_of_pairs" ~n_rels
+    ?(skip_mask = 0) ?view ?lineage_width ~n_rels pairs =
+  let width = Option.value lineage_width ~default:n_rels in
+  check_view ~what:"bilinear_of_pairs" ~n_rels ~width view;
+  check_lengths ~what:"bilinear_of_pairs" ~width
     ~lineage_of:(fun (l, _, _) -> l)
     pairs;
   check_skip_mask ~what:"bilinear_of_pairs" ~n_rels skip_mask;
@@ -251,6 +296,7 @@ let bilinear_of_pairs ?pool ?(par_threshold = default_par_threshold)
           if s land skip_mask = 0 then begin
           let t0 = if obs then Gus_obs.Trace.now_ns () else 0 in
           npos := fill_positions pos s;
+          apply_view view pos !npos;
           Inttbl.reset tbl ~hint:m;
           for i = 0 to m - 1 do
             let l, f, g = Array.unsafe_get pairs i in
@@ -321,6 +367,8 @@ module Acc = struct
 
   type t = {
     n_rels : int;
+    width : int;  (* expected lineage length; = n_rels without a view *)
+    view : int array option;
     nmasks : int;
     skip_mask : int;  (* masks s with s ∧ skip_mask ≠ 0 are never grouped *)
     groups : group array;  (* groups.(s - 1) handles mask s *)
@@ -330,10 +378,11 @@ module Acc = struct
 
   let never_equal _ _ = false
 
-  let make_group ~hint s =
+  let make_group ~view ~hint s =
     let npos = Subset.cardinal s in
-    let pos = Array.make npos 0 in
-    ignore (fill_positions pos s);
+    let pos = Array.make (max 1 npos) 0 in
+    let filled = fill_positions pos s in
+    apply_view view pos filled;
     let cap = max 16 hint in
     let rec g =
       { pos;
@@ -368,12 +417,14 @@ module Acc = struct
     in
     g
 
-  let create ?(hint = 64) ?(skip_mask = 0) ~n_rels () =
-    if n_rels > Subset.max_universe then
-      invalid_arg "Moments.Acc.create: too many relations";
+  let create ?(hint = 64) ?(skip_mask = 0) ?view ?lineage_width ~n_rels () =
+    let width = Option.value lineage_width ~default:n_rels in
+    check_view ~what:"Acc.create" ~n_rels ~width view;
     check_skip_mask ~what:"Acc.create" ~n_rels skip_mask;
     let nmasks = Subset.count n_rels in
     { n_rels;
+      width;
+      view;
       nmasks;
       skip_mask;
       groups =
@@ -381,7 +432,7 @@ module Acc = struct
             (* Skipped masks keep a minimal placeholder group that is
                never probed. *)
             let hint = if (i + 1) land skip_mask = 0 then hint else 1 in
-            make_group ~hint (i + 1));
+            make_group ~view ~hint (i + 1));
       count = 0;
       total = 0.0 }
 
@@ -427,7 +478,7 @@ module Acc = struct
     g.ngroups <- g.ngroups + 1
 
   let add t lineage f =
-    if Array.length lineage <> t.n_rels then
+    if Array.length lineage <> t.width then
       invalid_arg "Moments.Acc.add: lineage length mismatch";
     Metrics.incr m_acc_tuples;
     t.count <- t.count + 1;
@@ -458,6 +509,8 @@ module Acc = struct
   let merge a b =
     if a.n_rels <> b.n_rels then
       invalid_arg "Moments.Acc.merge: relation count mismatch";
+    if a.view <> b.view then
+      invalid_arg "Moments.Acc.merge: view mismatch";
     if a.skip_mask <> b.skip_mask then
       invalid_arg "Moments.Acc.merge: skip-mask mismatch";
     a.count <- a.count + b.count;

@@ -24,17 +24,30 @@
     sampling randomness — their Theorem-1 coefficients are provably (and
     bit-exactly) zero, so skipped moments never contribute.  Non-skipped
     entries are computed by exactly the same code path, hence bit-identical
-    to the dense run. *)
+    to the dense run.
+
+    {b Views.}  [?view] (default: identity) embeds a small [n_rels]-subset
+    kernel universe into wider lineage arrays: kernel position [i] reads
+    lineage column [view.(i)] (strictly ascending, within
+    [?lineage_width], which defaults to [n_rels] and must equal every
+    lineage's length).  The symbolic analyzer's live mask turns a
+    20-relation plan with 3 sampled relations into a 3-position view —
+    [2^3] passes over the native 20-column lineages, past the dense
+    [2^n] wall, with each computed entry bit-identical to what the full
+    kernel would produce at the embedded mask. *)
 
 val of_pairs :
   ?pool:Gus_util.Pool.t ->
   ?par_threshold:int ->
   ?skip_mask:int ->
+  ?view:int array ->
+  ?lineage_width:int ->
   n_rels:int ->
   (int array * float) array ->
   float array
 (** [(lineage, f)] pairs → the [2^n_rels] moments, indexed by subset mask.
-    Every lineage must have length [n_rels]. *)
+    Every lineage must have length [lineage_width] (default
+    [n_rels]). *)
 
 val of_pairs_naive : n_rels:int -> (int array * float) array -> float array
 (** Reference implementation of {!of_pairs} (fresh key array per tuple per
@@ -61,6 +74,8 @@ val bilinear_of_pairs :
   ?pool:Gus_util.Pool.t ->
   ?par_threshold:int ->
   ?skip_mask:int ->
+  ?view:int array ->
+  ?lineage_width:int ->
   n_rels:int ->
   (int array * float * float) array ->
   float array
@@ -103,14 +118,22 @@ val default_par_threshold : int
 module Acc : sig
   type t
 
-  val create : ?hint:int -> ?skip_mask:int -> n_rels:int -> unit -> t
+  val create :
+    ?hint:int ->
+    ?skip_mask:int ->
+    ?view:int array ->
+    ?lineage_width:int ->
+    n_rels:int ->
+    unit ->
+    t
   (** [create ~n_rels ()] starts an empty accumulator over [n_rels]
       lineage columns.  [hint] pre-sizes each mask's group table (number
       of expected distinct groups, default 64); tables grow by rehashing
       as needed, so the hint only avoids early rehashes.  [skip_mask]
       masks are never grouped at all — the big streaming win, since
       {!add}'s per-tuple loop drops from [2^n_rels − 1] probes to the
-      live masks only. *)
+      live masks only.  [view]/[lineage_width] embed a small kernel
+      universe into wider lineages exactly as in {!of_pairs}. *)
 
   val add : t -> int array -> float -> unit
   (** [add t lineage f] folds in one tuple.  The lineage array is read,

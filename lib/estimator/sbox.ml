@@ -1,5 +1,6 @@
 module Subset = Gus_util.Subset
 module Gus = Gus_core.Gus
+module Symalg = Gus_core.Symalg
 module Splan = Gus_core.Splan
 module Rewrite = Gus_analysis.Rewrite
 module Interval = Gus_stats.Interval
@@ -116,13 +117,23 @@ let report_of_acc ?pool ~gus acc =
     variance_raw;
     stddev = sqrt variance }
 
-let of_plan ?pool ?(skip_mask = 0) ~gus ~f db rng plan =
+let of_plan ?pool ?(skip_mask = 0) ?view ?lineage_width ~gus ~f db rng plan =
   Gus_obs.Trace.span "sbox.of_plan" @@ fun () ->
-  check_lineage gus (Splan.lineage_schema plan);
+  let lschema = Splan.lineage_schema plan in
+  (match (view, lineage_width) with
+  | None, None -> check_lineage gus lschema
+  | Some v, Some w ->
+      (* Wide plan, small live set: the GUS lives on the projected
+         universe; the plan's native lineage is [w] columns wide and the
+         view says which of them the GUS's relations are. *)
+      if Array.length lschema <> w then
+        invalid_arg "Sbox.of_plan: lineage_width does not match the plan";
+      check_lineage gus (Array.map (fun i -> lschema.(i)) v)
+  | _ -> invalid_arg "Sbox.of_plan: view requires lineage_width");
   let n = Gus.n_rels gus in
   let init schema =
     let eval = Expr.bind_float schema f in
-    (Moments.Acc.create ~skip_mask ~n_rels:n (), eval)
+    (Moments.Acc.create ~skip_mask ?view ?lineage_width ~n_rels:n (), eval)
   in
   let feed (acc, eval) tup =
     Moments.Acc.add acc tup.Tuple.lineage (eval tup);
@@ -197,8 +208,47 @@ let stream ?(seed = 42) ?pool db plan ~f =
   let analysis =
     Gus_obs.Trace.span "sbox.analyze" (fun () -> Rewrite.analyze_db db plan)
   in
-  let skip_mask = Gus_analysis.Cost.skip_mask analysis.Rewrite.gus in
-  let report = of_plan ?pool ~skip_mask ~gus:analysis.Rewrite.gus ~f db rng plan in
+  let sym = analysis.Rewrite.sym in
+  let n = Symalg.n_rels sym in
+  let live = Symalg.live_mask sym in
+  let k = Subset.cardinal live in
+  (* Routing: narrow plans keep the historical dense path bit-for-bit.
+     Wider plans with a small live set project the symbolic design onto
+     its live relations and run 2^k moment passes over the native
+     n-column lineages through a view — the accumulator otherwise keeps
+     2^n group tables, which is prohibitive long before the dense
+     representation itself gives out at [Subset.max_universe].  The dead
+     relations' Theorem-1 coefficients are structural zeros, so the
+     estimate and variance are exactly what the dense run would
+     produce. *)
+  let narrow_limit = 14 in
+  let report =
+    if n <= narrow_limit then begin
+      let gus = Rewrite.dense analysis in
+      let skip_mask = Gus_analysis.Cost.skip_mask gus in
+      of_plan ?pool ~skip_mask ~gus ~f db rng plan
+    end
+    else if k <= Subset.max_universe then begin
+      let view = Array.of_list (Subset.elements live) in
+      let gus = Symalg.to_gus (Symalg.project sym live) in
+      of_plan ?pool ~view ~lineage_width:n ~gus ~f db rng plan
+    end
+    else if n <= Subset.max_universe then begin
+      (* Dense-representable but nearly all relations live: the view
+         buys nothing, fall back to the historical path. *)
+      let gus = Rewrite.dense analysis in
+      let skip_mask = Gus_analysis.Cost.skip_mask gus in
+      of_plan ?pool ~skip_mask ~gus ~f db rng plan
+    end
+    else
+      raise
+        (Rewrite.Unsupported
+           (Printf.sprintf
+              "plan spans %d relations with %d carrying sampling \
+               randomness: estimation needs 2^%d moment passes, above \
+               the 2^%d limit"
+              n k k Subset.max_universe))
+  in
   (report, analysis)
 
 (* [run] used to materialize the result relation, turn it into a pairs

@@ -43,6 +43,8 @@ val report_of_acc :
 val of_plan :
   ?pool:Gus_util.Pool.t ->
   ?skip_mask:int ->
+  ?view:int array ->
+  ?lineage_width:int ->
   gus:Gus_core.Gus.t ->
   f:Gus_relational.Expr.t ->
   Gus_relational.Database.t ->
@@ -55,7 +57,13 @@ val of_plan :
     Same seed ⇒ same tuples and bit-identical [estimate]/[total_f]/
     [n_tuples] as the materializing path (moment sums can differ in final
     bits from reduction order).  With [?pool], chunk-parallel feeding
-    (when the streamable suffix is RNG-free) and pooled moment passes. *)
+    (when the streamable suffix is RNG-free) and pooled moment passes.
+
+    [?view]/[?lineage_width] (given together) run a projected GUS over a
+    wide plan: the plan's lineage is [lineage_width] columns, [gus] spans
+    the [view]-selected live columns only, and the moment passes group on
+    those columns through the view ({!Moments.of_pairs}).  This is how
+    estimation works past the dense [2^n] wall. *)
 
 val y_hat_of_moments :
   ?skip_mask:int -> gus:Gus_core.Gus.t -> float array -> float array
@@ -93,9 +101,15 @@ val stream :
   f:Gus_relational.Expr.t ->
   report * Gus_analysis.Rewrite.result
 (** Analyze the plan, then estimate it end to end via {!of_plan} — the
-    whole pipeline without ever materializing the sampled result.  The
-    statically verified skip-mask of the analyzed GUS is applied, so
-    design-inert moment passes are never grouped at all. *)
+    whole pipeline without ever materializing the sampled result.  Within
+    the dense width ({!Gus_util.Subset.max_universe} relations) this is
+    the historical path: the statically verified skip-mask of the dense
+    GUS is applied, so design-inert moment passes are never grouped at
+    all.  Past it, the symbolic analysis projects the design onto its
+    live relations and estimates through a lineage view — exact, because
+    dead relations' Theorem-1 coefficients are structural zeros.  Raises
+    {!Gus_analysis.Rewrite.Unsupported} only when the {e live} set alone
+    exceeds the dense width. *)
 
 val run :
   ?seed:int ->

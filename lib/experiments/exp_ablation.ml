@@ -19,7 +19,7 @@ let run_correction ?(scale = 1.0) ?(trials = 150) () =
   List.iter
     (fun p ->
       let plan = Harness.join2_plan ~p_lineitem:p ~p_orders:0.3 in
-      let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+      let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
       let full = Splan.exec_exact db plan in
       let exact_var = Gus.variance gus ~y:(Moments.of_relation ~f full) in
       let corrected = Summary.create () and naive = Summary.create () in
@@ -48,7 +48,7 @@ let run_target_sweep ?(scale = 3.0) ?(trials = 10) () =
   let db = Harness.db_cached ~scale in
   let plan = Harness.join2_plan ~p_lineitem:0.4 ~p_orders:0.5 in
   let f = Harness.revenue_f in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let t =
     Tablefmt.create
       ~headers:

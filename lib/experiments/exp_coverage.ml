@@ -16,7 +16,7 @@ let naive_join_coverage db ~trials ~seed =
      dominant variance term - exactly what the naive analysis misses. *)
   let plan = Harness.join2_plan ~p_lineitem:0.5 ~p_orders:0.05 in
   let truth = Sbox.exact db plan ~f:Harness.revenue_f in
-  let correct_gus = (Gus_analysis.Rewrite.analyze_db db plan).Gus_analysis.Rewrite.gus in
+  let correct_gus = (Lazy.force (Gus_analysis.Rewrite.analyze_db db plan).Gus_analysis.Rewrite.gus) in
   let naive_gus =
     Gus_core.Gus.bernoulli_over correct_gus.Gus_core.Gus.rels
       correct_gus.Gus_core.Gus.a

@@ -73,7 +73,7 @@ let run () =
   let r = derived () in
   Printf.printf "Rewrite steps (Props 4-8): %d local transformations\n\n"
     (List.length r.Rewrite.steps);
-  let g = r.Rewrite.gus in
+  let g = (Lazy.force r.Rewrite.gus) in
   let t = Tablefmt.create ~headers:[ "coefficient"; "paper"; "derived"; "rel.diff" ] in
   let add name paper v =
     Tablefmt.add_row t

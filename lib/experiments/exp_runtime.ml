@@ -45,7 +45,7 @@ let run () =
         Harness.median_time_us (fun () ->
             ignore (Rewrite.analyze ~card:chain_card plan))
       in
-      let gus = (Rewrite.analyze ~card:chain_card plan).Rewrite.gus in
+      let gus = (Lazy.force (Rewrite.analyze ~card:chain_card plan).Rewrite.gus) in
       let c_us =
         Harness.median_time_us (fun () -> ignore (Gus.c_coefficients gus))
       in
@@ -85,7 +85,7 @@ let run () =
   let _, sbox_s =
     Harness.time (fun () ->
         ignore
-          (Gus_estimator.Sbox.of_relation ~gus:analysis.Rewrite.gus
+          (Gus_estimator.Sbox.of_relation ~gus:(Lazy.force analysis.Rewrite.gus)
              ~f:Harness.revenue_f sample))
   in
   Printf.printf

@@ -15,7 +15,7 @@ let run ?(scale = 1.0) ?(trials = 150) () =
   let rng = Gus_util.Rng.create 2025 in
   let sample = Splan.exec db rng observed_plan in
   let report =
-    Sbox.of_relation ~gus:analysis.Rewrite.gus ~f:Harness.revenue_f sample
+    Sbox.of_relation ~gus:(Lazy.force analysis.Rewrite.gus) ~f:Harness.revenue_f sample
   in
   let y_hat = report.Sbox.y_hat in
   Printf.printf
@@ -40,7 +40,7 @@ let run ?(scale = 1.0) ?(trials = 150) () =
   in
   List.iter
     (fun (label, plan) ->
-      let cand_gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+      let cand_gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
       let predicted = sqrt (Float.max 0.0 (Gus.variance cand_gus ~y:y_hat)) in
       let stats = Harness.trials ~trials ~seed:4242 db plan ~f:Harness.revenue_f in
       let actual = sqrt stats.Harness.mc_variance in

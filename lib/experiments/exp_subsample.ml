@@ -12,7 +12,7 @@ let run ?(scale = 4.0) ?(trials = 30) ?(target = 10000) () =
   let db = Harness.db_cached ~scale in
   let plan = Harness.join2_plan ~p_lineitem:0.4 ~p_orders:0.5 in
   let analysis = Rewrite.analyze_db db plan in
-  let gus = analysis.Rewrite.gus in
+  let gus = (Lazy.force analysis.Rewrite.gus) in
   let width_ratio = Summary.create () in
   let speedup = Summary.create () in
   let sample_sizes = Summary.create () in

@@ -20,7 +20,7 @@ let run ?(scale = 1.0) ?(trials = 200) () =
       let analysis = Rewrite.analyze_db db plan in
       let full = Splan.exec_exact db plan in
       let y_exact = Moments.of_relation ~f:Harness.revenue_f full in
-      let exact_var = Gus.variance analysis.Rewrite.gus ~y:y_exact in
+      let exact_var = Gus.variance (Lazy.force analysis.Rewrite.gus) ~y:y_exact in
       let s =
         Harness.trials_par ~pool:(Gus_util.Pool.default ()) ~trials db plan
           ~f:Harness.revenue_f

@@ -174,7 +174,7 @@ let stats_of_acc ~trials ~truth acc =
 let trials ?(trials = 200) ?(seed = 1) db plan ~f =
   let truth = Sbox.exact db plan ~f in
   let analysis = Rewrite.analyze_db db plan in
-  let gus = analysis.Rewrite.gus in
+  let gus = (Lazy.force analysis.Rewrite.gus) in
   let acc = trial_acc_create () in
   let prog = progress_start trials in
   for t = 1 to trials do
@@ -193,7 +193,7 @@ let trials_per_block = 8
 let trials_par ?pool ?(trials = 200) ?(seed = 1) db plan ~f =
   let truth = Sbox.exact db plan ~f in
   let analysis = Rewrite.analyze_db db plan in
-  let gus = analysis.Rewrite.gus in
+  let gus = (Lazy.force analysis.Rewrite.gus) in
   let ntr = Stdlib.max 0 trials in
   let master = Gus_util.Rng.create seed in
   let nblocks = Stdlib.max 1 ((ntr + trials_per_block - 1) / trials_per_block) in

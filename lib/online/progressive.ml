@@ -51,7 +51,7 @@ let run ?(seed = 1) ?(initial_rate = 0.01) ?(growth = 2.0) ?(max_rounds = 12) db
       if rate >= 1.0 then skeleton else sampled_plan ~seed ~rate skeleton
     in
     let rng = Gus_util.Rng.create seed in
-    let gus = (Rewrite.analyze_db db plan_k).Rewrite.gus in
+    let gus = (Lazy.force (Rewrite.analyze_db db plan_k).Rewrite.gus) in
     (* Stream the round's tuples straight into the moments accumulator:
        each round touches only its own (growing) sample, never a
        materialized result relation. *)

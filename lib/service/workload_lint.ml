@@ -25,7 +25,7 @@ let diagnostic_json (d : D.t) =
 let analysis_json (a : Lint.analysis) =
   let c = a.Lint.cost in
   Obj
-    [ ("a", Num a.Lint.gus.Gus_core.Gus.a);
+    [ ("a", Num a.Lint.sym.Gus_core.Symalg.a);
       ("class", Str (Absdom.Cls.to_string c.Cost.cls));
       ("relations", Num (float_of_int c.Cost.n_rels));
       ("coefficient_passes", Num (float_of_int c.Cost.passes));
@@ -105,8 +105,8 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_one ?config db sql =
-  match Gus_sql.Runner.lint ?config db sql with
+let lint_one ?config ?engine db sql =
+  match Gus_sql.Runner.lint ?config ?engine db sql with
   | _, report -> Linted report
   | exception Gus_sql.Parser.Error msg -> Unparsable msg
   | exception Gus_sql.Planner.Error msg -> Unparsable msg
@@ -115,7 +115,7 @@ let lint_one ?config db sql =
   | exception Gus_relational.Database.Unknown_relation r ->
       Unparsable ("unknown relation " ^ r)
 
-let run ?config db dir =
+let run ?config ?engine db dir =
   let files = sql_files dir in
   let entries =
     List.concat_map
@@ -130,7 +130,10 @@ let run ?config db dir =
         in
         List.mapi
           (fun i sql ->
-            { file = rel; query_index = i; sql; outcome = lint_one ?config db sql })
+            { file = rel;
+              query_index = i;
+              sql;
+              outcome = lint_one ?config ?engine db sql })
           (split_statements (read_file file)))
       files
   in

@@ -207,7 +207,7 @@ let subtree_mask ~gus plan path =
       with Exit | Gus_relational.Lineage.Overlap _ -> None)
 
 let explain_of ~(analysis : Gus_analysis.Lint.analysis) ~seed db query plan =
-  let gus = analysis.Gus_analysis.Lint.gus in
+  let gus = (Lazy.force analysis.Gus_analysis.Lint.gus) in
   let skip_mask = analysis.Gus_analysis.Lint.cost.Gus_analysis.Cost.skip_mask in
   let rng = Gus_util.Rng.create seed in
   let sample, profiles = Splan.exec_profiled db rng plan in
@@ -271,7 +271,8 @@ let explain_of ~(analysis : Gus_analysis.Lint.analysis) ~seed db query plan =
           an_sample =
             (if is_sample then
                Option.map
-                 (fun g -> (g.Gus_core.Gus.a, g.Gus_core.Gus.b.(0)))
+                 (fun g ->
+                   (g.Gus_core.Symalg.a, Gus_core.Symalg.b_get g 0))
                  (sampler_gus np.Splan.np_path)
              else None);
           an_var_contrib =
@@ -350,18 +351,18 @@ type prepared = {
   pr_lint : Gus_analysis.Lint.report;
 }
 
-let prepare ?lint_config db sql =
+let prepare ?lint_config ?engine db sql =
   let query = Parser.parse sql in
   (* Self-joins are let through the planner so the linter reports them as
      GUS001 alongside everything else, instead of a planner fast-fail. *)
   let { Planner.plan; _ } = Planner.compile ~self_join_check:false db query in
-  let report = Gus_analysis.Lint.run_db ?config:lint_config db plan in
+  let report = Gus_analysis.Lint.run_db ?config:lint_config ?engine db plan in
   { pr_sql = sql; pr_query = query; pr_plan = plan; pr_lint = report }
 
 let prepared_errors p = Gus_analysis.Lint.errors p.pr_lint
 
 let prepared_gus p =
-  Option.map (fun a -> a.Gus_analysis.Lint.gus) p.pr_lint.Gus_analysis.Lint.analysis
+  Option.map (fun a -> (Lazy.force a.Gus_analysis.Lint.gus)) p.pr_lint.Gus_analysis.Lint.analysis
 
 type response = {
   rs_result : result;
@@ -383,7 +384,7 @@ let execute db (p : prepared) (params : params) =
     | Some a -> a
     | None -> raise (Rewrite.Unsupported (Rewrite.render_errors (prepared_errors p)))
   in
-  let gus = analysis.Gus_analysis.Lint.gus in
+  let gus = (Lazy.force analysis.Gus_analysis.Lint.gus) in
   let skip_mask = analysis.Gus_analysis.Lint.cost.Gus_analysis.Cost.skip_mask in
   let ex, result, streamed =
     if params.explain then
@@ -424,8 +425,8 @@ let run_request db (rq : request) =
 
 (* ---- deprecated thin wrappers ------------------------------------------ *)
 
-let lint ?config db sql =
-  let p = prepare ?lint_config:config db sql in
+let lint ?config ?engine db sql =
+  let p = prepare ?lint_config:config ?engine db sql in
   (p.pr_plan, p.pr_lint)
 
 let run ?(seed = 42) db sql =

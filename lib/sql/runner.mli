@@ -105,10 +105,12 @@ type prepared = {
 
 val prepare :
   ?lint_config:Gus_analysis.Lint.config ->
+  ?engine:Gus_analysis.Lint.coeff_engine ->
   Gus_relational.Database.t ->
   string ->
   prepared
-(** Parse → plan → lint, without executing anything.  Self-joins are let
+(** Parse → plan → lint, without executing anything.  [engine] selects
+    the linter's coefficient engine (default [`Symbolic]).  Self-joins are let
     through the planner so the linter reports them (GUS001) together with
     every other problem.  Raises [Parser.Error] / [Planner.Error] /
     [Lexer.Error] on malformed text; lint findings (including errors) are
@@ -149,6 +151,7 @@ val run_request : Gus_relational.Database.t -> request -> response
 
 val lint :
   ?config:Gus_analysis.Lint.config ->
+  ?engine:Gus_analysis.Lint.coeff_engine ->
   Gus_relational.Database.t ->
   string ->
   Gus_core.Splan.t * Gus_analysis.Lint.report

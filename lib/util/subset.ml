@@ -7,6 +7,27 @@ let check_universe n =
     invalid_arg
       (Printf.sprintf "Subset: universe size %d not in [0,%d]" n max_universe)
 
+(* OCaml native ints carry 63 bits (62 value bits + sign).  Bit patterns
+   with elements 0..61 are always representable; element 62 would collide
+   with the sign bit and element 63+ silently wraps in [lsl], so the wide
+   (mask-only, no 2^n array) universe is capped explicitly instead of
+   overflowing in silence. *)
+let max_mask_bits = 62
+
+let check_mask_bits n =
+  if n < 0 || n > max_mask_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Subset: universe size %d not in [0,%d] (subsets are int bitmasks; \
+          OCaml ints hold %d usable bits)"
+         n max_mask_bits max_mask_bits)
+
+let full_wide n =
+  check_mask_bits n;
+  (* [1 lsl 62] overflows to min_int, but [max_int] is exactly the
+     62-one-bits pattern, so special-case the top width. *)
+  if n = max_mask_bits then max_int else (1 lsl n) - 1
+
 let empty = 0
 
 let full n =
@@ -32,11 +53,13 @@ let complement n s =
   full n land lnot s
 
 let elements s =
-  let rec go i acc =
-    if 1 lsl i > s then List.rev acc
-    else go (i + 1) (if mem s i then i :: acc else acc)
+  (* Walk the mask by shifting it down rather than shifting a probe bit up:
+     the probe-bit loop would overflow for elements >= 61. *)
+  let rec go i s acc =
+    if s = 0 then List.rev acc
+    else go (i + 1) (s lsr 1) (if s land 1 = 1 then i :: acc else acc)
   in
-  go 0 []
+  go 0 s []
 
 let of_elements = List.fold_left add empty
 

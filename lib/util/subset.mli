@@ -12,6 +12,24 @@ val max_universe : int
 (** Largest supported universe size (26: [2^26] floats = 512 MB upper bound,
     far beyond any realistic query). *)
 
+val max_mask_bits : int
+(** Largest universe whose subsets are representable as int bitmasks at all
+    (62: OCaml native ints hold 62 usable value bits).  Mask-only machinery
+    — the symbolic coefficient algebra, skip masks — works up to this
+    width; anything materializing [2^n] arrays is capped at
+    {!max_universe} instead. *)
+
+val check_mask_bits : int -> unit
+(** Raise [Invalid_argument] (naming the {!max_mask_bits} limit) unless
+    [0 <= n <= max_mask_bits].  Guards every entry point that keys subsets
+    into int masks, which would otherwise overflow silently past 62
+    elements. *)
+
+val full_wide : int -> t
+(** [full_wide n] is the subset containing [0..n-1] for any
+    [n <= max_mask_bits] — the mask-only analogue of {!full}, usable past
+    {!max_universe}. *)
+
 val empty : t
 val full : int -> t
 (** [full n] is the subset containing [0..n-1]. *)

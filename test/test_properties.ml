@@ -214,7 +214,7 @@ let test_random_plans_mc () =
     (fun (name, plan) ->
       let f = if name = "select over sample" then Expr.(col "x" * float 0.1) else f in
       let analysis = Rewrite.analyze_db db plan in
-      let gus = analysis.Rewrite.gus in
+      let gus = (Lazy.force analysis.Rewrite.gus) in
       let full = Splan.exec_exact db plan in
       let y = Moments.of_relation ~f full in
       let theory = Gus.variance gus ~y in

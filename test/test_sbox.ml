@@ -74,7 +74,7 @@ let test_unbiased_estimate_mc () =
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.3, Splan.Scan "pop") in
   let truth = Sbox.exact db plan ~f:vcol in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let est = Summary.create () in
   for t = 1 to 600 do
     let sample = Splan.exec db (Rng.create (100 + t)) plan in
@@ -87,7 +87,7 @@ let test_variance_estimate_mc () =
      MC spread of estimates matches both. *)
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.4, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let full = Splan.exec_exact db plan in
   let exact_var = Gus.variance gus ~y:(Moments.of_relation ~f:vcol full) in
   let est = Summary.create () and vars = Summary.create () in
@@ -123,7 +123,7 @@ let test_y_hat_unbiased_mc () =
         left_key = Expr.(Bin (Sub, col "k", Bin (Mul, int 3, col "k" / int 3)));
         right_key = Expr.(Bin (Sub, col "k2", Bin (Mul, int 17, col "k2" / int 17))) }
   in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let f = Expr.(col "v" * col "w") in
   let full = Splan.exec_exact db plan in
   let y_exact = Moments.of_relation ~f full in
@@ -165,7 +165,7 @@ let test_covariance_diagonal () =
   (* Cov(f,f) = Var(f) on the same sample. *)
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.3, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let sample = Splan.exec db (Rng.create 11) plan in
   let r = Sbox.of_relation ~gus ~f:vcol sample in
   let cov = Sbox.covariance ~gus ~f:vcol ~g:vcol sample in
@@ -174,7 +174,7 @@ let test_covariance_diagonal () =
 let test_covariance_bilinearity () =
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.3, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let sample = Splan.exec db (Rng.create 12) plan in
   let g2 = Expr.(col "v" * float 2.0) in
   let cov1 = Sbox.covariance ~gus ~f:vcol ~g:vcol sample in
@@ -186,7 +186,7 @@ let test_avg_delta_method_mc () =
      delta-method sd matching the MC spread loosely. *)
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.4, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let full = Splan.exec_exact db plan in
   let truth = Relation.sum_column full "v" /. float_of_int (Relation.cardinality full) in
   let est = Summary.create () and sds = Summary.create () in
@@ -219,7 +219,7 @@ let test_multi_linear_combination_invariant () =
      variance of the combined expression analyzed directly. *)
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.3, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let sample = Splan.exec db (Rng.create 13) plan in
   let f = vcol and g = Expr.(col "v" * col "v") in
   let m = Sbox.multi ~gus ~fs:[ ("f", f); ("g", g) ] sample in
@@ -233,7 +233,7 @@ let test_multi_linear_combination_invariant () =
 let test_multi_shape () =
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.5, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let sample = Splan.exec db (Rng.create 14) plan in
   let m = Sbox.multi ~gus ~fs:[ ("a", vcol); ("b", vcol); ("one", Expr.float 1.0) ] sample in
   check Alcotest.int "3 labels" 3 (Array.length m.Sbox.labels);
@@ -248,7 +248,7 @@ let test_subsampled_close_to_full () =
   let db = Database.create () in
   Database.add db (population 5000);
   let plan = Splan.Sample (Sampler.Bernoulli 0.5, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let sample = Splan.exec db (Rng.create 21) plan in
   let full = Sbox.of_relation ~gus ~f:vcol sample in
   let sub = Sbox.subsampled ~gus ~f:vcol ~target:800 ~seed:99 sample in
@@ -261,7 +261,7 @@ let test_subsampled_close_to_full () =
 let test_subsampled_target_bigger_than_sample () =
   let db = Lazy.force db_small in
   let plan = Splan.Sample (Sampler.Bernoulli 0.5, Splan.Scan "pop") in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let sample = Splan.exec db (Rng.create 22) plan in
   let sub = Sbox.subsampled ~gus ~f:vcol ~target:100000 ~seed:1 sample in
   check Alcotest.int "keeps everything" (Relation.cardinality sample) sub.Sbox.n_tuples
@@ -271,7 +271,7 @@ let test_run_end_to_end () =
   let plan = Splan.Sample (Sampler.Bernoulli 0.5, Splan.Scan "pop") in
   let report, analysis = Sbox.run ~seed:5 db plan ~f:vcol in
   check_bool "gus is Bernoulli" true
-    (Gus.equal_approx analysis.Rewrite.gus (Gus.bernoulli ~rel:"pop" 0.5));
+    (Gus.equal_approx (Lazy.force analysis.Rewrite.gus) (Gus.bernoulli ~rel:"pop" 0.5));
   check_bool "estimate positive" true (report.Sbox.estimate > 0.0)
 
 let test_skip_mask_matches_dense () =
@@ -317,7 +317,7 @@ let test_query1_fixture_pinned () =
      optimizations; tolerances only absorb float summation-order noise. *)
   let db = Gus_experiments.Harness.db_cached ~scale:0.1 in
   let plan = Gus_experiments.Harness.query1_plan () in
-  let gus = (Rewrite.analyze_db db plan).Rewrite.gus in
+  let gus = (Lazy.force (Rewrite.analyze_db db plan).Rewrite.gus) in
   let sample = Splan.exec db (Rng.create 5) plan in
   let r = Sbox.of_relation ~gus ~f:Gus_experiments.Harness.revenue_f sample in
   let close_rel what expected actual =
