@@ -53,7 +53,13 @@ let baseline_main_ns =
        pin `Dense so they keep reading against these; the symbolic
        default path is the separate sbox/rewrite-sym-n10 row. *)
     ("sbox/rewrite-n6", 129.669e3);
-    ("sbox/rewrite-n10", 515.02e3) ]
+    ("sbox/rewrite-n10", 515.02e3);
+    (* Prepared-execution number measured immediately before the serving
+       journal / SLO telemetry landed: the reference for the journal-off
+       overhead gate (CI holds a fresh service/prepared-q1 within 5% of
+       this, like obs/stream-query1-traced against sbox/stream-query1's
+       pre-instrumentation baseline). *)
+    ("service/prepared-q1", 107.39e3) ]
 
 (* Where [baseline_main_ns] was measured.  ns-per-run is meaningless
    across machines, so both CI gates compare a fresh run against the
@@ -167,6 +173,22 @@ let micro_specs ~quota () =
        ~source:(Service.Catalog.In_memory "tpch-0.01") db001);
   let serve_cat = Service.Engine.catalog engine in
   let _ = Service.Engine.prepare engine ~name:"q" ~dataset:"bench" serve_sql in
+  (* Telemetry-on twin of the engine above: a journal ring plus SLO
+     thresholds attached, so every execution additionally computes
+     sampling-rate provenance, the Theorem-1 top variance-share node and
+     the breach predicate, then records a ring event. *)
+  let journal_engine =
+    Service.Engine.create ~cache_capacity:8
+      ~journal:(Gus_obs.Journal.create ~capacity:4096 ())
+      ~slo:{ Gus_obs.Journal.max_rel_ci = Some 0.5; max_latency_ms = Some 50. }
+      ()
+  in
+  ignore
+    (Service.Engine.register_db journal_engine ~name:"bench"
+       ~source:(Service.Catalog.In_memory "tpch-0.01") db001);
+  let _ =
+    Service.Engine.prepare journal_engine ~name:"q" ~dataset:"bench" serve_sql
+  in
   let warm_handle = Service.Prepared.prepare serve_cat ~dataset:"bench" serve_sql in
   let ov = Service.Prepared.default_overrides in
   (* TPC-H scale sweep: generation, base-scan aggregate.  lineitem at
@@ -392,7 +414,18 @@ let micro_specs ~quota () =
     { name = "service/cache-hit-q1";
       quota_floor = fit_quota_floor;
       warmup = fit_warmup;
-      body = (fun () -> ignore (Service.Engine.execute engine ~handle:"q" ov)) } ]
+      body = (fun () -> ignore (Service.Engine.execute engine ~handle:"q" ov)) };
+    (* Cache-hit row with the flight recorder live: read against
+       service/cache-hit-q1 for the journal's marginal per-request cost
+       (provenance + top-node attribution + ring write).  The cost of the
+       telemetry being compiled in but OFF is service/prepared-q1 against
+       its recorded pre-journal baseline — CI's hard 5% gate. *)
+    { name = "service/journal-overhead";
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
+      body =
+        (fun () ->
+          ignore (Service.Engine.execute journal_engine ~handle:"q" ov)) } ]
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

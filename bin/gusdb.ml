@@ -9,7 +9,11 @@
      plan         show a query's sampling plan, its SOA rewrite trace and
                   the resulting top GUS operator
      serve        long-lived NDJSON serving loop over stdin/stdout
-                  (register / prepare / execute / batch / stats)
+                  (register / prepare / execute / batch / stats), with
+                  optional --journal flight recording, --slo-* accuracy
+                  thresholds and --prom-out Prometheus exposition
+     replay       re-execute a serve journal and assert bit-identical
+                  estimates
      experiments  run the paper-reproduction experiments
 
    Flags shared across subcommands live in Cli_common. *)
@@ -341,7 +345,41 @@ let serve_cmd =
     let doc = "Capacity of the response LRU cache (entries)." in
     Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N" ~doc)
   in
-  let run cache_capacity pool_size trace_out metrics_out =
+  let journal_arg =
+    let doc = "Record every register/execute/batch item to $(docv) as \
+               NDJSON (the flight-recorder journal `gusdb replay` \
+               re-executes and verifies bit-identically)." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let journal_capacity_arg =
+    let doc = "In-memory journal ring capacity (events); older events \
+               are overwritten (and counted) once full." in
+    Arg.(value & opt int 4096 & info [ "journal-capacity" ] ~docv:"N" ~doc)
+  in
+  let slo_rel_ci_arg =
+    let doc = "Accuracy SLO: flag executions whose relative 95% CI \
+               half-width exceeds $(docv) (journal $(b,breach:true), \
+               $(b,slo.breaches.rel_ci) counter, rate-limited stderr log)." in
+    Arg.(value & opt (some float) None
+         & info [ "slo-rel-ci" ] ~docv:"FRACTION" ~doc)
+  in
+  let slo_p99_ms_arg =
+    let doc = "Latency SLO: flag executions slower than $(docv) \
+               milliseconds.  The threshold is the p99 objective — if \
+               more than 1% of executions breach it, the SLO is missed \
+               (compare $(b,slo.breaches.latency) against \
+               $(b,serve.requests.execute))." in
+    Arg.(value & opt (some float) None & info [ "slo-p99-ms" ] ~docv:"MS" ~doc)
+  in
+  let prom_out_arg =
+    let doc = "Write the Prometheus text exposition of the metrics \
+               registry to $(docv) (atomic rename), refreshed at most \
+               once per second after a response and once at EOF — point \
+               a node_exporter textfile collector at it." in
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc)
+  in
+  let run cache_capacity journal_path journal_capacity slo_rel_ci slo_p99_ms
+      prom_out pool_size trace_out metrics_out =
     C.or_fail @@ fun () ->
     C.apply_pool_size pool_size;
     C.with_obs ~trace_out ~metrics_out @@ fun () ->
@@ -349,20 +387,145 @@ let serve_cmd =
        so collection is always on in serve mode — --metrics-out merely
        adds the file dump at EOF. *)
     Gus_obs.Metrics.set_enabled true;
+    let sink = Option.map open_out journal_path in
+    let journal =
+      Option.map
+        (fun sink ->
+          Gus_obs.Journal.create ~capacity:journal_capacity ~sink ())
+        sink
+    in
+    let slo =
+      { Gus_obs.Journal.max_rel_ci = slo_rel_ci; max_latency_ms = slo_p99_ms }
+    in
+    let on_breach =
+      if slo = Gus_obs.Journal.no_slo then None
+      else Some (fun line -> Printf.eprintf "gusdb: %s\n%!" line)
+    in
     let engine =
       Gus_service.Engine.create ~cache_capacity
-        ~pool:(Gus_util.Pool.default ()) ()
+        ~pool:(Gus_util.Pool.default ()) ?journal ~slo ?on_breach ()
     in
-    Gus_service.Protocol.serve engine stdin stdout
+    let after =
+      match prom_out with
+      | None -> fun () -> ()
+      | Some path ->
+          let last = ref (Gus_obs.Trace.now_ns ()) in
+          fun () ->
+            let now = Gus_obs.Trace.now_ns () in
+            if now - !last >= 1_000_000_000 then begin
+              last := now;
+              Gus_obs.Promexp.write_file path
+            end
+    in
+    Gus_service.Protocol.serve ~after engine stdin stdout;
+    Option.iter Gus_obs.Promexp.write_file prom_out;
+    Option.iter close_out sink
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve prepared queries over a line-oriented NDJSON protocol on \
              stdin/stdout: register datasets, prepare once, execute many \
              times with per-call seeds and sampling rates, batch across \
-             the domain pool, inspect cache/catalog stats.")
-    Term.(const run $ cache_capacity_arg $ C.pool_size_arg $ C.trace_out_arg
-          $ C.metrics_out_arg)
+             the domain pool, inspect cache/catalog stats.  With \
+             $(b,--journal) every execution is flight-recorded with its \
+             estimate, variance, relative CI half-width and top \
+             variance-share node; $(b,--slo-rel-ci)/$(b,--slo-p99-ms) mark \
+             breaches; $(b,--prom-out) exports Prometheus text format.")
+    Term.(const run $ cache_capacity_arg $ journal_arg $ journal_capacity_arg
+          $ slo_rel_ci_arg $ slo_p99_ms_arg $ prom_out_arg $ C.pool_size_arg
+          $ C.trace_out_arg $ C.metrics_out_arg)
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let journal_file_arg =
+    let doc = "NDJSON journal written by `gusdb serve --journal`." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL" ~doc)
+  in
+  let float_str v =
+    if Float.is_nan v then "nan"
+    else if v = Float.infinity then "inf"
+    else if v = Float.neg_infinity then "-inf"
+    else Json.number_to_string v
+  in
+  let run journal json =
+    let module Replay = Gus_service.Replay in
+    (match Replay.run_file journal with
+    | exception Replay.Corrupt { line; message } ->
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [ ("ok", Json.Bool false);
+                    ( "error",
+                      Json.Obj
+                        [ ("code", Json.Str "corrupt_journal");
+                          ("line", Json.Num (float_of_int line));
+                          ("message", Json.Str message) ] ) ]));
+        Printf.eprintf "gusdb replay: %s:%d: corrupted journal line: %s\n"
+          journal line message;
+        exit 1
+    | exception e -> C.or_fail ~json (fun () -> raise e)
+    | report ->
+        let mismatch_json (m : Replay.mismatch) =
+          Json.Obj
+            [ ("line", Json.Num (float_of_int m.Replay.mm_line));
+              ("sql", Json.Str m.Replay.mm_sql);
+              ("field", Json.Str m.Replay.mm_field);
+              ("journaled", Json.Str (float_str m.Replay.mm_journaled));
+              ("replayed", Json.Str (float_str m.Replay.mm_replayed)) ]
+        in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [ ("ok", Json.Bool (report.Replay.rp_mismatches = []));
+                    ("op", Json.Str "replay");
+                    ( "registers",
+                      Json.Num (float_of_int report.Replay.rp_registers) );
+                    ( "skipped",
+                      Json.Num (float_of_int report.Replay.rp_skipped) );
+                    ( "executions",
+                      Json.Num (float_of_int report.Replay.rp_executions) );
+                    ( "matched",
+                      Json.Num (float_of_int report.Replay.rp_matched) );
+                    ( "mismatches",
+                      Json.List
+                        (List.map mismatch_json report.Replay.rp_mismatches) )
+                  ]))
+        else begin
+          Printf.printf
+            "replayed %d execution(s) over %d registered dataset(s)%s\n"
+            report.Replay.rp_executions report.Replay.rp_registers
+            (if report.Replay.rp_skipped > 0 then
+               Printf.sprintf " (%d register event(s) skipped)"
+                 report.Replay.rp_skipped
+             else "");
+          if report.Replay.rp_mismatches = [] then
+            Printf.printf "all %d estimate(s) bit-identical\n"
+              report.Replay.rp_matched
+          else
+            List.iter
+              (fun (m : Replay.mismatch) ->
+                Printf.printf
+                  "MISMATCH line %d [%s]: journaled %s, replayed %s  (%s)\n"
+                  m.Replay.mm_line m.Replay.mm_field
+                  (float_str m.Replay.mm_journaled)
+                  (float_str m.Replay.mm_replayed)
+                  m.Replay.mm_sql)
+              report.Replay.rp_mismatches
+        end;
+        if report.Replay.rp_mismatches <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a serve journal and assert bit-identical \
+             estimates.  Rebuilds each journaled dataset from its \
+             recorded source, re-runs every execution with its journaled \
+             seed/rates/explain/exact, and compares estimate, stddev and \
+             variance bit for bit.  Exit 1 on any mismatch or a \
+             corrupted journal line.")
+    Term.(const run $ journal_file_arg $ C.json_arg)
 
 (* ---- repl ---- *)
 
@@ -494,4 +657,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; snapshot_cmd; query_cmd; plan_cmd; lint_cmd;
-            lint_workload_cmd; serve_cmd; repl_cmd; experiments_cmd ]))
+            lint_workload_cmd; serve_cmd; replay_cmd; repl_cmd;
+            experiments_cmd ]))

@@ -1,0 +1,213 @@
+(* Bounded structured event log for the serving engine — a flight
+   recorder.  The Engine appends one event per register / execute /
+   batch item from its driving thread; the ring overwrites the oldest
+   entry when full so memory stays bounded no matter how long the
+   server runs, and an optional sink tees every event to an NDJSON
+   stream as it is recorded (the file `gusdb replay` consumes).
+
+   Everything an event carries is chosen to make a journaled execution
+   reproducible: dataset name + version pin the data, the SQL text +
+   seed/rates/explain/exact overrides pin the request, and the recorded
+   estimate/variance/stddev are the bit-exact values to assert against
+   on replay.  Floats are rendered with the shortest round-trip form
+   (Obsfmt) so export → parse loses nothing. *)
+
+type top = { path : int list; label : string; share : float }
+
+type exec = {
+  id : int;
+  dataset : string;
+  version : int;
+  sql : string;
+  sql_hash : int64;
+  seed : int;
+  rates : (string * float) list;
+  explain : bool;
+  exact : bool;
+  cached : bool;
+  estimate : float;
+  variance : float;
+  stddev : float;
+  rel_ci : float;
+  top : top option;
+  wall_ns : int;
+  breach : bool;
+}
+
+type event =
+  | Register of { id : int; dataset : string; version : int; source : string }
+  | Exec of exec
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable head : int; (* next write slot *)
+  mutable len : int;
+  mutable next : int;
+  mutable dropped : int;
+  sink : out_channel option;
+}
+
+let create ?(capacity = 4096) ?sink () =
+  if capacity < 1 then invalid_arg "Journal.create: capacity < 1";
+  { capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    len = 0;
+    next = 0;
+    dropped = 0;
+    sink }
+
+let next_id t =
+  let id = t.next in
+  t.next <- t.next + 1;
+  id
+
+let capacity t = t.capacity
+let length t = t.len
+let dropped t = t.dropped
+
+let events t =
+  let start = (t.head - t.len + t.capacity) mod t.capacity in
+  List.init t.len (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+(* FNV-1a, 64-bit: tiny, allocation-free, stable across runs — the
+   journal only needs a cheap content fingerprint for grouping, not a
+   cryptographic hash. *)
+let sql_hash s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let hash_hex h = Printf.sprintf "%016Lx" h
+
+let add_rates buf rates =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (rel, p) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Obsfmt.add_json_string buf rel;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Obsfmt.float_json p))
+    rates;
+  Buffer.add_char buf '}'
+
+let to_ndjson ev =
+  let buf = Buffer.create 256 in
+  (match ev with
+  | Register { id; dataset; version; source } ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"ev\":\"register\",\"id\":%d,\"dataset\":" id);
+      Obsfmt.add_json_string buf dataset;
+      Buffer.add_string buf (Printf.sprintf ",\"version\":%d" version);
+      (* [source] is the original register request's source object,
+         already JSON — embedded verbatim. *)
+      Buffer.add_string buf ",\"source\":";
+      Buffer.add_string buf source;
+      Buffer.add_char buf '}'
+  | Exec e ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"ev\":\"exec\",\"id\":%d,\"dataset\":" e.id);
+      Obsfmt.add_json_string buf e.dataset;
+      Buffer.add_string buf (Printf.sprintf ",\"version\":%d,\"sql\":" e.version);
+      Obsfmt.add_json_string buf e.sql;
+      Buffer.add_string buf ",\"sql_hash\":";
+      Obsfmt.add_json_string buf (hash_hex e.sql_hash);
+      Buffer.add_string buf (Printf.sprintf ",\"seed\":%d,\"rates\":" e.seed);
+      add_rates buf e.rates;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"explain\":%b,\"exact\":%b,\"cached\":%b" e.explain
+           e.exact e.cached);
+      Buffer.add_string buf ",\"estimate\":";
+      Buffer.add_string buf (Obsfmt.float_json e.estimate);
+      Buffer.add_string buf ",\"variance\":";
+      Buffer.add_string buf (Obsfmt.float_json e.variance);
+      Buffer.add_string buf ",\"stddev\":";
+      Buffer.add_string buf (Obsfmt.float_json e.stddev);
+      Buffer.add_string buf ",\"rel_ci\":";
+      Buffer.add_string buf (Obsfmt.float_json e.rel_ci);
+      (match e.top with
+      | None -> ()
+      | Some { path; label; share } ->
+          Buffer.add_string buf ",\"top\":{\"path\":[";
+          List.iteri
+            (fun i k ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (string_of_int k))
+            path;
+          Buffer.add_string buf "],\"node\":";
+          Obsfmt.add_json_string buf label;
+          Buffer.add_string buf ",\"share\":";
+          Buffer.add_string buf (Obsfmt.float_json share);
+          Buffer.add_char buf '}');
+      Buffer.add_string buf
+        (Printf.sprintf ",\"wall_ns\":%d,\"breach\":%b}" e.wall_ns e.breach));
+  Buffer.contents buf
+
+let record t ev =
+  if t.len = t.capacity then t.dropped <- t.dropped + 1
+  else t.len <- t.len + 1;
+  t.ring.(t.head) <- Some ev;
+  t.head <- (t.head + 1) mod t.capacity;
+  match t.sink with
+  | None -> ()
+  | Some oc ->
+      output_string oc (to_ndjson ev);
+      output_char oc '\n';
+      flush oc
+
+let export t oc =
+  List.iter
+    (fun ev ->
+      output_string oc (to_ndjson ev);
+      output_char oc '\n')
+    (events t)
+
+(* --- Accuracy SLOs ------------------------------------------------- *)
+
+type slo = { max_rel_ci : float option; max_latency_ms : float option }
+
+let no_slo = { max_rel_ci = None; max_latency_ms = None }
+
+let rel_ci_half_width ~estimate ~stddev =
+  if stddev = 0. then 0. else 1.96 *. stddev /. Float.abs estimate
+
+let breach slo ~rel_ci ~wall_ns =
+  (match slo.max_rel_ci with
+  | Some m -> (not (Float.is_nan rel_ci)) && rel_ci > m
+  | None -> false)
+  || match slo.max_latency_ms with
+     | Some m -> float_of_int wall_ns > m *. 1e6
+     | None -> false
+
+(* --- Rate limiter for breach logging ------------------------------- *)
+
+type limiter = {
+  interval_ns : int;
+  mutable last_ns : int;
+  mutable suppressed : int;
+}
+
+let limiter ?(interval_ns = 1_000_000_000) () =
+  (* min_int/2, not min_int: the first [now_ns - last_ns] must not
+     overflow, and monotonic-clock values stay far below 2^61. *)
+  { interval_ns; last_ns = min_int / 2; suppressed = 0 }
+
+let permit l ~now_ns =
+  if now_ns - l.last_ns >= l.interval_ns then begin
+    let missed = l.suppressed in
+    l.last_ns <- now_ns;
+    l.suppressed <- 0;
+    Some missed
+  end
+  else begin
+    l.suppressed <- l.suppressed + 1;
+    None
+  end

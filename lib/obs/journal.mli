@@ -1,0 +1,114 @@
+(** Bounded structured event log for the serving engine (flight
+    recorder).
+
+    The Engine records one event per [register] and per
+    [execute]/[batch] item; the ring holds the most recent [capacity]
+    events (older ones are overwritten and counted in {!dropped}), and
+    an optional sink channel receives every event as one NDJSON line at
+    record time — the file format [gusdb replay] consumes.
+
+    Events carry everything needed to re-execute the request
+    bit-identically: dataset name + version, the SQL text, the
+    seed/rates/explain/exact overrides, and the exact estimate /
+    variance / stddev produced.  Floats are exported in shortest
+    round-trip form, so parse-after-export recovers the same bits.
+
+    Not thread-safe: record from the engine's driving thread only
+    (batch items are journaled in the serial fill phase). *)
+
+type top = { path : int list; label : string; share : float }
+(** The plan node with the largest Theorem-1 variance share:
+    root-relative child-index [path], display [label], and its share of
+    total variance in [0, 1]. *)
+
+type exec = {
+  id : int;
+  dataset : string;
+  version : int;
+  sql : string;
+  sql_hash : int64;
+  seed : int;
+  rates : (string * float) list;  (** per-relation effective sampling rates *)
+  explain : bool;
+  exact : bool;
+  cached : bool;
+  estimate : float;
+  variance : float;
+  stddev : float;
+  rel_ci : float;  (** relative 95% CI half-width, [inf] when estimate 0 *)
+  top : top option;
+  wall_ns : int;
+  breach : bool;
+}
+
+type event =
+  | Register of { id : int; dataset : string; version : int; source : string }
+      (** [source] is the original register request's source spec as
+          JSON text, embedded verbatim in the NDJSON line — what replay
+          needs to rebuild the dataset. *)
+  | Exec of exec
+
+type t
+
+val create : ?capacity:int -> ?sink:out_channel -> unit -> t
+(** Default capacity 4096 events.  When [sink] is given every recorded
+    event is also written (and flushed) as one NDJSON line. *)
+
+val next_id : t -> int
+(** Allocate the next event id (0, 1, 2, ...). *)
+
+val record : t -> event -> unit
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val dropped : t -> int
+(** Events overwritten since creation. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val to_ndjson : event -> string
+(** One JSON object, no trailing newline. *)
+
+val export : t -> out_channel -> unit
+(** Write the retained events as NDJSON, oldest first. *)
+
+val sql_hash : string -> int64
+(** FNV-1a 64-bit content fingerprint. *)
+
+val hash_hex : int64 -> string
+(** 16 lower-case hex digits, as exported in [sql_hash] fields. *)
+
+(** {2 Accuracy SLOs} *)
+
+type slo = {
+  max_rel_ci : float option;
+      (** breach when the relative CI half-width exceeds this *)
+  max_latency_ms : float option;
+      (** breach when wall-clock exceeds this (the [--slo-p99-ms]
+          threshold: if more than 1% of requests breach it, the p99
+          objective is missed) *)
+}
+
+val no_slo : slo
+
+val rel_ci_half_width : estimate:float -> stddev:float -> float
+(** [1.96 * stddev / |estimate|]; [0] when stddev is [0] (exact or
+    degenerate), [inf] when the estimate is [0] with spread. *)
+
+val breach : slo -> rel_ci:float -> wall_ns:int -> bool
+
+(** {2 Rate-limited logging} *)
+
+type limiter
+
+val limiter : ?interval_ns:int -> unit -> limiter
+(** Token for rate-limiting breach logs; default one permit per
+    second. *)
+
+val permit : limiter -> now_ns:int -> int option
+(** [Some suppressed] when a log line is allowed now ([suppressed] is
+    how many were swallowed since the last permit), [None] to stay
+    quiet. *)

@@ -133,6 +133,37 @@ let bucket_counts h =
   in
   per_bound @ [ (infinity, Atomic.get h.hcount) ]
 
+let quantile h q =
+  let count = Atomic.get h.hcount in
+  if count = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int count in
+    let n = Array.length h.bounds in
+    (* First finite bucket whose cumulative count reaches [rank]. *)
+    let rec find i cum =
+      if i >= n then None
+      else
+        let cum' = cum + Atomic.get h.buckets.(i) in
+        if cum' > 0 && float_of_int cum' >= rank then Some (i, cum, cum')
+        else find (i + 1) cum'
+    in
+    match find 0 0 with
+    | None ->
+        (* The rank falls in the +inf overflow bucket; the histogram only
+           knows the value exceeds the largest finite bound, so report
+           that bound (the Prometheus convention) rather than inf. *)
+        if n = 0 then Float.nan else h.bounds.(n - 1)
+    | Some (i, below, cum) ->
+        let hi = h.bounds.(i) in
+        let lo =
+          if i > 0 then h.bounds.(i - 1) else if hi > 0. then 0. else hi
+        in
+        let in_bucket = float_of_int (cum - below) in
+        let pos = Float.max 0. (rank -. float_of_int below) in
+        lo +. ((hi -. lo) *. pos /. in_bucket)
+  end
+
 let sorted_values tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -141,6 +172,24 @@ let float_json v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6g" v
+
+let all_counters () =
+  Mutex.lock registry_mu;
+  let cs = sorted_values counters in
+  Mutex.unlock registry_mu;
+  cs
+
+let all_gauges () =
+  Mutex.lock registry_mu;
+  let gs = sorted_values gauges in
+  Mutex.unlock registry_mu;
+  gs
+
+let all_histograms () =
+  Mutex.lock registry_mu;
+  let hs = sorted_values histograms in
+  Mutex.unlock registry_mu;
+  hs
 
 let snapshot () =
   Mutex.lock registry_mu;

@@ -57,6 +57,21 @@ val bucket_counts : histogram -> (float * int) list
 (** [(le, cumulative_count)] per bound, ending with [(infinity, total)].
     Exposed for tests of the bucket-boundary semantics. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1], clamped)
+    by linear interpolation inside the first cumulative bucket whose
+    count reaches [q * count] — the same rule as Prometheus'
+    [histogram_quantile].  The lower edge of the first bucket is taken
+    as [0] when its bound is positive.  A rank landing in the [+inf]
+    overflow bucket returns the largest finite bound (the histogram
+    cannot say more); an empty histogram returns [nan]. *)
+
+val all_counters : unit -> (string * counter) list
+val all_gauges : unit -> (string * gauge) list
+
+val all_histograms : unit -> (string * histogram) list
+(** Registry listings sorted by name, for exporters ({!Promexp}). *)
+
 val snapshot : unit -> string
 (** JSON object with all instruments sorted by name:
     [{"counters":{...},"gauges":{...},"histograms":{name:{"count":n,

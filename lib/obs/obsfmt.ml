@@ -1,0 +1,41 @@
+(* Shared rendering helpers for the observability exports (journal
+   NDJSON, Prometheus exposition).  Kept here because Gus_obs sits below
+   Gus_service in the dependency order and cannot reuse its JSON
+   printer — but the float contract must be the same: shortest
+   representation that parses back to the same bits, so a value that
+   survives an export → parse cycle is bit-identical.  The replay
+   bit-identity guarantee rests on this. *)
+
+let float_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s15 = Printf.sprintf "%.15g" v in
+    if float_of_string s15 = v then s15
+    else
+      let s16 = Printf.sprintf "%.16g" v in
+      if float_of_string s16 = v then s16 else Printf.sprintf "%.17g" v
+
+(* JSON has no literal for non-finite numbers; the journal needs them
+   (a zero estimate makes the relative CI half-width infinite), so they
+   are encoded as strings the parser side maps back. *)
+let float_json v =
+  if Float.is_finite v then float_to_string v
+  else if Float.is_nan v then "\"nan\""
+  else if v > 0. then "\"inf\""
+  else "\"-inf\""
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'

@@ -1,0 +1,20 @@
+(** Rendering helpers shared by the observability exporters.
+
+    {!Gus_obs} sits below the service layer, so it cannot use
+    [Gus_service.Json]; these duplicate exactly the float contract the
+    serving protocol relies on — shortest rendering that round-trips
+    bit-identically — because the journal replay guarantee ("re-parse
+    an exported estimate, get the same bits") depends on it. *)
+
+val float_to_string : float -> string
+(** Integral floats as ["42"]; everything else via the shortest of
+    [%.15g]/[%.16g]/[%.17g] that parses back to the same bits.  Not
+    defined for non-finite values (use {!float_json}). *)
+
+val float_json : float -> string
+(** {!float_to_string} for finite values; ["\"nan\""], ["\"inf\""],
+    ["\"-inf\""] for the rest (JSON has no non-finite literals, and the
+    journal must not silently [null] them). *)
+
+val add_json_string : Buffer.t -> string -> unit
+(** Append [s] as a JSON string literal (quoted, escaped). *)

@@ -1,0 +1,70 @@
+(* Prometheus text-format exposition (version 0.0.4) of the Metrics
+   registry.  Pure rendering: no state of its own, no labels beyond the
+   histogram [le], nothing fancier than the scrape formats Prometheus
+   has parsed since forever. *)
+
+let mangle name =
+  let buf = Buffer.create (String.length name + 4) in
+  Buffer.add_string buf "gus_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+(* Prometheus prints +Inf (capital I) in [le] labels; finite bounds use
+   the shortest round-trip rendering so a scraper sees exactly the bound
+   the histogram was declared with. *)
+let le_string le =
+  if le = infinity then "+Inf" else Obsfmt.float_to_string le
+
+let float_prom v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Obsfmt.float_to_string v
+
+let add_counter buf name c =
+  let n = mangle name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s_total counter\n" n);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_total %d\n" n (Metrics.counter_value c))
+
+let add_gauge buf name g =
+  let n = mangle name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s\n" n (float_prom (Metrics.gauge_value g)))
+
+let add_histogram buf name h =
+  let n = mangle name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+  List.iter
+    (fun (le, cum) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (le_string le) cum))
+    (Metrics.bucket_counts h);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" n (float_prom (Metrics.histogram_sum h)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" n (Metrics.histogram_count h))
+
+let render () =
+  let buf = Buffer.create 2048 in
+  List.iter (fun (name, c) -> add_counter buf name c) (Metrics.all_counters ());
+  List.iter (fun (name, g) -> add_gauge buf name g) (Metrics.all_gauges ());
+  List.iter
+    (fun (name, h) -> add_histogram buf name h)
+    (Metrics.all_histograms ());
+  Buffer.contents buf
+
+let write_file path =
+  (* Write-then-rename so a scraper reading the file never sees a
+     truncated exposition. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (render ());
+  close_out oc;
+  Sys.rename tmp path

@@ -1,0 +1,20 @@
+(** Prometheus text-format exposition of the {!Metrics} registry.
+
+    Dotted metric names become [gus_]-prefixed underscore names
+    ([cache.hits] → [gus_cache_hits_total]); counters get the [_total]
+    suffix, histograms expose cumulative [_bucket{le="..."}] series
+    ending in [le="+Inf"] plus [_sum]/[_count], all per the text
+    exposition format v0.0.4.  DESIGN.md §12 has the full name map. *)
+
+val mangle : string -> string
+(** [mangle "cache.hits"] is ["gus_cache_hits"] — the Prometheus base
+    name before any [_total]/[_bucket] suffix. *)
+
+val render : unit -> string
+(** One scrape body covering every registered instrument, sorted by
+    name within each kind (counters, then gauges, then histograms). *)
+
+val write_file : string -> unit
+(** [write_file path] atomically replaces [path] with {!render}'s
+    output (write to [path ^ ".tmp"], then rename), so a concurrent
+    reader never observes a partial exposition. *)

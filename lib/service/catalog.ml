@@ -16,6 +16,34 @@ let source_to_string = function
   | Snapshot path -> Printf.sprintf "snapshot(%s)" path
   | In_memory what -> Printf.sprintf "memory(%s)" what
 
+(* Machine-readable source rendering, field-compatible with the serving
+   protocol's [register] request (Protocol.source_of_request parses it
+   back) — what the journal stores so `gusdb replay` can rebuild the
+   dataset.  [In_memory] has no build recipe; replay rejects it unless
+   the dataset is already present. *)
+let source_json src =
+  let num v = Json.Num v in
+  Json.to_string
+    (match src with
+    | Tpch { scale; seed } ->
+        Json.Obj
+          [ ("source", Json.Str "tpch");
+            ("scale", num scale);
+            ("seed", num (float_of_int seed)) ]
+    | Skewed { scale; seed; part_skew; price_skew } ->
+        Json.Obj
+          [ ("source", Json.Str "synthetic");
+            ("scale", num scale);
+            ("seed", num (float_of_int seed));
+            ("part_skew", num part_skew);
+            ("price_skew", num price_skew) ]
+    | Csv_dir dir ->
+        Json.Obj [ ("source", Json.Str "csv"); ("dir", Json.Str dir) ]
+    | Snapshot path ->
+        Json.Obj [ ("source", Json.Str "snapshot"); ("path", Json.Str path) ]
+    | In_memory what ->
+        Json.Obj [ ("source", Json.Str "memory"); ("what", Json.Str what) ])
+
 type entry = {
   dataset : string;
   version : int;

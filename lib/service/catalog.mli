@@ -22,6 +22,14 @@ type source =
 val source_to_string : source -> string
 (** One-line rendering for [stats] listings, e.g. ["tpch(scale=0.1,seed=1)"]. *)
 
+val source_json : source -> string
+(** JSON rendering with the serving protocol's [register] field names
+    (["{\"source\":\"tpch\",\"scale\":0.1,\"seed\":1}"]), so journaled
+    register events can be fed back through the protocol's source parser
+    on replay.  [In_memory] renders as [{"source":"memory",...}], which
+    has no build recipe — replay only accepts it when the dataset is
+    already registered. *)
+
 type entry = {
   dataset : string;
   version : int;  (** 1 on first registration, +1 per replacement *)

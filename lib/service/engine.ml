@@ -1,4 +1,16 @@
 module Runner = Gus_sql.Runner
+module Journal = Gus_obs.Journal
+
+let m_rel_ci =
+  Gus_obs.Metrics.histogram
+    ~buckets:
+      [| 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.;
+         10. |]
+    "serve.rel_ci_half_width"
+
+let m_breaches = Gus_obs.Metrics.counter "slo.breaches"
+let m_breach_rel_ci = Gus_obs.Metrics.counter "slo.breaches.rel_ci"
+let m_breach_latency = Gus_obs.Metrics.counter "slo.breaches.latency"
 
 type t = {
   catalog : Catalog.t;
@@ -6,17 +18,30 @@ type t = {
   prepared : (string, Prepared.t) Hashtbl.t;
   pool : Gus_util.Pool.t option;
   mutable next_handle : int;
+  journal : Journal.t option;
+  slo : Journal.slo;
+  on_breach : (string -> unit) option;
+  limiter : Journal.limiter;
+  start_ns : int;
 }
 
 exception Unknown_handle of string
 
-let create ?(cache_capacity = 128) ?pool () =
+let now = Gus_obs.Trace.now_ns
+
+let create ?(cache_capacity = 128) ?pool ?journal ?(slo = Journal.no_slo)
+    ?on_breach () =
   let t =
     { catalog = Catalog.create ();
       cache = Cache.create ~capacity:cache_capacity;
       prepared = Hashtbl.create 16;
       pool;
-      next_handle = 1 }
+      next_handle = 1;
+      journal;
+      slo;
+      on_breach;
+      limiter = Journal.limiter ();
+      start_ns = now () }
   in
   (* Eager invalidation: any (re)registration or removal drops the
      dataset's cached responses.  The version baked into every key
@@ -26,8 +51,33 @@ let create ?(cache_capacity = 128) ?pool () =
   t
 
 let catalog t = t.catalog
-let register t ~name ~source = Catalog.load t.catalog ~name ~source
-let register_db t ~name ~source db = Catalog.register t.catalog ~name ~source db
+let journal t = t.journal
+let slo t = t.slo
+let uptime_ns t = now () - t.start_ns
+
+let pool_size t =
+  match t.pool with Some p -> Gus_util.Pool.size p | None -> 1
+
+let note_register t (entry : Catalog.entry) =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Journal.record j
+        (Journal.Register
+           { id = Journal.next_id j;
+             dataset = entry.Catalog.dataset;
+             version = entry.Catalog.version;
+             source = Catalog.source_json entry.Catalog.source })
+
+let register t ~name ~source =
+  let entry = Catalog.load t.catalog ~name ~source in
+  note_register t entry;
+  entry
+
+let register_db t ~name ~source db =
+  let entry = Catalog.register t.catalog ~name ~source db in
+  note_register t entry;
+  entry
 
 let prepare t ?name ~dataset sql =
   let p = Prepared.prepare t.catalog ~dataset sql in
@@ -66,8 +116,110 @@ type outcome = {
   wall_ns : int;
 }
 
-let now = Gus_obs.Trace.now_ns
 let cacheable (ov : Prepared.overrides) = not ov.Prepared.explain
+
+let slo_active (slo : Journal.slo) =
+  slo.Journal.max_rel_ci <> None || slo.Journal.max_latency_ms <> None
+
+let first_cell_stats (rs : Runner.response) =
+  match rs.Runner.rs_result.Runner.cells with
+  | c :: _ -> (c.Runner.value, c.Runner.stddev)
+  | [] -> (Float.nan, Float.nan) (* GROUP BY: no whole-query estimate *)
+
+(* Per-execution telemetry: relative-CI histogram, SLO breach counters +
+   rate-limited log, and the journal event.  Runs on the driving thread
+   only (the journal ring is not synchronized); when no journal, no SLO
+   and no metrics are on, this is a three-field check and out. *)
+let note_exec t ~handle ~(p : Prepared.t) ~(ov : Prepared.overrides)
+    (o : outcome) =
+  if t.journal <> None || slo_active t.slo || Gus_obs.Metrics.enabled ()
+  then begin
+    let rs = o.response in
+    let estimate, stddev = first_cell_stats rs in
+    let rel_ci = Journal.rel_ci_half_width ~estimate ~stddev in
+    if Float.is_finite rel_ci then Gus_obs.Metrics.observe m_rel_ci rel_ci;
+    let rel_breach =
+      match t.slo.Journal.max_rel_ci with
+      | Some m -> (not (Float.is_nan rel_ci)) && rel_ci > m
+      | None -> false
+    and lat_breach =
+      match t.slo.Journal.max_latency_ms with
+      | Some m -> float_of_int o.wall_ns > m *. 1e6
+      | None -> false
+    in
+    let breach = rel_breach || lat_breach in
+    if breach then begin
+      Gus_obs.Metrics.incr m_breaches;
+      if rel_breach then Gus_obs.Metrics.incr m_breach_rel_ci;
+      if lat_breach then Gus_obs.Metrics.incr m_breach_latency;
+      match t.on_breach with
+      | None -> ()
+      | Some log -> (
+          match Journal.permit t.limiter ~now_ns:(now ()) with
+          | None -> ()
+          | Some suppressed ->
+              log
+                (Printf.sprintf
+                   "SLO breach (%s): handle=%s dataset=%s seed=%d \
+                    rel_ci=%.4g wall_ms=%.3f%s"
+                   (if rel_breach && lat_breach then "ci+latency"
+                    else if rel_breach then "ci"
+                    else "latency")
+                   handle (Prepared.dataset p) ov.Prepared.seed rel_ci
+                   (float_of_int o.wall_ns /. 1e6)
+                   (if suppressed > 0 then
+                      Printf.sprintf " [%d suppressed]" suppressed
+                    else "")))
+    end;
+    match t.journal with
+    | None -> ()
+    | Some j ->
+        let entry = Catalog.find_exn t.catalog (Prepared.dataset p) in
+        let variance =
+          match rs.Runner.rs_report with
+          | Some r -> r.Gus_estimator.Sbox.variance
+          | None -> stddev *. stddev
+        in
+        let top =
+          Option.map
+            (fun (path, label, share) -> { Journal.path; label; share })
+            (Runner.top_variance_share rs)
+        in
+        let rates =
+          let db = entry.Catalog.db in
+          let card rel =
+            Gus_relational.Relation.cardinality
+              (Gus_relational.Database.find db rel)
+          in
+          let plan = (Prepared.handle p).Runner.pr_plan in
+          let plan =
+            (* record the rates actually executed, not the prepared ones *)
+            if ov.Prepared.rates = [] then plan
+            else Prepared.override_rates ~card ov.Prepared.rates plan
+          in
+          Prepared.sampling_rates ~card plan
+        in
+        let sql = Prepared.sql p in
+        Journal.record j
+          (Journal.Exec
+             { id = Journal.next_id j;
+               dataset = entry.Catalog.dataset;
+               version = entry.Catalog.version;
+               sql;
+               sql_hash = Journal.sql_hash sql;
+               seed = ov.Prepared.seed;
+               rates;
+               explain = ov.Prepared.explain;
+               exact = ov.Prepared.exact;
+               cached = o.cached;
+               estimate;
+               variance;
+               stddev;
+               rel_ci;
+               top;
+               wall_ns = o.wall_ns;
+               breach })
+  end
 
 let execute t ~handle ov =
   let t0 = now () in
@@ -78,12 +230,17 @@ let execute t ~handle ov =
   in
   ignore (Prepared.refresh t.catalog p);
   let key = if cacheable ov then Some (cache_key t p ov) else None in
-  match Option.map (Cache.find t.cache) key with
-  | Some (Some response) -> { response; cached = true; wall_ns = now () - t0 }
-  | _ ->
-      let response = Prepared.execute t.catalog p ov in
-      Option.iter (fun k -> Cache.add t.cache k response) key;
-      { response; cached = false; wall_ns = now () - t0 }
+  let o =
+    match Option.map (Cache.find t.cache) key with
+    | Some (Some response) ->
+        { response; cached = true; wall_ns = now () - t0 }
+    | _ ->
+        let response = Prepared.execute t.catalog p ov in
+        Option.iter (fun k -> Cache.add t.cache k response) key;
+        { response; cached = false; wall_ns = now () - t0 }
+  in
+  note_exec t ~handle ~p ~ov o;
+  o
 
 let batch t items =
   (* Phase 1, driving thread: resolve, refresh, probe the cache — every
@@ -104,7 +261,7 @@ let batch t items =
                   | None -> `Run (Some key)
                 else `Run None
               with
-              | `Hit response -> Ok (`Hit response)
+              | `Hit response -> Ok (`Hit (p, ov, response))
               | `Run key -> Ok (`Run (p, ov, key))
             with e -> Error e))
       items
@@ -124,22 +281,28 @@ let batch t items =
         (key, response, now () - t0))
       misses
   in
-  (* Phase 3, driving thread again: fill the cache and assemble outcomes
-     in submission order. *)
+  (* Phase 3, driving thread again: fill the cache, journal each item,
+     and assemble outcomes in submission order. *)
   let cursor = ref 0 in
-  Array.map
-    (fun stage ->
+  Array.mapi
+    (fun i stage ->
+      let handle = fst items.(i) in
       match stage with
       | Error e -> Error e
-      | Ok (`Hit response) -> Ok { response; cached = true; wall_ns = 0 }
-      | Ok (`Run _) -> (
+      | Ok (`Hit (p, ov, response)) ->
+          let o = { response; cached = true; wall_ns = 0 } in
+          note_exec t ~handle ~p ~ov o;
+          Ok o
+      | Ok (`Run (p, ov, _)) -> (
           let r = results.(!cursor) in
           incr cursor;
           match r with
           | Error e -> Error e
           | Ok (key, response, wall_ns) ->
               Option.iter (fun k -> Cache.add t.cache k response) key;
-              Ok { response; cached = false; wall_ns }))
+              let o = { response; cached = false; wall_ns } in
+              note_exec t ~handle ~p ~ov o;
+              Ok o))
     staged
 
 let cache_length t = Cache.length t.cache

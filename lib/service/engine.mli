@@ -20,13 +20,39 @@ type t
 
 exception Unknown_handle of string
 
-val create : ?cache_capacity:int -> ?pool:Gus_util.Pool.t -> unit -> t
+val create :
+  ?cache_capacity:int ->
+  ?pool:Gus_util.Pool.t ->
+  ?journal:Gus_obs.Journal.t ->
+  ?slo:Gus_obs.Journal.slo ->
+  ?on_breach:(string -> unit) ->
+  unit ->
+  t
 (** [cache_capacity] defaults to 128 responses.  [pool] (shared, not
     owned: the engine never shuts it down) parallelizes {!batch} only —
     single executions and everything inside one query run sequentially,
-    so estimates never depend on lane count. *)
+    so estimates never depend on lane count.
+
+    [journal] turns on the flight recorder: one event per
+    register/execute/batch item, recorded on the driving thread (batch
+    items in the serial fill phase, in submission order).  [slo]
+    (default {!Gus_obs.Journal.no_slo}) marks journal events
+    [breach:true] and bumps the [slo.breaches*] counters when a
+    response's relative CI half-width or wall-clock exceeds the
+    thresholds; [on_breach] receives a rate-limited (1/s) human-readable
+    line per breach burst — the serve loop points it at stderr.  With
+    all three absent, per-execution telemetry is a three-field check. *)
 
 val catalog : t -> Catalog.t
+
+val journal : t -> Gus_obs.Journal.t option
+val slo : t -> Gus_obs.Journal.slo
+
+val uptime_ns : t -> int
+(** Nanoseconds since {!create} (monotonic clock). *)
+
+val pool_size : t -> int
+(** Lanes available to {!batch}: the pool's size, or 1 when unpooled. *)
 
 val register : t -> name:string -> source:Catalog.source -> Catalog.entry
 (** Build the dataset from its source description and (re)bind it —

@@ -89,6 +89,48 @@ let override_rates ~card rates plan =
            (String.concat ", " (List.map fst missing))));
   plan
 
+(* Effective first-order sampling rate per base relation, read off the
+   (post-override) plan for telemetry.  Composed samplers over the same
+   relation multiply — [a]-values compose multiplicatively (Prop. 4) —
+   and WOR/WR sizes are normalized by the base cardinality, so a nested
+   outer WOR over an already-thinned input reads slightly low; the
+   journal treats rates as provenance, not as replay inputs. *)
+let sampling_rates ~card plan =
+  let rates = ref [] in
+  let note rel rate =
+    match List.assoc_opt rel !rates with
+    | Some prev ->
+        rates := (rel, prev *. rate) :: List.remove_assoc rel !rates
+    | None -> rates := (rel, rate) :: !rates
+  in
+  let rec go = function
+    | S.Scan _ -> ()
+    | S.Select (_, p) | S.Project (_, p) | S.Distinct p -> go p
+    | S.Equi_join { left; right; _ } ->
+        go left;
+        go right
+    | S.Theta_join (_, l, r) | S.Cross (l, r) | S.Union_samples (l, r) ->
+        go l;
+        go r
+    | S.Sample (sampler, child) ->
+        (match S.relations child with
+        | [ rel ] ->
+            let rate =
+              match sampler with
+              | Sam.Bernoulli p -> p
+              | Sam.Hash_bernoulli { p; _ } -> p
+              | Sam.Block { p; _ } -> p
+              | Sam.Wor k | Sam.Wr k ->
+                  let n = card rel in
+                  if n = 0 then 0. else float_of_int k /. float_of_int n
+            in
+            note rel rate
+        | _ -> ());
+        go child
+  in
+  go plan;
+  List.sort (fun (a, _) (b, _) -> compare a b) !rates
+
 (* Re-prepare transparently when the catalog entry moved under us. *)
 let refresh catalog t =
   let entry = Catalog.find_exn catalog t.p_dataset in

@@ -71,3 +71,12 @@ val override_rates :
   Gus_core.Splan.t ->
   Gus_core.Splan.t
 (** The plan rewrite behind [overrides.rates]; exposed for tests. *)
+
+val sampling_rates :
+  card:(string -> int) -> Gus_core.Splan.t -> (string * float) list
+(** Effective first-order inclusion rate per sampled base relation,
+    sorted by name: Bernoulli / hash-Bernoulli / block report their keep
+    probability, WOR/WR report [size / base cardinality], and stacked
+    samplers over one relation multiply (a-values compose, Prop. 4).
+    Telemetry provenance for the serving journal — advisory, not a
+    replay input. *)

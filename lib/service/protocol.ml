@@ -1,8 +1,22 @@
 module Runner = Gus_sql.Runner
 module D = Gus_analysis.Diagnostic
 module Lint = Gus_analysis.Lint
+module Metrics = Gus_obs.Metrics
 open Gus_relational
 open Json
+
+(* Per-verb request counters + end-to-end request latency.  DESIGN.md §7
+   lists the names; §12 maps them to Prometheus series. *)
+let m_req_register = Metrics.counter "serve.requests.register"
+let m_req_prepare = Metrics.counter "serve.requests.prepare"
+let m_req_execute = Metrics.counter "serve.requests.execute"
+let m_req_batch = Metrics.counter "serve.requests.batch"
+let m_req_stats = Metrics.counter "serve.requests.stats"
+let m_req_invalid = Metrics.counter "serve.requests.invalid"
+
+let m_latency =
+  (* default power-of-two buckets: 1 µs .. ~1 s *)
+  Metrics.histogram "serve.latency_us"
 
 exception Bad_request of string
 
@@ -290,8 +304,7 @@ let op_batch engine j =
   in
   Obj [ ("ok", Bool true); ("op", Str "batch"); ("results", List results) ]
 
-let op_stats engine j =
-  ignore j;
+let op_stats_json engine =
   let catalog =
     List.map
       (fun (e : Catalog.entry) ->
@@ -311,20 +324,77 @@ let op_stats engine j =
             ("sql", Str (Prepared.sql p)) ])
       (Engine.prepared_names engine)
   in
-  Obj
-    [ ("ok", Bool true);
-      ("op", Str "stats");
-      ("catalog", List catalog);
-      ("prepared", List prepared);
-      ( "cache",
+  let requests =
+    Obj
+      [ ("register", Num (float_of_int (Metrics.counter_value m_req_register)));
+        ("prepare", Num (float_of_int (Metrics.counter_value m_req_prepare)));
+        ("execute", Num (float_of_int (Metrics.counter_value m_req_execute)));
+        ("batch", Num (float_of_int (Metrics.counter_value m_req_batch)));
+        ("stats", Num (float_of_int (Metrics.counter_value m_req_stats)));
+        ("invalid", Num (float_of_int (Metrics.counter_value m_req_invalid))) ]
+  in
+  let latency =
+    if Metrics.histogram_count m_latency = 0 then None
+    else
+      Some
+        (Obj
+           [ ("p50", Num (Metrics.quantile m_latency 0.50));
+             ("p90", Num (Metrics.quantile m_latency 0.90));
+             ("p99", Num (Metrics.quantile m_latency 0.99)) ])
+  in
+  let journal =
+    Option.map
+      (fun j ->
         Obj
-          [ ("length", Num (float_of_int (Engine.cache_length engine)));
-            ("capacity", Num (float_of_int (Engine.cache_capacity engine))) ]
-      );
-      ("metrics", Json.of_string (Gus_obs.Metrics.snapshot ())) ]
+          [ ("length", Num (float_of_int (Gus_obs.Journal.length j)));
+            ("capacity", Num (float_of_int (Gus_obs.Journal.capacity j)));
+            ("dropped", Num (float_of_int (Gus_obs.Journal.dropped j))) ])
+      (Engine.journal engine)
+  in
+  obj
+    [ ("ok", Some (Bool true));
+      ("op", Some (Str "stats"));
+      ( "uptime_s",
+        Some (Num (float_of_int (Engine.uptime_ns engine) /. 1e9)) );
+      ("pool_lanes", Some (Num (float_of_int (Engine.pool_size engine))));
+      ("catalog", Some (List catalog));
+      ("prepared", Some (List prepared));
+      ( "cache",
+        Some
+          (Obj
+             [ ("length", Num (float_of_int (Engine.cache_length engine)));
+               ("capacity", Num (float_of_int (Engine.cache_capacity engine)))
+             ]) );
+      ("requests", Some requests);
+      ("latency_us", latency);
+      ("journal", journal);
+      ("metrics", Some (Json.of_string (Gus_obs.Metrics.snapshot ()))) ]
 
-let handle_request engine j =
+let op_stats engine j =
+  match opt_str j "format" with
+  | Some "prometheus" ->
+      (* The exposition is text with newlines; the NDJSON framing can't
+         carry it raw, so it rides as one JSON string.  `gusdb serve
+         --prom-out FILE` writes the same text unframed. *)
+      Obj
+        [ ("ok", Bool true);
+          ("op", Str "stats");
+          ("format", Str "prometheus");
+          ("body", Str (Gus_obs.Promexp.render ())) ]
+  | Some other when other <> "json" ->
+      raise (Bad_request (Printf.sprintf "unknown stats format %S" other))
+  | _ -> op_stats_json engine
+
+let dispatch engine j =
   let op = Option.bind (member "op" j) to_str in
+  Metrics.incr
+    (match op with
+    | Some "register" -> m_req_register
+    | Some "prepare" -> m_req_prepare
+    | Some "execute" -> m_req_execute
+    | Some "batch" -> m_req_batch
+    | Some "stats" -> m_req_stats
+    | Some _ | None -> m_req_invalid);
   protect ~op @@ fun () ->
   match op with
   | Some "register" -> op_register engine j
@@ -335,15 +405,27 @@ let handle_request engine j =
   | Some other -> raise (Bad_request (Printf.sprintf "unknown op %S" other))
   | None -> raise (Bad_request "missing string field \"op\"")
 
+let handle_request engine j =
+  if Metrics.enabled () then begin
+    let t0 = Gus_obs.Trace.now_ns () in
+    let r = dispatch engine j in
+    Metrics.observe m_latency
+      (float_of_int (Gus_obs.Trace.now_ns () - t0) /. 1e3);
+    r
+  end
+  else dispatch engine j
+
 let handle_line engine line =
   let response =
     match Json.of_string line with
     | j -> handle_request engine j
-    | exception Json.Parse_error msg -> error_json "bad_json" msg
+    | exception Json.Parse_error msg ->
+        Metrics.incr m_req_invalid;
+        error_json "bad_json" msg
   in
   Json.to_string response
 
-let serve engine ic oc =
+let serve ?(after = fun () -> ()) engine ic oc =
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
@@ -351,7 +433,8 @@ let serve engine ic oc =
         if String.trim line <> "" then begin
           output_string oc (handle_line engine line);
           output_char oc '\n';
-          flush oc
+          flush oc;
+          after ()
         end;
         loop ()
   in

@@ -11,8 +11,11 @@
     - [execute]  — run a handle with per-call seed/rates/exact/explain
     - [batch]    — many executes, fanned across the pool, results in
       submission order
-    - [stats]    — catalog + handles + cache occupancy + the
-      {!Gus_obs.Metrics} snapshot
+    - [stats]    — uptime, pool lanes, catalog + handles, cache
+      occupancy, per-verb request counts, latency quantiles, journal
+      occupancy, and the {!Gus_obs.Metrics} snapshot; with
+      [{"format":"prometheus"}] the response instead carries the
+      {!Gus_obs.Promexp} text exposition as its ["body"] string
 
     Responses carry ["ok": true] or
     ["ok": false, "error": {"code", "message"}]; a request that names an
@@ -31,6 +34,13 @@ val response_json : handle:string -> Engine.outcome -> Json.t
 (** The [execute] success payload (estimates, stddevs, intervals, group
     rows, cache/streaming flags, wall time in µs). *)
 
+val source_of_request : Json.t -> Catalog.source
+(** Parse a [register]-shaped object's source description
+    ([source]/[scale]/[seed]/[part_skew]/[price_skew]/[dir]/[path]
+    fields, ["tpch"] default).  Inverse of {!Catalog.source_json};
+    [Replay] feeds journaled register events back through it.  Raises
+    [Bad_request]. *)
+
 val result_json : Gus_sql.Runner.result -> Json.t
 val exact_json : Gus_sql.Runner.response -> Json.t option
 (** Estimate/ground-truth fragments of {!response_json}, shared with
@@ -45,7 +55,8 @@ val handle_line : Engine.t -> string -> string
 (** {!handle_request} on one raw NDJSON line (adds JSON parsing to the
     error envelope).  The result has no embedded newlines. *)
 
-val serve : Engine.t -> in_channel -> out_channel -> unit
+val serve : ?after:(unit -> unit) -> Engine.t -> in_channel -> out_channel -> unit
 (** The loop: read lines to EOF, skip blank ones, answer each with one
     line, flushing per response (a driving process pipes requests in and
-    waits for answers). *)
+    waits for answers).  [after] runs once per answered request — the
+    CLI's [--prom-out] periodic exposition dump hangs off it. *)

@@ -45,28 +45,36 @@ let cell_of_report ~label ?quantile (estimate, stddev) =
     ci95_normal = safe_interval Interval.Normal;
     ci95_chebyshev = safe_interval Interval.Chebyshev }
 
-let eval_item ?skip_mask ~gus sample item =
+(* Besides the cell, return the Sbox report backing it (None for AVG,
+   whose ratio report has no Theorem-1 decomposition) so callers can
+   surface variance provenance without a second moments pass. *)
+let eval_item_report ?skip_mask ~gus sample item =
   let label = label_of item in
   let rec go ?quantile agg =
     match agg with
     | Ast.Sum e ->
         let r = Sbox.of_relation ?skip_mask ~gus ~f:e sample in
-        cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
+        (cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev), Some r)
     | Ast.Count_star ->
         let r = Sbox.of_relation ?skip_mask ~gus ~f:one sample in
-        cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
+        (cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev), Some r)
     | Ast.Count e ->
         (* COUNT(e) counts non-null rows: e*0 + 1 is 1 when e is a number
            and Null (→ 0 under SUM) when e is Null. *)
         let indicator = Expr.(Bin (Add, Bin (Mul, e, Expr.float 0.0), Expr.float 1.0)) in
         let r = Sbox.of_relation ?skip_mask ~gus ~f:indicator sample in
-        cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev)
+        (cell_of_report ~label ?quantile (r.Sbox.estimate, r.Sbox.stddev), Some r)
     | Ast.Avg e ->
         let r = Sbox.avg ~gus ~f:e sample in
-        cell_of_report ~label ?quantile (r.Sbox.ratio_estimate, r.Sbox.ratio_stddev)
+        ( cell_of_report ~label ?quantile
+            (r.Sbox.ratio_estimate, r.Sbox.ratio_stddev),
+          None )
     | Ast.Quantile (inner, q) -> go ~quantile:q inner
   in
   go item.Ast.agg
+
+let eval_item ?skip_mask ~gus sample item =
+  fst (eval_item_report ?skip_mask ~gus sample item)
 
 (* Partition a relation into per-group sub-relations by rendered key
    values, preserving first-seen group order. *)
@@ -102,9 +110,14 @@ let partition_groups keys rel =
 let eval_query ?skip_mask ~gus ~seed db query plan =
   let rng = Gus_util.Rng.create seed in
   let sample = Splan.exec db rng plan in
-  let cells, groups =
+  let cells, groups, report =
     match query.Ast.group_by with
-    | [] -> (List.map (eval_item ?skip_mask ~gus sample) query.Ast.items, [])
+    | [] ->
+        let pairs =
+          List.map (eval_item_report ?skip_mask ~gus sample) query.Ast.items
+        in
+        let report = match pairs with (_, r) :: _ -> r | [] -> None in
+        (List.map fst pairs, [], report)
     | keys ->
         let per_group =
           List.map
@@ -114,9 +127,10 @@ let eval_query ?skip_mask ~gus ~seed db query plan =
                   List.map (eval_item ?skip_mask ~gus sub) query.Ast.items })
             (partition_groups keys sample)
         in
-        ([], per_group)
+        ([], per_group, None)
   in
-  { cells; groups; n_sample_tuples = Relation.cardinality sample; gus; plan }
+  ( { cells; groups; n_sample_tuples = Relation.cardinality sample; gus; plan },
+    report )
 
 (* ---- the streaming evaluation core ------------------------------------- *)
 
@@ -159,11 +173,12 @@ let stream_result ?pool ?skip_mask ~gus ~seed db query plan =
           (r.Sbox.estimate, r.Sbox.stddev)
       in
       Some
-        { cells = [ cell ];
-          groups = [];
-          n_sample_tuples = r.Sbox.n_tuples;
-          gus;
-          plan }
+        ( { cells = [ cell ];
+            groups = [];
+            n_sample_tuples = r.Sbox.n_tuples;
+            gus;
+            plan },
+          r )
   | _ -> None
 
 (* ---- EXPLAIN ANALYZE ----------------------------------------------- *)
@@ -184,6 +199,7 @@ type explain = {
   ex_nodes : node_annot list;
   ex_variance_raw : float option;
   ex_total_ns : int;
+  ex_report : Sbox.report option;
 }
 
 (* Map a subtree's relation set into a subset mask over [gus.rels]. *)
@@ -287,7 +303,8 @@ let explain_of ~(analysis : Gus_analysis.Lint.analysis) ~seed db query plan =
   { ex_result = result;
     ex_nodes = nodes;
     ex_variance_raw = Option.map (fun r -> r.Sbox.variance_raw) report;
-    ex_total_ns = total_ns }
+    ex_total_ns = total_ns;
+    ex_report = report }
 
 let exact_values query exact_rel =
   let eval_f f =
@@ -371,6 +388,7 @@ type response = {
   rs_exact : (string * float) list;
   rs_exact_groups : (string list * (string * float) list) list;
   rs_streamed : bool;
+  rs_report : Sbox.report option;
 }
 
 let execute db (p : prepared) (params : params) =
@@ -386,10 +404,10 @@ let execute db (p : prepared) (params : params) =
   in
   let gus = (Lazy.force analysis.Gus_analysis.Lint.gus) in
   let skip_mask = analysis.Gus_analysis.Lint.cost.Gus_analysis.Cost.skip_mask in
-  let ex, result, streamed =
+  let ex, result, report, streamed =
     if params.explain then
       let ex = explain_of ~analysis ~seed:params.seed db query plan in
-      (Some ex, ex.ex_result, false)
+      (Some ex, ex.ex_result, ex.ex_report, false)
     else
       match
         (if params.streaming then
@@ -397,9 +415,10 @@ let execute db (p : prepared) (params : params) =
              query plan
          else None)
       with
-      | Some r -> (None, r, true)
+      | Some (r, rep) -> (None, r, Some rep, true)
       | None ->
-          (None, eval_query ~skip_mask ~gus ~seed:params.seed db query plan, false)
+          let r, rep = eval_query ~skip_mask ~gus ~seed:params.seed db query plan in
+          (None, r, rep, false)
   in
   let exact_cells, exact_groups =
     if not params.exact then ([], [])
@@ -418,7 +437,63 @@ let execute db (p : prepared) (params : params) =
     rs_lint = p.pr_lint;
     rs_exact = exact_cells;
     rs_exact_groups = exact_groups;
-    rs_streamed = streamed }
+    rs_streamed = streamed;
+    rs_report = report }
+
+(* The plan node with the largest Theorem-1 variance share for this
+   response's first aggregate: walk every Sample node, map its subtree's
+   relation set into a coefficient-table mask (as --explain-analyze
+   does) and take the largest [(c_S/a²)·ŷ_S] as a fraction of the raw
+   variance.  Best-effort: [None] when no report was captured (AVG,
+   GROUP BY), when the report's GUS is a live-relation view whose mask
+   space doesn't match the full coefficient table (wide symbolic runs),
+   or when the plan is too wide to densify cheaply. *)
+let top_variance_share (rs : response) =
+  match rs.rs_report with
+  | None -> None
+  | Some r -> (
+      let gus = r.Sbox.gus in
+      let plan = rs.rs_result.plan in
+      let nrels = Array.length gus.Gus_core.Gus.rels in
+      if nrels = 0 || nrels > 16 then None
+      else
+        try
+          let c = Gus_core.Gus.c_coefficients gus in
+          if Array.length r.Sbox.y_hat <> Array.length c then None
+          else begin
+            let a2 = gus.Gus_core.Gus.a *. gus.Gus_core.Gus.a in
+            let best = ref None in
+            let rec walk path node =
+              (match node with
+              | Splan.Sample _ -> (
+                  match subtree_mask ~gus plan path with
+                  | Some mask ->
+                      let contrib = c.(mask) /. a2 *. r.Sbox.y_hat.(mask) in
+                      let better =
+                        match !best with
+                        | Some (_, _, b) -> contrib > b
+                        | None -> true
+                      in
+                      if better then
+                        best := Some (path, Splan.node_label node, contrib)
+                  | None -> ())
+              | _ -> ());
+              List.iteri
+                (fun i child -> walk (path @ [ i ]) child)
+                (Splan.children node)
+            in
+            walk [] plan;
+            match !best with
+            | None -> None
+            | Some (path, label, contrib) ->
+                let total = r.Sbox.variance_raw in
+                let share =
+                  if total > 0. && Float.is_finite total then contrib /. total
+                  else 0.
+                in
+                Some (path, label, share)
+          end
+        with _ -> None)
 
 let run_request db (rq : request) =
   execute db (prepare ~lint_config:rq.lint_config db rq.sql) rq.params

@@ -47,6 +47,9 @@ type explain = {
   ex_variance_raw : float option;
       (** first aggregate's estimator variance (unclamped) *)
   ex_total_ns : int;
+  ex_report : Gus_estimator.Sbox.report option;
+      (** first aggregate's full SBox report (the source of
+          [ex_variance_raw] and the per-node variance terms) *)
 }
 
 (** {1 The typed request/response API}
@@ -132,6 +135,10 @@ type response = {
       (** ground truth per group with [params.exact] under GROUP BY *)
   rs_streamed : bool;
       (** whether the streaming core answered this execution *)
+  rs_report : Gus_estimator.Sbox.report option;
+      (** the first aggregate's SBox report — [None] under GROUP BY and
+          for AVG (its ratio estimator has no Theorem-1 decomposition).
+          Telemetry provenance: {!top_variance_share} reads it. *)
 }
 
 val execute : Gus_relational.Database.t -> prepared -> params -> response
@@ -143,6 +150,15 @@ val execute : Gus_relational.Database.t -> prepared -> params -> response
 
 val run_request : Gus_relational.Database.t -> request -> response
 (** [prepare] + [execute] in one shot — the cold path. *)
+
+val top_variance_share : response -> (int list * string * float) option
+(** The Sample node whose Theorem-1 term [(c_S/a²)·ŷ_S] dominates the
+    first aggregate's variance: [(path, label, share)] with [share] the
+    term's fraction of the raw variance.  Best-effort — [None] when the
+    response carries no report ({!response.rs_report}), when the
+    report's GUS is a live-relation view (wide symbolic plans), or past
+    16 relations where densifying the coefficient table stops being
+    cheap.  The serving journal records this per execution. *)
 
 (** {1 Deprecated one-shot wrappers}
 

@@ -1,0 +1,57 @@
+Flight-record a serving session with `gusdb serve --journal`, then
+re-execute it with `gusdb replay` and assert bit-identical estimates.
+
+  $ cat > requests <<'EOF'
+  > {"op":"register","name":"t","scale":0.05}
+  > {"op":"prepare","dataset":"t","name":"q","sql":"SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)"}
+  > {"op":"execute","handle":"q","seed":7}
+  > {"op":"execute","handle":"q","seed":8,"rates":{"lineitem":0.5}}
+  > {"op":"execute","handle":"q","seed":7}
+  > EOF
+  $ gusdb serve --journal journal.ndjson < requests > /dev/null
+
+One register event plus one exec event per execution — the cache hit for
+the repeated seed-7 request is journaled too.  Wall time aside, every
+field is deterministic: the register event carries the dataset's build
+recipe, each exec carries the SQL, its FNV-1a hash, the effective
+sampling rates, the bit-exact estimate, and the Theorem-1 top
+variance-share node.
+
+  $ wc -l < journal.ndjson
+  4
+  $ sed -n 1p journal.ndjson
+  {"ev":"register","id":0,"dataset":"t","version":1,"source":{"source":"tpch","scale":0.05,"seed":20130630}}
+  $ sed -n 2p journal.ndjson | sed 's/"wall_ns":[0-9]*/"wall_ns":_/'
+  {"ev":"exec","id":1,"dataset":"t","version":1,"sql":"SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)","sql_hash":"1289e37f671bd4aa","seed":7,"rates":{"lineitem":0.2},"explain":false,"exact":false,"cached":false,"estimate":19508097.968093183,"variance":863261783656.4375,"stddev":929118.8210645813,"rel_ci":0.09334958704149772,"top":{"path":[],"node":"Bernoulli(0.2)","share":0.9999999999999668},"wall_ns":_,"breach":false}
+  $ grep -c '"cached":true' journal.ndjson
+  1
+  $ sed -n 3p journal.ndjson | grep -o '"rates":{[^}]*}'
+  "rates":{"lineitem":0.5}
+
+Replay rebuilds the dataset from the journaled source and re-runs every
+execution with its journaled seed/rates/explain/exact; estimate, stddev
+and variance must match bit for bit:
+
+  $ gusdb replay journal.ndjson
+  replayed 3 execution(s) over 1 registered dataset(s)
+  all 3 estimate(s) bit-identical
+
+  $ gusdb replay --json journal.ndjson
+  {"ok":true,"op":"replay","registers":1,"skipped":0,"executions":3,"matched":3,"mismatches":[]}
+
+A single flipped digit in a journaled estimate is a reported mismatch
+and exit 1:
+
+  $ sed '2s/"estimate":1/"estimate":2/' journal.ndjson > tampered.ndjson
+  $ gusdb replay tampered.ndjson
+  replayed 3 execution(s) over 1 registered dataset(s)
+  MISMATCH line 2 [estimate]: journaled 29508097.968093183, replayed 19508097.968093183  (SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT))
+  [1]
+
+A line that does not parse is a corrupted-journal diagnostic, also
+exit 1:
+
+  $ sed '3s/.*/CORRUPT/' journal.ndjson > corrupt.ndjson
+  $ gusdb replay corrupt.ndjson
+  gusdb replay: corrupt.ndjson:3: corrupted journal line: byte 0: unexpected 'C'
+  [1]

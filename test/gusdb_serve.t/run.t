@@ -72,3 +72,58 @@ estimate the cache served above:
   "estimate":19508097.968093183
   $ sed -n 3p responses | grep -o '"estimate":[^,]*'
   "estimate":19508097.968093183
+
+The stats snapshot also reports uptime, pool lanes, per-verb request
+counters, latency quantiles, and (when a journal is attached) the
+flight-recorder occupancy; `{"format":"prometheus"}` returns the same
+registry as a Prometheus text exposition instead.  A fresh session keeps
+the counters deterministic:
+
+  $ cat > requests2 <<'EOF2'
+  > {"op":"register","name":"t","scale":0.05}
+  > {"op":"prepare","dataset":"t","name":"q","sql":"SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)"}
+  > {"op":"execute","handle":"q","seed":7}
+  > {"op":"stats"}
+  > {"op":"stats","format":"prometheus"}
+  > {"op":"stats","format":"csv"}
+  > not json
+  > {"op":"stats"}
+  > EOF2
+  $ gusdb serve --journal journal2.ndjson < requests2 > responses2
+
+Per-verb counters count every attempt (each stats request counts itself,
+the unknown format and the unparsable line included), and the journal
+object reports the flight recorder's occupancy:
+
+  $ grep -o '"requests":{[^}]*}' responses2
+  "requests":{"register":1,"prepare":1,"execute":1,"batch":0,"stats":1,"invalid":0}
+  "requests":{"register":1,"prepare":1,"execute":1,"batch":0,"stats":4,"invalid":1}
+  $ grep -o '"journal":{[^}]*}' responses2
+  "journal":{"length":2,"capacity":4096,"dropped":0}
+  "journal":{"length":2,"capacity":4096,"dropped":0}
+  $ grep -c '"uptime_s":' responses2
+  2
+  $ grep -c '"pool_lanes":' responses2
+  2
+  $ grep -c '"latency_us":{"p50":' responses2
+  2
+
+The Prometheus exposition carries the same registry in text form (the
+response body is one JSON string):
+
+  $ grep -o '"format":"prometheus"' responses2
+  "format":"prometheus"
+  $ grep -o 'gus_serve_requests_execute_total 1' responses2
+  gus_serve_requests_execute_total 1
+  $ grep -o 'gus_cache_misses_total [0-9][0-9]*' responses2
+  gus_cache_misses_total 1
+  $ grep -o 'gus_serve_latency_us_bucket{le=..+Inf..}' responses2
+  gus_serve_latency_us_bucket{le=\"+Inf\"}
+
+An unknown stats format is a structured error; the loop survives it and
+the unparsable line alike:
+
+  $ sed -n 6p responses2 | grep -o '"code":"[a-z_]*"'
+  "code":"bad_request"
+  $ sed -n 7p responses2 | grep -o '"code":"[a-z_]*"'
+  "code":"bad_json"

@@ -12,7 +12,14 @@
       for pool sizes 1, 2, 4 — instrumentation must never perturb the
       RNG stream or the reduction order.
    5. exec_profiled draws in the same order as exec: same seed, same
-      sample, plus well-formed per-node profiles. *)
+      sample, plus well-formed per-node profiles.
+   6. Histogram quantiles: linear interpolation pinned at bucket
+      boundaries, +inf overflow saturation, empty histogram.
+   7. Promexp: name mangling and the text exposition's counter / gauge /
+      histogram lines, plus the atomic file dump.
+   8. Journal: ring overwrite + dropped accounting, exact NDJSON lines
+      (shortest round-trip floats, symbolic non-finites), the SLO
+      breach predicate, and the rate limiter. *)
 
 module Splan = Gus_core.Splan
 module Rewrite = Gus_analysis.Rewrite
@@ -23,6 +30,8 @@ module Pool = Gus_util.Pool
 module Rng = Gus_util.Rng
 module Trace = Gus_obs.Trace
 module Metrics = Gus_obs.Metrics
+module Promexp = Gus_obs.Promexp
+module Journal = Gus_obs.Journal
 
 let check_bool = Alcotest.check Alcotest.bool
 let check_int = Alcotest.check Alcotest.int
@@ -247,6 +256,178 @@ let test_exec_profiled_matches_exec () =
         profs)
     [ 3; 11; 42 ]
 
+(* ---- 6. histogram quantiles ---- *)
+
+let check_float = Alcotest.check (Alcotest.float 1e-9)
+
+let test_quantiles () =
+  let h = Metrics.histogram ~buckets:[| 100.; 200.; 400. |] "test.quantile" in
+  Metrics.reset ();
+  check_bool "empty histogram is nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  Metrics.set_enabled true;
+  (* 50 in (0,100], 30 in (100,200], 15 in (200,400], 5 overflow *)
+  let observe n v = for _ = 1 to n do Metrics.observe h v done in
+  observe 50 50.;
+  observe 30 150.;
+  observe 15 300.;
+  observe 5 1000.;
+  Metrics.set_enabled false;
+  (* rank 50 exhausts the first bucket exactly: its upper bound *)
+  check_float "p50 at bucket boundary" 100. (Metrics.quantile h 0.5);
+  check_float "p80 at bucket boundary" 200. (Metrics.quantile h 0.8);
+  (* rank 90 is 10 of the 15 observations into (200, 400] *)
+  check_float "p90 interpolates" (200. +. (200. *. 10. /. 15.))
+    (Metrics.quantile h 0.9);
+  (* the +inf overflow bucket saturates at the largest finite bound *)
+  check_float "p99 saturates" 400. (Metrics.quantile h 0.99);
+  check_float "q=1 saturates" 400. (Metrics.quantile h 1.);
+  check_float "q clamped below" (Metrics.quantile h 0.) (Metrics.quantile h (-3.));
+  Metrics.reset ();
+  (* everything in overflow: the histogram can only answer its last bound *)
+  let o = Metrics.histogram ~buckets:[| 1. |] "test.quantile.overflow" in
+  Metrics.set_enabled true;
+  List.iter (Metrics.observe o) [ 5.; 6.; 7. ];
+  Metrics.set_enabled false;
+  check_float "overflow-only" 1. (Metrics.quantile o 0.5);
+  Metrics.reset ()
+
+(* ---- 7. Prometheus exposition ---- *)
+
+let test_promexp_render () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  let c = Metrics.counter "promtest.hits" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.set_gauge (Metrics.gauge "promtest.depth") 2.5;
+  let h = Metrics.histogram ~buckets:[| 1.; 2. |] "promtest.lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 9. ];
+  Metrics.set_enabled false;
+  check_string "mangle" "gus_cache_hits" (Promexp.mangle "cache.hits");
+  let lines = String.split_on_char '\n' (Promexp.render ()) in
+  let has l =
+    if not (List.mem l lines) then Alcotest.failf "exposition lacks %S" l
+  in
+  has "# TYPE gus_promtest_hits_total counter";
+  has "gus_promtest_hits_total 2";
+  has "# TYPE gus_promtest_depth gauge";
+  has "gus_promtest_depth 2.5";
+  has "# TYPE gus_promtest_lat histogram";
+  has "gus_promtest_lat_bucket{le=\"1\"} 1";
+  has "gus_promtest_lat_bucket{le=\"2\"} 2";
+  has "gus_promtest_lat_bucket{le=\"+Inf\"} 3";
+  has "gus_promtest_lat_sum 11";
+  has "gus_promtest_lat_count 3";
+  (* the dump is atomic: the temp file never survives, the target holds
+     exactly one render *)
+  let path = Filename.temp_file "gus_prom" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Promexp.write_file path;
+      check_bool "tmp renamed away" false (Sys.file_exists (path ^ ".tmp"));
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let body = really_input_string ic n in
+      close_in ic;
+      check_string "file holds the exposition" (Promexp.render ()) body);
+  Metrics.reset ()
+
+(* ---- 8. Journal ring, NDJSON, SLOs, limiter ---- *)
+
+let mk_exec ?(estimate = 2.) ?(variance = Float.nan) ?(stddev = 0.)
+    ?(rel_ci = 0.) id seed =
+  Journal.Exec
+    { Journal.id;
+      dataset = "d";
+      version = 1;
+      sql = "SELECT 1";
+      sql_hash = Journal.sql_hash "SELECT 1";
+      seed;
+      rates = [ ("lineitem", 0.1) ];
+      explain = false;
+      exact = false;
+      cached = false;
+      estimate;
+      variance;
+      stddev;
+      rel_ci;
+      top = Some { Journal.path = [ 0; 1 ]; label = "Bernoulli(0.1)"; share = 0.75 };
+      wall_ns = 1234;
+      breach = false }
+
+let test_journal_ring () =
+  let j = Journal.create ~capacity:3 () in
+  check_int "capacity" 3 (Journal.capacity j);
+  for i = 0 to 4 do
+    let id = Journal.next_id j in
+    check_int "ids count up" i id;
+    Journal.record j (mk_exec id i)
+  done;
+  check_int "length bounded" 3 (Journal.length j);
+  check_int "overwrites counted" 2 (Journal.dropped j);
+  let ids =
+    List.map
+      (function Journal.Exec e -> e.Journal.id | Journal.Register r -> r.id)
+      (Journal.events j)
+  in
+  Alcotest.(check (list int)) "oldest first, oldest gone" [ 2; 3; 4 ] ids
+
+let test_journal_ndjson () =
+  (* FNV-1a 64-bit offset basis: the hash of the empty string *)
+  check_string "fnv-1a empty" "cbf29ce484222325"
+    (Journal.hash_hex (Journal.sql_hash ""));
+  check_string "register line"
+    {|{"ev":"register","id":0,"dataset":"t","version":1,"source":{"source":"tpch","scale":0.05,"seed":1}}|}
+    (Journal.to_ndjson
+       (Journal.Register
+          { id = 0;
+            dataset = "t";
+            version = 1;
+            source = {|{"source":"tpch","scale":0.05,"seed":1}|} }));
+  (* exact exec line: integral floats print bare, non-finites print as
+     symbolic strings, the hash as 16 hex digits *)
+  check_string "exec line"
+    (Printf.sprintf
+       {|{"ev":"exec","id":1,"dataset":"d","version":1,"sql":"SELECT 1","sql_hash":"%s","seed":7,"rates":{"lineitem":0.1},"explain":false,"exact":false,"cached":false,"estimate":2,"variance":"nan","stddev":0,"rel_ci":0,"top":{"path":[0,1],"node":"Bernoulli(0.1)","share":0.75},"wall_ns":1234,"breach":false}|}
+       (Journal.hash_hex (Journal.sql_hash "SELECT 1")))
+    (Journal.to_ndjson (mk_exec 1 7))
+
+let test_slo_predicate () =
+  check_float "rel ci half-width" 0.196
+    (Journal.rel_ci_half_width ~estimate:100. ~stddev:10.);
+  check_float "negative estimate uses magnitude" 0.196
+    (Journal.rel_ci_half_width ~estimate:(-100.) ~stddev:10.);
+  check_float "exact answer has zero width" 0.
+    (Journal.rel_ci_half_width ~estimate:0. ~stddev:0.);
+  check_bool "zero estimate with spread is inf" true
+    (Journal.rel_ci_half_width ~estimate:0. ~stddev:1. = Float.infinity);
+  let slo = { Journal.max_rel_ci = Some 0.05; max_latency_ms = Some 1. } in
+  check_bool "ci breach" true (Journal.breach slo ~rel_ci:0.06 ~wall_ns:0);
+  check_bool "latency breach" true
+    (Journal.breach slo ~rel_ci:0.01 ~wall_ns:2_000_000);
+  check_bool "at threshold is fine" false
+    (Journal.breach slo ~rel_ci:0.05 ~wall_ns:1_000_000);
+  check_bool "nan rel_ci never breaches" false
+    (Journal.breach slo ~rel_ci:Float.nan ~wall_ns:0);
+  check_bool "no_slo never breaches" false
+    (Journal.breach Journal.no_slo ~rel_ci:Float.infinity ~wall_ns:max_int)
+
+let test_limiter () =
+  let l = Journal.limiter ~interval_ns:1_000 () in
+  check_bool "first permit fires" true (Journal.permit l ~now_ns:0 = Some 0);
+  check_bool "inside interval suppressed" true
+    (Journal.permit l ~now_ns:400 = None);
+  check_bool "still suppressed" true (Journal.permit l ~now_ns:999 = None);
+  check_bool "reopens with suppressed count" true
+    (Journal.permit l ~now_ns:1_000 = Some 2);
+  check_bool "closes again" true (Journal.permit l ~now_ns:1_001 = None);
+  (* default limiter must fire on its very first call even with a huge
+     monotonic clock value (no first-permit overflow) *)
+  let d = Journal.limiter () in
+  check_bool "default first permit" true
+    (Journal.permit d ~now_ns:(1 lsl 60) = Some 0)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest [ prop_traced_equals_untraced ]
 
@@ -262,7 +443,15 @@ let () =
         [ Alcotest.test_case "histogram bucket boundaries" `Quick
             test_histogram_buckets;
           Alcotest.test_case "disabled updates dropped" `Quick
-            test_disabled_updates_are_dropped ] );
+            test_disabled_updates_are_dropped;
+          Alcotest.test_case "quantiles" `Quick test_quantiles ] );
+      ( "promexp",
+        [ Alcotest.test_case "text exposition" `Quick test_promexp_render ] );
+      ( "journal",
+        [ Alcotest.test_case "ring overwrite" `Quick test_journal_ring;
+          Alcotest.test_case "ndjson lines" `Quick test_journal_ndjson;
+          Alcotest.test_case "slo predicate" `Quick test_slo_predicate;
+          Alcotest.test_case "rate limiter" `Quick test_limiter ] );
       ("identity", qcheck_tests);
       ( "profiling",
         [ Alcotest.test_case "exec_profiled = exec" `Quick

@@ -15,7 +15,12 @@
       (sql, params, seed) are bit-identical, and batch fan-out returns
       identical results in identical order for pool sizes {1, 2, 4}.
    7. Protocol: NDJSON units for register/prepare/execute/stats and the
-      structured error objects. *)
+      structured error objects.
+   8. Telemetry: sampling-rate provenance for journal events, SLO breach
+      marking (journal flag, counters, rate-limited callback), and the
+      replay QCheck property — a journal of random executions (random
+      seeds/rates/explain, row and columnar storage) replays with every
+      estimate/stddev/variance bit-identical. *)
 
 module Json = Gus_service.Json
 module Cache = Gus_service.Cache
@@ -24,6 +29,8 @@ module Prepared = Gus_service.Prepared
 module Engine = Gus_service.Engine
 module Scheduler = Gus_service.Scheduler
 module Protocol = Gus_service.Protocol
+module Replay = Gus_service.Replay
+module Journal = Gus_obs.Journal
 module Runner = Gus_sql.Runner
 module Metrics = Gus_obs.Metrics
 module Pool = Gus_util.Pool
@@ -412,6 +419,186 @@ let test_cached_uncached_property () =
          ok_cache
          && List.for_all (fun s -> batch_sigs s = ref_batch) [ 2; 4 ])
 
+(* ---- 8. Telemetry: journal, SLOs, bit-identical replay ---- *)
+
+(* A row-storage twin of the shared columnar db: replay determinism must
+   not depend on which storage backs the relations. *)
+let db_rows =
+  lazy
+    (let d = Gus_relational.Database.create () in
+     List.iter
+       (fun n ->
+         Gus_relational.Database.add d
+           (Gus_relational.Relation.to_rows (Gus_relational.Database.find db n)))
+       (Gus_relational.Database.names db);
+     d)
+
+let test_sampling_rates () =
+  let e = fresh_engine () in
+  let _, p = Engine.prepare e ~dataset sql_join in
+  let card rel =
+    Gus_relational.Relation.cardinality (Gus_relational.Database.find db rel)
+  in
+  let rates = Prepared.sampling_rates ~card (Prepared.handle p).Runner.pr_plan in
+  Alcotest.(check (list string)) "sampled relations, sorted"
+    [ "lineitem"; "orders" ] (List.map fst rates);
+  Alcotest.(check (float 1e-12)) "bernoulli keep probability" 0.1
+    (List.assoc "lineitem" rates);
+  Alcotest.(check (float 1e-12)) "wor size over cardinality"
+    (200. /. float_of_int (card "orders"))
+    (List.assoc "orders" rates)
+
+let test_slo_breach_marking () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+  @@ fun () ->
+  let journal = Journal.create ~capacity:8 () in
+  let logged = ref [] in
+  (* an impossibly tight CI target: every sampled execution breaches *)
+  let slo = { Journal.max_rel_ci = Some 1e-12; max_latency_ms = None } in
+  let e =
+    Engine.create ~journal ~slo ~on_breach:(fun m -> logged := m :: !logged) ()
+  in
+  ignore
+    (Engine.register_db e ~name:dataset ~source:(Catalog.In_memory "test") db);
+  let handle, _ = Engine.prepare e ~dataset sql_single in
+  ignore (Engine.execute e ~handle Prepared.default_overrides);
+  ignore (Engine.execute e ~handle Prepared.default_overrides);
+  let execs =
+    List.filter_map
+      (function Journal.Exec x -> Some x | Journal.Register _ -> None)
+      (Journal.events journal)
+  in
+  check_int "both executions journaled" 2 (List.length execs);
+  List.iter
+    (fun (x : Journal.exec) ->
+      check_bool "marked as breach" true x.Journal.breach;
+      check_bool "rel_ci recorded" true (x.Journal.rel_ci > 0.))
+    execs;
+  (match execs with
+  | [ cold; hit ] ->
+      check_bool "first cold" false cold.Journal.cached;
+      check_bool "second cached, still journaled" true hit.Journal.cached;
+      check_bool "top variance node present" true (cold.Journal.top <> None)
+  | _ -> Alcotest.fail "expected two exec events");
+  check_int "breach counter" 2
+    (Metrics.counter_value (Metrics.counter "slo.breaches"));
+  check_int "ci breach counter" 2
+    (Metrics.counter_value (Metrics.counter "slo.breaches.rel_ci"));
+  check_int "no latency breaches" 0
+    (Metrics.counter_value (Metrics.counter "slo.breaches.latency"));
+  (* the 1/s limiter lets the first burst through exactly once *)
+  check_int "rate-limited log" 1 (List.length !logged)
+
+let test_replay_bit_identical () =
+  QCheck.Test.check_exn
+  @@ QCheck.Test.make
+       ~name:"journal replay is bit-identical (row + columnar)" ~count:6
+       QCheck.(triple (int_bound 1000) (int_bound 2) bool)
+       (fun (seed, rate_case, row_storage) ->
+         let data = if row_storage then Lazy.force db_rows else db in
+         let rates =
+           match rate_case with
+           | 0 -> []
+           | 1 -> [ ("lineitem", 0.25) ]
+           | _ -> [ ("lineitem", 0.15); ("orders", 0.4) ]
+         in
+         let journal = Journal.create ~capacity:64 () in
+         let e = Engine.create ~journal () in
+         ignore
+           (Engine.register_db e ~name:dataset
+              ~source:(Catalog.In_memory "test") data);
+         let handle, _ = Engine.prepare e ~dataset sql_join in
+         (* three plain executions (the third a cache hit) plus one down
+            the profiled explain path *)
+         List.iter
+           (fun s ->
+             ignore
+               (Engine.execute e ~handle
+                  { Prepared.default_overrides with seed = s; rates }))
+           [ seed; seed + 1; seed ];
+         ignore
+           (Engine.execute e ~handle
+              { Prepared.default_overrides with seed; rates; explain = true });
+         let ndjson =
+           String.concat "\n"
+             (List.map Journal.to_ndjson (Journal.events journal))
+         in
+         (* a fresh engine with the same in-memory dataset pre-registered:
+            the register event is skipped, every exec must match bit for
+            bit *)
+         let e2 = Engine.create () in
+         ignore
+           (Engine.register_db e2 ~name:dataset
+              ~source:(Catalog.In_memory "test") data);
+         let r = Replay.run_string ~engine:e2 ndjson in
+         r.Replay.rp_skipped = 1
+         && r.Replay.rp_registers = 0
+         && r.Replay.rp_executions = 4
+         && r.Replay.rp_matched = 4
+         && r.Replay.rp_mismatches = [])
+
+(* Replace the first occurrence of [sub] in [s] (test helper; asserts
+   the needle is present). *)
+let replace_once ~sub ~by s =
+  let n = String.length sub in
+  let rec find i =
+    if i + n > String.length s then
+      Alcotest.failf "substring %S not found" sub
+    else if String.sub s i n = sub then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+
+let test_replay_detects_drift () =
+  (* Flip one mantissa bit in a journaled estimate: replay must report
+     exactly that field on exactly that line. *)
+  let journal = Journal.create () in
+  let journal_engine = Engine.create ~journal () in
+  ignore
+    (Engine.register_db journal_engine ~name:dataset
+       ~source:(Catalog.In_memory "test") db);
+  let handle, _ = Engine.prepare journal_engine ~dataset sql_single in
+  ignore (Engine.execute journal_engine ~handle Prepared.default_overrides);
+  let tampered =
+    List.map
+      (fun l ->
+        let j = Json.of_string l in
+        match Json.member "ev" j with
+        | Some (Json.Str "exec") ->
+            let est =
+              Option.get (Option.bind (Json.member "estimate" j) Json.to_num)
+            in
+            let bumped =
+              Int64.float_of_bits (Int64.add (Int64.bits_of_float est) 1L)
+            in
+            replace_once
+              ~sub:(Printf.sprintf "\"estimate\":%s" (Json.number_to_string est))
+              ~by:(Printf.sprintf "\"estimate\":%s" (Json.number_to_string bumped))
+              l
+        | _ -> l)
+      (List.map Journal.to_ndjson (Journal.events journal))
+  in
+  let e2 = fresh_engine () in
+  let r = Replay.run_string ~engine:e2 (String.concat "\n" tampered) in
+  check_int "one execution" 1 r.Replay.rp_executions;
+  check_int "none matched" 0 r.Replay.rp_matched;
+  (match r.Replay.rp_mismatches with
+  | [ m ] ->
+      check_string "field" "estimate" m.Replay.mm_field;
+      check_int "line" 2 m.Replay.mm_line
+  | ms -> Alcotest.failf "expected 1 mismatch, got %d" (List.length ms));
+  (* corrupted lines raise with a 1-based line number *)
+  match Replay.run_string ~engine:(fresh_engine ()) "{\"ev\":\"exec\"}\nnot json" with
+  | exception Replay.Corrupt { line = 1; _ } -> ()
+  | exception Replay.Corrupt { line; _ } ->
+      Alcotest.failf "wrong corrupt line %d" line
+  | _ -> Alcotest.fail "tamper-proof journal accepted garbage"
+
 (* ---- 7. Protocol ---- *)
 
 let test_protocol_roundtrip () =
@@ -510,4 +697,13 @@ let () =
             test_execute_never_relints ] );
       ( "protocol",
         [ Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
-          Alcotest.test_case "errors" `Quick test_protocol_errors ] ) ]
+          Alcotest.test_case "errors" `Quick test_protocol_errors ] );
+      ( "telemetry",
+        [ Alcotest.test_case "sampling-rate provenance" `Quick
+            test_sampling_rates;
+          Alcotest.test_case "slo breach marking" `Quick
+            test_slo_breach_marking;
+          Alcotest.test_case "replay detects drift" `Quick
+            test_replay_detects_drift;
+          Alcotest.test_case "replay bit-identical (row + columnar)" `Slow
+            test_replay_bit_identical ] ) ]
