@@ -23,6 +23,7 @@ module Sbox = Gus_estimator.Sbox
 module Pool = Gus_util.Pool
 module Exp = Gus_experiments
 module Service = Gus_service
+module Json = Gus_service.Json
 
 (* Numbers recorded on main before each optimization landed, same machine,
    measured inside a full --micro pass so the GC context matches fresh runs
@@ -191,6 +192,19 @@ let micro_specs ~quota () =
   in
   let warm_handle = Service.Prepared.prepare serve_cat ~dataset:"bench" serve_sql in
   let ov = Service.Prepared.default_overrides in
+  (* Session-layer twin of the cache-hit row: the same request, but as an
+     NDJSON line through Session.handle (parse + dispatch + render). *)
+  let bench_session = Service.Session.create engine in
+  (match
+     Service.Session.handle bench_session
+       (Printf.sprintf
+          "{\"op\":\"prepare\",\"dataset\":\"bench\",\"sql\":%s,\"name\":\"sq\"}"
+          (Json.to_string (Json.Str serve_sql)))
+   with
+  | Some r when Json.member "ok" (Json.of_string r) = Some (Json.Bool true) ->
+      ()
+  | r -> failwith ("bench: session prepare failed: " ^ Option.value r ~default:"<none>"));
+  let session_exec_line = "{\"op\":\"execute\",\"handle\":\"sq\",\"seed\":0}" in
   (* TPC-H scale sweep: generation, base-scan aggregate.  lineitem at
      SF 0.1 is the base relation every honest downstream number rests on. *)
   let lineitem01 =
@@ -415,6 +429,16 @@ let micro_specs ~quota () =
       quota_floor = fit_quota_floor;
       warmup = fit_warmup;
       body = (fun () -> ignore (Service.Engine.execute engine ~handle:"q" ov)) };
+    (* The same cache-hit request through the full session layer — NDJSON
+       parse, dispatch, handle resolution, response render.  Read against
+       service/cache-hit-q1 for the wire + session tax; CI's 5% gate on
+       service/prepared-q1 holds the refactor itself to (near) zero. *)
+    { name = "service/session-q1";
+      quota_floor = fit_quota_floor;
+      warmup = fit_warmup;
+      body =
+        (fun () ->
+          ignore (Service.Session.handle bench_session session_exec_line)) };
     (* Cache-hit row with the flight recorder live: read against
        service/cache-hit-q1 for the journal's marginal per-request cost
        (provenance + top-node attribution + ring write).  The cost of the

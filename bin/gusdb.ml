@@ -8,10 +8,14 @@
                   estimate with confidence intervals, next to ground truth
      plan         show a query's sampling plan, its SOA rewrite trace and
                   the resulting top GUS operator
-     serve        long-lived NDJSON serving loop over stdin/stdout
+     serve        long-lived NDJSON serving loop — one session over
+                  stdin/stdout or many concurrent sessions over --tcp
                   (register / prepare / execute / batch / stats), with
                   optional --journal flight recording, --slo-* accuracy
-                  thresholds and --prom-out Prometheus exposition
+                  thresholds, --prom-out Prometheus exposition and
+                  Section-8 load shedding under overload
+     loadgen      closed-loop load generator for serve --tcp: p50/p99
+                  latency, achieved qps and shed fraction
      replay       re-execute a serve journal and assert bit-identical
                   estimates
      experiments  run the paper-reproduction experiments
@@ -379,7 +383,8 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc)
   in
   let run cache_capacity journal_path journal_capacity slo_rel_ci slo_p99_ms
-      prom_out pool_size trace_out metrics_out =
+      prom_out tcp host port port_file max_inflight session_inflight
+      shed_start force_shed pool_size trace_out metrics_out =
     C.or_fail @@ fun () ->
     C.apply_pool_size pool_size;
     C.with_obs ~trace_out ~metrics_out @@ fun () ->
@@ -405,6 +410,18 @@ let serve_cmd =
       Gus_service.Engine.create ~cache_capacity
         ~pool:(Gus_util.Pool.default ()) ?journal ~slo ?on_breach ()
     in
+    (* Admission control is opt-in on stdio — a plain `gusdb serve`
+       session must answer deterministically (the CI replay gate
+       byte-compares two runs), and shed decisions depend on wall-clock
+       load.  TCP mode always has the in-flight cap; shedding still
+       needs --shed-start, --slo-p99-ms pressure, or --force-shed. *)
+    let admission =
+      if tcp || shed_start <> None || force_shed <> None then
+        Some
+          (Gus_service.Admission.create ~max_inflight ~session_inflight
+             ?shed_start ?slo_p99_ms ?fixed_overload:force_shed ())
+      else None
+    in
     let after =
       match prom_out with
       | None -> fun () -> ()
@@ -417,23 +434,280 @@ let serve_cmd =
               Gus_obs.Promexp.write_file path
             end
     in
-    Gus_service.Protocol.serve ~after engine stdin stdout;
+    if tcp then begin
+      let server =
+        Gus_service.Server.start ~host ~port ?admission ~after engine
+      in
+      let bound = Gus_service.Server.port server in
+      (match port_file with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Printf.fprintf oc "%d\n" bound;
+          close_out oc);
+      Printf.printf "listening on %s:%d\n%!" host bound;
+      Gus_service.Server.wait server
+    end
+    else
+      Gus_service.Session.run ~after
+        (Gus_service.Session.create ?admission engine)
+        stdin stdout;
     Option.iter Gus_obs.Promexp.write_file prom_out;
     Option.iter close_out sink
   in
+  let tcp_arg =
+    let doc = "Serve many concurrent NDJSON sessions over TCP instead of \
+               one over stdin/stdout.  Each connection gets its own \
+               prepared-handle namespace; all sessions share the \
+               catalog, cache and journal." in
+    Arg.(value & flag & info [ "tcp" ] ~doc)
+  in
+  let host_arg =
+    let doc = "Bind address for $(b,--tcp)." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let port_arg =
+    let doc = "TCP port for $(b,--tcp); 0 picks an ephemeral port \
+               (printed on stdout, and written to $(b,--port-file))." in
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let port_file_arg =
+    let doc = "Write the bound TCP port to $(docv) once listening — \
+               scripts wait on the file instead of parsing stdout." in
+    Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "Hard cap on requests in flight across all sessions; \
+               beyond it requests are rejected with the \
+               $(b,overloaded) error." in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let session_inflight_arg =
+    let doc = "Per-connection in-flight bound (the reader stops \
+               consuming the socket beyond it, so backpressure reaches \
+               the client through TCP)." in
+    Arg.(value & opt int 8 & info [ "session-inflight" ] ~docv:"N" ~doc)
+  in
+  let shed_start_arg =
+    let doc = "In-flight depth at which load shedding starts: past it, \
+               execute requests are answered from degraded sampling \
+               rates chosen by the paper's Section-8 rate selection \
+               (minimum variance under the reduced budget) instead of \
+               queueing.  Responses gain $(b,shed:true) and an \
+               honestly wider CI." in
+    Arg.(value & opt (some int) None & info [ "shed-start" ] ~docv:"N" ~doc)
+  in
+  let force_shed_arg =
+    let doc = "Pin the overload factor to $(docv) (> 1 sheds every \
+               execute) — deterministic shedding for tests and demos." in
+    Arg.(value & opt (some float) None
+         & info [ "force-shed" ] ~docv:"FACTOR" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve prepared queries over a line-oriented NDJSON protocol on \
-             stdin/stdout: register datasets, prepare once, execute many \
-             times with per-call seeds and sampling rates, batch across \
-             the domain pool, inspect cache/catalog stats.  With \
-             $(b,--journal) every execution is flight-recorded with its \
-             estimate, variance, relative CI half-width and top \
-             variance-share node; $(b,--slo-rel-ci)/$(b,--slo-p99-ms) mark \
-             breaches; $(b,--prom-out) exports Prometheus text format.")
+       ~doc:"Serve prepared queries over a line-oriented NDJSON protocol — \
+             one session on stdin/stdout, or many concurrent sessions over \
+             TCP with $(b,--tcp): register datasets, prepare once per \
+             session, execute many times with per-call seeds and sampling \
+             rates, batch across the domain pool, inspect cache/catalog \
+             stats.  Under overload ($(b,--shed-start), $(b,--slo-p99-ms)) \
+             the admission controller shed-samples instead of queueing, \
+             using the paper's Section-8 rate selection.  With \
+             $(b,--journal) every execution (shed ones included) is \
+             flight-recorded bit-reproducibly; $(b,--prom-out) exports \
+             Prometheus text format.")
     Term.(const run $ cache_capacity_arg $ journal_arg $ journal_capacity_arg
-          $ slo_rel_ci_arg $ slo_p99_ms_arg $ prom_out_arg $ C.pool_size_arg
-          $ C.trace_out_arg $ C.metrics_out_arg)
+          $ slo_rel_ci_arg $ slo_p99_ms_arg $ prom_out_arg $ tcp_arg
+          $ host_arg $ port_arg $ port_file_arg $ max_inflight_arg
+          $ session_inflight_arg $ shed_start_arg $ force_shed_arg
+          $ C.pool_size_arg $ C.trace_out_arg $ C.metrics_out_arg)
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let clients_arg =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let qps_arg =
+    let doc = "Aggregate target request rate (closed loop: clients never \
+               pipeline, so offered load saturates at server speed)." in
+    Arg.(value & opt float 200.0 & info [ "qps" ] ~docv:"M" ~doc)
+  in
+  let duration_arg =
+    let doc = "Run length in seconds." in
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let connect_arg =
+    let doc = "Drive an already-running `gusdb serve --tcp` at \
+               $(docv) (HOST:PORT) instead of spawning an in-process \
+               server." in
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let sql_arg =
+    let doc = "Query each client prepares and executes." in
+    Arg.(value
+         & opt string
+             "SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 \
+              PERCENT)"
+         & info [ "sql" ] ~docv:"SQL" ~doc)
+  in
+  let loadgen_scale_arg =
+    let doc = "Scale of the TPC-H-style dataset the in-process server \
+               registers." in
+    Arg.(value & opt float 0.01 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "In-process server: hard in-flight cap." in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let session_inflight_arg =
+    let doc = "In-process server: per-connection in-flight bound." in
+    Arg.(value & opt int 8 & info [ "session-inflight" ] ~docv:"N" ~doc)
+  in
+  let shed_start_arg =
+    let doc = "In-process server: in-flight depth where shedding starts." in
+    Arg.(value & opt (some int) None & info [ "shed-start" ] ~docv:"N" ~doc)
+  in
+  let slo_p99_ms_arg =
+    let doc = "In-process server: p99 latency target driving \
+               latency-based shedding; also the SLO the summary is \
+               judged against." in
+    Arg.(value & opt (some float) None & info [ "slo-p99-ms" ] ~docv:"MS" ~doc)
+  in
+  let force_shed_arg =
+    let doc = "In-process server: pin the overload factor (deterministic \
+               shedding)." in
+    Arg.(value & opt (some float) None
+         & info [ "force-shed" ] ~docv:"FACTOR" ~doc)
+  in
+  let bench_out_arg =
+    let doc = "Merge a $(b,service/loadgen-*) row (p50/p99 latency, \
+               achieved qps, shed fraction) into the \
+               BENCH_moments.json-format file at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "bench-out" ] ~docv:"FILE" ~doc)
+  in
+  let run clients qps duration connect sql scale max_inflight session_inflight
+      shed_start slo_p99_ms force_shed bench_out json =
+    C.or_fail ~json @@ fun () ->
+    let module Service = Gus_service in
+    let host, port, server =
+      match connect with
+      | Some spec -> (
+          match String.rindex_opt spec ':' with
+          | Some i ->
+              let host = String.sub spec 0 i in
+              let port =
+                int_of_string (String.sub spec (i + 1) (String.length spec - i - 1))
+              in
+              (host, port, None)
+          | None ->
+              raise
+                (Invalid_argument
+                   (Printf.sprintf "--connect %S: expected HOST:PORT" spec)))
+      | None ->
+          Gus_obs.Metrics.set_enabled true;
+          let engine =
+            Service.Engine.create ~cache_capacity:256
+              ~pool:(Gus_util.Pool.default ()) ()
+          in
+          let admission =
+            Service.Admission.create ~max_inflight ~session_inflight
+              ?shed_start ?slo_p99_ms ?fixed_overload:force_shed ()
+          in
+          let server = Service.Server.start ~port:0 ~admission engine in
+          ("127.0.0.1", Service.Server.port server, Some server)
+    in
+    let line j = Json.to_string (Json.Obj j) in
+    let setup =
+      [ line
+          [ ("op", Json.Str "register");
+            ("name", Json.Str "bench");
+            ("scale", Json.Num scale) ] ]
+    in
+    let client_setup =
+      [ line
+          [ ("op", Json.Str "prepare");
+            ("dataset", Json.Str "bench");
+            ("sql", Json.Str sql);
+            ("name", Json.Str "lq") ] ]
+    in
+    (* Distinct seeds per request: identical seeds would answer from the
+       response cache and generate no load at all. *)
+    let request ~client ~seq =
+      line
+        [ ("op", Json.Str "execute");
+          ("handle", Json.Str "lq");
+          ("seed", Json.Num (float_of_int (1 + client + (clients * seq)))) ]
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Service.Server.stop server)
+        (fun () ->
+          Service.Loadgen.run ~host ~port ~clients ~qps ~duration_s:duration
+            ~setup ~client_setup ~request ())
+    in
+    match result with
+    | Error msg -> failwith msg
+    | Ok s ->
+        let open Service.Loadgen in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.obj
+                  [ ("ok", Some (Json.Bool (s.errors = 0)));
+                    ("op", Some (Json.Str "loadgen"));
+                    ("clients", Some (Json.Num (float_of_int s.clients)));
+                    ("target_qps", Some (Json.Num s.target_qps));
+                    ("duration_s", Some (Json.Num s.duration_s));
+                    ("sent", Some (Json.Num (float_of_int s.sent)));
+                    ("ok_responses", Some (Json.Num (float_of_int s.ok)));
+                    ("errors", Some (Json.Num (float_of_int s.errors)));
+                    ("shed", Some (Json.Num (float_of_int s.shed)));
+                    ("rejected", Some (Json.Num (float_of_int s.rejected)));
+                    ("p50_ms", Some (Json.Num s.p50_ms));
+                    ("p99_ms", Some (Json.Num s.p99_ms));
+                    ("achieved_qps", Some (Json.Num s.achieved_qps));
+                    ("shed_fraction", Some (Json.Num s.shed_fraction)) ]))
+        else begin
+          Printf.printf
+            "loadgen: %d client(s), target %g req/s for %g s against %s:%d\n"
+            s.clients s.target_qps s.duration_s host port;
+          Printf.printf
+            "sent %d  ok %d  shed %d (%.1f%%)  rejected %d  errors %d\n"
+            s.sent s.ok s.shed (100.0 *. s.shed_fraction) s.rejected s.errors;
+          Printf.printf
+            "latency p50 %.2f ms  p99 %.2f ms  achieved %.1f req/s\n"
+            s.p50_ms s.p99_ms s.achieved_qps;
+          match slo_p99_ms with
+          | Some slo when s.p99_ms > slo ->
+              Printf.printf "p99 SLO (%g ms) MISSED\n" slo
+          | Some slo -> Printf.printf "p99 SLO (%g ms) met\n" slo
+          | None -> ()
+        end;
+        (match bench_out with
+        | None -> ()
+        | Some path ->
+            let name =
+              Printf.sprintf "service/loadgen-%dx%g" s.clients s.target_qps
+            in
+            merge_bench_row ~path ~name s);
+        if s.errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Closed-loop load generator for `gusdb serve --tcp`: N client \
+             connections pace toward an aggregate request rate, each with \
+             its own session-scoped prepared handle, and report p50/p99 \
+             latency, achieved throughput and the shed fraction.  Spawns \
+             an in-process server (with admission-control flags) unless \
+             $(b,--connect) points at a running one.  Exits non-zero on \
+             any protocol error.")
+    Term.(const run $ clients_arg $ qps_arg $ duration_arg $ connect_arg
+          $ sql_arg $ loadgen_scale_arg $ max_inflight_arg
+          $ session_inflight_arg $ shed_start_arg $ slo_p99_ms_arg
+          $ force_shed_arg $ bench_out_arg $ C.json_arg)
 
 (* ---- replay ---- *)
 
@@ -479,20 +753,24 @@ let replay_cmd =
           print_endline
             (Json.to_string
                (Json.Obj
-                  [ ("ok", Json.Bool (report.Replay.rp_mismatches = []));
-                    ("op", Json.Str "replay");
-                    ( "registers",
-                      Json.Num (float_of_int report.Replay.rp_registers) );
-                    ( "skipped",
-                      Json.Num (float_of_int report.Replay.rp_skipped) );
-                    ( "executions",
-                      Json.Num (float_of_int report.Replay.rp_executions) );
-                    ( "matched",
-                      Json.Num (float_of_int report.Replay.rp_matched) );
-                    ( "mismatches",
-                      Json.List
-                        (List.map mismatch_json report.Replay.rp_mismatches) )
-                  ]))
+                  ([ ("ok", Json.Bool (report.Replay.rp_mismatches = []));
+                     ("op", Json.Str "replay");
+                     ( "registers",
+                       Json.Num (float_of_int report.Replay.rp_registers) );
+                     ( "skipped",
+                       Json.Num (float_of_int report.Replay.rp_skipped) );
+                     ( "executions",
+                       Json.Num (float_of_int report.Replay.rp_executions) );
+                     ( "matched",
+                       Json.Num (float_of_int report.Replay.rp_matched) ) ]
+                  @ (if report.Replay.rp_sheds > 0 then
+                       [ ( "sheds",
+                           Json.Num (float_of_int report.Replay.rp_sheds) ) ]
+                     else [])
+                  @ [ ( "mismatches",
+                        Json.List
+                          (List.map mismatch_json report.Replay.rp_mismatches)
+                      ) ])))
         else begin
           Printf.printf
             "replayed %d execution(s) over %d registered dataset(s)%s\n"
@@ -501,6 +779,10 @@ let replay_cmd =
                Printf.sprintf " (%d register event(s) skipped)"
                  report.Replay.rp_skipped
              else "");
+          if report.Replay.rp_sheds > 0 then
+            Printf.printf "%d shed decision(s) noted (degraded rates \
+                           replayed via their exec events)\n"
+              report.Replay.rp_sheds;
           if report.Replay.rp_mismatches = [] then
             Printf.printf "all %d estimate(s) bit-identical\n"
               report.Replay.rp_matched
@@ -657,5 +939,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; snapshot_cmd; query_cmd; plan_cmd; lint_cmd;
-            lint_workload_cmd; serve_cmd; replay_cmd; repl_cmd;
+            lint_workload_cmd; serve_cmd; loadgen_cmd; replay_cmd; repl_cmd;
             experiments_cmd ]))

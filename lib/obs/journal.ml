@@ -34,9 +34,18 @@ type exec = {
   breach : bool;
 }
 
+type shed = {
+  shed_id : int;
+  shed_dataset : string;
+  shed_sql_hash : int64;
+  shed_overload : float;
+  shed_rates : (string * float) list;
+}
+
 type event =
   | Register of { id : int; dataset : string; version : int; source : string }
   | Exec of exec
+  | Shed of shed
 
 type t = {
   capacity : int;
@@ -148,7 +157,18 @@ let to_ndjson ev =
           Buffer.add_string buf (Obsfmt.float_json share);
           Buffer.add_char buf '}');
       Buffer.add_string buf
-        (Printf.sprintf ",\"wall_ns\":%d,\"breach\":%b}" e.wall_ns e.breach));
+        (Printf.sprintf ",\"wall_ns\":%d,\"breach\":%b}" e.wall_ns e.breach)
+  | Shed s ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"ev\":\"shed\",\"id\":%d,\"dataset\":" s.shed_id);
+      Obsfmt.add_json_string buf s.shed_dataset;
+      Buffer.add_string buf ",\"sql_hash\":";
+      Obsfmt.add_json_string buf (hash_hex s.shed_sql_hash);
+      Buffer.add_string buf ",\"overload\":";
+      Buffer.add_string buf (Obsfmt.float_json s.shed_overload);
+      Buffer.add_string buf ",\"rates\":";
+      add_rates buf s.shed_rates;
+      Buffer.add_char buf '}');
   Buffer.contents buf
 
 let record t ev =

@@ -41,12 +41,26 @@ type exec = {
   breach : bool;
 }
 
+type shed = {
+  shed_id : int;
+  shed_dataset : string;
+  shed_sql_hash : int64;
+  shed_overload : float;  (** overload factor that triggered shedding, > 1 *)
+  shed_rates : (string * float) list;
+      (** degraded per-relation rates the admission controller selected *)
+}
+(** An admission-control shed decision (paper Section 8 rate selection).
+    Advisory provenance: the degraded rates {e also} ride in the
+    following [Exec] event's [rates] field, which is what replay feeds
+    back — replay skips [Shed] events (counted, never compared). *)
+
 type event =
   | Register of { id : int; dataset : string; version : int; source : string }
       (** [source] is the original register request's source spec as
           JSON text, embedded verbatim in the NDJSON line — what replay
           needs to rebuild the dataset. *)
   | Exec of exec
+  | Shed of shed
 
 type t
 

@@ -108,7 +108,7 @@ let window_db db rels ~windows ~w =
 let gus_of_rates order rates =
   List.fold_left
     (fun acc name ->
-      let r = List.assoc name rates in
+      let r = match List.assoc_opt name rates with Some r -> r | None -> 1.0 in
       let g = Gus.bernoulli ~rel:name r in
       match acc with None -> Some g | Some a -> Some (Gus.join a g))
     None order

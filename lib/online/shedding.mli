@@ -33,6 +33,14 @@ val proportional_rates : arrivals:(string * int) list -> capacity:int -> rates
 (** The naive baseline: one shared rate [capacity / Σ N_i] for every
     stream (clamped to 1). *)
 
+val gus_of_rates : string list -> rates -> Gus_core.Gus.t
+(** The per-stream Bernoulli-shedding design over the relations of
+    [order] (which fixes the lineage dimension order): relation [r]
+    gets [Bernoulli (List.assoc r rates)], relations absent from
+    [rates] get rate 1 (kept deterministically).  This is the
+    [gus_of] both {!simulate} and the serving admission controller
+    pass to {!optimize_rates}. *)
+
 type window_report = {
   window : int;  (** 0-based *)
   arrivals : (string * int) list;

@@ -221,13 +221,8 @@ let note_exec t ~handle ~(p : Prepared.t) ~(ov : Prepared.overrides)
                breach })
   end
 
-let execute t ~handle ov =
+let execute_prepared t ~label p ov =
   let t0 = now () in
-  let p =
-    match find_prepared t handle with
-    | Some p -> p
-    | None -> raise (Unknown_handle handle)
-  in
   ignore (Prepared.refresh t.catalog p);
   let key = if cacheable ov then Some (cache_key t p ov) else None in
   let o =
@@ -239,17 +234,22 @@ let execute t ~handle ov =
         Option.iter (fun k -> Cache.add t.cache k response) key;
         { response; cached = false; wall_ns = now () - t0 }
   in
-  note_exec t ~handle ~p ~ov o;
+  note_exec t ~handle:label ~p ~ov o;
   o
 
-let batch t items =
+let execute t ~handle ov =
+  match find_prepared t handle with
+  | Some p -> execute_prepared t ~label:handle p ov
+  | None -> raise (Unknown_handle handle)
+
+let batch_prepared t items =
   (* Phase 1, driving thread: resolve, refresh, probe the cache — every
      handle mutation and cache touch happens here, in submission order. *)
   let staged =
     Array.map
-      (fun (handle, ov) ->
-        match find_prepared t handle with
-        | None -> Error (Unknown_handle handle)
+      (fun (label, p, ov) ->
+        match p with
+        | None -> Error (Unknown_handle label)
         | Some p -> (
             try
               ignore (Prepared.refresh t.catalog p);
@@ -286,7 +286,7 @@ let batch t items =
   let cursor = ref 0 in
   Array.mapi
     (fun i stage ->
-      let handle = fst items.(i) in
+      let handle = (fun (label, _, _) -> label) items.(i) in
       match stage with
       | Error e -> Error e
       | Ok (`Hit (p, ov, response)) ->
@@ -304,6 +304,10 @@ let batch t items =
               note_exec t ~handle ~p ~ov o;
               Ok o))
     staged
+
+let batch t items =
+  batch_prepared t
+    (Array.map (fun (handle, ov) -> (handle, find_prepared t handle, ov)) items)
 
 let cache_length t = Cache.length t.cache
 let cache_capacity t = Cache.capacity t.cache

@@ -80,12 +80,25 @@ val execute : t -> handle:string -> Prepared.overrides -> outcome
 (** Raises {!Unknown_handle}, {!Catalog.Unknown_dataset}, or the
     execution-time errors of {!Prepared.execute}. *)
 
+val execute_prepared : t -> label:string -> Prepared.t -> Prepared.overrides -> outcome
+(** Like {!execute} but with the handle already resolved — the entry
+    point for callers that keep their own handle namespace (each
+    {!Session} scopes prepared handles to one connection).  [label] is
+    the display name journaled and logged for this execution. *)
+
 val batch : t -> (string * Prepared.overrides) array -> (outcome, exn) result array
 (** Resolve and cache-probe every item serially in submission order,
     fan the misses across the pool via {!Scheduler.map}, then fill the
     cache back in submission order.  Results line up with the input
     array for any pool size; per-item failures are [Error], the batch
     itself never raises. *)
+
+val batch_prepared :
+  t ->
+  (string * Prepared.t option * Prepared.overrides) array ->
+  (outcome, exn) result array
+(** {!batch} with handles pre-resolved by the caller's own namespace;
+    [None] yields [Error (Unknown_handle label)] for that item. *)
 
 val cache_key : t -> Prepared.t -> Prepared.overrides -> string
 (** The canonical key {!execute} uses (at the dataset's {e current}

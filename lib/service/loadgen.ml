@@ -1,0 +1,268 @@
+(* Closed-loop TCP load generator for the NDJSON server.
+
+   N client threads each pace toward qps/N: send one request, block for
+   the response (closed loop — a client never has more than one request
+   outstanding), then sleep off the rest of the interval.  When the
+   server is slower than the schedule the client just runs flat out, so
+   offered load saturates at server speed — exactly the regime where
+   admission control must shed rather than queue.
+
+   Latency is measured around the full send→response round trip, on the
+   monotonic clock.  Responses are parsed just enough to classify:
+   ok / error / shed (degraded-rate) / rejected (overloaded). *)
+
+type summary = {
+  clients : int;
+  target_qps : float;
+  duration_s : float;
+  sent : int;
+  ok : int;
+  errors : int;  (* ok:false responses that are not [overloaded] *)
+  shed : int;  (* ok:true with shed:true *)
+  rejected : int;  (* [overloaded] errors *)
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  achieved_qps : float;
+  shed_fraction : float;  (* shed / max(1, ok) *)
+}
+
+type tally = {
+  mutable t_sent : int;
+  mutable t_ok : int;
+  mutable t_errors : int;
+  mutable t_shed : int;
+  mutable t_rejected : int;
+  mutable t_lat_ms : float list;
+}
+
+let now_ns = Gus_obs.Trace.now_ns
+
+let connect ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let request oc ic line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let classify tally response =
+  match Json.of_string response with
+  | exception Json.Parse_error _ -> tally.t_errors <- tally.t_errors + 1
+  | j -> (
+      match Option.bind (Json.member "ok" j) Json.to_bool with
+      | Some true ->
+          tally.t_ok <- tally.t_ok + 1;
+          if
+            Option.bind (Json.member "shed" j) Json.to_bool = Some true
+          then tally.t_shed <- tally.t_shed + 1
+      | _ ->
+          let code =
+            Option.bind
+              (Option.bind (Json.member "error" j) (Json.member "code"))
+              Json.to_str
+          in
+          if code = Some "overloaded" then
+            tally.t_rejected <- tally.t_rejected + 1
+          else tally.t_errors <- tally.t_errors + 1)
+
+(* One scripted exchange whose response must be ok:true; any failure
+   aborts the run with the offending response. *)
+let scripted oc ic lines =
+  List.iter
+    (fun line ->
+      let response = request oc ic line in
+      match Option.bind (Json.member "ok" (Json.of_string response)) Json.to_bool with
+      | Some true -> ()
+      | _ -> failwith (Printf.sprintf "setup request failed: %s" response))
+    lines
+
+let client_loop ~host ~port ~client_setup ~request:mk ~interval_ns ~deadline_ns
+    ~client tally =
+  let fd, ic, oc = connect ~host ~port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      scripted oc ic client_setup;
+      let start = now_ns () in
+      let seq = ref 0 in
+      let rec loop () =
+        let due = start + (!seq * interval_ns) in
+        let now = now_ns () in
+        if now < deadline_ns then begin
+          if due > now then Thread.delay (float_of_int (due - now) /. 1e9);
+          if now_ns () < deadline_ns then begin
+            let line = mk ~client ~seq:!seq in
+            let t0 = now_ns () in
+            let response = request oc ic line in
+            let dt_ms = float_of_int (now_ns () - t0) /. 1e6 in
+            tally.t_sent <- tally.t_sent + 1;
+            tally.t_lat_ms <- dt_ms :: tally.t_lat_ms;
+            classify tally response;
+            incr seq;
+            loop ()
+          end
+        end
+      in
+      loop ())
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let run ~host ~port ~clients ~qps ~duration_s ?(setup = [])
+    ?(client_setup = []) ~request:mk () =
+  if clients < 1 then invalid_arg "Loadgen.run: clients < 1";
+  if qps <= 0.0 then invalid_arg "Loadgen.run: qps <= 0";
+  if duration_s <= 0.0 then invalid_arg "Loadgen.run: duration <= 0";
+  (* Setup on its own connection (register the dataset once — clients
+     must not re-register and bump the catalog version per connection). *)
+  (if setup <> [] then begin
+     let fd, ic, oc = connect ~host ~port in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () -> scripted oc ic setup)
+   end);
+  let interval_ns =
+    int_of_float (float_of_int clients /. qps *. 1e9)
+  in
+  let t_start = now_ns () in
+  let deadline_ns = t_start + int_of_float (duration_s *. 1e9) in
+  let tallies =
+    Array.init clients (fun _ ->
+        { t_sent = 0;
+          t_ok = 0;
+          t_errors = 0;
+          t_shed = 0;
+          t_rejected = 0;
+          t_lat_ms = [] })
+  in
+  let failures = Atomic.make 0 in
+  let threads =
+    Array.init clients (fun client ->
+        Thread.create
+          (fun () ->
+            try
+              client_loop ~host ~port ~client_setup ~request:mk ~interval_ns
+                ~deadline_ns ~client tallies.(client)
+            with _ -> Atomic.incr failures)
+          ())
+  in
+  Array.iter Thread.join threads;
+  let elapsed_s = float_of_int (now_ns () - t_start) /. 1e9 in
+  if Atomic.get failures > 0 then
+    Error (Printf.sprintf "%d client(s) aborted" (Atomic.get failures))
+  else begin
+    let sent = Array.fold_left (fun a t -> a + t.t_sent) 0 tallies in
+    let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
+    let errors = Array.fold_left (fun a t -> a + t.t_errors) 0 tallies in
+    let shed = Array.fold_left (fun a t -> a + t.t_shed) 0 tallies in
+    let rejected = Array.fold_left (fun a t -> a + t.t_rejected) 0 tallies in
+    let lats =
+      Array.of_list
+        (Array.fold_left (fun acc t -> List.rev_append t.t_lat_ms acc) [] tallies)
+    in
+    Array.sort compare lats;
+    let mean_ms =
+      if Array.length lats = 0 then Float.nan
+      else Array.fold_left ( +. ) 0.0 lats /. float_of_int (Array.length lats)
+    in
+    Ok
+      { clients;
+        target_qps = qps;
+        duration_s;
+        sent;
+        ok;
+        errors;
+        shed;
+        rejected;
+        p50_ms = quantile lats 0.50;
+        p99_ms = quantile lats 0.99;
+        mean_ms;
+        achieved_qps = (if elapsed_s > 0.0 then float_of_int sent /. elapsed_s else 0.0);
+        shed_fraction = float_of_int shed /. float_of_int (max 1 ok) }
+  end
+
+(* ---- BENCH_moments.json row merge ----
+
+   The bench harness regenerates the whole file; loadgen only owns its
+   own rows, so it edits textually — drop stale rows with the same name,
+   splice the new one before the closing bracket of "results" — and the
+   hand-formatted one-row-per-line layout survives untouched. *)
+
+let row_json ~name s =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"ns_per_run\": %.6g, \"p50_ms\": %.6g, \"p99_ms\": \
+     %.6g, \"achieved_qps\": %.6g, \"shed_fraction\": %.6g, \"clients\": %d, \
+     \"target_qps\": %.6g}"
+    name (s.mean_ms *. 1e6) s.p50_ms s.p99_ms s.achieved_qps s.shed_fraction
+    s.clients s.target_qps
+
+let skeleton rows =
+  String.concat "\n"
+    ([ "{";
+       "  \"schema\": \"gus-bench-moments/v2\",";
+       "  \"generated_by\": \"gusdb loadgen --bench-out\",";
+       "  \"unit\": \"ns/run\",";
+       "  \"results\": [" ]
+    @ List.mapi
+        (fun i r ->
+          "    " ^ r ^ if i = List.length rows - 1 then "" else ",")
+        rows
+    @ [ "  ]"; "}"; "" ])
+
+let merge_bench_row ~path ~name s =
+  let row = row_json ~name s in
+  if not (Sys.file_exists path) then begin
+    let oc = open_out path in
+    output_string oc (skeleton [ row ]);
+    close_out oc
+  end
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines = List.rev !lines in
+    let stale = Printf.sprintf "{\"name\": \"%s\"" name in
+    let lines =
+      List.filter
+        (fun l -> not (String.starts_with ~prefix:stale (String.trim l)))
+        lines
+    in
+    (* Splice before the line closing the results array.  The previous
+       last row needs a trailing comma. *)
+    let rec splice acc = function
+      | [] -> List.rev (("    " ^ row) :: acc) (* no ] found: append *)
+      | l :: rest when String.trim l = "]" || String.trim l = "],"  ->
+          let acc =
+            match acc with
+            | prev :: tl
+              when String.ends_with ~suffix:"}" (String.trim prev)
+                   && String.trim prev <> "{" ->
+                (prev ^ ",") :: tl
+            | _ -> acc
+          in
+          List.rev_append (l :: ("    " ^ row) :: acc) rest
+      | l :: rest -> splice (l :: acc) rest
+    in
+    let lines = splice [] lines in
+    let oc = open_out path in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    close_out oc
+  end

@@ -1,0 +1,53 @@
+(** Closed-loop TCP load generator for the NDJSON server ([gusdb
+    loadgen]).
+
+    [clients] threads each pace toward [qps / clients]: send one
+    request, block for its response (never more than one outstanding
+    per client), sleep off the rest of the interval.  When the server
+    falls behind the schedule, clients run flat out — offered load
+    saturates at server speed, the regime where admission control must
+    shed rather than queue. *)
+
+type summary = {
+  clients : int;
+  target_qps : float;
+  duration_s : float;
+  sent : int;
+  ok : int;
+  errors : int;  (** [ok:false] responses other than [overloaded] *)
+  shed : int;  (** [ok:true] responses carrying [shed:true] *)
+  rejected : int;  (** [overloaded] rejections *)
+  p50_ms : float;  (** round-trip latency percentiles over all requests *)
+  p99_ms : float;
+  mean_ms : float;
+  achieved_qps : float;
+  shed_fraction : float;  (** [shed / max 1 ok] *)
+}
+
+val run :
+  host:string ->
+  port:int ->
+  clients:int ->
+  qps:float ->
+  duration_s:float ->
+  ?setup:string list ->
+  ?client_setup:string list ->
+  request:(client:int -> seq:int -> string) ->
+  unit ->
+  (summary, string) result
+(** Drive [host:port].  [setup] lines go down one extra connection
+    first (register the dataset {e once} — re-registering per client
+    would bump the catalog version and flush the cache); [client_setup]
+    lines go down each client's connection before its clock starts
+    (prepare the session-scoped handle); [request] renders the [seq]-th
+    request line for a client.  Every setup response must be
+    [ok:true] or the run aborts.  [Error] when any client thread
+    aborts (connection refused, setup failure). *)
+
+val merge_bench_row : path:string -> name:string -> summary -> unit
+(** Insert (or replace) one [{"name", "ns_per_run" (mean latency),
+    "p50_ms", "p99_ms", "achieved_qps", "shed_fraction", ...}] row into
+    the [results] array of a [BENCH_moments.json]-format file, creating
+    a minimal skeleton when the file does not exist.  Textual splice:
+    the bench harness's hand-formatted one-row-per-line layout is
+    preserved. *)

@@ -1,441 +1,43 @@
-module Runner = Gus_sql.Runner
-module D = Gus_analysis.Diagnostic
-module Lint = Gus_analysis.Lint
-module Metrics = Gus_obs.Metrics
-open Gus_relational
-open Json
+(* Deprecated compatibility shim over the Wire + Session split.
 
-(* Per-verb request counters + end-to-end request latency.  DESIGN.md §7
-   lists the names; §12 maps them to Prometheus series. *)
-let m_req_register = Metrics.counter "serve.requests.register"
-let m_req_prepare = Metrics.counter "serve.requests.prepare"
-let m_req_execute = Metrics.counter "serve.requests.execute"
-let m_req_batch = Metrics.counter "serve.requests.batch"
-let m_req_stats = Metrics.counter "serve.requests.stats"
-let m_req_invalid = Metrics.counter "serve.requests.invalid"
+   Historically this module was the whole protocol: rendering, dispatch,
+   and the stdio loop, all keyed by Engine.t.  The rendering now lives
+   in Wire, dispatch and per-connection state in Session; what remains
+   here is the old engine-keyed surface for existing callers (the CLI's
+   --json error path, replay's source decoding, tests).
 
-let m_latency =
-  (* default power-of-two buckets: 1 µs .. ~1 s *)
-  Metrics.histogram "serve.latency_us"
+   The engine-keyed entry points need a Session to dispatch through, so
+   the shim memoizes one default session per engine (by physical
+   equality): repeated handle_line calls on one engine keep seeing the
+   same handle namespace, exactly like the old global-table behavior. *)
 
-exception Bad_request of string
+let error_of_exn = Wire.error_of_exn
+let response_json ~handle o = Wire.response_json ~handle o
+let source_of_request = Wire.source_of_request
+let result_json = Wire.result_json
+let exact_json = Wire.exact_json
 
-let error_of_exn = function
-  | Gus_sql.Parser.Error msg -> Some ("parse_error", msg)
-  | Gus_sql.Lexer.Error { message; _ } ->
-      Some ("parse_error", "lexical error: " ^ message)
-  | Gus_sql.Planner.Error msg -> Some ("plan_error", msg)
-  | Gus_analysis.Rewrite.Unsupported msg -> Some ("unsupported_plan", msg)
-  | Value.Type_error msg -> Some ("type_error", msg)
-  | Schema.Unknown_column c -> Some ("unknown_column", "unknown column " ^ c)
-  | Database.Unknown_relation r ->
-      Some ("unknown_relation", "unknown relation " ^ r)
-  | Catalog.Unknown_dataset d -> Some ("unknown_dataset", "unknown dataset " ^ d)
-  | Snapshot.Format_error msg -> Some ("snapshot_corrupt", msg)
-  | Snapshot.Version_mismatch { found; expected } ->
-      Some
-        ( "snapshot_version",
-          Printf.sprintf "snapshot format version %d (this build reads %d)"
-            found expected )
-  | Engine.Unknown_handle h -> Some ("unknown_handle", "unknown handle " ^ h)
-  | Bad_request msg -> Some ("bad_request", msg)
-  | Json.Parse_error msg -> Some ("bad_json", msg)
-  | Invalid_argument msg -> Some ("bad_request", msg)
-  | Sys_error msg | Failure msg -> Some ("io_error", msg)
-  | _ -> None
+(* Most-recently-used first, capped: the shim must not keep every
+   engine a test suite ever created alive. *)
+let sessions : (Engine.t * Session.t) list ref = ref []
+let max_sessions = 64
 
-let error_json ?op code message =
-  obj
-    [ ("ok", Some (Bool false));
-      ("op", Option.map (fun o -> Str o) op);
-      ( "error",
-        Some (Obj [ ("code", Str code); ("message", Str message) ]) ) ]
+let default_session engine =
+  match List.find_opt (fun (e, _) -> e == engine) !sessions with
+  | Some (_, s) -> s
+  | None ->
+      let s = Session.create engine in
+      let keep =
+        List.filteri (fun i _ -> i < max_sessions - 1) !sessions
+      in
+      sessions := (engine, s) :: keep;
+      s
 
-(* ---- request-field accessors ---- *)
-
-let req_str j field =
-  match Option.bind (member field j) to_str with
-  | Some s -> s
-  | None -> raise (Bad_request (Printf.sprintf "missing string field %S" field))
-
-let opt_str j field = Option.bind (member field j) to_str
-
-let opt_num j field ~default =
-  match member field j with
-  | None -> default
-  | Some v -> (
-      match to_num v with
-      | Some n -> n
-      | None -> raise (Bad_request (Printf.sprintf "field %S: expected number" field)))
-
-let opt_int j field ~default =
-  match member field j with
-  | None -> default
-  | Some v -> (
-      match to_int v with
-      | Some n -> n
-      | None ->
-          raise (Bad_request (Printf.sprintf "field %S: expected integer" field)))
-
-let opt_bool j field ~default =
-  match member field j with
-  | None -> default
-  | Some v -> (
-      match to_bool v with
-      | Some b -> b
-      | None -> raise (Bad_request (Printf.sprintf "field %S: expected bool" field)))
-
-(* ---- response pieces ---- *)
-
-let interval_json (iv : Gus_stats.Interval.t) =
-  Obj [ ("lo", Num iv.lo); ("hi", Num iv.hi) ]
-
-let cell_json (c : Runner.cell) =
-  Obj
-    [ ("label", Str c.label);
-      ("estimate", Num c.value);
-      ("stddev", Num c.stddev);
-      ("ci95_normal", interval_json c.ci95_normal);
-      ("ci95_chebyshev", interval_json c.ci95_chebyshev) ]
-
-let result_json (r : Runner.result) =
-  obj
-    [ ("cells", Some (List (List.map cell_json r.cells)));
-      ( "groups",
-        if r.groups = [] then None
-        else
-          Some
-            (List
-               (List.map
-                  (fun (g : Runner.group_row) ->
-                    Obj
-                      [ ("keys", List (List.map (fun k -> Str k) g.keys));
-                        ("cells", List (List.map cell_json g.group_cells)) ])
-                  r.groups)) );
-      ("n_sample_tuples", Some (Num (float_of_int r.n_sample_tuples))) ]
-
-let exact_json rs =
-  let pair (label, v) = Obj [ ("label", Str label); ("value", Num v) ] in
-  match
-    (rs.Runner.rs_exact, rs.Runner.rs_exact_groups)
-  with
-  | [], [] -> None
-  | cells, [] -> Some (List (List.map pair cells))
-  | _, groups ->
-      Some
-        (List
-           (List.map
-              (fun (keys, cells) ->
-                Obj
-                  [ ("keys", List (List.map (fun k -> Str k) keys));
-                    ("cells", List (List.map pair cells)) ])
-              groups))
-
-let diagnostic_json = Workload_lint.diagnostic_json
-
-let response_json ~handle (o : Engine.outcome) =
-  let rs = o.Engine.response in
-  obj
-    [ ("ok", Some (Bool true));
-      ("op", Some (Str "execute"));
-      ("handle", Some (Str handle));
-      ("cached", Some (Bool o.Engine.cached));
-      ("streamed", Some (Bool rs.Runner.rs_streamed));
-      ("wall_us", Some (Num (float_of_int (o.Engine.wall_ns / 1000))));
-      ("result", Some (result_json rs.Runner.rs_result));
-      ("exact", exact_json rs);
-      ( "explain",
-        Option.map
-          (fun (ex : Runner.explain) ->
-            obj
-              [ ("total_ns", Some (Num (float_of_int ex.ex_total_ns)));
-                ( "variance_raw",
-                  Option.map (fun v -> Num v) ex.ex_variance_raw ) ])
-          rs.Runner.rs_explain ) ]
-
-(* ---- operations ---- *)
-
-let source_of_request j =
-  match opt_str j "source" with
-  | None | Some "tpch" ->
-      Catalog.Tpch
-        { scale = opt_num j "scale" ~default:1.0;
-          (* the CLI's fixed data-generation seed, so `register` defaults
-             to exactly the database `gusdb query -s SCALE` uses *)
-          seed = opt_int j "seed" ~default:20130630 }
-  | Some "synthetic" ->
-      Catalog.Skewed
-        { scale = opt_num j "scale" ~default:1.0;
-          seed = opt_int j "seed" ~default:20130630;
-          part_skew =
-            opt_num j "part_skew"
-              ~default:Gus_tpch.Tpch.default_config.part_skew;
-          price_skew =
-            opt_num j "price_skew"
-              ~default:Gus_tpch.Tpch.default_config.price_skew }
-  | Some "csv" -> Catalog.Csv_dir (req_str j "dir")
-  | Some "snapshot" -> Catalog.Snapshot (req_str j "path")
-  | Some other -> raise (Bad_request (Printf.sprintf "unknown source %S" other))
-
-let op_register engine j =
-  let name = req_str j "name" in
-  let entry = Engine.register engine ~name ~source:(source_of_request j) in
-  let relations =
-    List.map
-      (fun rel ->
-        Obj
-          [ ("name", Str rel);
-            ( "rows",
-              Num
-                (float_of_int
-                   (Relation.cardinality (Database.find entry.Catalog.db rel)))
-            ) ])
-      (Database.names entry.Catalog.db)
-  in
-  Obj
-    [ ("ok", Bool true);
-      ("op", Str "register");
-      ("dataset", Str entry.Catalog.dataset);
-      ("version", Num (float_of_int entry.Catalog.version));
-      ("source", Str (Catalog.source_to_string entry.Catalog.source));
-      ("relations", List relations) ]
-
-let op_prepare engine j =
-  let dataset = req_str j "dataset" in
-  let sql = req_str j "sql" in
-  let handle, p =
-    Engine.prepare engine ?name:(opt_str j "name") ~dataset sql
-  in
-  let report = (Prepared.handle p).Runner.pr_lint in
-  (* The prepare-time static analysis (class, predicted cost, variance
-     bound) rides along so clients can triage a prepared query before
-     ever executing it. *)
-  obj
-    [ ("ok", Some (Bool true));
-      ("op", Some (Str "prepare"));
-      ("handle", Some (Str handle));
-      ("dataset", Some (Str dataset));
-      ("version", Some (Num (float_of_int (Prepared.version p))));
-      ( "relations",
-        Some
-          (List
-             (List.map
-                (fun r -> Str r)
-                (Gus_core.Splan.relations (Prepared.handle p).Runner.pr_plan)))
-      );
-      ("analyzable", Some (Bool (report.Lint.analysis <> None)));
-      ("severity", Some (Str (Workload_lint.severity_label report)));
-      ( "analysis",
-        Option.map Workload_lint.analysis_json report.Lint.analysis );
-      ( "diagnostics",
-        Some (List (List.map diagnostic_json report.Lint.diagnostics)) ) ]
-
-let exec_item j =
-  let handle = req_str j "handle" in
-  let rates =
-    match member "rates" j with
-    | None -> []
-    | Some (Obj fields) ->
-        List.map
-          (fun (rel, v) ->
-            match to_num v with
-            | Some rate -> (rel, rate)
-            | None ->
-                raise
-                  (Bad_request
-                     (Printf.sprintf "rate for %S: expected number" rel)))
-          fields
-    | Some _ -> raise (Bad_request "field \"rates\": expected object")
-  in
-  ( handle,
-    { Prepared.seed = opt_int j "seed" ~default:42;
-      rates;
-      explain = opt_bool j "explain" ~default:false;
-      exact = opt_bool j "exact" ~default:false } )
-
-let op_execute engine j =
-  let handle, ov = exec_item j in
-  response_json ~handle (Engine.execute engine ~handle ov)
-
-let protect ~op f =
-  try f ()
-  with e -> (
-    match error_of_exn e with
-    | Some (code, message) -> error_json ?op code message
-    | None -> raise e)
-
-let op_batch engine j =
-  let items =
-    match Option.bind (member "items" j) to_list with
-    | Some items -> items
-    | None -> raise (Bad_request "missing list field \"items\"")
-  in
-  let parsed =
-    List.map
-      (fun item ->
-        try Ok (exec_item item)
-        with e -> (
-          match error_of_exn e with
-          | Some (code, message) ->
-              Error (error_json ~op:"execute" code message)
-          | None -> raise e))
-      items
-  in
-  let jobs =
-    Array.of_list (List.filter_map (function Ok job -> Some job | Error _ -> None) parsed)
-  in
-  let outcomes = Engine.batch engine jobs in
-  let cursor = ref 0 in
-  let results =
-    List.map
-      (function
-        | Error ej -> ej
-        | Ok (handle, _) -> (
-            let r = outcomes.(!cursor) in
-            incr cursor;
-            match r with
-            | Ok outcome -> response_json ~handle outcome
-            | Error e -> (
-                match error_of_exn e with
-                | Some (code, message) ->
-                    error_json ~op:"execute" code message
-                | None -> raise e)))
-      parsed
-  in
-  Obj [ ("ok", Bool true); ("op", Str "batch"); ("results", List results) ]
-
-let op_stats_json engine =
-  let catalog =
-    List.map
-      (fun (e : Catalog.entry) ->
-        Obj
-          [ ("dataset", Str e.dataset);
-            ("version", Num (float_of_int e.version));
-            ("source", Str (Catalog.source_to_string e.source)) ])
-      (Catalog.names (Engine.catalog engine))
-  in
-  let prepared =
-    List.map
-      (fun (name, p) ->
-        Obj
-          [ ("handle", Str name);
-            ("dataset", Str (Prepared.dataset p));
-            ("version", Num (float_of_int (Prepared.version p)));
-            ("sql", Str (Prepared.sql p)) ])
-      (Engine.prepared_names engine)
-  in
-  let requests =
-    Obj
-      [ ("register", Num (float_of_int (Metrics.counter_value m_req_register)));
-        ("prepare", Num (float_of_int (Metrics.counter_value m_req_prepare)));
-        ("execute", Num (float_of_int (Metrics.counter_value m_req_execute)));
-        ("batch", Num (float_of_int (Metrics.counter_value m_req_batch)));
-        ("stats", Num (float_of_int (Metrics.counter_value m_req_stats)));
-        ("invalid", Num (float_of_int (Metrics.counter_value m_req_invalid))) ]
-  in
-  let latency =
-    if Metrics.histogram_count m_latency = 0 then None
-    else
-      Some
-        (Obj
-           [ ("p50", Num (Metrics.quantile m_latency 0.50));
-             ("p90", Num (Metrics.quantile m_latency 0.90));
-             ("p99", Num (Metrics.quantile m_latency 0.99)) ])
-  in
-  let journal =
-    Option.map
-      (fun j ->
-        Obj
-          [ ("length", Num (float_of_int (Gus_obs.Journal.length j)));
-            ("capacity", Num (float_of_int (Gus_obs.Journal.capacity j)));
-            ("dropped", Num (float_of_int (Gus_obs.Journal.dropped j))) ])
-      (Engine.journal engine)
-  in
-  obj
-    [ ("ok", Some (Bool true));
-      ("op", Some (Str "stats"));
-      ( "uptime_s",
-        Some (Num (float_of_int (Engine.uptime_ns engine) /. 1e9)) );
-      ("pool_lanes", Some (Num (float_of_int (Engine.pool_size engine))));
-      ("catalog", Some (List catalog));
-      ("prepared", Some (List prepared));
-      ( "cache",
-        Some
-          (Obj
-             [ ("length", Num (float_of_int (Engine.cache_length engine)));
-               ("capacity", Num (float_of_int (Engine.cache_capacity engine)))
-             ]) );
-      ("requests", Some requests);
-      ("latency_us", latency);
-      ("journal", journal);
-      ("metrics", Some (Json.of_string (Gus_obs.Metrics.snapshot ()))) ]
-
-let op_stats engine j =
-  match opt_str j "format" with
-  | Some "prometheus" ->
-      (* The exposition is text with newlines; the NDJSON framing can't
-         carry it raw, so it rides as one JSON string.  `gusdb serve
-         --prom-out FILE` writes the same text unframed. *)
-      Obj
-        [ ("ok", Bool true);
-          ("op", Str "stats");
-          ("format", Str "prometheus");
-          ("body", Str (Gus_obs.Promexp.render ())) ]
-  | Some other when other <> "json" ->
-      raise (Bad_request (Printf.sprintf "unknown stats format %S" other))
-  | _ -> op_stats_json engine
-
-let dispatch engine j =
-  let op = Option.bind (member "op" j) to_str in
-  Metrics.incr
-    (match op with
-    | Some "register" -> m_req_register
-    | Some "prepare" -> m_req_prepare
-    | Some "execute" -> m_req_execute
-    | Some "batch" -> m_req_batch
-    | Some "stats" -> m_req_stats
-    | Some _ | None -> m_req_invalid);
-  protect ~op @@ fun () ->
-  match op with
-  | Some "register" -> op_register engine j
-  | Some "prepare" -> op_prepare engine j
-  | Some "execute" -> op_execute engine j
-  | Some "batch" -> op_batch engine j
-  | Some "stats" -> op_stats engine j
-  | Some other -> raise (Bad_request (Printf.sprintf "unknown op %S" other))
-  | None -> raise (Bad_request "missing string field \"op\"")
-
-let handle_request engine j =
-  if Metrics.enabled () then begin
-    let t0 = Gus_obs.Trace.now_ns () in
-    let r = dispatch engine j in
-    Metrics.observe m_latency
-      (float_of_int (Gus_obs.Trace.now_ns () - t0) /. 1e3);
-    r
-  end
-  else dispatch engine j
+let handle_request engine j = Session.handle_request (default_session engine) j
 
 let handle_line engine line =
-  let response =
-    match Json.of_string line with
-    | j -> handle_request engine j
-    | exception Json.Parse_error msg ->
-        Metrics.incr m_req_invalid;
-        error_json "bad_json" msg
-  in
-  Json.to_string response
+  match Session.handle (default_session engine) line with
+  | Some response -> response
+  | None -> Json.to_string (Wire.error_json "bad_json" "empty request line")
 
-let serve ?(after = fun () -> ()) engine ic oc =
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
-        if String.trim line <> "" then begin
-          output_string oc (handle_line engine line);
-          output_char oc '\n';
-          flush oc;
-          after ()
-        end;
-        loop ()
-  in
-  loop ()
+let serve ?after engine ic oc = Session.run ?after (default_session engine) ic oc

@@ -1,45 +1,26 @@
-(** The [gusdb serve] NDJSON request/response protocol.
+(** Deprecated engine-keyed shim over {!Wire} + {!Session}.
 
-    One JSON object per line on stdin, one JSON object per line on
-    stdout, strictly in request order — no network, no framing beyond
-    newlines, so the whole protocol is cram-testable with a heredoc.
-    DESIGN.md §8 gives the grammar; the operations are:
+    The NDJSON protocol itself is documented on {!Session} (dispatch,
+    per-connection handle namespace) and {!Wire} (renderings, the
+    stable error-code registry); DESIGN.md §8 gives the grammar and §13
+    the network transport.  This module keeps the original
+    engine-keyed entry points alive for existing callers by memoizing
+    one default session per engine (physical equality, MRU-capped), so
+    repeated {!handle_line} calls on one engine share a handle
+    namespace exactly like the old global-table behavior.
 
-    - [register] — build + (re)bind a catalog dataset
-      ([source]: ["tpch"] | ["synthetic"] | ["csv"])
-    - [prepare]  — parse/plan/lint once, install a named handle
-    - [execute]  — run a handle with per-call seed/rates/exact/explain
-    - [batch]    — many executes, fanned across the pool, results in
-      submission order
-    - [stats]    — uptime, pool lanes, catalog + handles, cache
-      occupancy, per-verb request counts, latency quantiles, journal
-      occupancy, and the {!Gus_obs.Metrics} snapshot; with
-      [{"format":"prometheus"}] the response instead carries the
-      {!Gus_obs.Promexp} text exposition as its ["body"] string
-
-    Responses carry ["ok": true] or
-    ["ok": false, "error": {"code", "message"}]; a request that names an
-    [op] echoes it back.  Failures never tear down the loop (only EOF
-    does) and never print a backtrace. *)
+    New code should create a {!Session.t} explicitly. *)
 
 val error_of_exn : exn -> (string * string) option
-(** Map a user-facing failure to a stable [(code, message)] pair —
-    [parse_error], [plan_error], [unsupported_plan], [unknown_dataset],
-    [unknown_handle], [unknown_relation], [unknown_column],
-    [type_error], [io_error], [bad_request], [bad_json].  [None] for
-    programming errors, which should stay loud.  Shared with the CLI's
-    [--json] error rendering (Cli_common). *)
+(** Alias of {!Wire.error_of_exn} — shared with the CLI's [--json]
+    error rendering (Cli_common). *)
 
 val response_json : handle:string -> Engine.outcome -> Json.t
-(** The [execute] success payload (estimates, stddevs, intervals, group
-    rows, cache/streaming flags, wall time in µs). *)
+(** {!Wire.response_json} without the shed decoration. *)
 
 val source_of_request : Json.t -> Catalog.source
-(** Parse a [register]-shaped object's source description
-    ([source]/[scale]/[seed]/[part_skew]/[price_skew]/[dir]/[path]
-    fields, ["tpch"] default).  Inverse of {!Catalog.source_json};
-    [Replay] feeds journaled register events back through it.  Raises
-    [Bad_request]. *)
+(** Alias of {!Wire.source_of_request}; [Replay] feeds journaled
+    register events back through it. *)
 
 val result_json : Gus_sql.Runner.result -> Json.t
 val exact_json : Gus_sql.Runner.response -> Json.t option
@@ -48,15 +29,16 @@ val exact_json : Gus_sql.Runner.response -> Json.t option
     diverge (the parity cram compares them byte for byte). *)
 
 val handle_request : Engine.t -> Json.t -> Json.t
-(** Process one parsed request object.  Total: protocol-level and
-    user-facing execution errors come back as error objects. *)
+(** Process one parsed request object through the engine's default
+    session.  Total: protocol-level and user-facing execution errors
+    come back as error objects. *)
 
 val handle_line : Engine.t -> string -> string
 (** {!handle_request} on one raw NDJSON line (adds JSON parsing to the
     error envelope).  The result has no embedded newlines. *)
 
 val serve : ?after:(unit -> unit) -> Engine.t -> in_channel -> out_channel -> unit
-(** The loop: read lines to EOF, skip blank ones, answer each with one
-    line, flushing per response (a driving process pipes requests in and
-    waits for answers).  [after] runs once per answered request — the
-    CLI's [--prom-out] periodic exposition dump hangs off it. *)
+(** The stdio loop on the engine's default session: read lines to EOF,
+    skip blank ones, answer each with one flushed line.  [after] runs
+    once per answered request — the CLI's [--prom-out] periodic
+    exposition dump hangs off it. *)

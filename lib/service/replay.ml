@@ -30,6 +30,7 @@ type report = {
   rp_skipped : int;  (** register events for already-present datasets *)
   rp_executions : int;
   rp_matched : int;
+  rp_sheds : int;  (** shed decision events (advisory, skipped) *)
   rp_mismatches : mismatch list;
 }
 
@@ -162,6 +163,12 @@ let replay_line engine handles ~line raw acc =
   match Option.bind (Json.member "ev" j) Json.to_str with
   | Some "register" -> replay_register engine ~line j acc
   | Some "exec" -> replay_exec engine handles ~line j acc
+  | Some "shed" ->
+      (* Advisory provenance only: the degraded rates a shed decision
+         selected also ride in the following exec event's rates field,
+         which is what gets re-executed and compared — so shed events
+         are counted and skipped, never replayed. *)
+      { acc with rp_sheds = acc.rp_sheds + 1 }
   | Some other -> corrupt line (Printf.sprintf "unknown event kind %S" other)
   | None -> corrupt line "missing string field \"ev\""
 
@@ -170,6 +177,7 @@ let empty_report =
     rp_skipped = 0;
     rp_executions = 0;
     rp_matched = 0;
+    rp_sheds = 0;
     rp_mismatches = [] }
 
 let run_lines ?engine lines =

@@ -31,6 +31,11 @@ type report = {
   rp_skipped : int;  (** register events for already-present datasets *)
   rp_executions : int;
   rp_matched : int;
+  rp_sheds : int;
+      (** shed decision events — advisory provenance, counted and
+          skipped: the degraded rates also ride in the following exec
+          event's [rates] field, which is what gets re-executed and
+          compared *)
   rp_mismatches : mismatch list;
 }
 

@@ -1,0 +1,49 @@
+(** Concurrent TCP transport: many NDJSON {!Session}s over one shared
+    {!Engine}.
+
+    Each accepted connection gets its own session (its own prepared
+    handles) and two threads: a {e reader} that runs {!Admission.enter}
+    the moment a request line arrives — queued work counts as in
+    flight, and shed decisions belong to arrival time — and pushes into
+    a bounded per-connection queue (bound = the admission controller's
+    [session_inflight]); and a {e worker} that pops FIFO, dispatches
+    under the server-wide driving lock (the engine is
+    driving-thread-only — concurrency overlaps I/O and admission, not
+    query execution), and writes the response.  A full queue blocks the
+    reader, which stops reading the socket — backpressure reaches the
+    client through TCP with no unbounded buffering anywhere.
+
+    Failure isolation: a malformed frame is an error {e response} on
+    its own connection; a dead socket tears down only its own threads
+    and session.  Sibling sessions keep their handles and cache
+    entries. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?admission:Admission.t ->
+  ?after:(unit -> unit) ->
+  Engine.t ->
+  t
+(** Bind and listen on [host:port] (default [127.0.0.1:0]; port [0]
+    picks an ephemeral port — read it back with {!port}), spawn the
+    accept thread, and return immediately.  [admission] enables
+    bounded in-flight + shedding; without it every request is admitted
+    and per-connection queues default to 8.  [after] runs (under the
+    driving lock) once per answered request.  Ignores [SIGPIPE]
+    process-wide: a dead client must be an error on its connection,
+    not a process kill.  Raises [Unix.Unix_error] when the address
+    cannot be bound. *)
+
+val port : t -> int
+(** The bound port (the actual one when [port:0] was asked). *)
+
+val stop : t -> unit
+(** Close the listen socket, shut down every connection, and join all
+    threads.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until the accept loop exits (i.e. until {!stop}) — the
+    foreground mode of [gusdb serve --tcp]. *)

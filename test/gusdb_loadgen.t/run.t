@@ -1,0 +1,51 @@
+Closed-loop load generation: `gusdb loadgen` spawns an in-process TCP
+server (same admission-control flags as `gusdb serve --tcp`), drives it
+with paced client connections, and reports latency quantiles, achieved
+throughput and the shed fraction.  Latencies and counts vary run to
+run, so this transcript checks the stable facts: zero protocol errors,
+honest shed marking under a pinned overload factor, and the bench-row
+merge.
+
+A clean run: every response ok, nothing shed, nothing rejected.
+
+  $ gusdb loadgen --clients 2 --qps 30 --duration 1 -s 0.005 --json > clean.json
+  $ grep -c '"ok":true' clean.json
+  1
+  $ grep -o '"errors":0' clean.json
+  "errors":0
+  $ grep -o '"shed":0' clean.json
+  "shed":0
+  $ grep -o '"rejected":0' clean.json
+  "rejected":0
+
+--force-shed pins the admission controller's overload factor, so every
+execute is answered from degraded Section-8 sampling rates and marked
+shed — still ok:true, still zero errors, shed fraction exactly 1:
+
+  $ gusdb loadgen --clients 2 --qps 30 --duration 1 -s 0.005 --force-shed 4.0 --json > shed.json
+  $ grep -o '"errors":0' shed.json
+  "errors":0
+  $ grep -o '"shed_fraction":1' shed.json
+  "shed_fraction":1
+
+The human rendering leads with the run shape and judges the p99 SLO
+when one was given:
+
+  $ gusdb loadgen --clients 2 --qps 30 --duration 1 -s 0.005 --slo-p99-ms 5000 | head -1 | sed -E 's/:[0-9]+$/:PORT/'
+  loadgen: 2 client(s), target 30 req/s for 1 s against 127.0.0.1:PORT
+  $ gusdb loadgen --clients 2 --qps 30 --duration 1 -s 0.005 --slo-p99-ms 5000 | tail -1
+  p99 SLO (5000 ms) met
+
+--bench-out merges a service/loadgen-* row into a
+BENCH_moments.json-format file; re-running replaces the stale row
+instead of appending a duplicate:
+
+  $ gusdb loadgen --clients 2 --qps 30 --duration 1 -s 0.005 --bench-out bench.json > /dev/null
+  $ gusdb loadgen --clients 2 --qps 30 --duration 1 -s 0.005 --bench-out bench.json > /dev/null
+  $ grep -c 'service/loadgen-2x30' bench.json
+  1
+  $ grep -c 'p99_ms' bench.json
+  1
+  $ head -2 bench.json
+  {
+    "schema": "gus-bench-moments/v2",

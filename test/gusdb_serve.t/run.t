@@ -96,8 +96,8 @@ the unknown format and the unparsable line included), and the journal
 object reports the flight recorder's occupancy:
 
   $ grep -o '"requests":{[^}]*}' responses2
-  "requests":{"register":1,"prepare":1,"execute":1,"batch":0,"stats":1,"invalid":0}
-  "requests":{"register":1,"prepare":1,"execute":1,"batch":0,"stats":4,"invalid":1}
+  "requests":{"register":1,"prepare":1,"execute":1,"batch":0,"hello":0,"stats":1,"invalid":0}
+  "requests":{"register":1,"prepare":1,"execute":1,"batch":0,"hello":0,"stats":4,"invalid":1}
   $ grep -o '"journal":{[^}]*}' responses2
   "journal":{"length":2,"capacity":4096,"dropped":0}
   "journal":{"length":2,"capacity":4096,"dropped":0}
@@ -127,3 +127,36 @@ the unparsable line alike:
   "code":"bad_request"
   $ sed -n 7p responses2 | grep -o '"code":"[a-z_]*"'
   "code":"bad_json"
+
+Load shedding, deterministically: --force-shed pins the admission
+controller's overload factor, so every execute is answered from
+degraded Section-8 sampling rates — marked shed:true with the selected
+shed_rates and the overload factor, honestly wider CI.  The hello verb
+reports the wire protocol version.  Client-pinned rates are never
+overridden:
+
+  $ cat > requests3 <<'EOF3'
+  > {"op":"hello"}
+  > {"op":"register","name":"t","scale":0.05}
+  > {"op":"prepare","dataset":"t","name":"q","sql":"SELECT SUM(l_extendedprice) AS s FROM lineitem TABLESAMPLE (20 PERCENT)"}
+  > {"op":"execute","handle":"q","seed":7}
+  > {"op":"execute","handle":"q","seed":7,"rates":{"lineitem":0.2}}
+  > EOF3
+  $ gusdb serve --force-shed 3.0 --journal shed.ndjson < requests3 | sed 's/"wall_us":[0-9]*/"wall_us":_/g' > responses3
+  $ sed -n 1p responses3
+  {"ok":true,"op":"hello","protocol_version":1,"server":"gusdb","session":1}
+  $ sed -n 4p responses3 | grep -o '"shed":true,"shed_rates":{[^}]*},"overload":[0-9.]*'
+  "shed":true,"shed_rates":{"lineitem":0.06637613141133088},"overload":3
+  $ sed -n 5p responses3 | grep -c '"shed"'
+  0
+  [1]
+
+The shed execution's journal replays bit-identically — the degraded
+rates ride in the exec event, the decision itself is advisory:
+
+  $ grep -c '"ev":"shed"' shed.ndjson
+  1
+  $ gusdb replay shed.ndjson
+  replayed 2 execution(s) over 1 registered dataset(s)
+  1 shed decision(s) noted (degraded rates replayed via their exec events)
+  all 2 estimate(s) bit-identical

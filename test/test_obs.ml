@@ -368,7 +368,10 @@ let test_journal_ring () =
   check_int "overwrites counted" 2 (Journal.dropped j);
   let ids =
     List.map
-      (function Journal.Exec e -> e.Journal.id | Journal.Register r -> r.id)
+      (function
+        | Journal.Exec e -> e.Journal.id
+        | Journal.Register r -> r.id
+        | Journal.Shed s -> s.Journal.shed_id)
       (Journal.events j)
   in
   Alcotest.(check (list int)) "oldest first, oldest gone" [ 2; 3; 4 ] ids

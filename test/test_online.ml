@@ -162,6 +162,26 @@ let test_shedding_optimize_beats_proportional () =
     (Printf.sprintf "optimized %.3g <= naive %.3g" v_opt v_naive)
     true (v_opt <= v_naive +. 1e-6)
 
+let test_shedding_gus_of_rates () =
+  (* The serving layer's bridge into the optimizer: rates name a subset
+     of the plan's relations, absent ones stay at rate 1 (kept whole) —
+     so a shed execution only widens variance through the relations it
+     actually degraded. *)
+  let y = [| 4.0; 2.0; 2.0; 1.0 |] in
+  let full = Shedding.gus_of_rates [ "a"; "b" ] [ ("a", 1.0) ] in
+  close "keeping everything has zero variance" 0.0
+    (Gus_core.Gus.variance full ~y);
+  (* synthetic overload sweep: deeper shedding, strictly wider variance *)
+  let var f =
+    Gus_core.Gus.variance
+      (Shedding.gus_of_rates [ "a"; "b" ] [ ("a", 1.0 /. f) ])
+      ~y
+  in
+  let v2 = var 2.0 and v4 = var 4.0 and v16 = var 16.0 in
+  check_bool "overload 2x adds variance" true (v2 > 0.0);
+  check_bool "4x wider than 2x" true (v4 > v2);
+  check_bool "16x wider than 4x" true (v16 > v4)
+
 let test_shedding_validation () =
   let fails f = try ignore (f ()); false with Invalid_argument _ -> true in
   check_bool "zero capacity" true
@@ -319,6 +339,8 @@ let () =
         [ Alcotest.test_case "proportional rates" `Quick test_shedding_proportional;
           Alcotest.test_case "optimize respects budget" `Quick test_shedding_optimize_respects_budget;
           Alcotest.test_case "optimize beats proportional" `Quick test_shedding_optimize_beats_proportional;
+          Alcotest.test_case "gus_of_rates bridge" `Quick
+            test_shedding_gus_of_rates;
           Alcotest.test_case "validation" `Quick test_shedding_validation;
           Alcotest.test_case "simulate windows" `Quick test_shedding_simulate ] );
       ( "progressive",

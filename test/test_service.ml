@@ -29,6 +29,10 @@ module Prepared = Gus_service.Prepared
 module Engine = Gus_service.Engine
 module Scheduler = Gus_service.Scheduler
 module Protocol = Gus_service.Protocol
+module Wire = Gus_service.Wire
+module Session = Gus_service.Session
+module Admission = Gus_service.Admission
+module Server = Gus_service.Server
 module Replay = Gus_service.Replay
 module Journal = Gus_obs.Journal
 module Runner = Gus_sql.Runner
@@ -469,7 +473,7 @@ let test_slo_breach_marking () =
   ignore (Engine.execute e ~handle Prepared.default_overrides);
   let execs =
     List.filter_map
-      (function Journal.Exec x -> Some x | Journal.Register _ -> None)
+      (function Journal.Exec x -> Some x | _ -> None)
       (Journal.events journal)
   in
   check_int "both executions journaled" 2 (List.length execs);
@@ -663,6 +667,334 @@ let test_protocol_errors () =
     "parse error" (Some false, Some "parse_error")
     (code_of {|{"op":"prepare","dataset":"t","sql":"SELECT SUM(x FROM"}|})
 
+(* ---- 9. Session API, error registry, admission control, TCP server ---- *)
+
+let ok_of j = Option.bind (Json.member "ok" j) Json.to_bool = Some true
+
+let code_of j =
+  Option.bind (Json.member "error" j) (Json.member "code")
+  |> Fun.flip Option.bind Json.to_str
+
+let session_req s line = Json.of_string (Option.get (Session.handle s line))
+
+let prepare_line ?(name = "q") sql =
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.Str "prepare");
+         ("dataset", Json.Str dataset);
+         ("name", Json.Str name);
+         ("sql", Json.Str sql) ])
+
+let test_session_namespace () =
+  let e = fresh_engine () in
+  let s1 = Session.create e and s2 = Session.create e in
+  check_bool "distinct ids" true (Session.id s1 <> Session.id s2);
+  (* both sessions claim the same handle name for different queries *)
+  check_bool "s1 prepare" true (ok_of (session_req s1 (prepare_line sql_single)));
+  check_bool "s2 prepare" true (ok_of (session_req s2 (prepare_line sql_join)));
+  let r1 = session_req s1 {|{"op":"execute","handle":"q","seed":3}|} in
+  let r2 = session_req s2 {|{"op":"execute","handle":"q","seed":3}|} in
+  check_bool "both execute" true (ok_of r1 && ok_of r2);
+  check_bool "one name, two plans" true
+    (Json.to_string (Option.get (Json.member "result" r1))
+    <> Json.to_string (Option.get (Json.member "result" r2)));
+  (* hello reports the wire version and this session's id *)
+  let h = session_req s1 {|{"op":"hello"}|} in
+  check_bool "protocol version" true
+    (Option.bind (Json.member "protocol_version" h) Json.to_int
+    = Some Wire.protocol_version);
+  check_bool "session id" true
+    (Option.bind (Json.member "session" h) Json.to_int = Some (Session.id s1));
+  (* closing one session must not touch its sibling *)
+  Session.close s1;
+  Session.close s1 (* idempotent *);
+  check_bool "closed answers session_closed" true
+    (code_of (session_req s1 {|{"op":"execute","handle":"q","seed":3}|})
+    = Some "session_closed");
+  let r2' = session_req s2 {|{"op":"execute","handle":"q","seed":3}|} in
+  check_bool "sibling still serves" true (ok_of r2');
+  check_bool "sibling hit its cache" true
+    (Option.bind (Json.member "cached" r2') Json.to_bool = Some true)
+
+let test_error_registry () =
+  (* Every code in the stable registry is emitted somewhere: protocol
+     codes through a live session exchange or the shared error_of_exn
+     mapping (the only path protocol errors render through); the CLI-only
+     corrupt_journal through Replay's exception. *)
+  let e = fresh_engine () in
+  let s = Session.create e in
+  let emit line = code_of (session_req s line) in
+  let via_exn exn = Option.map fst (Wire.error_of_exn exn) in
+  ignore
+    (session_req s (prepare_line ~name:"badcol"
+         "SELECT SUM(nope) AS s FROM lineitem TABLESAMPLE (10 PERCENT)"));
+  let emissions =
+    [ ("bad_json", emit "{nope");
+      ("bad_request", emit {|{"op":"execute","handle":"q","sede":1}|});
+      ("parse_error", emit (prepare_line "SELECT SUM(x FROM"));
+      ("plan_error",
+        emit (prepare_line
+            "SELECT SUM(l_quantity) AS s FROM nope TABLESAMPLE (10 PERCENT)"));
+      ("unsupported_plan", via_exn (Gus_analysis.Rewrite.Unsupported "x"));
+      ("type_error", via_exn (Gus_relational.Value.Type_error "x"));
+      ("unknown_column", emit {|{"op":"execute","handle":"badcol","seed":1}|});
+      ("unknown_relation",
+        via_exn (Gus_relational.Database.Unknown_relation "x"));
+      ("unknown_dataset",
+        emit
+          {|{"op":"prepare","dataset":"nope","sql":"SELECT COUNT(*) FROM t"}|});
+      ("unknown_handle", emit {|{"op":"execute","handle":"nope"}|});
+      ("snapshot_corrupt", via_exn (Gus_relational.Snapshot.Format_error "x"));
+      ("snapshot_version",
+        via_exn
+          (Gus_relational.Snapshot.Version_mismatch { found = 0; expected = 1 }));
+      ("io_error", via_exn (Sys_error "x"));
+      ("overloaded", via_exn (Wire.Overloaded "x"));
+      ("session_closed",
+        (let dead = Session.create e in
+         Session.close dead;
+         code_of (session_req dead {|{"op":"stats"}|})));
+      ("corrupt_journal",
+        (match Replay.run_string "not json" with
+        | exception Replay.Corrupt _ -> Some "corrupt_journal"
+        | _ -> None)) ]
+  in
+  List.iter
+    (fun (code, _, _) ->
+      match List.assoc_opt code emissions with
+      | Some (Some c) when c = code -> ()
+      | Some (Some c) -> Alcotest.failf "code %s emitted as %s" code c
+      | Some None -> Alcotest.failf "code %s never emitted" code
+      | None -> Alcotest.failf "registry code %s has no emission case" code)
+    Wire.error_codes;
+  List.iter
+    (fun (code, _) ->
+      check_bool (code ^ " is registered") true
+        (List.exists (fun (c, _, _) -> c = code) Wire.error_codes))
+    emissions;
+  (* unknown fields are rejected, not silently defaulted *)
+  check_bool "unknown field names the field" true
+    (match Session.handle s {|{"op":"execute","handle":"q","sede":1}|} with
+    | Some r ->
+        let j = Json.of_string r in
+        code_of j = Some "bad_request"
+        && (match
+              Option.bind (Json.member "error" j) (Json.member "message")
+              |> Fun.flip Option.bind Json.to_str
+            with
+           | Some m ->
+               let has_sub sub =
+                 let n = String.length sub and ln = String.length m in
+                 let rec go i =
+                   i + n <= ln && (String.sub m i n = sub || go (i + 1))
+                 in
+                 go 0
+               in
+               has_sub "sede"
+           | None -> false)
+    | None -> false)
+
+let test_admission_accounting () =
+  let a = Admission.create ~max_inflight:2 ~session_inflight:1 () in
+  let t1 =
+    match Admission.enter a with
+    | Ok (t, Admission.Admit) -> t
+    | _ -> Alcotest.fail "first request admitted"
+  in
+  let t2 =
+    match Admission.enter a with
+    | Ok (t, _) -> t
+    | Error _ -> Alcotest.fail "second request admitted"
+  in
+  check_int "inflight tracks" 2 (Admission.inflight a);
+  (match Admission.enter a with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "third request must hit the hard cap");
+  Admission.leave a t1;
+  (match Admission.enter a with
+  | Ok (t, _) -> Admission.leave a t
+  | Error _ -> Alcotest.fail "capacity freed by leave");
+  Admission.leave a t2;
+  check_int "drained" 0 (Admission.inflight a);
+  check_bool "p99 needs 8 samples" true (Admission.p99_ms a = None);
+  (* a pinned overload factor sheds deterministically with that factor *)
+  let forced = Admission.create ~fixed_overload:2.5 () in
+  (match Admission.enter forced with
+  | Ok (t, Admission.Shed f) ->
+      Alcotest.(check (float 1e-12)) "pinned factor" 2.5 f;
+      Admission.leave forced t
+  | _ -> Alcotest.fail "pinned overload must shed")
+
+let test_shed_rates_math () =
+  let card = function
+    | "lineitem" -> 1000
+    | "orders" -> 500
+    | r -> Alcotest.failf "unexpected relation %s" r
+  in
+  (* no moments yet: proportional fallback, budget = cost / overload *)
+  (match
+     Admission.shed_rates ~overload:2.0 ~order:[ "lineitem" ] ~card
+       ~current:[ ("lineitem", 0.2) ] ()
+   with
+  | [ ("lineitem", rate) ] ->
+      Alcotest.(check (float 1e-9)) "half the sustainable budget" 0.1 rate
+  | _ -> Alcotest.fail "expected exactly one degraded rate");
+  (* exact plans sample nothing and cannot shed *)
+  check_bool "exact plans unshed" true
+    (Admission.shed_rates ~overload:4.0 ~order:[] ~card ~current:[] () = []);
+  (* with previous-execution moments the Section-8 optimizer picks the
+     split; whatever it picks must respect the degraded budget and the
+     [1e-6, 1] clamp at every overload level *)
+  let y = [| 4.0; 2.0; 2.0; 1.0 |] in
+  let current = [ ("lineitem", 0.2); ("orders", 0.4) ] in
+  let cost = (1000. *. 0.2) +. (500. *. 0.4) in
+  List.iter
+    (fun overload ->
+      let rates =
+        Admission.shed_rates ~overload ~order:[ "lineitem"; "orders" ] ~card
+          ~current ~y ()
+      in
+      check_int "both relations rated" 2 (List.length rates);
+      let spent =
+        List.fold_left
+          (fun acc (rel, r) -> acc +. (float_of_int (card rel) *. r))
+          0.0 rates
+      in
+      check_bool
+        (Printf.sprintf "budget respected at %gx (%g <= %g)" overload spent
+           (cost /. overload))
+        true
+        (spent <= (cost /. overload) +. 1e-6);
+      List.iter
+        (fun (_, r) ->
+          check_bool "clamped to [1e-6, 1]" true (r >= 1e-6 && r <= 1.0))
+        rates)
+    [ 1.5; 2.0; 4.0; 16.0 ]
+
+let test_shed_journal_replay () =
+  let journal = Journal.create ~capacity:64 () in
+  let e = Engine.create ~journal () in
+  ignore
+    (Engine.register_db e ~name:dataset ~source:(Catalog.In_memory "test") db);
+  let adm = Admission.create ~fixed_overload:3.0 () in
+  let s = Session.create ~admission:adm e in
+  check_bool "prepare ok" true (ok_of (session_req s (prepare_line sql_join)));
+  (* every execute sheds (pinned overload): degraded rates, honest
+     shed/overload marking; the first has no moments (proportional),
+     later ones feed the previous y-hat to the optimizer *)
+  List.iter
+    (fun seed ->
+      let r =
+        session_req s
+          (Printf.sprintf {|{"op":"execute","handle":"q","seed":%d}|} seed)
+      in
+      check_bool "shed execute ok" true (ok_of r);
+      check_bool "marked shed" true
+        (Option.bind (Json.member "shed" r) Json.to_bool = Some true);
+      check_bool "overload reported" true
+        (Option.bind (Json.member "overload" r) Json.to_num = Some 3.0);
+      match Json.member "shed_rates" r with
+      | Some (Json.Obj fields) ->
+          check_bool "degraded rates present" true (fields <> [])
+      | _ -> Alcotest.fail "shed_rates missing")
+    [ 11; 12; 13 ];
+  (* client-pinned rates are never overridden by the shedder *)
+  let pinned =
+    session_req s
+      {|{"op":"execute","handle":"q","seed":11,"rates":{"lineitem":0.05}}|}
+  in
+  check_bool "pinned rates not shed" true
+    (ok_of pinned && Json.member "shed" pinned = None);
+  (* the journal replays bit-identically, shed executions included *)
+  let ndjson =
+    String.concat "\n" (List.map Journal.to_ndjson (Journal.events journal))
+  in
+  let e2 = Engine.create () in
+  ignore
+    (Engine.register_db e2 ~name:dataset ~source:(Catalog.In_memory "test") db);
+  let r = Replay.run_string ~engine:e2 ndjson in
+  check_int "all executions replayed" 4 r.Replay.rp_executions;
+  check_int "all bit-identical" 4 r.Replay.rp_matched;
+  check_int "shed decisions counted" 3 r.Replay.rp_sheds;
+  check_bool "no mismatches" true (r.Replay.rp_mismatches = [])
+
+(* ---- TCP transport ---- *)
+
+let tcp_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let tcp_req (_, ic, oc) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  Json.of_string (input_line ic)
+
+let test_tcp_sibling_isolation () =
+  let e = fresh_engine () in
+  let server = Server.start ~port:0 e in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let port = Server.port server in
+  let a = tcp_connect port and b = tcp_connect port in
+  check_bool "b prepares" true (ok_of (tcp_req b (prepare_line sql_single)));
+  let r1 = tcp_req b {|{"op":"execute","handle":"q","seed":9}|} in
+  check_bool "b executes" true (ok_of r1);
+  (* a malformed frame on A is an error response, not a teardown *)
+  check_bool "A's garbage answered in-band" true
+    (code_of (tcp_req a "{nope") = Some "bad_json");
+  (* B's handle name means nothing inside A's session *)
+  check_bool "namespaces isolated over tcp" true
+    (code_of (tcp_req a {|{"op":"execute","handle":"q","seed":9}|})
+    = Some "unknown_handle");
+  (* hard-kill A mid-session; B keeps its handles and its cache entry *)
+  let fd_a, _, _ = a in
+  Unix.close fd_a;
+  let r2 = tcp_req b {|{"op":"execute","handle":"q","seed":9}|} in
+  check_bool "b survives sibling crash" true (ok_of r2);
+  check_bool "b answered from cache" true
+    (Option.bind (Json.member "cached" r2) Json.to_bool = Some true);
+  check_string "bit-identical across the crash"
+    (Json.to_string (Option.get (Json.member "result" r1)))
+    (Json.to_string (Option.get (Json.member "result" r2)));
+  let fd_b, _, _ = b in
+  Unix.close fd_b
+
+let test_tcp_concurrent_clients () =
+  (* Four clients hammering one engine concurrently: every response
+     parses, every session sees only its own handles, and the cached
+     re-execution of each client's own seed is bit-identical. *)
+  let e = fresh_engine () in
+  let server = Server.start ~port:0 e in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let port = Server.port server in
+  let failures = Atomic.make 0 in
+  let client i () =
+    try
+      let c = tcp_connect port in
+      let fd, _, _ = c in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      if not (ok_of (tcp_req c (prepare_line sql_single))) then raise Exit;
+      for seed = 0 to 9 do
+        let line =
+          Printf.sprintf {|{"op":"execute","handle":"q","seed":%d}|}
+            ((i * 100) + seed)
+        in
+        let first = tcp_req c line in
+        let again = tcp_req c line in
+        if not (ok_of first && ok_of again) then raise Exit;
+        if
+          Json.to_string (Option.get (Json.member "result" first))
+          <> Json.to_string (Option.get (Json.member "result" again))
+        then raise Exit
+      done
+    with _ -> Atomic.incr failures
+  in
+  let threads = List.init 4 (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join threads;
+  check_int "no client failures" 0 (Atomic.get failures)
+
 let () =
   Alcotest.run "service"
     [ ( "json",
@@ -698,6 +1030,23 @@ let () =
       ( "protocol",
         [ Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "errors" `Quick test_protocol_errors ] );
+      ( "session",
+        [ Alcotest.test_case "per-session handle namespace" `Quick
+            test_session_namespace;
+          Alcotest.test_case "error-code registry coverage" `Quick
+            test_error_registry ] );
+      ( "admission",
+        [ Alcotest.test_case "in-flight accounting" `Quick
+            test_admission_accounting;
+          Alcotest.test_case "section-8 shed rates" `Quick
+            test_shed_rates_math;
+          Alcotest.test_case "shed journal replays bit-identical" `Quick
+            test_shed_journal_replay ] );
+      ( "server",
+        [ Alcotest.test_case "sibling-session isolation" `Quick
+            test_tcp_sibling_isolation;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_tcp_concurrent_clients ] );
       ( "telemetry",
         [ Alcotest.test_case "sampling-rate provenance" `Quick
             test_sampling_rates;
